@@ -1,0 +1,31 @@
+//! Figure 12 bench: the six SI trigger-policy configurations on the most
+//! divergence-limited trace (BFV1).
+//!
+//! Regenerate the full figure with `cargo run --release -p subwarp-bench
+//! --bin figures -- fig12a fig12b`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use subwarp_bench::si_configs;
+use subwarp_core::{SiConfig, Simulator, SmConfig};
+use subwarp_workloads::trace_by_name;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let wl = trace_by_name("BFV1").expect("suite trace").build();
+    g.bench_function("baseline/BFV1", |b| {
+        let sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
+        b.iter(|| sim.run(&wl).cycles)
+    });
+    for (label, si) in si_configs() {
+        let sim = Simulator::new(SmConfig::turing_like(), si);
+        g.bench_function(format!("{label}/BFV1"), |b| b.iter(|| sim.run(&wl).cycles));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 13 bench: L1 miss-latency sensitivity (300/600/900 cycles) on a
+//! representative trace.
+//!
+//! Regenerate the full figure with `cargo run --release -p subwarp-bench
+//! --bin figures -- fig13`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use subwarp_core::{SiConfig, Simulator, SmConfig};
+use subwarp_workloads::trace_by_name;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let wl = trace_by_name("Ctrl").expect("suite trace").build();
+    for lat in [300u64, 600, 900] {
+        let sm = SmConfig::turing_like().with_miss_latency(lat);
+        let base = Simulator::new(sm.clone(), SiConfig::disabled());
+        let si = Simulator::new(sm, SiConfig::best());
+        g.bench_function(format!("baseline/lat{lat}"), |b| b.iter(|| base.run(&wl).cycles));
+        g.bench_function(format!("si/lat{lat}"), |b| b.iter(|| si.run(&wl).cycles));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 14 bench: warp-slot throttling (8/16/32 slots per SM).
+//!
+//! Regenerate the full figure with `cargo run --release -p subwarp-bench
+//! --bin figures -- fig14`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use subwarp_core::{SiConfig, Simulator, SmConfig};
+use subwarp_workloads::trace_by_name;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let wl = trace_by_name("MC").expect("suite trace").build();
+    for per_pb in [2usize, 4, 8] {
+        let sm = SmConfig::turing_like().with_warp_slots_per_pb(per_pb);
+        let base = Simulator::new(sm.clone(), SiConfig::disabled());
+        let si = Simulator::new(sm, SiConfig::best());
+        let slots = per_pb * 4;
+        g.bench_function(format!("baseline/{slots}slots"), |b| b.iter(|| base.run(&wl).cycles));
+        g.bench_function(format!("si/{slots}slots"), |b| b.iter(|| si.run(&wl).cycles));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

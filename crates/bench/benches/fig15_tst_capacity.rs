@@ -1,0 +1,29 @@
+//! Figure 15 bench: thread-status-table capacity (2/4/6/unlimited subwarps
+//! per warp).
+//!
+//! Regenerate the full figure with `cargo run --release -p subwarp-bench
+//! --bin figures -- fig15`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use subwarp_core::{SiConfig, Simulator, SmConfig};
+use subwarp_workloads::trace_by_name;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let wl = trace_by_name("BFV1").expect("suite trace").build();
+    for n in [2usize, 4, 6, 32] {
+        let si = Simulator::new(
+            SmConfig::turing_like(),
+            SiConfig::best().with_max_subwarps(n),
+        );
+        g.bench_function(format!("si/{n}subwarps"), |b| b.iter(|| si.run(&wl).cycles));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

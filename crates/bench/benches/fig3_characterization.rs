@@ -1,0 +1,32 @@
+//! Figure 3 bench: baseline simulation of representative traces (the runs
+//! whose exposed-stall counters produce the characterization figure).
+//!
+//! Regenerate the full figure with `cargo run --release -p subwarp-bench
+//! --bin figures -- fig3`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use subwarp_core::{SiConfig, Simulator, SmConfig};
+use subwarp_workloads::trace_by_name;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
+    for name in ["AV1", "BFV1", "Coll1"] {
+        let wl = trace_by_name(name).expect("suite trace").build();
+        g.bench_function(format!("baseline/{name}"), |b| {
+            b.iter(|| {
+                let s = sim.run(&wl);
+                assert!(s.exposed_load_stalls > 0);
+                s.cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

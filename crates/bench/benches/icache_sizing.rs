@@ -1,0 +1,29 @@
+//! §V-C-4 bench: instruction-cache sizing (paper-upsized vs 4× smaller
+//! shipping-GPU-like caches).
+//!
+//! Regenerate the full experiment with `cargo run --release -p subwarp-bench
+//! --bin figures -- icache`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use subwarp_core::{SiConfig, Simulator, SmConfig};
+use subwarp_workloads::trace_by_name;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("icache");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let wl = trace_by_name("MC").expect("suite trace").build();
+    for (label, sm) in [
+        ("big", SmConfig::turing_like()),
+        ("small", SmConfig::turing_like().with_small_icaches()),
+    ] {
+        let si = Simulator::new(sm, SiConfig::best());
+        g.bench_function(format!("si/{label}"), |b| b.iter(|| si.run(&wl).cycles));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Substrate micro-benchmarks: BVH build/traversal, cache lookups, the
+//! service-unit completion queue, and megakernel workload generation — the
+//! building blocks every figure run sits on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use subwarp_mem::{Cache, CacheConfig, ServiceUnit};
+use subwarp_rt::{Bvh, Ray, Scene, Vec3};
+use subwarp_workloads::trace_by_name;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrates");
+    g.sample_size(20);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+
+    let scene = Scene::random_soup(4096, 7);
+    g.bench_function("bvh/build-4k-tris", |b| b.iter(|| Bvh::build(&scene).node_count()));
+
+    let bvh = Bvh::build(&scene);
+    g.bench_function("bvh/traverse-1k-rays", |b| {
+        b.iter(|| {
+            let mut nodes = 0u64;
+            for i in 0..1024u32 {
+                let ray = Ray::new(
+                    Vec3::new(0.0, 0.0, -10.0),
+                    Vec3::new((i % 32) as f32 * 0.02 - 0.3, (i / 32) as f32 * 0.02 - 0.3, 1.0),
+                );
+                nodes += bvh.traverse(&ray).nodes_visited as u64;
+            }
+            nodes
+        })
+    });
+
+    g.bench_function("cache/64k-accesses", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(CacheConfig::l1_data());
+            let mut hits = 0u64;
+            for i in 0..65_536u64 {
+                if cache.access((i * 37) % (1 << 20)) == subwarp_mem::AccessKind::Hit {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+
+    g.bench_function("service-unit/16k-push-pop", |b| {
+        b.iter(|| {
+            let mut u = ServiceUnit::new();
+            for i in 0..16_384u64 {
+                u.push(i % 600, i);
+            }
+            let mut n = 0;
+            for now in 0..600 {
+                n += u.pop_ready(now).len();
+            }
+            n
+        })
+    });
+
+    g.bench_function("workload/build-BFV1", |b| {
+        b.iter(|| trace_by_name("BFV1").expect("suite trace").build().program.len())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

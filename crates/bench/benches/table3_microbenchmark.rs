@@ -1,0 +1,29 @@
+//! Table III bench: the Figure 11 microbenchmark at each divergence
+//! factor, baseline vs Subwarp Interleaving.
+//!
+//! Regenerate the full table with `cargo run --release -p subwarp-bench
+//! --bin figures -- table3`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use subwarp_core::{SelectPolicy, SiConfig, Simulator, SmConfig};
+use subwarp_workloads::microbenchmark;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
+    let si = Simulator::new(SmConfig::turing_like(), SiConfig::sos(SelectPolicy::AnyStalled));
+    for ss in [16usize, 4, 1] {
+        let wl = microbenchmark(ss, 2);
+        let div = 32 / ss;
+        g.bench_function(format!("baseline/div{div}"), |b| b.iter(|| base.run(&wl).cycles));
+        g.bench_function(format!("si/div{div}"), |b| b.iter(|| si.run(&wl).cycles));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,341 @@
+//! Regenerates every table and figure of *GPU Subwarp Interleaving*
+//! (HPCA 2022) and prints them as aligned tables and ASCII bar charts.
+//!
+//! ```text
+//! figures [fig3|table3|fig10|fig12a|fig12b|fig13|fig14|fig15|icache|order|all] [--csv DIR]
+//! ```
+
+use std::fmt::Write as _;
+use subwarp_bench as x;
+use subwarp_stats::{mean, BarChart, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<&str> = Vec::new();
+    let mut csv_dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--csv" => csv_dir = it.next().cloned().or(Some("results".into())),
+            other => which.push(other),
+        }
+    }
+    if which.is_empty() || which.contains(&"all") {
+        which = vec![
+            "fig3", "table3", "fig10", "fig12a", "fig12b", "fig13", "fig14", "fig15", "icache",
+            "order", "dws", "compute",
+        ];
+    }
+    let mut csvs: Vec<(String, String)> = Vec::new();
+    for w in which {
+        match w {
+            "fig3" => fig3(&mut csvs),
+            "table3" => table3(&mut csvs),
+            "fig10" => fig10(),
+            "fig12a" => fig12a(&mut csvs),
+            "fig12b" => fig12b(&mut csvs),
+            "fig13" => fig13(&mut csvs),
+            "fig14" => fig14(&mut csvs),
+            "fig15" => fig15(&mut csvs),
+            "icache" => icache(&mut csvs),
+            "order" => order(&mut csvs),
+            "dws" => dws(&mut csvs),
+            "compute" => compute(&mut csvs),
+            other => {
+                eprintln!("unknown figure `{other}`");
+                std::process::exit(2);
+            }
+        }
+        println!();
+    }
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(&dir).expect("create csv dir");
+        for (name, content) in csvs {
+            let path = format!("{dir}/{name}.csv");
+            std::fs::write(&path, content).expect("write csv");
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+fn banner(s: &str) {
+    println!("==== {s} ====");
+}
+
+fn fig3(csvs: &mut Vec<(String, String)>) {
+    banner("Figure 3: exposed load-to-use stalls, normalized to kernel time (baseline)");
+    let rows = x::fig3();
+    let mut t = Table::new(vec!["trace".into(), "total".into(), "divergent".into()]);
+    let mut chart = BarChart::new(
+        "stalls / kernel time",
+        vec!["total exposed load-to-use".into(), "in divergent code blocks".into()],
+    )
+    .unit("%");
+    let (mut tot, mut div) = (Vec::new(), Vec::new());
+    for r in &rows {
+        t.row(vec![r.name.clone(), pct(r.total), pct(r.divergent)]);
+        chart.group(r.name.clone(), vec![r.total * 100.0, r.divergent * 100.0]);
+        tot.push(r.total);
+        div.push(r.divergent);
+    }
+    t.row(vec!["mean".into(), pct(mean(&tot)), pct(mean(&div))]);
+    println!("{t}\n{chart}");
+    csvs.push(("fig3".into(), t.to_csv()));
+}
+
+fn table3(csvs: &mut Vec<(String, String)>) {
+    banner("Table III: microbenchmark speedup vs divergence factor (600-cycle miss)");
+    let rows = x::table3(16);
+    let mut t = Table::new(vec![
+        "SUBWARP_SIZE".into(),
+        "divergence factor".into(),
+        "speedup (x)".into(),
+        "SI fetch-stall %".into(),
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.subwarp_size.to_string(),
+            r.divergence_factor.to_string(),
+            format!("{:.2}", r.speedup),
+            pct(r.si_fetch_ratio),
+        ]);
+    }
+    println!("{t}");
+    println!("(paper: 1.98 / 3.95 / 7.84 / 15.22 / 12.66 — near-linear, tapering at 32-way)");
+    csvs.push(("table3".into(), t.to_csv()));
+}
+
+fn fig10() {
+    banner("Figure 10: TST operation on the Figure 9 toy (two 1-thread subwarps)");
+    let ((sa, ra), (sb, rb)) = x::fig10();
+    for (tag, stats, rec) in [("10a (without yield)", sa, ra), ("10b (with yield)", sb, rb)] {
+        println!("--- {tag}: {} cycles ---", stats.cycles);
+        let mut t = Table::new(vec!["cycle".into(), "event".into(), "mask".into(), "pc".into()]);
+        for e in rec.events() {
+            t.row(vec![
+                e.cycle.to_string(),
+                format!("{:?}", e.kind),
+                format!("{:#04b}", e.mask),
+                e.pc.to_string(),
+            ]);
+        }
+        println!("{t}");
+    }
+}
+
+fn fig12a(csvs: &mut Vec<(String, String)>) {
+    banner("Figure 12a: speedup over baseline at 600-cycle miss latency");
+    let rows = x::fig12a();
+    let labels: Vec<String> = rows[0].speedups.iter().map(|(l, _)| l.clone()).collect();
+    let mut header = vec!["trace".to_string()];
+    header.extend(labels.iter().cloned());
+    header.push("BestOf".into());
+    let mut t = Table::new(header);
+    let mut means = vec![Vec::new(); labels.len()];
+    let mut best = Vec::new();
+    for r in &rows {
+        let mut cells = vec![r.name.clone()];
+        for (i, (_, g)) in r.speedups.iter().enumerate() {
+            cells.push(format!("{g:.1}%"));
+            means[i].push(*g);
+        }
+        cells.push(format!("{:.1}%", r.best_of));
+        best.push(r.best_of);
+        t.row(cells);
+    }
+    let mut mean_cells = vec!["mean".to_string()];
+    for m in &means {
+        mean_cells.push(format!("{:.1}%", mean(m)));
+    }
+    mean_cells.push(format!("{:.1}%", mean(&best)));
+    t.row(mean_cells);
+    println!("{t}");
+    let mut chart = BarChart::new(
+        "speedup % (Both,N>=0.5 vs BestOf)",
+        vec!["Both,N>=0.5".into(), "BestOf".into()],
+    )
+    .unit("%");
+    for r in &rows {
+        let both_half =
+            r.speedups.iter().find(|(l, _)| l == "Both,N>=0.5").map(|(_, g)| *g).unwrap_or(0.0);
+        chart.group(r.name.clone(), vec![both_half, r.best_of]);
+    }
+    println!("{chart}");
+    println!("(paper: best single setting Both,N>=0.5 averages 6.3%; BestOf mean 6.6%)");
+    csvs.push(("fig12a".into(), t.to_csv()));
+}
+
+fn fig12b(csvs: &mut Vec<(String, String)>) {
+    banner("Figure 12b: reduction in exposed load-to-use stalls (Both,N>=0.5)");
+    let rows = x::fig12b();
+    let mut t =
+        Table::new(vec!["trace".into(), "total reduction".into(), "divergent reduction".into()]);
+    let (mut tot, mut div) = (Vec::new(), Vec::new());
+    for r in &rows {
+        t.row(vec![r.name.clone(), pct(r.total_reduction), pct(r.divergent_reduction)]);
+        tot.push(r.total_reduction);
+        div.push(r.divergent_reduction);
+    }
+    t.row(vec!["mean".into(), pct(mean(&tot)), pct(mean(&div))]);
+    println!("{t}");
+    println!("(paper: divergent stalls drop 26.5% on average; total ~10.5%)");
+    csvs.push(("fig12b".into(), t.to_csv()));
+}
+
+fn fig13(csvs: &mut Vec<(String, String)>) {
+    banner("Figure 13: average speedup vs L1 miss latency");
+    let rows = x::fig13();
+    let labels: Vec<String> = rows[0].means.iter().map(|(l, _)| l.clone()).collect();
+    let mut header = vec!["latency".to_string()];
+    header.extend(labels.iter().cloned());
+    header.push("BestOf".into());
+    let mut t = Table::new(header);
+    for r in &rows {
+        let mut cells = vec![format!("lat{}", r.latency)];
+        for (_, m) in &r.means {
+            cells.push(format!("{m:.1}%"));
+        }
+        cells.push(format!("{:.1}%", r.best_of));
+        t.row(cells);
+    }
+    println!("{t}");
+    println!("(paper BestOf: 4.2% / 6.6% / 7.6% at 300/600/900 cycles)");
+    csvs.push(("fig13".into(), t.to_csv()));
+}
+
+fn fig14(csvs: &mut Vec<(String, String)>) {
+    banner("Figure 14: sensitivity to warp slots (vs equally-throttled baselines)");
+    let rows = x::fig14();
+    let mut header = vec!["trace".to_string()];
+    for r in &rows {
+        header.push(format!("{} warps", r.warp_slots));
+    }
+    let mut t = Table::new(header);
+    let names: Vec<String> = rows[0].gains.iter().map(|(n, _)| n.clone()).collect();
+    for (i, name) in names.iter().enumerate() {
+        let mut cells = vec![name.clone()];
+        for r in &rows {
+            cells.push(format!("{:.1}%", r.gains[i].1));
+        }
+        t.row(cells);
+    }
+    let mut mean_cells = vec!["mean".to_string()];
+    for r in &rows {
+        mean_cells.push(format!("{:.1}%", r.mean));
+    }
+    t.row(mean_cells);
+    println!("{t}");
+    println!("(paper means: 5.1% / 5.7% / 6.3% at 8/16/32 warp slots)");
+    csvs.push(("fig14".into(), t.to_csv()));
+}
+
+fn fig15(csvs: &mut Vec<(String, String)>) {
+    banner("Figure 15: sensitivity to subwarps per warp (32 peak warps)");
+    let rows = x::fig15();
+    let mut header = vec!["trace".to_string()];
+    for r in &rows {
+        header.push(if r.max_subwarps == 32 {
+            "unlimited".into()
+        } else {
+            format!("{} subwarps", r.max_subwarps)
+        });
+    }
+    let mut t = Table::new(header);
+    let names: Vec<String> = rows[0].gains.iter().map(|(n, _)| n.clone()).collect();
+    for (i, name) in names.iter().enumerate() {
+        let mut cells = vec![name.clone()];
+        for r in &rows {
+            cells.push(format!("{:.1}%", r.gains[i].1));
+        }
+        t.row(cells);
+    }
+    let mut mean_cells = vec!["mean".to_string()];
+    for r in &rows {
+        mean_cells.push(format!("{:.1}%", r.mean));
+    }
+    t.row(mean_cells);
+    println!("{t}");
+    println!("(paper: 2 subwarps capture 4.2%; 4 subwarps 5.2% = 82% of unlimited's 6.3%)");
+    csvs.push(("fig15".into(), t.to_csv()));
+}
+
+fn icache(csvs: &mut Vec<(String, String)>) {
+    banner("Section V-C-4: instruction cache sizing");
+    let r = x::icache();
+    let mut t = Table::new(vec!["configuration".into(), "mean speedup".into()]);
+    t.row(vec!["16KB L0I / 64KB L1I (paper baseline)".into(), format!("{:.1}%", r.big_mean)]);
+    t.row(vec!["4KB L0I / 16KB L1I (4x smaller)".into(), format!("{:.1}%", r.small_mean)]);
+    println!("{t}");
+    println!(
+        "(paper: 4x smaller caches keep ~70% of the upside: 4.5% vs 6.3%; here {:.0}%)",
+        if r.big_mean.abs() > 1e-9 { r.small_mean / r.big_mean * 100.0 } else { 0.0 }
+    );
+    csvs.push(("icache".into(), {
+        let mut s = String::new();
+        let _ = writeln!(s, "config,mean_speedup_pct");
+        let _ = writeln!(s, "big,{:.3}", r.big_mean);
+        let _ = writeln!(s, "small,{:.3}", r.small_mean);
+        s
+    }));
+}
+
+fn order(csvs: &mut Vec<(String, String)>) {
+    banner("Ablation (paper §VI limiter #3): divergent-path execution order");
+    let r = x::ablation_diverge_order();
+    let mut t = Table::new(vec!["order".into(), "mean speedup".into()]);
+    for (label, m) in &r.means {
+        t.row(vec![label.clone(), format!("{m:.1}%")]);
+    }
+    println!("{t}");
+    println!("(paper: execution order gates SI; randomization improves the odds of a");
+    println!(" profitable dynamic subwarp schedule)");
+    csvs.push(("order".into(), t.to_csv()));
+}
+
+fn dws(csvs: &mut Vec<(String, String)>) {
+    banner("Comparison (paper SVII-B): SI vs Dynamic-Warp-Subdivision-like forking");
+    let rows = x::dws_comparison();
+    let mut t = Table::new(vec![
+        "warps resident (of 32 slots)".into(),
+        "SI gain".into(),
+        "DWS-like gain".into(),
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.n_warps.to_string(),
+            format!("{:.1}%", r.si_gain),
+            format!("{:.1}%", r.dws_gain),
+        ]);
+    }
+    println!("{t}");
+    println!("(paper SVII-B: DWS forks subwarps into unused warp slots, so it degrades");
+    println!(" as occupancy rises; SI hosts subwarps in the TST and keeps working)");
+    csvs.push(("dws".into(), t.to_csv()));
+}
+
+fn compute(csvs: &mut Vec<(String, String)>) {
+    banner("Negative result (paper SVI): SI on non-raytracing compute kernels");
+    let rows = x::compute_negative_result();
+    let mut t = Table::new(vec![
+        "kernel".into(),
+        "SI gain".into(),
+        "baseline l2u%".into(),
+        "divergent%".into(),
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.name.clone(),
+            format!("{:+.1}%", r.gain),
+            pct(r.exposed),
+            pct(r.divergent),
+        ]);
+    }
+    println!("{t}");
+    println!("(paper SVI: of 400+ compute kernels, only 11 had long stalls in divergent");
+    println!(" code, and none benefited beyond the margin of noise from SI)");
+    csvs.push(("compute".into(), t.to_csv()));
+}
+
+fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}

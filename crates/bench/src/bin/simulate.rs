@@ -1,0 +1,190 @@
+//! Run a single workload under a configurable SM/SI setup and print its
+//! statistics — the day-to-day exploration tool.
+//!
+//! ```text
+//! simulate [options] <workload>
+//!
+//! workloads:
+//!   trace:<NAME>          a suite trace (AV1, BFV1, Coll1, ...)
+//!   micro:<SUBWARP_SIZE>  the Figure 11 microbenchmark
+//!   toy                   the Figure 9 two-subwarp toy
+//!
+//! options:
+//!   --si <off|sos|both|dws>   interleaving mode          [default: off]
+//!   --policy <any|half|all>   stall trigger (N>0/≥0.5/1) [default: half]
+//!   --latency <cycles>        L1 miss latency            [default: 600]
+//!   --slots <per-pb>          warp slots per PB          [default: 8]
+//!   --sms <n>                 streaming multiprocessors  [default: 1]
+//!   --subwarps <n>            TST entries per warp       [default: 32]
+//!   --order <ft|taken|random|hinted>  divergence order   [default: ft]
+//!   --small-icache            4x smaller L0/L1I
+//!   --compare                 also run the baseline and report speedup
+//!   --events                  dump the subwarp-scheduler event trace
+//! ```
+
+use subwarp_core::{
+    DivergeOrder, EventKind, SelectPolicy, SiConfig, Simulator, SmConfig, Workload,
+};
+use subwarp_workloads::{figure9_workload, microbenchmark, trace_by_name};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simulate [--si off|sos|both|dws] [--policy any|half|all] \
+         [--latency N] [--slots N] [--sms N] [--subwarps N] [--order ft|taken|random|hinted] \
+         [--small-icache] [--compare] [--events] <trace:NAME|micro:SIZE|toy>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut sm = SmConfig::turing_like();
+    let mut si = SiConfig::disabled();
+    let mut policy = SelectPolicy::HalfStalled;
+    let mut si_kind = "off".to_owned();
+    let mut max_subwarps = 32usize;
+    let mut compare = false;
+    let mut events = false;
+    let mut target: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--si" => si_kind = next("--si"),
+            "--policy" => {
+                policy = match next("--policy").as_str() {
+                    "any" => SelectPolicy::AnyStalled,
+                    "half" => SelectPolicy::HalfStalled,
+                    "all" => SelectPolicy::AllStalled,
+                    _ => usage(),
+                }
+            }
+            "--latency" => {
+                sm.miss_latency = next("--latency").parse().unwrap_or_else(|_| usage())
+            }
+            "--slots" => {
+                sm.warp_slots_per_pb = next("--slots").parse().unwrap_or_else(|_| usage())
+            }
+            "--sms" => sm.n_sms = next("--sms").parse().unwrap_or_else(|_| usage()),
+            "--subwarps" => max_subwarps = next("--subwarps").parse().unwrap_or_else(|_| usage()),
+            "--order" => {
+                sm.diverge_order = match next("--order").as_str() {
+                    "ft" => DivergeOrder::FallthroughFirst,
+                    "taken" => DivergeOrder::TakenFirst,
+                    "random" => DivergeOrder::Random,
+                    "hinted" => DivergeOrder::Hinted,
+                    _ => usage(),
+                }
+            }
+            "--small-icache" => sm = sm.with_small_icaches(),
+            "--compare" => compare = true,
+            "--events" => events = true,
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') => target = Some(other.to_owned()),
+            _ => usage(),
+        }
+    }
+    match si_kind.as_str() {
+        "off" => {}
+        "sos" => si = SiConfig::sos(policy),
+        "both" => si = SiConfig::both(policy),
+        "dws" => {
+            si = SiConfig::dws_like();
+            si.policy = policy;
+        }
+        _ => usage(),
+    }
+    si = si.with_max_subwarps(max_subwarps);
+
+    let Some(target) = target else { usage() };
+    let wl: Workload = if let Some(name) = target.strip_prefix("trace:") {
+        match trace_by_name(name) {
+            Some(t) => {
+                eprintln!("# {}: {}", t.name, t.description);
+                t.build()
+            }
+            None => {
+                eprintln!("unknown trace `{name}`");
+                std::process::exit(2);
+            }
+        }
+    } else if let Some(size) = target.strip_prefix("micro:") {
+        microbenchmark(size.parse().unwrap_or_else(|_| usage()), 16)
+    } else if target == "toy" {
+        figure9_workload()
+    } else {
+        usage()
+    };
+
+    eprintln!(
+        "# workload `{}`: {} instructions, {} warps | SI={} latency={} slots={}x{}",
+        wl.name,
+        wl.program.len(),
+        wl.n_warps,
+        si.label(),
+        sm.miss_latency,
+        sm.n_pbs,
+        sm.warp_slots_per_pb
+    );
+
+    let sim = Simulator::new(sm.clone(), si);
+    let (stats, recorder) =
+        if events { let (s, r) = sim.run_recorded(&wl); (s, Some(r)) } else { (sim.run(&wl), None) };
+
+    println!("cycles                    {:>12}", stats.cycles);
+    println!("instructions              {:>12}  (ipc {:.2})", stats.instructions, stats.ipc());
+    println!(
+        "exposed load-to-use       {:>12}  ({:.1}% of time; divergent {:.1}%)",
+        stats.exposed_load_stalls,
+        stats.exposed_ratio() * 100.0,
+        stats.exposed_divergent_ratio() * 100.0
+    );
+    println!("exposed traversal stalls  {:>12}", stats.exposed_traversal_stalls);
+    println!("exposed fetch stalls      {:>12}", stats.exposed_fetch_stalls);
+    println!("divergences/reconverges   {:>12}  / {}", stats.divergences, stats.reconvergences);
+    println!(
+        "subwarp stall/switch/yield{:>12}  / {} / {}",
+        stats.subwarp_stalls, stats.subwarp_switches, stats.subwarp_yields
+    );
+    println!(
+        "L0I/L1I/L1D miss ratios   {:>11.1}% / {:.1}% / {:.1}%",
+        stats.l0i.miss_ratio() * 100.0,
+        stats.l1i.miss_ratio() * 100.0,
+        stats.l1d.miss_ratio() * 100.0
+    );
+    println!("RT traversals             {:>12}", stats.rt_traversals);
+
+    if compare {
+        let base = Simulator::new(sm, SiConfig::disabled()).run(&wl);
+        println!(
+            "\nbaseline: {} cycles -> speedup {:+.1}%",
+            base.cycles,
+            (stats.speedup_vs(&base) - 1.0) * 100.0
+        );
+    }
+    if let Some(rec) = recorder {
+        println!("\nevents ({}):", rec.events().len());
+        for e in rec.events().iter().take(200) {
+            let k = match e.kind {
+                EventKind::Diverge => "diverge",
+                EventKind::Stall => "stall",
+                EventKind::Wakeup => "wakeup",
+                EventKind::Select => "select",
+                EventKind::Yield => "yield",
+                EventKind::Block => "block",
+                EventKind::Reconverge => "reconverge",
+                EventKind::Exit => "exit",
+            };
+            println!("  {:>8}  warp {:>2}  {:<10} mask {:#010x} pc {}", e.cycle, e.warp, k, e.mask, e.pc);
+        }
+        if rec.events().len() > 200 {
+            println!("  ... ({} more)", rec.events().len() - 200);
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! Experiment implementations. Each returns plain data so the `figures`
+//! binary, the criterion benches, and the integration tests can all share
+//! them.
+
+use subwarp_core::{
+    DivergeOrder, EventRecorder, RunStats, SelectPolicy, SiConfig, Simulator, SmConfig,
+};
+use subwarp_workloads::{figure9_workload, microbenchmark_with, suite, MicroConfig};
+
+/// The six SI settings of Figure 12a, in the paper's legend order.
+pub fn si_configs() -> Vec<(String, SiConfig)> {
+    let policies =
+        [SelectPolicy::AllStalled, SelectPolicy::HalfStalled, SelectPolicy::AnyStalled];
+    let mut v = Vec::new();
+    for p in policies {
+        for (kind, cfg) in [("SOS", SiConfig::sos(p)), ("Both", SiConfig::both(p))] {
+            v.push((format!("{kind},{}", p.label()), cfg));
+        }
+    }
+    v
+}
+
+/// Percentage gain of `si` over `base` (`6.3` means 6.3% faster).
+pub fn gain_pct(si: &RunStats, base: &RunStats) -> f64 {
+    (si.speedup_vs(base) - 1.0) * 100.0
+}
+
+// ---------------------------------------------------------------- Figure 3
+
+/// One Figure 3 row: baseline stall characterization of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Row {
+    /// Trace name.
+    pub name: String,
+    /// Total exposed load-to-use stalls / kernel time.
+    pub total: f64,
+    /// Exposed load-to-use stalls in divergent blocks / kernel time.
+    pub divergent: f64,
+}
+
+/// Figure 3: baseline exposed-stall characterization over the suite.
+pub fn fig3() -> Vec<Fig3Row> {
+    let sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
+    suite()
+        .iter()
+        .map(|t| {
+            let s = sim.run(&t.build());
+            Fig3Row {
+                name: t.name.to_owned(),
+                total: s.exposed_ratio(),
+                divergent: s.exposed_divergent_ratio(),
+            }
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------- Table III
+
+/// One Table III cell: microbenchmark speedup at a divergence factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// `SUBWARP_SIZE` (paper's top row).
+    pub subwarp_size: usize,
+    /// Divergence factor (`32 / subwarp_size`).
+    pub divergence_factor: usize,
+    /// SI speedup over baseline (×).
+    pub speedup: f64,
+    /// Exposed fetch-stall share under SI (explains the 32-way taper).
+    pub si_fetch_ratio: f64,
+}
+
+/// Table III: microbenchmark speedups at divergence factors 2..32, fixed
+/// 600-cycle miss latency. `iterations` trades accuracy for runtime
+/// (the paper's figure uses a steady-state loop; ≥4 is representative).
+pub fn table3(iterations: u32) -> Vec<Table3Row> {
+    let base_sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
+    let si_sim =
+        Simulator::new(SmConfig::turing_like(), SiConfig::both(SelectPolicy::AnyStalled));
+    [16usize, 8, 4, 2, 1]
+        .iter()
+        .map(|&ss| {
+            let wl = microbenchmark_with(MicroConfig {
+                subwarp_size: ss,
+                iterations,
+                ..MicroConfig::default()
+            });
+            let b = base_sim.run(&wl);
+            let s = si_sim.run(&wl);
+            Table3Row {
+                subwarp_size: ss,
+                divergence_factor: 32 / ss,
+                speedup: s.speedup_vs(&b),
+                si_fetch_ratio: s.exposed_fetch_stalls as f64 / s.cycles as f64,
+            }
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------- Figure 10
+
+/// Figure 10 state-machine walkthroughs on the Figure 9 toy:
+/// `(stats, events)` without yield (10a) and with yield (10b).
+pub fn fig10() -> ((RunStats, EventRecorder), (RunStats, EventRecorder)) {
+    let wl = figure9_workload();
+    let a = Simulator::new(SmConfig::turing_like(), SiConfig::sos(SelectPolicy::AnyStalled))
+        .run_recorded(&wl);
+    let b = Simulator::new(SmConfig::turing_like(), SiConfig::both(SelectPolicy::AnyStalled))
+        .run_recorded(&wl);
+    (a, b)
+}
+
+// -------------------------------------------------------------- Figure 12a
+
+/// Per-trace speedups for every SI configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig12aRow {
+    /// Trace name.
+    pub name: String,
+    /// `(config label, speedup %)` for the six settings.
+    pub speedups: Vec<(String, f64)>,
+    /// Best configuration's speedup % (the BestOf bar).
+    pub best_of: f64,
+}
+
+/// Figure 12a: suite speedups across SOS/Both × N policies at 600 cycles.
+pub fn fig12a() -> Vec<Fig12aRow> {
+    let base_sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
+    let configs = si_configs();
+    suite()
+        .iter()
+        .map(|t| {
+            let wl = t.build();
+            let base = base_sim.run(&wl);
+            let speedups: Vec<(String, f64)> = configs
+                .iter()
+                .map(|(label, si)| {
+                    let s = Simulator::new(SmConfig::turing_like(), *si).run(&wl);
+                    (label.clone(), gain_pct(&s, &base))
+                })
+                .collect();
+            let best_of =
+                speedups.iter().map(|(_, g)| *g).fold(f64::NEG_INFINITY, f64::max);
+            Fig12aRow { name: t.name.to_owned(), speedups, best_of }
+        })
+        .collect()
+}
+
+// -------------------------------------------------------------- Figure 12b
+
+/// Per-trace exposed-stall reductions under the paper's best setting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig12bRow {
+    /// Trace name.
+    pub name: String,
+    /// Reduction in total exposed load-to-use stalls (fraction, positive =
+    /// reduced).
+    pub total_reduction: f64,
+    /// Reduction in divergent exposed load-to-use stalls.
+    pub divergent_reduction: f64,
+}
+
+/// Figure 12b: stall reductions of `Both, N ≥ 0.5` vs baseline.
+pub fn fig12b() -> Vec<Fig12bRow> {
+    let base_sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
+    let si_sim = Simulator::new(SmConfig::turing_like(), SiConfig::best());
+    suite()
+        .iter()
+        .map(|t| {
+            let wl = t.build();
+            let b = base_sim.run(&wl);
+            let s = si_sim.run(&wl);
+            Fig12bRow {
+                name: t.name.to_owned(),
+                total_reduction: RunStats::reduction(
+                    s.exposed_load_stalls,
+                    b.exposed_load_stalls,
+                ),
+                divergent_reduction: RunStats::reduction(
+                    s.exposed_load_stalls_divergent,
+                    b.exposed_load_stalls_divergent,
+                ),
+            }
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------- Figure 13
+
+/// Mean suite speedups per SI configuration at one miss latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig13Row {
+    /// L1 miss latency (300/600/900).
+    pub latency: u64,
+    /// `(config label, mean speedup %)`.
+    pub means: Vec<(String, f64)>,
+    /// Mean of per-trace best configurations.
+    pub best_of: f64,
+}
+
+/// Figure 13: latency sensitivity sweep over {300, 600, 900} cycles.
+pub fn fig13() -> Vec<Fig13Row> {
+    let configs = si_configs();
+    [300u64, 600, 900]
+        .iter()
+        .map(|&lat| {
+            let sm = SmConfig::turing_like().with_miss_latency(lat);
+            let base_sim = Simulator::new(sm.clone(), SiConfig::disabled());
+            // gains[c][t]: config c's gain on trace t.
+            let mut gains = vec![Vec::new(); configs.len()];
+            let mut best = Vec::new();
+            for t in suite() {
+                let wl = t.build();
+                let b = base_sim.run(&wl);
+                let mut trace_best = f64::NEG_INFINITY;
+                for (ci, (_, si)) in configs.iter().enumerate() {
+                    let g = gain_pct(&Simulator::new(sm.clone(), *si).run(&wl), &b);
+                    gains[ci].push(g);
+                    trace_best = trace_best.max(g);
+                }
+                best.push(trace_best);
+            }
+            Fig13Row {
+                latency: lat,
+                means: configs
+                    .iter()
+                    .zip(&gains)
+                    .map(|((label, _), g)| (label.clone(), subwarp_stats::mean(g)))
+                    .collect(),
+                best_of: subwarp_stats::mean(&best),
+            }
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------- Figure 14
+
+/// Per-trace SI speedups at one warp-slot budget, against an equally
+/// throttled baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig14Row {
+    /// Total SM warp slots (8/16/32).
+    pub warp_slots: usize,
+    /// `(trace, speedup %)`.
+    pub gains: Vec<(String, f64)>,
+    /// Suite mean.
+    pub mean: f64,
+}
+
+/// Figure 14: warp-slot sensitivity (8/16/32 slots per SM).
+pub fn fig14() -> Vec<Fig14Row> {
+    [2usize, 4, 8]
+        .iter()
+        .map(|&per_pb| {
+            let sm = SmConfig::turing_like().with_warp_slots_per_pb(per_pb);
+            let base_sim = Simulator::new(sm.clone(), SiConfig::disabled());
+            let si_sim = Simulator::new(sm.clone(), SiConfig::best());
+            let gains: Vec<(String, f64)> = suite()
+                .iter()
+                .map(|t| {
+                    let wl = t.build();
+                    let g = gain_pct(&si_sim.run(&wl), &base_sim.run(&wl));
+                    (t.name.to_owned(), g)
+                })
+                .collect();
+            let mean = subwarp_stats::mean(&gains.iter().map(|(_, g)| *g).collect::<Vec<_>>());
+            Fig14Row { warp_slots: per_pb * 4, gains, mean }
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------- Figure 15
+
+/// Per-trace SI speedups at one thread-status-table capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig15Row {
+    /// Maximum subwarps per warp (TST entries); 32 = unlimited.
+    pub max_subwarps: usize,
+    /// `(trace, speedup %)`.
+    pub gains: Vec<(String, f64)>,
+    /// Suite mean.
+    pub mean: f64,
+}
+
+/// Figure 15: subwarps-per-warp sensitivity (2/4/6/unlimited).
+pub fn fig15() -> Vec<Fig15Row> {
+    let base_sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
+    // Baselines are independent of TST capacity: compute once.
+    let baselines: Vec<(String, RunStats, subwarp_core::Workload)> = suite()
+        .iter()
+        .map(|t| {
+            let wl = t.build();
+            let b = base_sim.run(&wl);
+            (t.name.to_owned(), b, wl)
+        })
+        .collect();
+    [2usize, 4, 6, 32]
+        .iter()
+        .map(|&n| {
+            let si_sim =
+                Simulator::new(SmConfig::turing_like(), SiConfig::best().with_max_subwarps(n));
+            let gains: Vec<(String, f64)> = baselines
+                .iter()
+                .map(|(name, b, wl)| (name.clone(), gain_pct(&si_sim.run(wl), b)))
+                .collect();
+            let mean = subwarp_stats::mean(&gains.iter().map(|(_, g)| *g).collect::<Vec<_>>());
+            Fig15Row { max_subwarps: n, gains, mean }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------ §V-C-4 icache
+
+/// Instruction-cache sizing result (§V-C-4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IcacheResult {
+    /// Mean SI gain with the paper's upsized caches (16 KB L0 / 64 KB L1I).
+    pub big_mean: f64,
+    /// Mean SI gain with 4× smaller caches (shipping-GPU-like).
+    pub small_mean: f64,
+}
+
+/// §V-C-4: rerun the best setting with 4× smaller L0/L1 instruction caches.
+pub fn icache() -> IcacheResult {
+    let mean_gain = |sm: SmConfig| {
+        let base_sim = Simulator::new(sm.clone(), SiConfig::disabled());
+        let si_sim = Simulator::new(sm, SiConfig::best());
+        let gains: Vec<f64> = suite()
+            .iter()
+            .map(|t| {
+                let wl = t.build();
+                gain_pct(&si_sim.run(&wl), &base_sim.run(&wl))
+            })
+            .collect();
+        subwarp_stats::mean(&gains)
+    };
+    IcacheResult {
+        big_mean: mean_gain(SmConfig::turing_like()),
+        small_mean: mean_gain(SmConfig::turing_like().with_small_icaches()),
+    }
+}
+
+// ------------------------------------------------------- order ablation §VI
+
+/// Divergent-path execution-order ablation (§VI, limiter #3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderAblation {
+    /// `(order label, mean SI gain %)`.
+    pub means: Vec<(String, f64)>,
+}
+
+/// Sweeps which side of a divergent branch executes first, quantifying the
+/// paper's observation that subwarp encounter order gates SI's value.
+pub fn ablation_diverge_order() -> OrderAblation {
+    let orders = [
+        ("fallthrough-first", DivergeOrder::FallthroughFirst),
+        ("taken-first", DivergeOrder::TakenFirst),
+        ("random", DivergeOrder::Random),
+        // §VI future work: compiler stall hints steer the order (the
+        // megakernel generator annotates its dispatch branches).
+        ("hinted", DivergeOrder::Hinted),
+    ];
+    let means = orders
+        .iter()
+        .map(|(label, order)| {
+            let mut sm = SmConfig::turing_like();
+            sm.diverge_order = *order;
+            let base_sim = Simulator::new(sm.clone(), SiConfig::disabled());
+            let si_sim = Simulator::new(sm, SiConfig::best());
+            let gains: Vec<f64> = suite()
+                .iter()
+                .map(|t| {
+                    let wl = t.build();
+                    gain_pct(&si_sim.run(&wl), &base_sim.run(&wl))
+                })
+                .collect();
+            (label.to_string(), subwarp_stats::mean(&gains))
+        })
+        .collect();
+    OrderAblation { means }
+}
+
+// ---------------------------------------------------- DWS comparison §VII-B
+
+/// SI vs a Dynamic-Warp-Subdivision-like scheme at one occupancy point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DwsRow {
+    /// Warps launched (out of 32 slots).
+    pub n_warps: usize,
+    /// Subwarp Interleaving gain % (TST-hosted subwarps).
+    pub si_gain: f64,
+    /// DWS-like gain % (subwarps must fit in free warp slots).
+    pub dws_gain: f64,
+}
+
+/// §VII-B: "our approach will perform better than DWS, especially when
+/// there are few unused warp slots." Sweeps occupancy on the most
+/// divergence-limited trace; DWS-like interleaving needs free slots, so its
+/// gains collapse as the SM fills while SI's do not.
+pub fn dws_comparison() -> Vec<DwsRow> {
+    let trace = subwarp_workloads::trace_by_name("BFV1").expect("suite trace");
+    [8usize, 16, 24, 32]
+        .iter()
+        .map(|&n| {
+            let mut cfg = trace.config.clone();
+            cfg.n_warps = n;
+            let wl = cfg.build();
+            let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl);
+            let si = Simulator::new(SmConfig::turing_like(), SiConfig::best()).run(&wl);
+            let dws = Simulator::new(SmConfig::turing_like(), SiConfig::dws_like()).run(&wl);
+            DwsRow {
+                n_warps: n,
+                si_gain: gain_pct(&si, &base),
+                dws_gain: gain_pct(&dws, &base),
+            }
+        })
+        .collect()
+}
+
+// -------------------------------------------- compute negative result §VI
+
+/// SI's (lack of) effect on one non-raytracing compute kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComputeRow {
+    /// Kernel name.
+    pub name: String,
+    /// SI gain % (expected: within the margin of noise).
+    pub gain: f64,
+    /// Baseline exposed load-to-use stall ratio.
+    pub exposed: f64,
+    /// Divergent share of exposure.
+    pub divergent: f64,
+}
+
+/// §VI: "We profiled a broad suite of more than 400 non-raytracing CUDA and
+/// Direct3D compute kernels and found only 11 that feature long stalls in
+/// divergent code, and none benefited beyond the margin of noise from SI."
+/// Runs the archetype compute kernels and reports SI's (absent) effect.
+pub fn compute_negative_result() -> Vec<ComputeRow> {
+    let base_sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
+    let si_sim = Simulator::new(SmConfig::turing_like(), SiConfig::best());
+    subwarp_workloads::compute_suite()
+        .iter()
+        .map(|wl| {
+            let b = base_sim.run(wl);
+            let s = si_sim.run(wl);
+            ComputeRow {
+                name: wl.name.clone(),
+                gain: gain_pct(&s, &b),
+                exposed: b.exposed_ratio(),
+                divergent: b.exposed_divergent_ratio(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn si_config_labels_cover_figure_12a_legend() {
+        let labels: Vec<String> = si_configs().into_iter().map(|(l, _)| l).collect();
+        assert_eq!(labels.len(), 6);
+        assert!(labels.contains(&"SOS,N=1".to_string()));
+        assert!(labels.contains(&"Both,N>=0.5".to_string()));
+        assert!(labels.contains(&"Both,N>0".to_string()));
+    }
+
+    #[test]
+    fn gain_pct_math() {
+        let base = RunStats { cycles: 1063, ..Default::default() };
+        let si = RunStats { cycles: 1000, ..Default::default() };
+        assert!((gain_pct(&si, &base) - 6.3).abs() < 0.01);
+    }
+}

@@ -1,0 +1,767 @@
+//! The cycle-level SM simulator: processing blocks, warp scheduler, memory
+//! units, instruction fetch, and the Subwarp Interleaving scheduler.
+
+use crate::config::{SchedulerPolicy, SiConfig, SmConfig};
+use crate::stats::RunStats;
+use crate::trace::{EventKind, EventRecorder, TraceEvent};
+use crate::warp::{
+    lanes, MemKind, RtJob, SbProducer, WarpSim, WarpStatus,
+};
+use crate::workload::Workload;
+use subwarp_isa::{Program, Reg, Scoreboard};
+use subwarp_mem::{AccessKind, Cache, DataMemory, ServiceUnit};
+
+/// Instruction-cache line size in bytes (8 instructions of 16 bytes).
+pub const ICACHE_LINE: u64 = 128;
+
+/// Cycles without any progress (issue, writeback, fetch completion, or
+/// selection) after which the simulator declares a deadlock and panics.
+const DEADLOCK_WINDOW: u64 = 50_000;
+
+/// A completed memory (LSU/TEX) line response.
+#[derive(Debug)]
+struct MemResp {
+    slot: usize,
+    /// `(lane, address)` pairs satisfied by this line.
+    lanes: Vec<(usize, u64)>,
+    dst: Reg,
+    sb: Option<Scoreboard>,
+}
+
+/// A completed RT-core traversal.
+#[derive(Debug)]
+struct RtResp {
+    slot: usize,
+    lane: usize,
+    dst: Reg,
+    sb: Scoreboard,
+    shader: u32,
+}
+
+/// The top-level simulator: configure once, run many workloads.
+///
+/// ```
+/// use subwarp_core::{Simulator, SmConfig, SiConfig, Workload, InitValue};
+/// use subwarp_isa::{ProgramBuilder, Reg, Operand};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.iadd(Reg(1), Reg(0), Operand::imm(1));
+/// b.exit();
+/// let wl = Workload::new("demo", b.build()?, 2)
+///     .with_init(Reg(0), InitValue::GlobalTid);
+/// let stats = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl);
+/// assert!(stats.cycles > 0);
+/// # Ok::<(), subwarp_isa::ProgramError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    sm: SmConfig,
+    si: SiConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator from an SM configuration and an SI configuration.
+    pub fn new(sm: SmConfig, si: SiConfig) -> Simulator {
+        Simulator { sm, si }
+    }
+
+    /// The SM configuration.
+    pub fn sm_config(&self) -> &SmConfig {
+        &self.sm
+    }
+
+    /// The SI configuration.
+    pub fn si_config(&self) -> &SiConfig {
+        &self.si
+    }
+
+    /// Runs `workload` to completion and returns its statistics.
+    ///
+    /// # Panics
+    /// Panics if the workload deadlocks (e.g. malformed convergence
+    /// barriers) or exceeds the configured cycle cap.
+    pub fn run(&self, workload: &Workload) -> RunStats {
+        self.run_inner(workload, None).0
+    }
+
+    /// Runs `workload`, additionally recording every thread-status
+    /// transition (the paper's Figure 10 walkthroughs).
+    pub fn run_recorded(&self, workload: &Workload) -> (RunStats, EventRecorder) {
+        let (stats, rec) = self.run_inner(workload, Some(EventRecorder::new()));
+        (stats, rec.expect("recorder was installed"))
+    }
+
+    fn run_inner(
+        &self,
+        wl: &Workload,
+        recorder: Option<EventRecorder>,
+    ) -> (RunStats, Option<EventRecorder>) {
+        // SMs share nothing beyond the fixed-latency stub (paper SIV-A), so
+        // each simulates independently over its round-robin share of warps.
+        let mut total = RunStats::default();
+        let mut merged_events: Vec<crate::trace::TraceEvent> = Vec::new();
+        for sm_id in 0..self.sm.n_sms {
+            let rec = recorder.as_ref().map(|_| EventRecorder::new());
+            let mut st = SimState::new(&self.sm, &self.si, wl, rec, sm_id);
+            while !st.finished() {
+                st.step();
+            }
+            st.stats.l1i = st.l1i.stats();
+            st.stats.l1d = st.l1d.stats();
+            for l0 in &st.l0i {
+                st.stats.l0i.hits += l0.stats().hits;
+                st.stats.l0i.misses += l0.stats().misses;
+            }
+            total.accumulate_sm(&st.stats);
+            if let Some(r) = st.recorder {
+                merged_events.extend(r.events().iter().cloned());
+            }
+        }
+        let recorder = recorder.map(|_| {
+            merged_events.sort_by_key(|e| (e.cycle, e.warp));
+            let mut r = EventRecorder::new();
+            for e in merged_events {
+                r.record(e);
+            }
+            r
+        });
+        (total, recorder)
+    }
+}
+
+/// All mutable state of one run.
+struct SimState<'a> {
+    sm: &'a SmConfig,
+    si: &'a SiConfig,
+    wl: &'a Workload,
+    program: &'a Program,
+    cycle: u64,
+    /// Warp slots; `slots[i]` belongs to processing block
+    /// `i / warp_slots_per_pb`.
+    slots: Vec<Option<WarpSim>>,
+    /// This SM's id (warps `sm_id, sm_id + n_sms, ...` belong to it).
+    sm_id: usize,
+    /// Next launch sequence number (warp id = `sm_id + seq * n_sms`).
+    next_seq: usize,
+    /// Per-PB L0 instruction caches.
+    l0i: Vec<Cache>,
+    l1i: Cache,
+    l1d: Cache,
+    data: DataMemory,
+    lsu: ServiceUnit<MemResp>,
+    tex: ServiceUnit<MemResp>,
+    rt: ServiceUnit<RtResp>,
+    /// Per-PB greedy-then-oldest cursor.
+    last_issued: Vec<Option<usize>>,
+    stats: RunStats,
+    recorder: Option<EventRecorder>,
+    last_progress: u64,
+    /// Scratch: per-slot status this cycle.
+    statuses: Vec<Option<WarpStatus>>,
+}
+
+impl<'a> SimState<'a> {
+    fn new(
+        sm: &'a SmConfig,
+        si: &'a SiConfig,
+        wl: &'a Workload,
+        recorder: Option<EventRecorder>,
+        sm_id: usize,
+    ) -> SimState<'a> {
+        let n_slots = sm.total_warp_slots();
+        let mut st = SimState {
+            sm,
+            si,
+            wl,
+            program: &wl.program,
+            cycle: 0,
+            slots: (0..n_slots).map(|_| None).collect(),
+            sm_id,
+            next_seq: 0,
+            l0i: (0..sm.n_pbs).map(|_| Cache::new(sm.l0i)).collect(),
+            l1i: Cache::new(sm.l1i),
+            l1d: Cache::new(sm.l1d),
+            data: DataMemory::new(wl.data_seed),
+            lsu: ServiceUnit::new(),
+            tex: ServiceUnit::new(),
+            rt: ServiceUnit::new(),
+            last_issued: vec![None; sm.n_pbs],
+            stats: RunStats::default(),
+            recorder,
+            last_progress: 0,
+            statuses: vec![None; n_slots],
+        };
+        st.launch_pending();
+        st
+    }
+
+    fn pb_of(&self, slot: usize) -> usize {
+        slot / self.sm.warp_slots_per_pb
+    }
+
+    fn next_warp_id(&self) -> Option<usize> {
+        let id = self.sm_id + self.next_seq * self.sm.n_sms;
+        (id < self.wl.n_warps).then_some(id)
+    }
+
+    fn finished(&self) -> bool {
+        self.next_warp_id().is_none() && self.slots.iter().all(|s| s.is_none())
+    }
+
+    fn record(&mut self, warp: usize, kind: EventKind, mask: u32, pc: usize) {
+        if let Some(rec) = &mut self.recorder {
+            rec.record(TraceEvent { cycle: self.cycle, warp, kind, mask, pc });
+        }
+    }
+
+    fn launch_pending(&mut self) {
+        // The SM statically distributes warps among the processing blocks'
+        // schedulers (paper §II-A): fill slots round-robin across PBs so a
+        // partially occupied SM still uses every issue port.
+        let per_pb = self.sm.warp_slots_per_pb;
+        let n = self.slots.len();
+        for i in 0..n {
+            let slot = (i % self.sm.n_pbs) * per_pb + i / self.sm.n_pbs;
+            if self.slots[slot].is_none() {
+                let Some(id) = self.next_warp_id() else { break };
+                self.slots[slot] = Some(WarpSim::launch(id, self.wl));
+                self.next_seq += 1;
+            }
+        }
+        let resident = self.slots.iter().filter(|s| s.is_some()).count();
+        self.stats.peak_resident_warps = self.stats.peak_resident_warps.max(resident);
+    }
+
+    /// One simulated cycle.
+    fn step(&mut self) {
+        self.drain_writebacks();
+        self.wakeups();
+        self.fetch_completions();
+        self.resume_selection();
+        self.fetch_initiation();
+        self.compute_statuses();
+        let issued = self.issue_stage();
+        if self.si.enabled {
+            self.stall_driven_selection();
+        }
+        self.account_cycle(issued);
+        self.retire_and_launch();
+        self.cycle += 1;
+        self.watchdog(issued);
+    }
+
+    /// Step 1: apply LSU/TEX/RT completions (register writeback, scoreboard
+    /// broadcast — paper Figure 8b).
+    fn drain_writebacks(&mut self) {
+        let mut progressed = false;
+        for resp in self.lsu.pop_ready(self.cycle) {
+            progressed = true;
+            self.apply_mem_resp(resp.payload);
+        }
+        for resp in self.tex.pop_ready(self.cycle) {
+            progressed = true;
+            self.apply_mem_resp(resp.payload);
+        }
+        for resp in self.rt.pop_ready(self.cycle) {
+            progressed = true;
+            let r = resp.payload;
+            if let Some(w) = self.slots[r.slot].as_mut() {
+                w.writeback(r.lane, r.dst, r.shader as u64, Some(r.sb), self.cycle);
+            }
+            self.stats.rt_traversals += 1;
+        }
+        if progressed {
+            self.last_progress = self.cycle;
+        }
+    }
+
+    fn apply_mem_resp(&mut self, resp: MemResp) {
+        let cycle = self.cycle;
+        // Values come from functional data memory at the lane's address.
+        let values: Vec<(usize, u64)> =
+            resp.lanes.iter().map(|&(lane, addr)| (lane, self.data.read(addr))).collect();
+        if let Some(w) = self.slots[resp.slot].as_mut() {
+            for (lane, value) in values {
+                w.writeback(lane, resp.dst, value, resp.sb, cycle);
+            }
+        }
+    }
+
+    /// Step 2: `subwarp-wakeup` — TST entries whose scoreboards cleared.
+    fn wakeups(&mut self) {
+        for slot in 0..self.slots.len() {
+            let woken = match self.slots[slot].as_mut() {
+                Some(w) if !w.tst.is_empty() => w.wakeup(),
+                _ => continue,
+            };
+            for (mask, pc) in woken {
+                self.record(slot, EventKind::Wakeup, mask, pc);
+                self.last_progress = self.cycle;
+            }
+        }
+    }
+
+    /// Step 3: install completed instruction-line fills.
+    fn fetch_completions(&mut self) {
+        for w in self.slots.iter_mut().flatten() {
+            if let Some((ready, line)) = w.fetch_pending {
+                if ready <= self.cycle {
+                    w.ib_line = Some(line);
+                    w.fetch_pending = None;
+                    self.last_progress = self.cycle;
+                }
+            }
+        }
+    }
+
+    /// Step 4: warps with no active subwarp but a READY one resume
+    /// (convergence- or wakeup-driven selection).
+    fn resume_selection(&mut self) {
+        let latency = self.select_latency();
+        for slot in 0..self.slots.len() {
+            let selected = {
+                let Some(w) = self.slots[slot].as_mut() else { continue };
+                if w.done() || w.active_mask() != 0 {
+                    w.absorb_ready_at_active_pc();
+                    continue;
+                }
+                w.select(self.cycle, latency)
+            };
+            if let Some((pc, mask)) = selected {
+                self.stats.subwarp_switches += 1;
+                self.record(slot, EventKind::Select, mask, pc);
+                self.last_progress = self.cycle;
+            }
+        }
+    }
+
+    fn select_latency(&self) -> u64 {
+        if self.si.enabled {
+            self.si.switch_latency
+        } else {
+            self.sm.baseline_select_latency
+        }
+    }
+
+    /// Step 5: start instruction-line fetches for warps whose buffer does
+    /// not cover their active pc. An L0I hit installs the line immediately;
+    /// misses go to the L1I and then the fixed-latency stub.
+    fn fetch_initiation(&mut self) {
+        for slot in 0..self.slots.len() {
+            let pb = self.pb_of(slot);
+            let Some(w) = self.slots[slot].as_mut() else { continue };
+            if w.done() || w.fetch_pending.is_some() {
+                continue;
+            }
+            let Some(pc) = (if w.active_mask() != 0 { w.active_pc() } else { None }) else {
+                continue;
+            };
+            if w.ib_covers(pc, self.program) {
+                continue;
+            }
+            let line = Program::byte_addr(pc) & !(ICACHE_LINE - 1);
+            match self.l0i[pb].access(line) {
+                AccessKind::Hit => {
+                    w.ib_line = Some(line);
+                }
+                AccessKind::Miss => {
+                    let lat = match self.l1i.access(line) {
+                        AccessKind::Hit => self.sm.ifetch_l1_latency,
+                        AccessKind::Miss => self.sm.ifetch_miss_latency,
+                    };
+                    w.fetch_pending = Some((self.cycle + lat, line));
+                }
+            }
+        }
+    }
+
+    /// Step 6: classify each resident warp's readiness.
+    fn compute_statuses(&mut self) {
+        let warp_wide = !self.si.enabled;
+        for slot in 0..self.slots.len() {
+            self.statuses[slot] = self.slots[slot]
+                .as_ref()
+                .map(|w| w.status(self.program, self.cycle, warp_wide));
+        }
+    }
+
+    /// Step 7: per-PB issue (one instruction per PB per cycle).
+    fn issue_stage(&mut self) -> bool {
+        let mut any = false;
+        for pb in 0..self.sm.n_pbs {
+            let lo = pb * self.sm.warp_slots_per_pb;
+            let hi = lo + self.sm.warp_slots_per_pb;
+            let candidates: Vec<usize> = (lo..hi)
+                .filter(|&s| self.statuses[s] == Some(WarpStatus::Issuable))
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let chosen = match self.sm.scheduler {
+                SchedulerPolicy::Gto => {
+                    // Greedy: stick with the last issued warp if still ready;
+                    // otherwise the oldest (smallest warp id).
+                    match self.last_issued[pb] {
+                        Some(last) if candidates.contains(&last) => last,
+                        _ => *candidates
+                            .iter()
+                            .min_by_key(|&&s| {
+                                self.slots[s].as_ref().map(|w| w.warp_id).unwrap_or(usize::MAX)
+                            })
+                            .expect("candidates non-empty"),
+                    }
+                }
+                SchedulerPolicy::Lrr => {
+                    // Round robin after the last issued slot.
+                    let start = self.last_issued[pb].map(|s| s + 1).unwrap_or(lo);
+                    *candidates
+                        .iter()
+                        .find(|&&s| s >= start)
+                        .unwrap_or(&candidates[0])
+                }
+            };
+            self.last_issued[pb] = Some(chosen);
+            self.issue_warp(chosen);
+            any = true;
+        }
+        if any {
+            self.last_progress = self.cycle;
+        }
+        any
+    }
+
+    fn issue_warp(&mut self, slot: usize) {
+        let cycle = self.cycle;
+        // Per-unit issue accounting (utilization breakdown).
+        {
+            use subwarp_isa::ExecUnit;
+            let pc = self.slots[slot]
+                .as_ref()
+                .and_then(|w| w.active_pc())
+                .expect("issuable warp has an active pc");
+            let idx = match self.program[pc].op.unit() {
+                ExecUnit::Alu => 0,
+                ExecUnit::Mufu => 1,
+                ExecUnit::Lsu => 2,
+                ExecUnit::Tex => 3,
+                ExecUnit::RtCore => 4,
+                ExecUnit::Control => 5,
+            };
+            self.stats.issued_by_unit[idx] += 1;
+        }
+        let res = {
+            let w = self.slots[slot].as_mut().expect("issuable slot is occupied");
+            w.issue(
+                self.program,
+                self.wl,
+                cycle,
+                crate::warp::IssueLatencies {
+                    alu: self.sm.alu_latency,
+                    mufu: self.sm.mufu_latency,
+                    lds: self.sm.lds_latency,
+                },
+                self.sm.diverge_order,
+            )
+        };
+        self.stats.instructions += 1;
+
+        // Record state-machine events and counters.
+        let mut yielded_explicitly = false;
+        for (kind, mask, pc) in &res.events {
+            match kind {
+                EventKind::Diverge => self.stats.divergences += 1,
+                EventKind::Reconverge => self.stats.reconvergences += 1,
+                EventKind::Yield => yielded_explicitly = true,
+                _ => {}
+            }
+            self.record(slot, *kind, *mask, *pc);
+        }
+
+        // Stores update functional memory and touch the L1D.
+        for (addr, value) in &res.stores {
+            self.data.write(*addr, *value);
+        }
+
+        // Memory requests: coalesce lanes into cache lines.
+        if let Some(req) = res.mem {
+            let mut line_groups: Vec<(u64, Vec<(usize, u64)>)> = Vec::new();
+            for (lane, addr) in req.lanes {
+                let line = self.l1d.line_of(addr);
+                match line_groups.iter_mut().find(|(l, _)| *l == line) {
+                    Some((_, v)) => v.push((lane, addr)),
+                    None => line_groups.push((line, vec![(lane, addr)])),
+                }
+            }
+            for (line, group) in line_groups {
+                let (latency, unit_is_tex) = match req.kind {
+                    MemKind::Shared => (self.sm.lds_latency, false),
+                    MemKind::Global => match self.l1d.access(line) {
+                        AccessKind::Hit => (self.sm.lsu_hit_latency, false),
+                        AccessKind::Miss => (self.sm.miss_latency, false),
+                    },
+                    MemKind::Texture => match self.l1d.access(line) {
+                        AccessKind::Hit => (self.sm.tex_hit_latency, true),
+                        AccessKind::Miss => (self.sm.miss_latency, true),
+                    },
+                };
+                // Stores need no writeback; loads (dst or scoreboard) do.
+                if !req.dst.is_zero() || req.sb.is_some() {
+                    let resp =
+                        MemResp { slot, lanes: group, dst: req.dst, sb: req.sb };
+                    if unit_is_tex {
+                        self.tex.push(cycle + latency, resp);
+                    } else {
+                        self.lsu.push(cycle + latency, resp);
+                    }
+                }
+            }
+        }
+
+        // RT-core jobs: latency from the pre-traced node count.
+        for RtJob { lane, ray_id, dst, sb } in res.rt_jobs {
+            let ray = self.wl.rt_trace.get(ray_id);
+            let latency = self.sm.rt.latency(ray.nodes);
+            self.rt.push(cycle + latency, RtResp { slot, lane, dst, sb, shader: ray.shader });
+        }
+
+        // Convergence-driven selection (BSYNC block / exit) and yields.
+        let select_latency = self.select_latency();
+        if yielded_explicitly && self.si.enabled {
+            self.apply_yield(slot);
+        } else if res.needs_select {
+            let selected = {
+                let w = self.slots[slot].as_mut().expect("slot occupied");
+                if w.active_mask() == 0 && !w.done() {
+                    w.select(cycle, select_latency)
+                } else {
+                    None
+                }
+            };
+            if let Some((pc, mask)) = selected {
+                self.stats.subwarp_switches += 1;
+                self.record(slot, EventKind::Select, mask, pc);
+            }
+        }
+
+        // Hardware subwarp-yield: after `yield_threshold` long-latency
+        // issues, eagerly hand the slot to another READY subwarp.
+        if self.si.enabled && self.si.yield_enabled && res.long_latency {
+            let should = {
+                let w = self.slots[slot].as_ref().expect("slot occupied");
+                w.ll_issued >= self.si.yield_threshold && !w.ready_groups().is_empty()
+            };
+            if should {
+                self.apply_yield(slot);
+            }
+        }
+    }
+
+    /// Demotes the active subwarp to READY and selects another
+    /// (`subwarp-yield`, paper §III-B).
+    fn apply_yield(&mut self, slot: usize) {
+        let cycle = self.cycle;
+        let latency = self.si.switch_latency;
+        let (yielded, selected) = {
+            let w = self.slots[slot].as_mut().expect("slot occupied");
+            if w.ready_groups().is_empty() {
+                // "If no ready subwarp is available, the current subwarp
+                // transitions back to ACTIVE" — nothing to do.
+                return;
+            }
+            let mask = w.demote_ready();
+            let sel = w.select(cycle, latency);
+            (mask, sel)
+        };
+        self.stats.subwarp_yields += 1;
+        let pc = self.slots[slot]
+            .as_ref()
+            .and_then(|w| lanes(yielded).next().map(|l| w.pc[l]))
+            .unwrap_or(0);
+        self.record(slot, EventKind::Yield, yielded, pc);
+        if let Some((pc, mask)) = selected {
+            self.stats.subwarp_switches += 1;
+            self.record(slot, EventKind::Select, mask, pc);
+        }
+    }
+
+    /// Step 8: stall-driven `subwarp-stall` + `subwarp-select`, gated by the
+    /// trigger policy over the fraction of stalled warps (paper §III-C-3).
+    fn stall_driven_selection(&mut self) {
+        let cycle = self.cycle;
+        for pb in 0..self.sm.n_pbs {
+            let lo = pb * self.sm.warp_slots_per_pb;
+            let hi = lo + self.sm.warp_slots_per_pb;
+            let mut live = 0;
+            let mut stalled = 0;
+            for s in lo..hi {
+                match self.statuses[s] {
+                    Some(WarpStatus::Done) | None => {}
+                    Some(WarpStatus::MemStall { .. }) => {
+                        live += 1;
+                        stalled += 1;
+                    }
+                    Some(WarpStatus::NoActive { mem_stalled: true, any_ready: false, .. }) => {
+                        live += 1;
+                        stalled += 1;
+                    }
+                    Some(_) => live += 1,
+                }
+            }
+            if !self.si.policy.triggers(stalled, live) {
+                continue;
+            }
+            // DWS-like slot budget (paper §VII-B): demoted subwarps must be
+            // hosted by free warp slots in this processing block.
+            let slot_budget = if self.si.slot_limited {
+                let free = (lo..hi).filter(|&s| self.slots[s].is_none()).count();
+                let in_use: usize =
+                    (lo..hi).filter_map(|s| self.slots[s].as_ref()).map(|w| w.tst.len()).sum();
+                free.saturating_sub(in_use)
+            } else {
+                usize::MAX
+            };
+            if slot_budget == 0 {
+                continue;
+            }
+            // Lowest-numbered stalled warp with a READY subwarp, a free TST
+            // entry, and no in-flight switch (one selection per PB per
+            // cycle).
+            for s in lo..hi {
+                if !matches!(self.statuses[s], Some(WarpStatus::MemStall { .. })) {
+                    continue;
+                }
+                let demoted = {
+                    let w = self.slots[s].as_mut().expect("stalled slot occupied");
+                    if w.switch_ready > cycle || w.ready_groups().is_empty() {
+                        None
+                    } else {
+                        let pc = w.active_pc().expect("mem-stalled warp has active pc");
+                        let watch = self.program[pc].req_sb;
+                        w.demote_stalled(watch, self.si.max_subwarps).map(|m| (m, pc))
+                    }
+                };
+                let Some((mask, pc)) = demoted else { continue };
+                self.stats.subwarp_stalls += 1;
+                self.record(s, EventKind::Stall, mask, pc);
+                let selected = {
+                    let w = self.slots[s].as_mut().expect("slot occupied");
+                    w.select(cycle, self.si.switch_latency)
+                };
+                if let Some((sel_pc, sel_mask)) = selected {
+                    self.stats.subwarp_switches += 1;
+                    self.record(s, EventKind::Select, sel_mask, sel_pc);
+                }
+                self.last_progress = cycle;
+                break;
+            }
+        }
+    }
+
+    /// Step 9: exposed-stall accounting (the paper's §I metric).
+    fn account_cycle(&mut self, issued: bool) {
+        if issued {
+            return;
+        }
+        let any_live = self.slots.iter().flatten().any(|w| !w.done());
+        if !any_live {
+            return;
+        }
+        self.stats.idle_cycles += 1;
+        let mut load_stall = false;
+        let mut load_stall_divergent = false;
+        let mut traversal_stall = false;
+        let mut fetch_wait = false;
+        for slot in 0..self.slots.len() {
+            match self.statuses[slot] {
+                Some(WarpStatus::MemStall { divergent, traversal }) => {
+                    if traversal {
+                        traversal_stall = true;
+                    } else {
+                        load_stall = true;
+                        load_stall_divergent |= divergent;
+                    }
+                }
+                Some(WarpStatus::NoActive { mem_stalled: true, divergent, .. }) => {
+                    // Demoted subwarps waiting on memory: attribute by the
+                    // producer kind of their watched scoreboards.
+                    let w = self.slots[slot].as_ref().expect("slot occupied");
+                    let mut saw_load = false;
+                    for e in &w.tst {
+                        if w.pending_producer(e.mask, e.watch) != SbProducer::Traversal {
+                            saw_load = true;
+                        }
+                    }
+                    if saw_load {
+                        load_stall = true;
+                        load_stall_divergent |= divergent;
+                    } else {
+                        traversal_stall = true;
+                    }
+                }
+                Some(WarpStatus::FetchWait) => fetch_wait = true,
+                _ => {}
+            }
+        }
+        if load_stall {
+            self.stats.exposed_load_stalls += 1;
+            if load_stall_divergent {
+                self.stats.exposed_load_stalls_divergent += 1;
+            }
+        } else if traversal_stall {
+            self.stats.exposed_traversal_stalls += 1;
+        } else if fetch_wait {
+            self.stats.exposed_fetch_stalls += 1;
+        }
+    }
+
+    /// Step 10: retire finished warps and launch pending ones.
+    fn retire_and_launch(&mut self) {
+        let mut freed = false;
+        for slot in 0..self.slots.len() {
+            if self.slots[slot].as_ref().is_some_and(|w| w.done()) {
+                self.slots[slot] = None;
+                freed = true;
+            }
+        }
+        if freed {
+            self.launch_pending();
+            self.last_progress = self.cycle;
+        }
+        self.stats.cycles = self.cycle + 1;
+    }
+
+    fn watchdog(&self, issued: bool) {
+        if self.cycle >= self.sm.max_cycles {
+            panic!(
+                "workload `{}` exceeded the {}-cycle cap",
+                self.wl.name, self.sm.max_cycles
+            );
+        }
+        if !issued && self.cycle.saturating_sub(self.last_progress) > DEADLOCK_WINDOW {
+            let dump: Vec<String> = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| {
+                    s.as_ref().map(|w| {
+                        format!(
+                            "slot {i}: warp {} active={:#010x} live={:#010x} tst={} pc={:?}",
+                            w.warp_id,
+                            w.active_mask(),
+                            w.live_mask(),
+                            w.tst.len(),
+                            w.active_pc()
+                        )
+                    })
+                })
+                .collect();
+            panic!(
+                "deadlock in workload `{}` at cycle {}: no progress for {} cycles\n{}",
+                self.wl.name,
+                self.cycle,
+                DEADLOCK_WINDOW,
+                dump.join("\n")
+            );
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Run statistics, including the paper's headline metric: *exposed
+//! load-to-use stalls*.
+
+use serde::{Deserialize, Serialize};
+use subwarp_mem::CacheStats;
+
+/// Counters collected over one simulation run.
+///
+/// The paper's key metric (§I): "we define exposed long-latency or
+/// load-to-use stalls as cycles when no active warp in an SM is able to
+/// issue, and at least one active warp is stalled on an outstanding memory
+/// load operation." [`RunStats::exposed_load_stalls`] counts exactly those
+/// cycles; the divergent variant restricts to cycles where a memory-stalled
+/// warp was executing a divergent code block (its subwarp mask differs from
+/// the warp's participating mask).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Cycles until all warps retired (the slowest SM's count when
+    /// simulating multiple SMs).
+    pub cycles: u64,
+    /// Sum of per-SM cycle counts — the denominator for the stall-ratio
+    /// metrics (equals [`cycles`](Self::cycles) for a single SM).
+    pub sm_cycles_total: u64,
+    /// Warp-instructions issued.
+    pub instructions: u64,
+    /// Issued instructions by execution unit, indexed by
+    /// `[alu, mufu, lsu, tex, rt, control]`.
+    pub issued_by_unit: [u64; 6],
+    /// Cycles where the SM issued nothing and ≥1 warp was stalled on an
+    /// outstanding long-latency memory operation.
+    pub exposed_load_stalls: u64,
+    /// The subset of [`exposed_load_stalls`](Self::exposed_load_stalls)
+    /// where a memory-stalled warp was in a divergent code block.
+    pub exposed_load_stalls_divergent: u64,
+    /// Cycles where the SM issued nothing and the only memory-stalled warps
+    /// were waiting on RT-core traversals (the Amdahl's-law component the
+    /// paper identifies in §VI, limiter #2) — disjoint from
+    /// [`exposed_load_stalls`](Self::exposed_load_stalls).
+    pub exposed_traversal_stalls: u64,
+    /// Cycles where the SM issued nothing and ≥1 warp was waiting on an
+    /// instruction fetch (the I-cache-thrashing limiter, §V-A/§VI).
+    pub exposed_fetch_stalls: u64,
+    /// Cycles where the SM issued nothing at all.
+    pub idle_cycles: u64,
+    /// subwarp-stall demotions performed (SI only).
+    pub subwarp_stalls: u64,
+    /// subwarp-select activations performed.
+    pub subwarp_switches: u64,
+    /// subwarp-yield transitions performed (SI with yield only).
+    pub subwarp_yields: u64,
+    /// Divergent-branch warp splits observed.
+    pub divergences: u64,
+    /// Barrier reconvergences observed.
+    pub reconvergences: u64,
+    /// L0 instruction cache hit/miss counters (summed over PBs).
+    pub l0i: CacheStats,
+    /// L1 instruction cache counters.
+    pub l1i: CacheStats,
+    /// L1 data cache counters.
+    pub l1d: CacheStats,
+    /// RT-core traversals completed.
+    pub rt_traversals: u64,
+    /// Peak warps resident at once.
+    pub peak_resident_warps: usize,
+}
+
+impl RunStats {
+    /// Speedup of this run relative to `baseline` (>1 means faster).
+    ///
+    /// # Panics
+    /// Panics if either run has zero cycles.
+    pub fn speedup_vs(&self, baseline: &RunStats) -> f64 {
+        assert!(self.cycles > 0 && baseline.cycles > 0, "runs must have cycles");
+        baseline.cycles as f64 / self.cycles as f64
+    }
+
+    fn time_denominator(&self) -> u64 {
+        if self.sm_cycles_total > 0 {
+            self.sm_cycles_total
+        } else {
+            self.cycles
+        }
+    }
+
+    /// Exposed load-to-use stall cycles as a fraction of kernel time
+    /// (the y-axis of the paper's Figure 3).
+    pub fn exposed_ratio(&self) -> f64 {
+        if self.time_denominator() == 0 {
+            0.0
+        } else {
+            self.exposed_load_stalls as f64 / self.time_denominator() as f64
+        }
+    }
+
+    /// Divergent exposed stall cycles as a fraction of kernel time.
+    pub fn exposed_divergent_ratio(&self) -> f64 {
+        if self.time_denominator() == 0 {
+            0.0
+        } else {
+            self.exposed_load_stalls_divergent as f64 / self.time_denominator() as f64
+        }
+    }
+
+    /// Folds one SM's statistics into a whole-GPU aggregate: counters sum,
+    /// `cycles` takes the slowest SM.
+    pub fn accumulate_sm(&mut self, sm: &RunStats) {
+        self.cycles = self.cycles.max(sm.cycles);
+        self.sm_cycles_total += sm.cycles;
+        self.instructions += sm.instructions;
+        for (a, b) in self.issued_by_unit.iter_mut().zip(sm.issued_by_unit.iter()) {
+            *a += b;
+        }
+        self.exposed_load_stalls += sm.exposed_load_stalls;
+        self.exposed_load_stalls_divergent += sm.exposed_load_stalls_divergent;
+        self.exposed_traversal_stalls += sm.exposed_traversal_stalls;
+        self.exposed_fetch_stalls += sm.exposed_fetch_stalls;
+        self.idle_cycles += sm.idle_cycles;
+        self.subwarp_stalls += sm.subwarp_stalls;
+        self.subwarp_switches += sm.subwarp_switches;
+        self.subwarp_yields += sm.subwarp_yields;
+        self.divergences += sm.divergences;
+        self.reconvergences += sm.reconvergences;
+        self.l0i.hits += sm.l0i.hits;
+        self.l0i.misses += sm.l0i.misses;
+        self.l1i.hits += sm.l1i.hits;
+        self.l1i.misses += sm.l1i.misses;
+        self.l1d.hits += sm.l1d.hits;
+        self.l1d.misses += sm.l1d.misses;
+        self.rt_traversals += sm.rt_traversals;
+        self.peak_resident_warps += sm.peak_resident_warps;
+    }
+
+    /// Fractional reduction of a counter relative to `baseline`
+    /// (the y-axis of the paper's Figure 12b). Positive = reduced.
+    pub fn reduction(ours: u64, baseline: u64) -> f64 {
+        if baseline == 0 {
+            0.0
+        } else {
+            1.0 - ours as f64 / baseline as f64
+        }
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_and_ratios() {
+        let base = RunStats { cycles: 1000, exposed_load_stalls: 400, ..Default::default() };
+        let si = RunStats { cycles: 800, exposed_load_stalls: 100, ..Default::default() };
+        assert!((si.speedup_vs(&base) - 1.25).abs() < 1e-12);
+        assert!((base.exposed_ratio() - 0.4).abs() < 1e-12);
+        assert!(
+            (RunStats::reduction(si.exposed_load_stalls, base.exposed_load_stalls) - 0.75).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn zero_cycle_ratios_are_zero() {
+        let s = RunStats::default();
+        assert_eq!(s.exposed_ratio(), 0.0);
+        assert_eq!(s.exposed_divergent_ratio(), 0.0);
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(RunStats::reduction(5, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must have cycles")]
+    fn speedup_of_empty_run_panics() {
+        let _ = RunStats::default().speedup_vs(&RunStats::default());
+    }
+}

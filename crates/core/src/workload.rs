@@ -1,0 +1,224 @@
+//! Simulator inputs: a program, launch geometry, register initialization,
+//! and the pre-traced RT-core results.
+
+use crate::config::WARP_SIZE;
+use serde::{Deserialize, Serialize};
+use subwarp_isa::{ConstMem, Program, Reg};
+
+/// How a register is initialized at thread launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InitValue {
+    /// The thread's global id (`warp_id * 32 + lane`).
+    GlobalTid,
+    /// The thread's lane within its warp (0..31).
+    LaneId,
+    /// The thread's warp id.
+    WarpId,
+    /// A constant shared by all threads.
+    Const(u64),
+    /// A per-thread value indexed by global thread id; threads beyond the
+    /// table read 0.
+    Table(Vec<u64>),
+}
+
+/// One register-initialization directive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegInit {
+    /// Destination register.
+    pub reg: Reg,
+    /// Value source.
+    pub value: InitValue,
+}
+
+/// The pre-computed result of one RT-core traversal: which shader the hit
+/// (or miss) dispatches to, and how many BVH nodes the traversal visited
+/// (which sets its latency).
+///
+/// Workload builders obtain these by actually tracing rays through a
+/// [`subwarp_rt::Bvh`]; the simulator's RT core replays them, which is the
+/// direct analogue of the paper's trace-initialized bare-metal simulator
+/// (§IV-A).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RayResult {
+    /// Shader id delivered to the megakernel (the value written to the
+    /// `TraceRay` destination register).
+    pub shader: u32,
+    /// BVH nodes visited; RT-core latency is `base + per_node * nodes`.
+    pub nodes: u32,
+}
+
+/// A table of traversal results indexed by ray id.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RtTrace {
+    results: Vec<RayResult>,
+    /// Result returned for ray ids beyond the table.
+    default: RayResult,
+}
+
+impl RtTrace {
+    /// An empty trace whose every lookup returns `default`.
+    pub fn new(default: RayResult) -> RtTrace {
+        RtTrace { results: Vec::new(), default }
+    }
+
+    /// Builds a trace from per-ray results.
+    pub fn from_results(results: Vec<RayResult>, default: RayResult) -> RtTrace {
+        RtTrace { results, default }
+    }
+
+    /// Appends a result, returning its ray id.
+    pub fn push(&mut self, r: RayResult) -> u64 {
+        self.results.push(r);
+        (self.results.len() - 1) as u64
+    }
+
+    /// Looks up the traversal result for `ray_id`.
+    pub fn get(&self, ray_id: u64) -> RayResult {
+        self.results.get(ray_id as usize).copied().unwrap_or(self.default)
+    }
+
+    /// Number of recorded rays.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// True when no rays are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+}
+
+/// A complete simulator input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Display name (trace name in reports).
+    pub name: String,
+    /// The megakernel (or microbenchmark) program.
+    pub program: Program,
+    /// Number of warps launched.
+    pub n_warps: usize,
+    /// Active threads in each warp (usually all 32; the paper's divergence
+    /// examples use fewer).
+    pub threads_per_warp: usize,
+    /// Register initialization applied at warp launch.
+    pub init: Vec<RegInit>,
+    /// Constant-bank contents.
+    pub consts: ConstMem,
+    /// Pre-traced RT-core results.
+    pub rt_trace: RtTrace,
+    /// Seed for functional data-memory contents.
+    pub data_seed: u64,
+}
+
+impl Workload {
+    /// Creates a workload with full warps and empty RT trace.
+    pub fn new(name: impl Into<String>, program: Program, n_warps: usize) -> Workload {
+        Workload {
+            name: name.into(),
+            program,
+            n_warps,
+            threads_per_warp: WARP_SIZE,
+            init: Vec::new(),
+            consts: ConstMem::new(),
+            rt_trace: RtTrace::default(),
+            data_seed: 0,
+        }
+    }
+
+    /// Adds a register-initialization directive.
+    pub fn with_init(mut self, reg: Reg, value: InitValue) -> Workload {
+        self.init.push(RegInit { reg, value });
+        self
+    }
+
+    /// Restricts each warp to its first `n` lanes.
+    ///
+    /// # Panics
+    /// Panics if `n` is 0 or exceeds the warp size.
+    pub fn with_threads_per_warp(mut self, n: usize) -> Workload {
+        assert!((1..=WARP_SIZE).contains(&n));
+        self.threads_per_warp = n;
+        self
+    }
+
+    /// Attaches a pre-computed RT trace.
+    pub fn with_rt_trace(mut self, trace: RtTrace) -> Workload {
+        self.rt_trace = trace;
+        self
+    }
+
+    /// Sets the functional data-memory seed.
+    pub fn with_data_seed(mut self, seed: u64) -> Workload {
+        self.data_seed = seed;
+        self
+    }
+
+    /// Total threads launched.
+    pub fn total_threads(&self) -> usize {
+        self.n_warps * self.threads_per_warp
+    }
+
+    /// Resolves the initial value of `reg` for a given thread.
+    pub fn init_value(&self, init: &InitValue, warp: usize, lane: usize) -> u64 {
+        let gtid = (warp * WARP_SIZE + lane) as u64;
+        match init {
+            InitValue::GlobalTid => gtid,
+            InitValue::LaneId => lane as u64,
+            InitValue::WarpId => warp as u64,
+            InitValue::Const(v) => *v,
+            InitValue::Table(t) => t.get(gtid as usize).copied().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subwarp_isa::ProgramBuilder;
+
+    fn trivial_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.exit();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn init_value_resolution() {
+        let w = Workload::new("t", trivial_program(), 2);
+        assert_eq!(w.init_value(&InitValue::GlobalTid, 1, 3), 35);
+        assert_eq!(w.init_value(&InitValue::LaneId, 1, 3), 3);
+        assert_eq!(w.init_value(&InitValue::WarpId, 1, 3), 1);
+        assert_eq!(w.init_value(&InitValue::Const(9), 1, 3), 9);
+        let t = InitValue::Table(vec![10, 20, 30]);
+        assert_eq!(w.init_value(&t, 0, 1), 20);
+        assert_eq!(w.init_value(&t, 5, 0), 0, "beyond table reads 0");
+    }
+
+    #[test]
+    fn rt_trace_lookup_and_default() {
+        let mut t = RtTrace::new(RayResult { shader: 99, nodes: 1 });
+        let id = t.push(RayResult { shader: 2, nodes: 40 });
+        assert_eq!(id, 0);
+        assert_eq!(t.get(0).shader, 2);
+        assert_eq!(t.get(12345).shader, 99, "default for unknown rays");
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn builder_chain() {
+        let w = Workload::new("x", trivial_program(), 4)
+            .with_init(Reg(0), InitValue::GlobalTid)
+            .with_threads_per_warp(2)
+            .with_data_seed(7);
+        assert_eq!(w.total_threads(), 8);
+        assert_eq!(w.init.len(), 1);
+        assert_eq!(w.data_seed, 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_threads_per_warp_panics() {
+        Workload::new("x", trivial_program(), 1).with_threads_per_warp(0);
+    }
+}

@@ -1,0 +1,425 @@
+//! Functional (value) semantics of the ISA, evaluated per thread.
+//!
+//! The timing simulator in `subwarp-core` owns *when* an instruction issues;
+//! this module owns *what it computes*: register updates, predicate updates,
+//! branch decisions, and effective addresses. Long-latency destinations
+//! (loads, texture fetches, traversal results) are written later by the
+//! simulator at writeback time via [`ThreadCtx::write_reg`].
+
+use crate::inst::Instruction;
+use crate::op::{CmpOp, MufuFunc, Op, Operand};
+use crate::reg::{Barrier, Pred, Reg};
+use serde::{Deserialize, Serialize};
+
+/// Architectural registers per thread.
+pub const N_REG: usize = 256;
+
+/// Predicate registers per thread.
+pub const N_PRED: usize = 8;
+
+/// The side effect an instruction hands to the timing model after its
+/// value-semantics have been applied to a thread.
+/// Fields name the obvious datum: `dst` the destination register, `addr`
+/// the effective byte address, `barrier` the convergence barrier involved.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effect {
+    /// No interaction with the pipeline beyond the issue slot.
+    None,
+    /// A direct branch; `taken` is always true here (a guard that fails
+    /// suppresses the instruction entirely).
+    Branch { target: usize },
+    /// A load from data memory at `addr` into `dst` (written at writeback).
+    Load { dst: Reg, addr: u64 },
+    /// A store to data memory.
+    Store { addr: u64, value: u64 },
+    /// A texture fetch keyed by `addr` into `dst` (TEX writeback path).
+    TexFetch { dst: Reg, addr: u64 },
+    /// An RT-core traversal for ray `ray_id` into `dst`.
+    TraceRay { dst: Reg, ray_id: u64 },
+    /// Convergence-barrier registration (warp-level logic handles it).
+    Bssy { barrier: Barrier, reconverge: usize },
+    /// Convergence-barrier wait (warp-level logic handles it).
+    Bsync { barrier: Barrier },
+    /// Thread exit.
+    Exit,
+    /// Subwarp-yield scheduling hint.
+    Yield,
+}
+
+/// Per-thread architectural state: 256 registers and 8 predicates.
+///
+/// Register values are 64-bit so that generated workloads can hold full
+/// addresses; float operations use the low 32 bits (`f32`) as on real
+/// hardware.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadCtx {
+    regs: Vec<u64>,
+    preds: [bool; N_PRED],
+}
+
+impl Default for ThreadCtx {
+    fn default() -> Self {
+        ThreadCtx { regs: vec![0; N_REG], preds: [false; N_PRED] }
+    }
+}
+
+impl ThreadCtx {
+    /// A zero-initialized thread context.
+    pub fn new() -> ThreadCtx {
+        ThreadCtx::default()
+    }
+
+    /// Reads a register (`RZ` reads as 0).
+    pub fn reg(&self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.0 as usize]
+        }
+    }
+
+    /// Writes a register (writes to `RZ` are discarded).
+    pub fn write_reg(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() {
+            self.regs[r.0 as usize] = v;
+        }
+    }
+
+    /// Reads a predicate (`PT` reads as true).
+    pub fn pred(&self, p: Pred) -> bool {
+        if p.is_true() {
+            true
+        } else {
+            self.preds[p.0 as usize]
+        }
+    }
+
+    /// Writes a predicate (writes to `PT` are discarded).
+    pub fn write_pred(&mut self, p: Pred, v: bool) {
+        if !p.is_true() {
+            self.preds[p.0 as usize] = v;
+        }
+    }
+
+    /// Evaluates an instruction's guard for this thread.
+    pub fn guard_passes(&self, inst: &Instruction) -> bool {
+        match inst.guard {
+            None => true,
+            Some((p, negated)) => self.pred(p) != negated,
+        }
+    }
+
+    fn operand(&self, o: &Operand, consts: &ConstMem) -> u64 {
+        match *o {
+            Operand::Reg(r) => self.reg(r),
+            Operand::Imm(v) => v as u64,
+            Operand::FImm(v) => v.to_bits() as u64,
+            Operand::CBank { bank, offset } => consts.get(bank, offset),
+        }
+    }
+
+    fn operand_f32(&self, o: &Operand, consts: &ConstMem) -> f32 {
+        f32::from_bits(self.operand(o, consts) as u32)
+    }
+
+    fn reg_f32(&self, r: Reg) -> f32 {
+        f32::from_bits(self.reg(r) as u32)
+    }
+
+    /// Applies one instruction's value semantics to this thread, assuming the
+    /// guard already passed, and returns the pipeline-visible [`Effect`].
+    ///
+    /// ALU and MUFU results are written immediately (the timing model
+    /// separately enforces their latency); long-latency destinations are left
+    /// untouched until the simulator performs writeback.
+    pub fn step(&mut self, inst: &Instruction, consts: &ConstMem) -> Effect {
+        debug_assert!(self.guard_passes(inst));
+        match &inst.op {
+            Op::Bssy { barrier, target } => Effect::Bssy { barrier: *barrier, reconverge: *target },
+            Op::Bsync { barrier } => Effect::Bsync { barrier: *barrier },
+            Op::Bra { target } => Effect::Branch { target: *target },
+            Op::Exit => Effect::Exit,
+            Op::Yield => Effect::Yield,
+            Op::Nop => Effect::None,
+            Op::Mov { dst, src } => {
+                let v = self.operand(src, consts);
+                self.write_reg(*dst, v);
+                Effect::None
+            }
+            Op::IAdd { dst, a, b } => {
+                let v = self.reg(*a).wrapping_add(self.operand(b, consts));
+                self.write_reg(*dst, v);
+                Effect::None
+            }
+            Op::IMad { dst, a, b, c } => {
+                let v = self
+                    .reg(*a)
+                    .wrapping_mul(self.operand(b, consts))
+                    .wrapping_add(self.operand(c, consts));
+                self.write_reg(*dst, v);
+                Effect::None
+            }
+            Op::Shl { dst, a, b } => {
+                let sh = self.operand(b, consts) & 63;
+                let v = self.reg(*a) << sh;
+                self.write_reg(*dst, v);
+                Effect::None
+            }
+            Op::Shr { dst, a, b } => {
+                let sh = self.operand(b, consts) & 63;
+                let v = self.reg(*a) >> sh;
+                self.write_reg(*dst, v);
+                Effect::None
+            }
+            Op::And { dst, a, b } => {
+                let v = self.reg(*a) & self.operand(b, consts);
+                self.write_reg(*dst, v);
+                Effect::None
+            }
+            Op::Xor { dst, a, b } => {
+                let v = self.reg(*a) ^ self.operand(b, consts);
+                self.write_reg(*dst, v);
+                Effect::None
+            }
+            Op::FAdd { dst, a, b } => {
+                let v = self.reg_f32(*a) + self.operand_f32(b, consts);
+                self.write_reg(*dst, v.to_bits() as u64);
+                Effect::None
+            }
+            Op::FMul { dst, a, b } => {
+                let v = self.reg_f32(*a) * self.operand_f32(b, consts);
+                self.write_reg(*dst, v.to_bits() as u64);
+                Effect::None
+            }
+            Op::FFma { dst, a, b, c } => {
+                let v = self
+                    .reg_f32(*a)
+                    .mul_add(self.operand_f32(b, consts), self.operand_f32(c, consts));
+                self.write_reg(*dst, v.to_bits() as u64);
+                Effect::None
+            }
+            Op::ISetp { dst, a, b, cmp } => {
+                let a = self.reg(*a) as i64;
+                let b = self.operand(b, consts) as i64;
+                self.write_pred(*dst, compare_i64(a, b, *cmp));
+                Effect::None
+            }
+            Op::FSetp { dst, a, b, cmp } => {
+                let a = self.reg_f32(*a);
+                let b = self.operand_f32(b, consts);
+                self.write_pred(*dst, compare_f32(a, b, *cmp));
+                Effect::None
+            }
+            Op::Mufu { dst, a, func } => {
+                let x = self.reg_f32(*a);
+                let v = match func {
+                    MufuFunc::Rcp => 1.0 / x,
+                    MufuFunc::Rsq => 1.0 / x.sqrt(),
+                    MufuFunc::Lg2 => x.log2(),
+                    MufuFunc::Ex2 => x.exp2(),
+                    MufuFunc::Sin => x.sin(),
+                    MufuFunc::Cos => x.cos(),
+                };
+                self.write_reg(*dst, v.to_bits() as u64);
+                Effect::None
+            }
+            Op::Ldg { dst, addr, offset } | Op::Lds { dst, addr, offset } => {
+                let a = self.reg(*addr).wrapping_add(*offset as u64);
+                Effect::Load { dst: *dst, addr: a }
+            }
+            Op::Stg { src, addr, offset } => {
+                let a = self.reg(*addr).wrapping_add(*offset as u64);
+                Effect::Store { addr: a, value: self.reg(*src) }
+            }
+            Op::Tld { dst, addr, offset } => {
+                let a = self.reg(*addr).wrapping_add(*offset as u64);
+                Effect::TexFetch { dst: *dst, addr: a }
+            }
+            Op::Tex { dst, coord } => Effect::TexFetch { dst: *dst, addr: self.reg(*coord) },
+            Op::TraceRay { dst, ray } => Effect::TraceRay { dst: *dst, ray_id: self.reg(*ray) },
+        }
+    }
+}
+
+fn compare_i64(a: i64, b: i64, cmp: CmpOp) -> bool {
+    match cmp {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+fn compare_f32(a: f32, b: f32, cmp: CmpOp) -> bool {
+    match cmp {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+/// Constant-bank memory (`c[bank][offset]` operands).
+///
+/// Unset slots read as the bit pattern of `1.0f32`, which keeps generated
+/// float pipelines numerically tame without requiring every workload to
+/// populate constants.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConstMem {
+    banks: std::collections::HashMap<(u8, u16), u64>,
+}
+
+impl ConstMem {
+    /// An empty constant memory.
+    pub fn new() -> ConstMem {
+        ConstMem::default()
+    }
+
+    /// Sets `c[bank][offset]`.
+    pub fn set(&mut self, bank: u8, offset: u16, value: u64) {
+        self.banks.insert((bank, offset), value);
+    }
+
+    /// Reads `c[bank][offset]`; unset slots read as `1.0f32`'s bits.
+    pub fn get(&self, bank: u8, offset: u16) -> u64 {
+        self.banks.get(&(bank, offset)).copied().unwrap_or(1.0f32.to_bits() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Scoreboard;
+
+    fn ctx() -> (ThreadCtx, ConstMem) {
+        (ThreadCtx::new(), ConstMem::new())
+    }
+
+    #[test]
+    fn rz_reads_zero_and_discards_writes() {
+        let (mut t, _) = ctx();
+        t.write_reg(Reg::RZ, 42);
+        assert_eq!(t.reg(Reg::RZ), 0);
+    }
+
+    #[test]
+    fn pt_reads_true_and_discards_writes() {
+        let (mut t, _) = ctx();
+        t.write_pred(Pred::PT, false);
+        assert!(t.pred(Pred::PT));
+    }
+
+    #[test]
+    fn integer_math() {
+        let (mut t, c) = ctx();
+        t.write_reg(Reg(1), 10);
+        t.step(&Op::IAdd { dst: Reg(0), a: Reg(1), b: Operand::imm(5) }.into(), &c);
+        assert_eq!(t.reg(Reg(0)), 15);
+        t.step(
+            &Op::IMad { dst: Reg(2), a: Reg(1), b: Operand::imm(3), c: Operand::imm(7) }.into(),
+            &c,
+        );
+        assert_eq!(t.reg(Reg(2)), 37);
+        t.step(&Op::Shl { dst: Reg(3), a: Reg(1), b: Operand::imm(2) }.into(), &c);
+        assert_eq!(t.reg(Reg(3)), 40);
+    }
+
+    #[test]
+    fn float_math_uses_low_32_bits() {
+        let (mut t, c) = ctx();
+        t.write_reg(Reg(1), 2.5f32.to_bits() as u64);
+        t.step(&Op::FMul { dst: Reg(0), a: Reg(1), b: Operand::fimm(4.0) }.into(), &c);
+        assert_eq!(f32::from_bits(t.reg(Reg(0)) as u32), 10.0);
+        t.step(
+            &Op::FFma { dst: Reg(2), a: Reg(1), b: Operand::fimm(2.0), c: Operand::fimm(1.0) }
+                .into(),
+            &c,
+        );
+        assert_eq!(f32::from_bits(t.reg(Reg(2)) as u32), 6.0);
+    }
+
+    #[test]
+    fn isetp_sets_predicates() {
+        let (mut t, c) = ctx();
+        t.write_reg(Reg(1), 7);
+        t.step(&Op::ISetp { dst: Pred(0), a: Reg(1), b: Operand::imm(7), cmp: CmpOp::Eq }.into(), &c);
+        assert!(t.pred(Pred(0)));
+        t.step(&Op::ISetp { dst: Pred(1), a: Reg(1), b: Operand::imm(3), cmp: CmpOp::Lt }.into(), &c);
+        assert!(!t.pred(Pred(1)));
+    }
+
+    #[test]
+    fn guard_evaluation() {
+        let (mut t, _) = ctx();
+        t.write_pred(Pred(0), true);
+        let i = Instruction::new(Op::Nop).with_guard(Pred(0), false);
+        assert!(t.guard_passes(&i));
+        let i = Instruction::new(Op::Nop).with_guard(Pred(0), true);
+        assert!(!t.guard_passes(&i));
+        let i = Instruction::new(Op::Nop);
+        assert!(t.guard_passes(&i));
+    }
+
+    #[test]
+    fn load_computes_effective_address_without_writing_dst() {
+        let (mut t, c) = ctx();
+        t.write_reg(Reg(1), 0x1000);
+        t.write_reg(Reg(2), 0xdead);
+        let e = t.step(
+            &Instruction::new(Op::Ldg { dst: Reg(2), addr: Reg(1), offset: 0x20 })
+                .with_wr_sb(Scoreboard(0)),
+            &c,
+        );
+        assert_eq!(e, Effect::Load { dst: Reg(2), addr: 0x1020 });
+        // dst untouched until writeback.
+        assert_eq!(t.reg(Reg(2)), 0xdead);
+    }
+
+    #[test]
+    fn control_effects() {
+        let (mut t, c) = ctx();
+        assert_eq!(
+            t.step(&Op::Bssy { barrier: Barrier(0), target: 9 }.into(), &c),
+            Effect::Bssy { barrier: Barrier(0), reconverge: 9 }
+        );
+        assert_eq!(
+            t.step(&Op::Bsync { barrier: Barrier(0) }.into(), &c),
+            Effect::Bsync { barrier: Barrier(0) }
+        );
+        assert_eq!(t.step(&Op::Bra { target: 3 }.into(), &c), Effect::Branch { target: 3 });
+        assert_eq!(t.step(&Op::Exit.into(), &c), Effect::Exit);
+        assert_eq!(t.step(&Op::Yield.into(), &c), Effect::Yield);
+    }
+
+    #[test]
+    fn trace_ray_carries_ray_id() {
+        let (mut t, c) = ctx();
+        t.write_reg(Reg(4), 1234);
+        let e = t.step(&Op::TraceRay { dst: Reg(5), ray: Reg(4) }.into(), &c);
+        assert_eq!(e, Effect::TraceRay { dst: Reg(5), ray_id: 1234 });
+    }
+
+    #[test]
+    fn const_bank_defaults_to_one() {
+        let (mut t, mut c) = ctx();
+        t.write_reg(Reg(5), 3.0f32.to_bits() as u64);
+        t.step(&Op::FMul { dst: Reg(10), a: Reg(5), b: Operand::cbank(1, 16) }.into(), &c);
+        assert_eq!(f32::from_bits(t.reg(Reg(10)) as u32), 3.0);
+        c.set(1, 16, 2.0f32.to_bits() as u64);
+        t.step(&Op::FMul { dst: Reg(10), a: Reg(5), b: Operand::cbank(1, 16) }.into(), &c);
+        assert_eq!(f32::from_bits(t.reg(Reg(10)) as u32), 6.0);
+    }
+
+    #[test]
+    fn mufu_rcp() {
+        let (mut t, c) = ctx();
+        t.write_reg(Reg(1), 4.0f32.to_bits() as u64);
+        t.step(&Op::Mufu { dst: Reg(0), a: Reg(1), func: MufuFunc::Rcp }.into(), &c);
+        assert_eq!(f32::from_bits(t.reg(Reg(0)) as u32), 0.25);
+    }
+}

@@ -1,0 +1,504 @@
+//! Programs and the label-resolving [`ProgramBuilder`].
+
+use crate::inst::Instruction;
+use crate::op::{CmpOp, MufuFunc, Op, Operand};
+use crate::reg::{Barrier, Pred, Reg, Scoreboard, N_BARRIER, N_SB};
+use crate::INSTRUCTION_BYTES;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An opaque forward-referenceable code label produced by
+/// [`ProgramBuilder::label`] and placed with [`ProgramBuilder::place`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Errors reported by [`ProgramBuilder::build`].
+/// Fields carry the offending location: `pc` the instruction index, plus
+/// the out-of-range id or unplaced label name.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A label was created but never placed.
+    UnplacedLabel { name: String },
+    /// A branch target lies outside the program.
+    TargetOutOfRange { pc: usize, target: usize },
+    /// A scoreboard id is out of range (`>= N_SB`).
+    ScoreboardOutOfRange { pc: usize, sb: u8 },
+    /// A barrier id is out of range (`>= N_BARRIER`).
+    BarrierOutOfRange { pc: usize, barrier: u8 },
+    /// A long-latency operation lacks a `&wr=` scoreboard, so no consumer
+    /// could ever safely wait on it.
+    MissingWriteScoreboard { pc: usize },
+    /// The program is empty or does not end every path in `EXIT`.
+    NoExit,
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::UnplacedLabel { name } => write!(f, "label `{name}` was never placed"),
+            ProgramError::TargetOutOfRange { pc, target } => {
+                write!(f, "instruction {pc} branches to out-of-range target {target}")
+            }
+            ProgramError::ScoreboardOutOfRange { pc, sb } => {
+                write!(f, "instruction {pc} names scoreboard sb{sb} (max {})", N_SB - 1)
+            }
+            ProgramError::BarrierOutOfRange { pc, barrier } => {
+                write!(f, "instruction {pc} names barrier B{barrier} (max {})", N_BARRIER - 1)
+            }
+            ProgramError::MissingWriteScoreboard { pc } => {
+                write!(f, "long-latency instruction {pc} lacks a &wr= scoreboard")
+            }
+            ProgramError::NoExit => write!(f, "program contains no EXIT instruction"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// An immutable, validated instruction sequence.
+///
+/// Instruction addresses are instruction indices (the *PC* in the paper's
+/// Figure 9/10 walkthroughs); byte addresses for instruction-cache modelling
+/// are `pc * INSTRUCTION_BYTES`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    insts: Vec<Instruction>,
+}
+
+impl Program {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The instruction at `pc`, if in range.
+    pub fn get(&self, pc: usize) -> Option<&Instruction> {
+        self.insts.get(pc)
+    }
+
+    /// Iterates over the instructions in program order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instruction> {
+        self.insts.iter()
+    }
+
+    /// Byte address of the instruction at `pc`, for I-cache modelling.
+    pub fn byte_addr(pc: usize) -> u64 {
+        pc as u64 * INSTRUCTION_BYTES
+    }
+
+    /// Total code footprint in bytes (drives L0/L1 I-cache pressure).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.insts.len() as u64 * INSTRUCTION_BYTES
+    }
+}
+
+impl std::ops::Index<usize> for Program {
+    type Output = Instruction;
+    fn index(&self, pc: usize) -> &Instruction {
+        &self.insts[pc]
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (pc, inst) in self.insts.iter().enumerate() {
+            writeln!(f, "{pc:4}: {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds a [`Program`] with forward-referenceable labels and chained
+/// scoreboard/predicate annotations.
+///
+/// Every emit method returns an [`InstRef`] whose [`InstRef::pred`],
+/// [`InstRef::wr_sb`], and [`InstRef::req_sb`] mutate the just-emitted
+/// instruction, mirroring SASS annotation syntax:
+///
+/// ```
+/// use subwarp_isa::{ProgramBuilder, Reg, Scoreboard, Operand};
+/// let mut b = ProgramBuilder::new();
+/// b.ldg(Reg(2), Reg(0), 0).wr_sb(Scoreboard(1));
+/// b.fadd(Reg(3), Reg(2), Operand::fimm(1.0)).req_sb(Scoreboard(1));
+/// b.exit();
+/// let p = b.build()?;
+/// assert_eq!(p.len(), 3);
+/// # Ok::<(), subwarp_isa::ProgramError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    insts: Vec<Instruction>,
+    /// Per-instruction pending label (for `Bra`/`Bssy` targets).
+    pending_target: Vec<Option<Label>>,
+    /// Label id → (name, placed pc).
+    labels: Vec<(String, Option<usize>)>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Current instruction count (the pc the next emitted instruction gets).
+    pub fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Creates a new unplaced label.
+    pub fn label(&mut self, name: &str) -> Label {
+        self.labels.push((name.to_owned(), None));
+        Label(self.labels.len() - 1)
+    }
+
+    /// Places `label` at the current position.
+    ///
+    /// # Panics
+    /// Panics if the label was already placed.
+    pub fn place(&mut self, label: Label) {
+        let slot = &mut self.labels[label.0];
+        assert!(slot.1.is_none(), "label `{}` placed twice", slot.0);
+        slot.1 = Some(self.insts.len());
+    }
+
+    fn push(&mut self, inst: Instruction, target: Option<Label>) -> InstRef<'_> {
+        self.insts.push(inst);
+        self.pending_target.push(target);
+        let idx = self.insts.len() - 1;
+        InstRef { builder: self, idx }
+    }
+
+    /// Emits a raw instruction (no label patching).
+    pub fn raw(&mut self, inst: Instruction) -> InstRef<'_> {
+        self.push(inst, None)
+    }
+
+    // --- control flow ---
+
+    /// `BSSY Bx, label`.
+    pub fn bssy(&mut self, barrier: Barrier, target: Label) -> InstRef<'_> {
+        self.push(Instruction::new(Op::Bssy { barrier, target: usize::MAX }), Some(target))
+    }
+
+    /// `BSYNC Bx`.
+    pub fn bsync(&mut self, barrier: Barrier) -> InstRef<'_> {
+        self.push(Instruction::new(Op::Bsync { barrier }), None)
+    }
+
+    /// `BRA label`.
+    pub fn bra(&mut self, target: Label) -> InstRef<'_> {
+        self.push(Instruction::new(Op::Bra { target: usize::MAX }), Some(target))
+    }
+
+    /// `EXIT`.
+    pub fn exit(&mut self) -> InstRef<'_> {
+        self.push(Instruction::new(Op::Exit), None)
+    }
+
+    /// `YIELD` (subwarp-yield scheduling hint).
+    pub fn yield_hint(&mut self) -> InstRef<'_> {
+        self.push(Instruction::new(Op::Yield), None)
+    }
+
+    /// `NOP`.
+    pub fn nop(&mut self) -> InstRef<'_> {
+        self.push(Instruction::new(Op::Nop), None)
+    }
+
+    // --- ALU ---
+
+    /// `MOV dst, src`.
+    pub fn mov(&mut self, dst: Reg, src: Operand) -> InstRef<'_> {
+        self.push(Instruction::new(Op::Mov { dst, src }), None)
+    }
+
+    /// `IADD dst, a, b`.
+    pub fn iadd(&mut self, dst: Reg, a: Reg, b: Operand) -> InstRef<'_> {
+        self.push(Instruction::new(Op::IAdd { dst, a, b }), None)
+    }
+
+    /// `IMAD dst, a, b, c` (`dst = a*b + c`).
+    pub fn imad(&mut self, dst: Reg, a: Reg, b: Operand, c: Operand) -> InstRef<'_> {
+        self.push(Instruction::new(Op::IMad { dst, a, b, c }), None)
+    }
+
+    /// `SHL dst, a, b`.
+    pub fn shl(&mut self, dst: Reg, a: Reg, b: Operand) -> InstRef<'_> {
+        self.push(Instruction::new(Op::Shl { dst, a, b }), None)
+    }
+
+    /// `SHR dst, a, b`.
+    pub fn shr(&mut self, dst: Reg, a: Reg, b: Operand) -> InstRef<'_> {
+        self.push(Instruction::new(Op::Shr { dst, a, b }), None)
+    }
+
+    /// `AND dst, a, b`.
+    pub fn and(&mut self, dst: Reg, a: Reg, b: Operand) -> InstRef<'_> {
+        self.push(Instruction::new(Op::And { dst, a, b }), None)
+    }
+
+    /// `XOR dst, a, b`.
+    pub fn xor(&mut self, dst: Reg, a: Reg, b: Operand) -> InstRef<'_> {
+        self.push(Instruction::new(Op::Xor { dst, a, b }), None)
+    }
+
+    /// `FADD dst, a, b`.
+    pub fn fadd(&mut self, dst: Reg, a: Reg, b: Operand) -> InstRef<'_> {
+        self.push(Instruction::new(Op::FAdd { dst, a, b }), None)
+    }
+
+    /// `FMUL dst, a, b`.
+    pub fn fmul(&mut self, dst: Reg, a: Reg, b: Operand) -> InstRef<'_> {
+        self.push(Instruction::new(Op::FMul { dst, a, b }), None)
+    }
+
+    /// `FFMA dst, a, b, c` (`dst = a*b + c`).
+    pub fn ffma(&mut self, dst: Reg, a: Reg, b: Operand, c: Operand) -> InstRef<'_> {
+        self.push(Instruction::new(Op::FFma { dst, a, b, c }), None)
+    }
+
+    /// `ISETP.cmp p, a, b`.
+    pub fn isetp(&mut self, dst: Pred, a: Reg, b: Operand, cmp: CmpOp) -> InstRef<'_> {
+        self.push(Instruction::new(Op::ISetp { dst, a, b, cmp }), None)
+    }
+
+    /// `FSETP.cmp p, a, b`.
+    pub fn fsetp(&mut self, dst: Pred, a: Reg, b: Operand, cmp: CmpOp) -> InstRef<'_> {
+        self.push(Instruction::new(Op::FSetp { dst, a, b, cmp }), None)
+    }
+
+    /// `MUFU.func dst, a`.
+    pub fn mufu(&mut self, dst: Reg, a: Reg, func: MufuFunc) -> InstRef<'_> {
+        self.push(Instruction::new(Op::Mufu { dst, a, func }), None)
+    }
+
+    // --- memory ---
+
+    /// `LDG dst, [addr+offset]`.
+    pub fn ldg(&mut self, dst: Reg, addr: Reg, offset: i64) -> InstRef<'_> {
+        self.push(Instruction::new(Op::Ldg { dst, addr, offset }), None)
+    }
+
+    /// `STG [addr+offset], src`.
+    pub fn stg(&mut self, src: Reg, addr: Reg, offset: i64) -> InstRef<'_> {
+        self.push(Instruction::new(Op::Stg { src, addr, offset }), None)
+    }
+
+    /// `LDS dst, [addr+offset]`.
+    pub fn lds(&mut self, dst: Reg, addr: Reg, offset: i64) -> InstRef<'_> {
+        self.push(Instruction::new(Op::Lds { dst, addr, offset }), None)
+    }
+
+    /// `TLD dst, [addr]` — texture load by address (paper Fig. 9, line 3).
+    pub fn tld(&mut self, dst: Reg, addr: Reg) -> InstRef<'_> {
+        self.push(Instruction::new(Op::Tld { dst, addr, offset: 0 }), None)
+    }
+
+    /// `TEX dst, coord` — texture fetch (paper Fig. 9, line 7).
+    pub fn tex(&mut self, dst: Reg, coord: Reg) -> InstRef<'_> {
+        self.push(Instruction::new(Op::Tex { dst, coord }), None)
+    }
+
+    /// `TRACERAY dst, ray` — asynchronous RT-core BVH traversal.
+    pub fn trace_ray(&mut self, dst: Reg, ray: Reg) -> InstRef<'_> {
+        self.push(Instruction::new(Op::TraceRay { dst, ray }), None)
+    }
+
+    /// Resolves labels, validates, and produces the [`Program`].
+    ///
+    /// # Errors
+    /// Returns a [`ProgramError`] if a label was never placed, a target or
+    /// scoreboard/barrier id is out of range, a long-latency operation lacks
+    /// a write scoreboard, or the program has no `EXIT`.
+    pub fn build(mut self) -> Result<Program, ProgramError> {
+        // Resolve labels.
+        for (pc, pending) in self.pending_target.iter().enumerate() {
+            if let Some(label) = pending {
+                let (name, placed) = &self.labels[label.0];
+                let target = placed
+                    .ok_or_else(|| ProgramError::UnplacedLabel { name: name.clone() })?;
+                match &mut self.insts[pc].op {
+                    Op::Bra { target: t } | Op::Bssy { target: t, .. } => *t = target,
+                    other => unreachable!("pending label on non-branch op {other:?}"),
+                }
+            }
+        }
+        let n = self.insts.len();
+        let mut has_exit = false;
+        for (pc, inst) in self.insts.iter().enumerate() {
+            if let Some(target) = inst.op.branch_target() {
+                if target >= n {
+                    return Err(ProgramError::TargetOutOfRange { pc, target });
+                }
+            }
+            if let Some(sb) = inst.wr_sb {
+                if sb.0 as usize >= N_SB {
+                    return Err(ProgramError::ScoreboardOutOfRange { pc, sb: sb.0 });
+                }
+            }
+            for sb in inst.req_sb.iter() {
+                if sb.0 as usize >= N_SB {
+                    return Err(ProgramError::ScoreboardOutOfRange { pc, sb: sb.0 });
+                }
+            }
+            match inst.op {
+                Op::Bssy { barrier, .. } | Op::Bsync { barrier }
+                    if barrier.0 as usize >= N_BARRIER => {
+                        return Err(ProgramError::BarrierOutOfRange { pc, barrier: barrier.0 });
+                    }
+                Op::Exit => has_exit = true,
+                _ => {}
+            }
+            if inst.op.is_long_latency() && inst.wr_sb.is_none() {
+                return Err(ProgramError::MissingWriteScoreboard { pc });
+            }
+        }
+        if !has_exit {
+            return Err(ProgramError::NoExit);
+        }
+        Ok(Program { insts: self.insts })
+    }
+}
+
+/// A handle to the just-emitted instruction, for chained annotations.
+#[derive(Debug)]
+pub struct InstRef<'a> {
+    builder: &'a mut ProgramBuilder,
+    idx: usize,
+}
+
+impl InstRef<'_> {
+    /// Guards the instruction with `@p` (or `@!p` when `negated`).
+    pub fn pred(self, p: Pred, negated: bool) -> Self {
+        self.builder.insts[self.idx].guard = Some((p, negated));
+        self
+    }
+
+    /// Adds a `&wr=sbN` annotation.
+    pub fn wr_sb(self, sb: Scoreboard) -> Self {
+        self.builder.insts[self.idx].wr_sb = Some(sb);
+        self
+    }
+
+    /// Adds a `&req=sbN` annotation.
+    pub fn req_sb(self, sb: Scoreboard) -> Self {
+        self.builder.insts[self.idx].req_sb.insert(sb);
+        self
+    }
+
+    /// Attaches a stall-probability hint (paper §VI future work).
+    pub fn hint(self, hint: crate::inst::StallHint) -> Self {
+        self.builder.insts[self.idx].hint = Some(hint);
+        self
+    }
+
+    /// The pc of the emitted instruction.
+    pub fn pc(&self) -> usize {
+        self.idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure_9_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let else_ = b.label("Else");
+        let sync = b.label("syncPoint");
+        b.bssy(Barrier(0), sync);
+        b.bra(else_).pred(Pred(0), false);
+        b.tld(Reg(2), Reg(0)).wr_sb(Scoreboard(5));
+        b.fmul(Reg(10), Reg(5), Operand::cbank(1, 16));
+        b.fmul(Reg(2), Reg(2), Operand::reg(10)).req_sb(Scoreboard(5));
+        b.bra(sync);
+        b.place(else_);
+        b.tex(Reg(1), Reg(8)).wr_sb(Scoreboard(2));
+        b.fadd(Reg(1), Reg(1), Operand::reg(3)).req_sb(Scoreboard(2));
+        b.bra(sync);
+        b.place(sync);
+        b.bsync(Barrier(0));
+        b.exit();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure_9_layout_and_targets() {
+        let p = figure_9_program();
+        assert_eq!(p.len(), 11);
+        // BSSY targets the sync point at pc 9.
+        assert_eq!(p[0].op, Op::Bssy { barrier: Barrier(0), target: 9 });
+        // The predicated branch targets the Else block at pc 6.
+        assert_eq!(p[1].op, Op::Bra { target: 6 });
+        assert_eq!(p[1].guard, Some((Pred(0), false)));
+        // Scoreboard annotations survived.
+        assert_eq!(p[2].wr_sb, Some(Scoreboard(5)));
+        assert!(p[4].req_sb.contains(Scoreboard(5)));
+        assert_eq!(p[6].wr_sb, Some(Scoreboard(2)));
+        assert!(p[7].req_sb.contains(Scoreboard(2)));
+    }
+
+    #[test]
+    fn unplaced_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label("nowhere");
+        b.bra(l);
+        b.exit();
+        assert_eq!(b.build(), Err(ProgramError::UnplacedLabel { name: "nowhere".into() }));
+    }
+
+    #[test]
+    fn long_latency_without_wr_sb_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.ldg(Reg(0), Reg(1), 0);
+        b.exit();
+        assert_eq!(b.build(), Err(ProgramError::MissingWriteScoreboard { pc: 0 }));
+    }
+
+    #[test]
+    fn missing_exit_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.nop();
+        assert_eq!(b.build(), Err(ProgramError::NoExit));
+    }
+
+    #[test]
+    fn scoreboard_out_of_range_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.ldg(Reg(0), Reg(1), 0).wr_sb(Scoreboard(9));
+        b.exit();
+        assert_eq!(b.build(), Err(ProgramError::ScoreboardOutOfRange { pc: 0, sb: 9 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "placed twice")]
+    fn double_place_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label("x");
+        b.place(l);
+        b.place(l);
+    }
+
+    #[test]
+    fn disassembly_is_stable() {
+        let p = figure_9_program();
+        let dis = p.to_string();
+        assert!(dis.contains("BSSY B0, 9"));
+        assert!(dis.contains("@P0 BRA 6"));
+        assert!(dis.contains("&wr=sb5"));
+        assert!(dis.contains("&req=sb2"));
+    }
+
+    #[test]
+    fn footprint_is_sixteen_bytes_per_instruction() {
+        let p = figure_9_program();
+        assert_eq!(p.footprint_bytes(), 11 * 16);
+        assert_eq!(Program::byte_addr(3), 48);
+    }
+}

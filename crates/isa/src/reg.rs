@@ -1,0 +1,198 @@
+//! Register, predicate, barrier, and scoreboard identifiers.
+//!
+//! These are thin newtypes (guideline C-NEWTYPE) so that a scoreboard id can
+//! never be confused with a register number at an API boundary.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of counted scoreboards per warp (`N_SB` in the paper, §III-C).
+///
+/// Turing-class hardware exposes six; we model eight so generated megakernels
+/// have headroom, matching the paper's `s = 3` bits (2^3 = 8 trackers).
+pub const N_SB: usize = 8;
+
+/// Number of convergence barrier registers per warp (`B0`..`B15`).
+pub const N_BARRIER: usize = 16;
+
+/// A general-purpose vector register, `R0`..`R254`. `R255` is `RZ`, the
+/// hardwired zero register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The hardwired zero register `RZ`.
+    pub const RZ: Reg = Reg(255);
+
+    /// Returns true if this is the zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 255
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            write!(f, "RZ")
+        } else {
+            write!(f, "R{}", self.0)
+        }
+    }
+}
+
+/// A predicate register, `P0`..`P6`. `P7` is `PT`, the hardwired true
+/// predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pred(pub u8);
+
+impl Pred {
+    /// The hardwired true predicate `PT`.
+    pub const PT: Pred = Pred(7);
+
+    /// Returns true if this is the hardwired true predicate.
+    pub fn is_true(self) -> bool {
+        self.0 == 7
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_true() {
+            write!(f, "PT")
+        } else {
+            write!(f, "P{}", self.0)
+        }
+    }
+}
+
+/// A convergence barrier register, `B0`..`B15` (paper §III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Barrier(pub u8);
+
+impl fmt::Display for Barrier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// A counted scoreboard id, `sb0`..`sb7` (paper §III-C).
+///
+/// Long-latency producers increment a scoreboard at issue (`&wr=sbN`) and
+/// decrement it at writeback; consumers stall until the count reaches zero
+/// (`&req=sbN`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Scoreboard(pub u8);
+
+impl fmt::Display for Scoreboard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sb{}", self.0)
+    }
+}
+
+/// A set of scoreboard ids, stored as a bitmask over `sb0`..`sb7`.
+///
+/// An instruction's `&req=` annotation may name several scoreboards; issue
+/// stalls until every named counter is zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SbMask(pub u8);
+
+impl SbMask {
+    /// The empty set.
+    pub const EMPTY: SbMask = SbMask(0);
+
+    /// Builds a mask containing a single scoreboard.
+    pub fn one(sb: Scoreboard) -> SbMask {
+        debug_assert!((sb.0 as usize) < N_SB);
+        SbMask(1 << sb.0)
+    }
+
+    /// Returns true if no scoreboard is named.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns true if `sb` is in the set.
+    pub fn contains(self, sb: Scoreboard) -> bool {
+        self.0 & (1 << sb.0) != 0
+    }
+
+    /// Adds `sb` to the set.
+    pub fn insert(&mut self, sb: Scoreboard) {
+        debug_assert!((sb.0 as usize) < N_SB);
+        self.0 |= 1 << sb.0;
+    }
+
+    /// Iterates over the scoreboards in the set.
+    pub fn iter(self) -> impl Iterator<Item = Scoreboard> {
+        (0..N_SB as u8).filter(move |i| self.0 & (1 << i) != 0).map(Scoreboard)
+    }
+}
+
+impl FromIterator<Scoreboard> for SbMask {
+    fn from_iter<I: IntoIterator<Item = Scoreboard>>(iter: I) -> Self {
+        let mut m = SbMask::EMPTY;
+        for sb in iter {
+            m.insert(sb);
+        }
+        m
+    }
+}
+
+impl fmt::Display for SbMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for sb in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{sb}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_displays_as_rz() {
+        assert_eq!(Reg::RZ.to_string(), "RZ");
+        assert_eq!(Reg(4).to_string(), "R4");
+        assert!(Reg::RZ.is_zero());
+        assert!(!Reg(0).is_zero());
+    }
+
+    #[test]
+    fn true_predicate_displays_as_pt() {
+        assert_eq!(Pred::PT.to_string(), "PT");
+        assert_eq!(Pred(2).to_string(), "P2");
+        assert!(Pred::PT.is_true());
+    }
+
+    #[test]
+    fn sb_mask_insert_contains_iter() {
+        let mut m = SbMask::EMPTY;
+        assert!(m.is_empty());
+        m.insert(Scoreboard(5));
+        m.insert(Scoreboard(2));
+        assert!(m.contains(Scoreboard(5)));
+        assert!(m.contains(Scoreboard(2)));
+        assert!(!m.contains(Scoreboard(0)));
+        let ids: Vec<u8> = m.iter().map(|s| s.0).collect();
+        assert_eq!(ids, vec![2, 5]);
+        assert_eq!(m.to_string(), "sb2,sb5");
+    }
+
+    #[test]
+    fn sb_mask_from_iterator() {
+        let m: SbMask = [Scoreboard(0), Scoreboard(7)].into_iter().collect();
+        assert_eq!(m.0, 0b1000_0001);
+    }
+
+    #[test]
+    fn barrier_display() {
+        assert_eq!(Barrier(3).to_string(), "B3");
+    }
+}

@@ -1,0 +1,318 @@
+//! A set-associative, LRU, allocate-on-miss cache model.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a cache: total capacity, line size, and associativity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes. Must be a multiple of `line_bytes * ways`.
+    pub size_bytes: u64,
+    /// Line (block) size in bytes. Must be a power of two.
+    pub line_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// 128 KB L1 data cache (paper Table I).
+    pub fn l1_data() -> CacheConfig {
+        CacheConfig { size_bytes: 128 * 1024, line_bytes: 128, ways: 8 }
+    }
+
+    /// 64 KB L1 instruction cache (paper Table I, upsized for SI).
+    pub fn l1_instruction() -> CacheConfig {
+        CacheConfig { size_bytes: 64 * 1024, line_bytes: 128, ways: 8 }
+    }
+
+    /// 16 KB per-processing-block L0 instruction cache (paper Table I).
+    pub fn l0_instruction() -> CacheConfig {
+        CacheConfig { size_bytes: 16 * 1024, line_bytes: 128, ways: 8 }
+    }
+
+    /// The paper's §V-C-4 shipping-GPU configuration: 4× smaller
+    /// instruction caches (L0 = 4 KB).
+    pub fn l0_instruction_small() -> CacheConfig {
+        CacheConfig { size_bytes: 4 * 1024, line_bytes: 128, ways: 4 }
+    }
+
+    /// The paper's §V-C-4 shipping-GPU configuration: 4× smaller
+    /// instruction caches (L1I = 16 KB).
+    pub fn l1_instruction_small() -> CacheConfig {
+        CacheConfig { size_bytes: 16 * 1024, line_bytes: 128, ways: 8 }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        (self.size_bytes / (self.line_bytes * self.ways as u64)) as usize
+    }
+
+    fn validate(&self) {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(self.ways >= 1, "cache must have at least one way");
+        assert_eq!(
+            self.size_bytes % (self.line_bytes * self.ways as u64),
+            0,
+            "capacity must be a multiple of line_bytes * ways"
+        );
+        assert!(self.sets() >= 1, "cache must have at least one set");
+    }
+}
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been allocated (evicting LRU if needed).
+    Miss,
+}
+
+/// Running hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Accesses that found their line resident.
+    pub hits: u64,
+    /// Accesses that missed and allocated.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; zero when there were no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    /// Monotonic timestamp of last touch, for LRU.
+    lru: u64,
+}
+
+/// A set-associative cache with true-LRU replacement and allocate-on-miss
+/// fill (no fill delay is modelled here; the *latency* of a miss is charged
+/// by the unit that owns the cache).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cache {
+    config: CacheConfig,
+    ways: Vec<Way>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    /// Panics if the configuration geometry is inconsistent (non-power-of-two
+    /// line size, capacity not a multiple of `line_bytes * ways`).
+    pub fn new(config: CacheConfig) -> Cache {
+        config.validate();
+        let n = config.sets() * config.ways;
+        Cache {
+            config,
+            ways: vec![Way { tag: 0, valid: false, lru: 0 }; n],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Hit/miss counters since construction or the last
+    /// [`reset_stats`](Cache::reset_stats).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Zeroes the hit/miss counters (contents are retained).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Maps an address to its line-aligned base.
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr & !(self.config.line_bytes - 1)
+    }
+
+    fn set_index(&self, addr: u64) -> usize {
+        ((addr / self.config.line_bytes) as usize) % self.config.sets()
+    }
+
+    fn tag_of(&self, addr: u64) -> u64 {
+        addr / self.config.line_bytes / self.config.sets() as u64
+    }
+
+    /// Looks up `addr`; on a miss, allocates the line (evicting the LRU way).
+    pub fn access(&mut self, addr: u64) -> AccessKind {
+        self.clock += 1;
+        let set = self.set_index(addr);
+        let tag = self.tag_of(addr);
+        let base = set * self.config.ways;
+        let ways = &mut self.ways[base..base + self.config.ways];
+
+        if let Some(way) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.lru = self.clock;
+            self.stats.hits += 1;
+            return AccessKind::Hit;
+        }
+        // Miss: fill into an invalid way, else evict LRU.
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.lru } else { 0 })
+            .expect("cache set has at least one way");
+        victim.tag = tag;
+        victim.valid = true;
+        victim.lru = self.clock;
+        self.stats.misses += 1;
+        AccessKind::Miss
+    }
+
+    /// Checks residency without updating LRU or counters.
+    pub fn probe(&self, addr: u64) -> bool {
+        let set = self.set_index(addr);
+        let tag = self.tag_of(addr);
+        let base = set * self.config.ways;
+        self.ways[base..base + self.config.ways].iter().any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Invalidates all lines (counters are retained).
+    pub fn flush(&mut self) {
+        for w in &mut self.ways {
+            w.valid = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets × 2 ways × 64B lines = 256B.
+        Cache::new(CacheConfig { size_bytes: 256, line_bytes: 64, ways: 2 })
+    }
+
+    #[test]
+    fn compulsory_miss_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.access(0x100), AccessKind::Miss);
+        assert_eq!(c.access(0x100), AccessKind::Hit);
+        assert_eq!(c.access(0x13f), AccessKind::Hit, "same line, different offset");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = tiny();
+        // Set stride = line_bytes * sets = 128 bytes; these all map to set 0.
+        let a = 0x000;
+        let b = 0x080;
+        let d = 0x100;
+        assert_eq!(c.access(a), AccessKind::Miss);
+        assert_eq!(c.access(b), AccessKind::Miss);
+        // Touch `a` so `b` becomes LRU.
+        assert_eq!(c.access(a), AccessKind::Hit);
+        // Third distinct line in a 2-way set evicts `b`.
+        assert_eq!(c.access(d), AccessKind::Miss);
+        assert!(c.probe(a));
+        assert!(!c.probe(b));
+        assert!(c.probe(d));
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = tiny();
+        assert_eq!(c.access(0x000), AccessKind::Miss); // set 0
+        assert_eq!(c.access(0x040), AccessKind::Miss); // set 1
+        assert_eq!(c.access(0x000), AccessKind::Hit);
+        assert_eq!(c.access(0x040), AccessKind::Hit);
+    }
+
+    #[test]
+    fn probe_does_not_touch_lru_or_stats() {
+        let mut c = tiny();
+        c.access(0x000);
+        let before = c.stats();
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x999_000));
+        assert_eq!(c.stats(), before);
+    }
+
+    #[test]
+    fn flush_invalidates_everything() {
+        let mut c = tiny();
+        c.access(0x000);
+        c.flush();
+        assert!(!c.probe(0x000));
+        assert_eq!(c.access(0x000), AccessKind::Miss);
+    }
+
+    #[test]
+    fn paper_geometries_are_consistent() {
+        assert_eq!(CacheConfig::l1_data().sets(), 128);
+        assert_eq!(CacheConfig::l1_instruction().sets(), 64);
+        assert_eq!(CacheConfig::l0_instruction().sets(), 16);
+        assert_eq!(CacheConfig::l0_instruction_small().sets(), 8);
+        // Construct them all to exercise validation.
+        for cfg in [
+            CacheConfig::l1_data(),
+            CacheConfig::l1_instruction(),
+            CacheConfig::l0_instruction(),
+            CacheConfig::l0_instruction_small(),
+            CacheConfig::l1_instruction_small(),
+        ] {
+            let _ = Cache::new(cfg);
+        }
+    }
+
+    #[test]
+    fn miss_ratio() {
+        let mut c = tiny();
+        c.access(0x000);
+        c.access(0x000);
+        c.access(0x000);
+        c.access(0x040);
+        let s = c.stats();
+        assert_eq!(s.accesses(), 4);
+        assert!((s.miss_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        Cache::new(CacheConfig { size_bytes: 256, line_bytes: 48, ways: 2 });
+    }
+
+    #[test]
+    fn working_set_larger_than_capacity_thrashes() {
+        // This is the L0 I-cache thrashing mechanism behind the paper's
+        // Table III taper: a working set 2× capacity, streamed repeatedly,
+        // keeps missing.
+        let mut c = tiny(); // 256B capacity
+        let lines: Vec<u64> = (0..8).map(|i| i * 64).collect(); // 512B working set
+        for _ in 0..4 {
+            for &l in &lines {
+                c.access(l);
+            }
+        }
+        let s = c.stats();
+        assert!(s.miss_ratio() > 0.9, "expected thrash, got {}", s.miss_ratio());
+    }
+}

@@ -1,0 +1,149 @@
+//! A latency-queue model of a pipelined service unit.
+//!
+//! The LSU, TEX unit, RT core, and instruction-fill paths all share the same
+//! timing shape: a request enters, and a completion pops out a fixed or
+//! per-request number of cycles later, in completion-time order. Requests
+//! never block each other (the paper verifies its workloads are not
+//! bandwidth-limited, §IV-A), but callers can rate-limit admission using
+//! [`ServiceUnit::in_flight`].
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A completed request, tagged with its completion cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion<T> {
+    /// Cycle at which the payload's result becomes architecturally visible.
+    pub at_cycle: u64,
+    /// The caller's request payload.
+    pub payload: T,
+}
+
+#[derive(Debug)]
+struct Pending<T> {
+    ready: u64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Pending<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.ready == other.ready && self.seq == other.seq
+    }
+}
+impl<T> Eq for Pending<T> {}
+impl<T> PartialOrd for Pending<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Pending<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.ready, self.seq).cmp(&(other.ready, other.seq))
+    }
+}
+
+/// A pipelined unit that completes requests after per-request latencies.
+///
+/// Completion order is (ready-cycle, admission-order) — i.e. FIFO among
+/// requests that become ready on the same cycle. The simulator drains
+/// completions at the top of every cycle with [`ServiceUnit::pop_ready`].
+#[derive(Debug)]
+pub struct ServiceUnit<T> {
+    heap: BinaryHeap<Reverse<Pending<T>>>,
+    next_seq: u64,
+}
+
+impl<T> Default for ServiceUnit<T> {
+    fn default() -> Self {
+        ServiceUnit { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+}
+
+impl<T> ServiceUnit<T> {
+    /// An empty unit.
+    pub fn new() -> ServiceUnit<T> {
+        ServiceUnit::default()
+    }
+
+    /// Admits a request that completes at absolute cycle `ready`.
+    pub fn push(&mut self, ready: u64, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Pending { ready, seq, payload }));
+    }
+
+    /// Number of requests still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The earliest completion cycle among in-flight requests.
+    pub fn next_ready(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(p)| p.ready)
+    }
+
+    /// Pops every request whose completion cycle is `<= now`, in completion
+    /// order.
+    pub fn pop_ready(&mut self, now: u64) -> Vec<Completion<T>> {
+        let mut out = Vec::new();
+        while let Some(Reverse(p)) = self.heap.peek() {
+            if p.ready > now {
+                break;
+            }
+            let Reverse(p) = self.heap.pop().expect("peeked element exists");
+            out.push(Completion { at_cycle: p.ready, payload: p.payload });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_in_time_order() {
+        let mut u = ServiceUnit::new();
+        u.push(10, "b");
+        u.push(5, "a");
+        u.push(20, "c");
+        assert_eq!(u.in_flight(), 3);
+        assert_eq!(u.next_ready(), Some(5));
+
+        assert!(u.pop_ready(4).is_empty());
+        let done = u.pop_ready(10);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].payload, "a");
+        assert_eq!(done[0].at_cycle, 5);
+        assert_eq!(done[1].payload, "b");
+        let done = u.pop_ready(100);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].payload, "c");
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    fn fifo_among_same_cycle_completions() {
+        let mut u = ServiceUnit::new();
+        for i in 0..8 {
+            u.push(7, i);
+        }
+        let done = u.pop_ready(7);
+        let order: Vec<i32> = done.into_iter().map(|c| c.payload).collect();
+        assert_eq!(order, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_unit_behaviour() {
+        let mut u: ServiceUnit<()> = ServiceUnit::new();
+        assert!(u.is_empty());
+        assert_eq!(u.next_ready(), None);
+        assert!(u.pop_ready(1000).is_empty());
+    }
+}

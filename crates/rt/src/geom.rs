@@ -1,0 +1,234 @@
+//! Rays, axis-aligned boxes, and triangles with intersection routines.
+
+use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A ray with precomputed inverse direction for slab tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Origin point.
+    pub origin: Vec3,
+    /// Unit direction.
+    pub dir: Vec3,
+    /// Component-wise reciprocal of `dir` (±inf where `dir` is 0).
+    pub inv_dir: Vec3,
+}
+
+impl Ray {
+    /// Creates a ray; `dir` is normalized.
+    pub fn new(origin: Vec3, dir: Vec3) -> Ray {
+        let dir = dir.normalized();
+        Ray { origin, dir, inv_dir: Vec3::new(1.0 / dir.x, 1.0 / dir.y, 1.0 / dir.z) }
+    }
+
+    /// The point at parameter `t`.
+    pub fn at(&self, t: f32) -> Vec3 {
+        self.origin + self.dir * t
+    }
+}
+
+/// An axis-aligned bounding box.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// An inverted (empty) box that grows correctly under [`Aabb::union`].
+    pub const EMPTY: Aabb =
+        Aabb { min: Vec3 { x: f32::MAX, y: f32::MAX, z: f32::MAX }, max: Vec3 { x: f32::MIN, y: f32::MIN, z: f32::MIN } };
+
+    /// The smallest box containing both inputs.
+    pub fn union(self, o: Aabb) -> Aabb {
+        Aabb { min: self.min.min(o.min), max: self.max.max(o.max) }
+    }
+
+    /// Grows the box to contain `p`.
+    pub fn grow(self, p: Vec3) -> Aabb {
+        Aabb { min: self.min.min(p), max: self.max.max(p) }
+    }
+
+    /// Box centroid.
+    pub fn centroid(self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Index of the longest axis (0 = x, 1 = y, 2 = z).
+    pub fn longest_axis(self) -> usize {
+        let d = self.max - self.min;
+        if d.x >= d.y && d.x >= d.z {
+            0
+        } else if d.y >= d.z {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Slab-method ray/box test over `[t_min, t_max]`.
+    pub fn intersects(&self, ray: &Ray, t_min: f32, t_max: f32) -> bool {
+        let mut t0 = t_min;
+        let mut t1 = t_max;
+        for axis in 0..3 {
+            let inv = ray.inv_dir.axis(axis);
+            let mut near = (self.min.axis(axis) - ray.origin.axis(axis)) * inv;
+            let mut far = (self.max.axis(axis) - ray.origin.axis(axis)) * inv;
+            if near > far {
+                std::mem::swap(&mut near, &mut far);
+            }
+            t0 = t0.max(near);
+            t1 = t1.min(far);
+            if t0 > t1 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A triangle with a material id.
+///
+/// The material id selects which *shader* the megakernel invokes when a ray
+/// hits this triangle — the source of warp divergence in the paper's
+/// Figure 5 walkthrough.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Triangle {
+    /// First vertex.
+    pub a: Vec3,
+    /// Second vertex.
+    pub b: Vec3,
+    /// Third vertex.
+    pub c: Vec3,
+    /// Material (shader) id.
+    pub material: u32,
+}
+
+impl Triangle {
+    /// The triangle's bounding box.
+    pub fn aabb(&self) -> Aabb {
+        Aabb::EMPTY.grow(self.a).grow(self.b).grow(self.c)
+    }
+
+    /// Möller–Trumbore ray/triangle intersection; returns the hit parameter
+    /// `t > eps` if the ray strikes the triangle.
+    pub fn intersect(&self, ray: &Ray) -> Option<f32> {
+        const EPS: f32 = 1e-7;
+        let e1 = self.b - self.a;
+        let e2 = self.c - self.a;
+        let p = ray.dir.cross(e2);
+        let det = e1.dot(p);
+        if det.abs() < EPS {
+            return None;
+        }
+        let inv_det = 1.0 / det;
+        let s = ray.origin - self.a;
+        let u = s.dot(p) * inv_det;
+        if !(0.0..=1.0).contains(&u) {
+            return None;
+        }
+        let q = s.cross(e1);
+        let v = ray.dir.dot(q) * inv_det;
+        if v < 0.0 || u + v > 1.0 {
+            return None;
+        }
+        let t = e2.dot(q) * inv_det;
+        if t > EPS {
+            Some(t)
+        } else {
+            None
+        }
+    }
+}
+
+/// The closest hit found by a traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Hit {
+    /// Index of the struck triangle.
+    pub triangle: u32,
+    /// Material (shader) id of the struck triangle.
+    pub material: u32,
+    /// Ray parameter of the hit point.
+    pub t: f32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn z_facing_triangle() -> Triangle {
+        Triangle {
+            a: Vec3::new(-1.0, -1.0, 0.0),
+            b: Vec3::new(1.0, -1.0, 0.0),
+            c: Vec3::new(0.0, 1.0, 0.0),
+            material: 3,
+        }
+    }
+
+    #[test]
+    fn ray_hits_triangle_head_on() {
+        let tri = z_facing_triangle();
+        let ray = Ray::new(Vec3::new(0.0, 0.0, -2.0), Vec3::new(0.0, 0.0, 1.0));
+        let t = tri.intersect(&ray).expect("hit");
+        assert!((t - 2.0).abs() < 1e-5);
+        assert_eq!(ray.at(t).z, 0.0);
+    }
+
+    #[test]
+    fn ray_misses_triangle_to_the_side() {
+        let tri = z_facing_triangle();
+        let ray = Ray::new(Vec3::new(5.0, 0.0, -2.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(tri.intersect(&ray).is_none());
+    }
+
+    #[test]
+    fn ray_parallel_to_triangle_misses() {
+        let tri = z_facing_triangle();
+        let ray = Ray::new(Vec3::new(0.0, 0.0, -2.0), Vec3::new(1.0, 0.0, 0.0));
+        assert!(tri.intersect(&ray).is_none());
+    }
+
+    #[test]
+    fn hit_behind_origin_is_ignored() {
+        let tri = z_facing_triangle();
+        let ray = Ray::new(Vec3::new(0.0, 0.0, 2.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(tri.intersect(&ray).is_none());
+    }
+
+    #[test]
+    fn aabb_slab_test() {
+        let b = Aabb { min: Vec3::new(-1.0, -1.0, -1.0), max: Vec3::new(1.0, 1.0, 1.0) };
+        let hit = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(b.intersects(&hit, 0.0, f32::MAX));
+        let miss = Ray::new(Vec3::new(0.0, 5.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(!b.intersects(&miss, 0.0, f32::MAX));
+        // A hit farther than t_max is rejected.
+        assert!(!b.intersects(&hit, 0.0, 1.0));
+    }
+
+    #[test]
+    fn aabb_union_and_grow() {
+        let t = z_facing_triangle();
+        let bb = t.aabb();
+        assert_eq!(bb.min, Vec3::new(-1.0, -1.0, 0.0));
+        assert_eq!(bb.max, Vec3::new(1.0, 1.0, 0.0));
+        let u = bb.union(Aabb { min: Vec3::splat(-2.0), max: Vec3::splat(-1.5) });
+        assert_eq!(u.min, Vec3::splat(-2.0));
+        assert_eq!(u.max, Vec3::new(1.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn longest_axis() {
+        let b = Aabb { min: Vec3::ZERO, max: Vec3::new(1.0, 3.0, 2.0) };
+        assert_eq!(b.longest_axis(), 1);
+    }
+
+    #[test]
+    fn empty_box_grows_from_nothing() {
+        let b = Aabb::EMPTY.grow(Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(b.min, Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(b.max, Vec3::new(1.0, 2.0, 3.0));
+    }
+}

@@ -1,0 +1,56 @@
+//! The RT-core latency model.
+//!
+//! The RT core accepts `TraceRay` jobs from the SM and performs the BVH
+//! traversal asynchronously (paper §II-B). Its latency is the component the
+//! paper identifies as the Amdahl's-law limiter for SI (§VI, limiter #2):
+//! "the latency of ray traversal operations is often the dominant factor."
+//! We charge `base + per_node × nodes_visited` cycles per ray, so scene
+//! depth and ray coherence directly shape the traversal tail.
+
+use serde::{Deserialize, Serialize};
+
+/// Latency parameters for RT-core BVH traversals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RtCoreModel {
+    /// Fixed cost per traversal (SM→RT-core round trip + setup).
+    pub base_cycles: u64,
+    /// Cost per BVH node visited.
+    pub cycles_per_node: u64,
+}
+
+impl Default for RtCoreModel {
+    fn default() -> Self {
+        // A Turing-like RT core saves "thousands of software instructions
+        // per ray" (§II-B), but each visited node still costs a BVH-node
+        // fetch from memory; traversals of deep trees span thousands of
+        // cycles and are "often the dominant factor" (§VI, limiter #2).
+        // These defaults put typical traversals (20–120 nodes) in the
+        // 0.6–2.6k cycle range.
+        RtCoreModel { base_cycles: 200, cycles_per_node: 20 }
+    }
+}
+
+impl RtCoreModel {
+    /// Latency in cycles for a traversal that visited `nodes` BVH nodes.
+    pub fn latency(&self, nodes: u32) -> u64 {
+        self.base_cycles + self.cycles_per_node * nodes as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_scales_with_nodes_visited() {
+        let m = RtCoreModel::default();
+        assert!(m.latency(80) > m.latency(20));
+        assert_eq!(m.latency(0), m.base_cycles);
+    }
+
+    #[test]
+    fn custom_model() {
+        let m = RtCoreModel { base_cycles: 100, cycles_per_node: 2 };
+        assert_eq!(m.latency(10), 120);
+    }
+}

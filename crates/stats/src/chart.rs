@@ -1,0 +1,107 @@
+//! ASCII horizontal bar charts — the text-mode rendering of the paper's
+//! grouped-bar figures.
+
+use std::fmt;
+
+/// A grouped horizontal bar chart: one group per label, one bar per series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BarChart {
+    title: String,
+    /// Series names (legend).
+    series: Vec<String>,
+    /// (label, values-per-series).
+    groups: Vec<(String, Vec<f64>)>,
+    /// Printed after each value (e.g. `"%"`).
+    unit: String,
+    width: usize,
+}
+
+impl BarChart {
+    /// Creates a chart with the given title and series legend.
+    pub fn new(title: impl Into<String>, series: Vec<String>) -> BarChart {
+        BarChart { title: title.into(), series, groups: Vec::new(), unit: String::new(), width: 48 }
+    }
+
+    /// Sets the unit suffix shown after values.
+    pub fn unit(mut self, unit: impl Into<String>) -> BarChart {
+        self.unit = unit.into();
+        self
+    }
+
+    /// Sets the maximum bar width in characters.
+    pub fn width(mut self, width: usize) -> BarChart {
+        assert!(width >= 8, "bars need at least 8 characters");
+        self.width = width;
+        self
+    }
+
+    /// Adds a labelled group of per-series values.
+    ///
+    /// # Panics
+    /// Panics if the value count differs from the series count.
+    pub fn group(&mut self, label: impl Into<String>, values: Vec<f64>) -> &mut BarChart {
+        assert_eq!(values.len(), self.series.len(), "value count must match series count");
+        self.groups.push((label.into(), values));
+        self
+    }
+}
+
+impl fmt::Display for BarChart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let max = self
+            .groups
+            .iter()
+            .flat_map(|(_, vs)| vs.iter())
+            .fold(0.0f64, |m, &v| m.max(v.abs()))
+            .max(1e-12);
+        let label_w =
+            self.groups.iter().map(|(l, _)| l.len()).chain(self.series.iter().map(|s| s.len())).max().unwrap_or(4);
+        let marks = ['#', '=', '+', '-', '~', ':', '*', '.'];
+        for (i, name) in self.series.iter().enumerate() {
+            writeln!(f, "  {} {}", marks[i % marks.len()], name)?;
+        }
+        for (label, values) in &self.groups {
+            for (i, &v) in values.iter().enumerate() {
+                let n = ((v.abs() / max) * self.width as f64).round() as usize;
+                let bar: String = std::iter::repeat_n(marks[i % marks.len()], n).collect();
+                let lab = if i == 0 { label.as_str() } else { "" };
+                writeln!(f, "{lab:>label_w$} |{bar:<bw$} {v:.1}{u}", bw = self.width, u = self.unit)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scaled_bars() {
+        let mut c = BarChart::new("Speedup", vec!["SOS".into(), "Both".into()]).unit("%").width(10);
+        c.group("BFV1", vec![15.0, 19.4]);
+        c.group("Coll1", vec![0.5, 0.6]);
+        let s = c.to_string();
+        assert!(s.contains("Speedup"));
+        assert!(s.contains("BFV1"));
+        // The largest value fills the full width.
+        assert!(s.contains(&"=".repeat(10)), "chart was:\n{s}");
+        // Small values render short bars, not full ones.
+        assert!(!s.contains(&"#".repeat(10)));
+        assert!(s.contains("19.4%"));
+    }
+
+    #[test]
+    fn zero_values_render() {
+        let mut c = BarChart::new("t", vec!["a".into()]);
+        c.group("x", vec![0.0]);
+        assert!(c.to_string().contains("0.0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "value count")]
+    fn group_width_mismatch_panics() {
+        BarChart::new("t", vec!["a".into(), "b".into()]).group("x", vec![1.0]);
+    }
+}

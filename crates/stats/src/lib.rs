@@ -1,0 +1,79 @@
+#![warn(missing_docs)]
+
+//! # subwarp-stats — aggregation and report formatting
+//!
+//! Turns [`subwarp_core::RunStats`] collections into the tables and
+//! text-mode figures the `figures` harness prints: aligned tables, ASCII
+//! horizontal bar charts (the shape of the paper's Figures 3 and 12), CSV
+//! export, and the arithmetic/geometric means the paper reports.
+//!
+//! ```
+//! use subwarp_stats::Table;
+//!
+//! let mut t = Table::new(vec!["trace".into(), "speedup".into()]);
+//! t.row(vec!["BFV1".into(), "19.4%".into()]);
+//! assert!(t.to_string().contains("BFV1"));
+//! ```
+
+mod chart;
+mod table;
+
+pub use chart::BarChart;
+pub use table::Table;
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean; 0 for an empty slice.
+///
+/// # Panics
+/// Panics if any element is non-positive.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    assert!(xs.iter().all(|&x| x > 0.0), "geomean requires positive values");
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Formats a ratio as a percentage with one decimal (`0.063` → `"6.3%"`).
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a speedup ratio as a percent gain (`1.063` → `"6.3%"`).
+pub fn gain(speedup: f64) -> String {
+    pct(speedup - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(pct(0.063), "6.3%");
+        assert_eq!(gain(1.063), "6.3%");
+        assert_eq!(gain(0.95), "-5.0%");
+    }
+}

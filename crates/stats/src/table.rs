@@ -1,0 +1,139 @@
+//! Aligned text tables with CSV export.
+
+use std::fmt;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<String>) -> Table {
+        Table { header, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as CSV (header + rows). Cells containing commas or quotes
+    /// are quoted.
+    pub fn to_csv(&self) -> String {
+        fn esc(cell: &str) -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i == 0 {
+                    // First column left-aligned (names).
+                    write!(f, "{:<w$}", cell, w = widths[i])?;
+                } else {
+                    write!(f, "  {:>w$}", cell, w = widths[i])?;
+                }
+            }
+            writeln!(f)
+        };
+        line(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["trace".into(), "speedup".into()]);
+        t.row(vec!["BFV1".into(), "19.4%".into()]);
+        t.row(vec!["Coll1".into(), "0.6%".into()]);
+        t
+    }
+
+    #[test]
+    fn display_aligns_columns() {
+        let s = sample().to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains("trace"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].starts_with("BFV1"));
+        // Right-aligned numeric column: both rows end at the same offset.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let csv = sample().to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("trace,speedup\n"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["x,y".into()]);
+        t.row(vec!["say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        Table::new(vec!["a".into(), "b".into()]).row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn emptiness() {
+        let t = Table::new(vec!["a".into()]);
+        assert!(t.is_empty());
+        assert_eq!(sample().len(), 2);
+    }
+}

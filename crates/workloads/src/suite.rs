@@ -1,0 +1,244 @@
+//! The ten named application traces of the paper's Table II.
+//!
+//! The originals are captures of commercial games (Battlefield V, Control,
+//! Minecraft, …) that cannot be redistributed; each entry here is a
+//! megakernel configuration placed to occupy the same *characteristic
+//! position* the paper reports for its namesake:
+//!
+//! - **BFV1/BFV2** (reflections): high hit entropy, loads concentrated in
+//!   divergent shader bodies, low occupancy → large divergent-stall share
+//!   (the biggest SI winners in Figure 12a).
+//! - **Coll1/Coll2** (internal demos): structured scene, most loads in
+//!   convergent common code → stalls exist but are not divergent (small SI
+//!   gains despite visible stall reductions — paper §V-B).
+//! - **AV1/AV2** (ArchViz GI-D/AO), **Ctrl**, **DDGI**, **MC**, **MW**:
+//!   intermediate mixes of entropy, traversal weight, occupancy, and
+//!   shader heaviness.
+
+use crate::megakernel::{MegakernelConfig, SceneKind, ShaderProfile};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use subwarp_core::Workload;
+
+/// A named trace: its Table II description plus the generator
+/// configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpec {
+    /// Short name used in every figure (`AV1`, `BFV1`, …).
+    pub name: &'static str,
+    /// Table II description of the original trace.
+    pub description: &'static str,
+    /// The megakernel generator configuration standing in for the capture.
+    pub config: MegakernelConfig,
+}
+
+impl TraceSpec {
+    /// Builds the simulator workload (traces rays, emits the program).
+    pub fn build(&self) -> Workload {
+        self.config.build()
+    }
+}
+
+/// Derives per-shader profiles deterministically from ranges.
+///
+/// `cold_frac` is the probability a shader carries cold (streaming,
+/// compulsory-miss) loads at all; the rest read only the hot L1D-resident
+/// region. Mixed warps whose subwarps differ in stall behaviour reproduce
+/// the paper's execution-order sensitivity (§VI, limiter #3).
+#[allow(clippy::too_many_arguments)]
+fn profiles(
+    materials: u32,
+    seed: u64,
+    tex: (usize, usize),
+    ldg: (usize, usize),
+    hot: usize,
+    math: (usize, usize),
+    trips: (u32, u32),
+    pad: (usize, usize),
+    cold_frac: f64,
+) -> Vec<ShaderProfile> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut v: Vec<ShaderProfile> = Vec::with_capacity(materials as usize + 1);
+    for _ in 0..materials {
+        let mut sample = |lo: usize, hi: usize| {
+            if lo >= hi {
+                lo
+            } else {
+                rng.gen_range(lo..=hi)
+            }
+        };
+        let tex_ops = sample(tex.0, tex.1);
+        let ldg_ops = sample(ldg.0, ldg.1);
+        let math_ops = sample(math.0, math.1);
+        let code_pad = sample(pad.0, pad.1);
+        let t = sample(trips.0 as usize, trips.1 as usize) as u32;
+        let total_mem = tex_ops + ldg_ops;
+        // Deterministic Bresenham spread: exactly round(materials*cold_frac)
+        // shaders carry cold loads, evenly distributed over shader ids, so
+        // the knob moves trace behaviour smoothly.
+        let s_idx = v.len() as f64;
+        let has_cold = ((s_idx + 1.0) * cold_frac).floor() > (s_idx * cold_frac).floor() + 1e-9
+            || (cold_frac >= 1.0 - 1e-9);
+        v.push(ShaderProfile {
+            tex_ops,
+            ldg_ops,
+            hot_loads: if has_cold { hot.min(total_mem) } else { total_mem },
+            math_ops,
+            trips: t,
+            code_pad,
+        });
+    }
+    v.push(ShaderProfile::miss());
+    v
+}
+
+fn mk(
+    name: &'static str,
+    description: &'static str,
+    config: MegakernelConfig,
+) -> TraceSpec {
+    TraceSpec { name, description, config }
+}
+
+/// The full ten-trace suite (Table II order).
+pub fn suite() -> Vec<TraceSpec> {
+    vec![
+        mk("AV1", "ArchViz Interior, GI-Diffuse (Unreal Engine 4)", MegakernelConfig {
+            name: "AV1".into(),
+            scene: SceneKind::Soup { triangles: 3000, materials: 6 },
+            bounces: 2,
+            n_warps: 12,
+            seed: 101,
+            profiles: profiles(6, 101, (1, 1), (1, 2), 2, (16, 28), (1, 1), (16, 40), 0.85),
+            common_ldg: 1,
+            common_math: 24,
+        }),
+        mk("AV2", "ArchViz Interior, Ambient Occlusion (Unreal Engine 4)", MegakernelConfig {
+            name: "AV2".into(),
+            scene: SceneKind::Soup { triangles: 3000, materials: 4 },
+            bounces: 2,
+            n_warps: 28,
+            seed: 102,
+            profiles: profiles(4, 102, (0, 1), (1, 1), 1, (18, 30), (1, 1), (12, 24), 0.45),
+            common_ldg: 1,
+            common_math: 28,
+        }),
+        mk("BFV1", "Battlefield V scene 1, Reflections (Frostbite 3)", MegakernelConfig {
+            name: "BFV1".into(),
+            scene: SceneKind::Soup { triangles: 6000, materials: 10 },
+            bounces: 2,
+            n_warps: 18,
+            seed: 103,
+            profiles: profiles(10, 103, (1, 1), (1, 1), 1, (10, 16), (1, 1), (20, 48), 0.4),
+            common_ldg: 0,
+            common_math: 12,
+        }),
+        mk("BFV2", "Battlefield V scene 2, Reflections (Frostbite 3)", MegakernelConfig {
+            name: "BFV2".into(),
+            scene: SceneKind::Soup { triangles: 5000, materials: 8 },
+            bounces: 2,
+            n_warps: 18,
+            seed: 104,
+            profiles: profiles(8, 104, (1, 1), (1, 1), 1, (10, 18), (1, 1), (16, 40), 0.45),
+            common_ldg: 0,
+            common_math: 14,
+        }),
+        mk("Coll1", "RTX Collage demo 1, Ambient Occlusion", MegakernelConfig {
+            name: "Coll1".into(),
+            scene: SceneKind::City { width: 24, depth: 6, materials: 3 },
+            bounces: 2,
+            n_warps: 24,
+            seed: 105,
+            profiles: profiles(3, 105, (0, 1), (1, 1), 2, (14, 22), (1, 1), (8, 16), 1.0),
+            common_ldg: 3,
+            common_math: 20,
+        }),
+        mk("Coll2", "RTX Collage demo 2, Reflections", MegakernelConfig {
+            name: "Coll2".into(),
+            scene: SceneKind::City { width: 24, depth: 8, materials: 5 },
+            bounces: 2,
+            n_warps: 24,
+            seed: 106,
+            profiles: profiles(5, 106, (0, 1), (1, 1), 2, (12, 20), (1, 1), (8, 20), 1.0),
+            common_ldg: 3,
+            common_math: 16,
+        }),
+        mk("Ctrl", "Control, multiple RT effects (Northlight)", MegakernelConfig {
+            name: "Ctrl".into(),
+            scene: SceneKind::Soup { triangles: 4000, materials: 7 },
+            bounces: 2,
+            n_warps: 32,
+            seed: 107,
+            profiles: profiles(7, 107, (1, 1), (1, 2), 2, (12, 20), (1, 1), (16, 32), 0.4),
+            common_ldg: 2,
+            common_math: 16,
+        }),
+        mk("DDGI", "Dynamic Diffuse GI, Greek Villa demo", MegakernelConfig {
+            name: "DDGI".into(),
+            // Deep scene → traversal-heavy (the Amdahl component).
+            scene: SceneKind::Soup { triangles: 12000, materials: 5 },
+            bounces: 3,
+            n_warps: 20,
+            seed: 108,
+            profiles: profiles(5, 108, (0, 1), (1, 1), 1, (16, 26), (1, 1), (12, 24), 1.0),
+            common_ldg: 2,
+            common_math: 20,
+        }),
+        mk("MC", "Minecraft, multiple RT effects", MegakernelConfig {
+            name: "MC".into(),
+            scene: SceneKind::Soup { triangles: 2500, materials: 12 },
+            bounces: 2,
+            n_warps: 18,
+            seed: 109,
+            profiles: profiles(12, 109, (1, 1), (1, 1), 1, (12, 18), (1, 1), (16, 40), 0.35),
+            common_ldg: 1,
+            common_math: 14,
+        }),
+        mk("MW", "Mechwarrior 5, Reflections (Unreal Engine 4)", MegakernelConfig {
+            name: "MW".into(),
+            scene: SceneKind::Soup { triangles: 4500, materials: 6 },
+            bounces: 2,
+            n_warps: 18,
+            seed: 110,
+            profiles: profiles(6, 110, (1, 1), (1, 2), 2, (12, 20), (1, 1), (12, 32), 1.0),
+            common_ldg: 2,
+            common_math: 16,
+        }),
+    ]
+}
+
+/// Looks up a suite trace by name (case-insensitive).
+pub fn trace_by_name(name: &str) -> Option<TraceSpec> {
+    suite().into_iter().find(|t| t.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_table_2_entries() {
+        let s = suite();
+        assert_eq!(s.len(), 10);
+        let names: Vec<_> = s.iter().map(|t| t.name).collect();
+        assert_eq!(
+            names,
+            vec!["AV1", "AV2", "BFV1", "BFV2", "Coll1", "Coll2", "Ctrl", "DDGI", "MC", "MW"]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(trace_by_name("bfv1").is_some());
+        assert!(trace_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn every_trace_builds() {
+        for t in suite() {
+            let wl = t.build();
+            assert!(wl.program.len() > 50, "{} program too small", t.name);
+            assert!(!wl.rt_trace.is_empty(), "{} has no rays", t.name);
+        }
+    }
+}

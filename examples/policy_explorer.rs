@@ -1,0 +1,55 @@
+//! Explore the Subwarp Interleaving design space on one application trace:
+//! trigger policies (N > 0, N ≥ 0.5, N = 1), subwarp-yield, thread-status-
+//! table capacity, and switch latency.
+//!
+//! ```sh
+//! cargo run --release --example policy_explorer [trace]
+//! ```
+
+use subwarp_interleaving::core::{SelectPolicy, SiConfig, Simulator, SmConfig};
+use subwarp_interleaving::stats::Table;
+use subwarp_interleaving::workloads::trace_by_name;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "BFV1".to_owned());
+    let trace = trace_by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown trace `{name}` (try AV1, BFV1, Coll1, ...)");
+        std::process::exit(2);
+    });
+    println!("trace {}: {}\n", trace.name, trace.description);
+    let wl = trace.build();
+    let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl);
+
+    let mut t = Table::new(vec![
+        "configuration".into(),
+        "speedup".into(),
+        "demotions".into(),
+        "switches".into(),
+        "yields".into(),
+    ]);
+    let mut run = |label: String, si: SiConfig| {
+        let s = Simulator::new(SmConfig::turing_like(), si).run(&wl);
+        t.row(vec![
+            label,
+            format!("{:+.1}%", (s.speedup_vs(&base) - 1.0) * 100.0),
+            s.subwarp_stalls.to_string(),
+            s.subwarp_switches.to_string(),
+            s.subwarp_yields.to_string(),
+        ]);
+    };
+
+    for p in [SelectPolicy::AllStalled, SelectPolicy::HalfStalled, SelectPolicy::AnyStalled] {
+        run(format!("SOS,{}", p.label()), SiConfig::sos(p));
+        run(format!("Both,{}", p.label()), SiConfig::both(p));
+    }
+    for n in [2usize, 4, 6] {
+        run(format!("Both,N>=0.5,TST={n}"), SiConfig::best().with_max_subwarps(n));
+    }
+    let mut slow_switch = SiConfig::best();
+    slow_switch.switch_latency = 20;
+    run("Both,N>=0.5,switch=20cy".into(), slow_switch);
+
+    println!("{t}");
+    println!("baseline: {} cycles, {:.1}% exposed load-to-use stalls",
+        base.cycles, base.exposed_ratio() * 100.0);
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # Subwarp Interleaving — facade crate
+//!
+//! This crate re-exports the full reproduction of *GPU Subwarp Interleaving*
+//! (HPCA 2022) so downstream users can depend on a single package:
+//!
+//! - [`isa`] — a SASS-like instruction set with convergence barriers and
+//!   counted-scoreboard annotations.
+//! - [`mem`] — cache and latency-stub memory models.
+//! - [`rt`] — BVH construction/traversal and the RT-core unit model.
+//! - [`core`] — the cycle-level Turing-like SM simulator and the Subwarp
+//!   Interleaving scheduler (the paper's contribution).
+//! - [`workloads`] — the CUDA-style microbenchmark, toy kernels, and the
+//!   raytracing megakernel trace suite.
+//! - [`stats`] — metric aggregation and report formatting.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use subwarp_interleaving::core::{Simulator, SmConfig, SiConfig};
+//! use subwarp_interleaving::workloads::microbenchmark;
+//!
+//! // Build the paper's Figure-11 microbenchmark with 2 subwarps per warp.
+//! let wl = microbenchmark(16, 4);
+//!
+//! // Run it on a baseline SM and on an SI-enabled SM, then compare cycles.
+//! let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl);
+//! let si = Simulator::new(SmConfig::turing_like(), SiConfig::switch_on_stall()).run(&wl);
+//! assert!(si.cycles <= base.cycles);
+//! ```
+
+pub use subwarp_core as core;
+pub use subwarp_isa as isa;
+pub use subwarp_mem as mem;
+pub use subwarp_rt as rt;
+pub use subwarp_stats as stats;
+pub use subwarp_workloads as workloads;

@@ -1,0 +1,237 @@
+//! Property-based tests (proptest) over the substrates and the simulator's
+//! global invariants.
+
+use proptest::prelude::*;
+use subwarp_interleaving::core::{
+    InitValue, SelectPolicy, SiConfig, Simulator, SmConfig, Workload,
+};
+use subwarp_interleaving::isa::{CmpOp, Operand, ProgramBuilder, Reg, SbMask, Scoreboard};
+use subwarp_interleaving::mem::{AccessKind, Cache, CacheConfig, ServiceUnit};
+use subwarp_interleaving::rt::{Bvh, Ray, Scene, Vec3};
+use subwarp_interleaving::workloads::{microbenchmark_with, MicroConfig};
+
+// ---------------------------------------------------------------- caches
+
+/// A trivially correct fully-explicit LRU reference model.
+struct RefCache {
+    line: u64,
+    sets: usize,
+    ways: usize,
+    // Per set: lines in LRU order (front = most recent).
+    state: Vec<Vec<u64>>,
+}
+
+impl RefCache {
+    fn new(cfg: CacheConfig) -> RefCache {
+        RefCache {
+            line: cfg.line_bytes,
+            sets: cfg.sets(),
+            ways: cfg.ways,
+            state: vec![Vec::new(); cfg.sets()],
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> AccessKind {
+        let tag = addr / self.line;
+        let set = (tag as usize) % self.sets;
+        let lines = &mut self.state[set];
+        if let Some(pos) = lines.iter().position(|&t| t == tag) {
+            let t = lines.remove(pos);
+            lines.insert(0, t);
+            AccessKind::Hit
+        } else {
+            lines.insert(0, tag);
+            lines.truncate(self.ways);
+            AccessKind::Miss
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn cache_matches_lru_reference(
+        addrs in prop::collection::vec(0u64..(1 << 14), 1..400),
+        ways in 1usize..4,
+    ) {
+        let cfg = CacheConfig { size_bytes: (ways as u64) * 4 * 64, line_bytes: 64, ways };
+        let mut dut = Cache::new(cfg);
+        let mut reference = RefCache::new(cfg);
+        for &a in &addrs {
+            prop_assert_eq!(dut.access(a), reference.access(a), "at address {:#x}", a);
+        }
+    }
+
+    #[test]
+    fn cache_stats_add_up(addrs in prop::collection::vec(0u64..(1 << 16), 1..300)) {
+        let mut c = Cache::new(CacheConfig::l1_data());
+        for &a in &addrs {
+            c.access(a);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses(), addrs.len() as u64);
+        prop_assert!(s.miss_ratio() >= 0.0 && s.miss_ratio() <= 1.0);
+    }
+
+    // ---------------------------------------------------------- service unit
+
+    #[test]
+    fn service_unit_completes_everything_in_order(
+        reqs in prop::collection::vec((0u64..1000, 0u32..100), 1..200)
+    ) {
+        let mut u = ServiceUnit::new();
+        for &(ready, payload) in &reqs {
+            u.push(ready, payload);
+        }
+        let done = u.pop_ready(2000);
+        prop_assert_eq!(done.len(), reqs.len());
+        prop_assert!(u.is_empty());
+        // Completion cycles are monotone.
+        for w in done.windows(2) {
+            prop_assert!(w[0].at_cycle <= w[1].at_cycle);
+        }
+        // Nothing completes before its ready cycle.
+        let mut u = ServiceUnit::new();
+        for &(ready, payload) in &reqs {
+            u.push(ready, payload);
+        }
+        let min_ready = reqs.iter().map(|&(r, _)| r).min().unwrap();
+        if min_ready > 0 {
+            prop_assert!(u.pop_ready(min_ready - 1).is_empty());
+        }
+    }
+
+    // ------------------------------------------------------------------ BVH
+
+    #[test]
+    fn bvh_traversal_matches_brute_force(
+        n_tris in 1usize..120,
+        seed in 0u64..1000,
+        ox in -3.0f32..3.0,
+        oy in -3.0f32..3.0,
+        dx in -1.0f32..1.0,
+        dy in -1.0f32..1.0,
+    ) {
+        let scene = Scene::random_soup(n_tris, seed);
+        let bvh = Bvh::build(&scene);
+        let ray = Ray::new(Vec3::new(ox, oy, -10.0), Vec3::new(dx, dy, 1.0));
+        let got = bvh.traverse(&ray).hit;
+        let mut want: Option<(u32, f32)> = None;
+        for (i, t) in scene.triangles().iter().enumerate() {
+            if let Some(d) = t.intersect(&ray) {
+                if want.is_none_or(|(_, bd)| d < bd) {
+                    want = Some((i as u32, d));
+                }
+            }
+        }
+        match (got, want) {
+            (None, None) => {}
+            (Some(h), Some((i, d))) => {
+                prop_assert_eq!(h.triangle, i);
+                prop_assert!((h.t - d).abs() < 1e-4);
+            }
+            (g, w) => prop_assert!(false, "bvh {:?} vs brute {:?}", g, w),
+        }
+    }
+
+    // ------------------------------------------------------------------ ISA
+
+    #[test]
+    fn sbmask_set_semantics(ids in prop::collection::vec(0u8..8, 0..16)) {
+        let mask: SbMask = ids.iter().map(|&i| Scoreboard(i)).collect();
+        for i in 0..8u8 {
+            prop_assert_eq!(mask.contains(Scoreboard(i)), ids.contains(&i));
+        }
+        prop_assert_eq!(mask.is_empty(), ids.is_empty());
+    }
+
+    #[test]
+    fn builder_rejects_dangling_scoreboards(sb in 8u8..255) {
+        let mut b = ProgramBuilder::new();
+        b.ldg(Reg(0), Reg(1), 0).wr_sb(Scoreboard(sb));
+        b.exit();
+        prop_assert!(b.build().is_err());
+    }
+
+    // -------------------------------------------------------- simulator laws
+
+    #[test]
+    fn simulator_is_deterministic_on_random_micro_configs(
+        subwarp_shift in 0u32..6,
+        iterations in 1u32..3,
+        loads in 1usize..4,
+        pad in 0usize..16,
+    ) {
+        let cfg = MicroConfig {
+            subwarp_size: 1 << subwarp_shift,
+            iterations,
+            loads_per_iter: loads,
+            body_pad: pad,
+            n_warps: 2,
+        };
+        let wl = microbenchmark_with(cfg);
+        let sim = Simulator::new(SmConfig::turing_like(), SiConfig::best());
+        prop_assert_eq!(sim.run(&wl), sim.run(&wl));
+    }
+
+    #[test]
+    fn si_preserves_instruction_count_and_never_collapses(
+        subwarp_shift in 0u32..6,
+        loads in 1usize..4,
+    ) {
+        let cfg = MicroConfig {
+            subwarp_size: 1 << subwarp_shift,
+            iterations: 1,
+            loads_per_iter: loads,
+            body_pad: 4,
+            n_warps: 2,
+        };
+        let wl = microbenchmark_with(cfg);
+        let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl);
+        for si in [
+            SiConfig::sos(SelectPolicy::AnyStalled),
+            SiConfig::sos(SelectPolicy::AllStalled),
+            SiConfig::best(),
+            SiConfig::best().with_max_subwarps(2),
+        ] {
+            let s = Simulator::new(SmConfig::turing_like(), si).run(&wl);
+            // SIMT semantics are schedule-independent: the same instructions
+            // execute regardless of interleaving.
+            prop_assert_eq!(s.instructions, base.instructions);
+            // SI can only help or mildly hurt — never deadlock or blow up.
+            prop_assert!(s.cycles <= base.cycles * 2);
+            prop_assert!(s.cycles * 64 >= base.cycles, "implausible speedup");
+        }
+    }
+
+    #[test]
+    fn predicated_branch_kernels_terminate_under_all_policies(
+        threshold in 0i64..33,
+        n_warps in 1usize..3,
+    ) {
+        // A data-dependent two-way divergence at an arbitrary lane split.
+        let mut b = ProgramBuilder::new();
+        let else_ = b.label("else");
+        let sync = b.label("sync");
+        b.isetp(subwarp_interleaving::isa::Pred(0), Reg(0), Operand::imm(threshold), CmpOp::Lt);
+        b.bssy(subwarp_interleaving::isa::Barrier(0), sync);
+        b.bra(else_).pred(subwarp_interleaving::isa::Pred(0), false);
+        b.ldg(Reg(2), Reg(1), 0).wr_sb(Scoreboard(0));
+        b.fadd(Reg(3), Reg(2), Operand::fimm(1.0)).req_sb(Scoreboard(0));
+        b.bra(sync);
+        b.place(else_);
+        b.ldg(Reg(2), Reg(1), 0x40_000).wr_sb(Scoreboard(1));
+        b.fadd(Reg(3), Reg(2), Operand::fimm(2.0)).req_sb(Scoreboard(1));
+        b.bra(sync);
+        b.place(sync);
+        b.bsync(subwarp_interleaving::isa::Barrier(0));
+        b.exit();
+        let wl = Workload::new("prop-kernel", b.build().expect("valid"), n_warps)
+            .with_init(Reg(0), InitValue::LaneId)
+            .with_init(Reg(1), InitValue::GlobalTid);
+        for si in [SiConfig::disabled(), SiConfig::best(), SiConfig::sos(SelectPolicy::AllStalled)] {
+            let s = Simulator::new(SmConfig::turing_like(), si).run(&wl);
+            prop_assert!(s.cycles > 0);
+            prop_assert_eq!(s.instructions % n_warps as u64, 0);
+        }
+    }
+}
