@@ -18,11 +18,13 @@ fn bench(c: &mut Criterion) {
     let wl = trace_by_name("BFV1").expect("suite trace").build();
     g.bench_function("baseline/BFV1", |b| {
         let sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
-        b.iter(|| sim.run(&wl).cycles)
+        b.iter(|| sim.run(&wl).unwrap().cycles)
     });
     for (label, si) in si_configs() {
         let sim = Simulator::new(SmConfig::turing_like(), si);
-        g.bench_function(format!("{label}/BFV1"), |b| b.iter(|| sim.run(&wl).cycles));
+        g.bench_function(format!("{label}/BFV1"), |b| {
+            b.iter(|| sim.run(&wl).unwrap().cycles)
+        });
     }
     g.finish();
 }

@@ -19,8 +19,12 @@ fn bench(c: &mut Criterion) {
         let sm = SmConfig::turing_like().with_miss_latency(lat);
         let base = Simulator::new(sm.clone(), SiConfig::disabled());
         let si = Simulator::new(sm, SiConfig::best());
-        g.bench_function(format!("baseline/lat{lat}"), |b| b.iter(|| base.run(&wl).cycles));
-        g.bench_function(format!("si/lat{lat}"), |b| b.iter(|| si.run(&wl).cycles));
+        g.bench_function(format!("baseline/lat{lat}"), |b| {
+            b.iter(|| base.run(&wl).unwrap().cycles)
+        });
+        g.bench_function(format!("si/lat{lat}"), |b| {
+            b.iter(|| si.run(&wl).unwrap().cycles)
+        });
     }
     g.finish();
 }

@@ -19,8 +19,12 @@ fn bench(c: &mut Criterion) {
         let base = Simulator::new(sm.clone(), SiConfig::disabled());
         let si = Simulator::new(sm, SiConfig::best());
         let slots = per_pb * 4;
-        g.bench_function(format!("baseline/{slots}slots"), |b| b.iter(|| base.run(&wl).cycles));
-        g.bench_function(format!("si/{slots}slots"), |b| b.iter(|| si.run(&wl).cycles));
+        g.bench_function(format!("baseline/{slots}slots"), |b| {
+            b.iter(|| base.run(&wl).unwrap().cycles)
+        });
+        g.bench_function(format!("si/{slots}slots"), |b| {
+            b.iter(|| si.run(&wl).unwrap().cycles)
+        });
     }
     g.finish();
 }

@@ -20,7 +20,9 @@ fn bench(c: &mut Criterion) {
             SmConfig::turing_like(),
             SiConfig::best().with_max_subwarps(n),
         );
-        g.bench_function(format!("si/{n}subwarps"), |b| b.iter(|| si.run(&wl).cycles));
+        g.bench_function(format!("si/{n}subwarps"), |b| {
+            b.iter(|| si.run(&wl).unwrap().cycles)
+        });
     }
     g.finish();
 }

@@ -19,7 +19,7 @@ fn bench(c: &mut Criterion) {
         let wl = trace_by_name(name).expect("suite trace").build();
         g.bench_function(format!("baseline/{name}"), |b| {
             b.iter(|| {
-                let s = sim.run(&wl);
+                let s = sim.run(&wl).unwrap();
                 assert!(s.exposed_load_stalls > 0);
                 s.cycles
             })

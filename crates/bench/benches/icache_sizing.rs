@@ -20,7 +20,9 @@ fn bench(c: &mut Criterion) {
         ("small", SmConfig::turing_like().with_small_icaches()),
     ] {
         let si = Simulator::new(sm, SiConfig::best());
-        g.bench_function(format!("si/{label}"), |b| b.iter(|| si.run(&wl).cycles));
+        g.bench_function(format!("si/{label}"), |b| {
+            b.iter(|| si.run(&wl).unwrap().cycles)
+        });
     }
     g.finish();
 }

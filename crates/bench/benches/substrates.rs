@@ -15,7 +15,9 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(2));
 
     let scene = Scene::random_soup(4096, 7);
-    g.bench_function("bvh/build-4k-tris", |b| b.iter(|| Bvh::build(&scene).node_count()));
+    g.bench_function("bvh/build-4k-tris", |b| {
+        b.iter(|| Bvh::build(&scene).node_count())
+    });
 
     let bvh = Bvh::build(&scene);
     g.bench_function("bvh/traverse-1k-rays", |b| {
@@ -24,7 +26,11 @@ fn bench(c: &mut Criterion) {
             for i in 0..1024u32 {
                 let ray = Ray::new(
                     Vec3::new(0.0, 0.0, -10.0),
-                    Vec3::new((i % 32) as f32 * 0.02 - 0.3, (i / 32) as f32 * 0.02 - 0.3, 1.0),
+                    Vec3::new(
+                        (i % 32) as f32 * 0.02 - 0.3,
+                        (i / 32) as f32 * 0.02 - 0.3,
+                        1.0,
+                    ),
                 );
                 nodes += bvh.traverse(&ray).nodes_visited as u64;
             }
@@ -60,7 +66,13 @@ fn bench(c: &mut Criterion) {
     });
 
     g.bench_function("workload/build-BFV1", |b| {
-        b.iter(|| trace_by_name("BFV1").expect("suite trace").build().program.len())
+        b.iter(|| {
+            trace_by_name("BFV1")
+                .expect("suite trace")
+                .build()
+                .program
+                .len()
+        })
     });
 
     g.finish();

@@ -15,12 +15,19 @@ fn bench(c: &mut Criterion) {
     g.warm_up_time(Duration::from_millis(500));
     g.measurement_time(Duration::from_secs(2));
     let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
-    let si = Simulator::new(SmConfig::turing_like(), SiConfig::sos(SelectPolicy::AnyStalled));
+    let si = Simulator::new(
+        SmConfig::turing_like(),
+        SiConfig::sos(SelectPolicy::AnyStalled),
+    );
     for ss in [16usize, 4, 1] {
         let wl = microbenchmark(ss, 2);
         let div = 32 / ss;
-        g.bench_function(format!("baseline/div{div}"), |b| b.iter(|| base.run(&wl).cycles));
-        g.bench_function(format!("si/div{div}"), |b| b.iter(|| si.run(&wl).cycles));
+        g.bench_function(format!("baseline/div{div}"), |b| {
+            b.iter(|| base.run(&wl).unwrap().cycles)
+        });
+        g.bench_function(format!("si/div{div}"), |b| {
+            b.iter(|| si.run(&wl).unwrap().cycles)
+        });
     }
     g.finish();
 }

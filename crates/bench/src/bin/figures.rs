@@ -62,13 +62,25 @@ fn banner(s: &str) {
     println!("==== {s} ====");
 }
 
+/// Unwraps an experiment result, printing the typed simulation error (with
+/// its machine-state snapshot) instead of a panic backtrace.
+fn ok<T>(r: Result<T, subwarp_core::SimError>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("simulation failed: {e}");
+        std::process::exit(1);
+    })
+}
+
 fn fig3(csvs: &mut Vec<(String, String)>) {
     banner("Figure 3: exposed load-to-use stalls, normalized to kernel time (baseline)");
-    let rows = x::fig3();
+    let rows = ok(x::fig3());
     let mut t = Table::new(vec!["trace".into(), "total".into(), "divergent".into()]);
     let mut chart = BarChart::new(
         "stalls / kernel time",
-        vec!["total exposed load-to-use".into(), "in divergent code blocks".into()],
+        vec![
+            "total exposed load-to-use".into(),
+            "in divergent code blocks".into(),
+        ],
     )
     .unit("%");
     let (mut tot, mut div) = (Vec::new(), Vec::new());
@@ -85,7 +97,7 @@ fn fig3(csvs: &mut Vec<(String, String)>) {
 
 fn table3(csvs: &mut Vec<(String, String)>) {
     banner("Table III: microbenchmark speedup vs divergence factor (600-cycle miss)");
-    let rows = x::table3(16);
+    let rows = ok(x::table3(16));
     let mut t = Table::new(vec![
         "SUBWARP_SIZE".into(),
         "divergence factor".into(),
@@ -107,10 +119,18 @@ fn table3(csvs: &mut Vec<(String, String)>) {
 
 fn fig10() {
     banner("Figure 10: TST operation on the Figure 9 toy (two 1-thread subwarps)");
-    let ((sa, ra), (sb, rb)) = x::fig10();
-    for (tag, stats, rec) in [("10a (without yield)", sa, ra), ("10b (with yield)", sb, rb)] {
+    let ((sa, ra), (sb, rb)) = ok(x::fig10());
+    for (tag, stats, rec) in [
+        ("10a (without yield)", sa, ra),
+        ("10b (with yield)", sb, rb),
+    ] {
         println!("--- {tag}: {} cycles ---", stats.cycles);
-        let mut t = Table::new(vec!["cycle".into(), "event".into(), "mask".into(), "pc".into()]);
+        let mut t = Table::new(vec![
+            "cycle".into(),
+            "event".into(),
+            "mask".into(),
+            "pc".into(),
+        ]);
         for e in rec.events() {
             t.row(vec![
                 e.cycle.to_string(),
@@ -125,7 +145,7 @@ fn fig10() {
 
 fn fig12a(csvs: &mut Vec<(String, String)>) {
     banner("Figure 12a: speedup over baseline at 600-cycle miss latency");
-    let rows = x::fig12a();
+    let rows = ok(x::fig12a());
     let labels: Vec<String> = rows[0].speedups.iter().map(|(l, _)| l.clone()).collect();
     let mut header = vec!["trace".to_string()];
     header.extend(labels.iter().cloned());
@@ -156,8 +176,12 @@ fn fig12a(csvs: &mut Vec<(String, String)>) {
     )
     .unit("%");
     for r in &rows {
-        let both_half =
-            r.speedups.iter().find(|(l, _)| l == "Both,N>=0.5").map(|(_, g)| *g).unwrap_or(0.0);
+        let both_half = r
+            .speedups
+            .iter()
+            .find(|(l, _)| l == "Both,N>=0.5")
+            .map(|(_, g)| *g)
+            .unwrap_or(0.0);
         chart.group(r.name.clone(), vec![both_half, r.best_of]);
     }
     println!("{chart}");
@@ -167,12 +191,19 @@ fn fig12a(csvs: &mut Vec<(String, String)>) {
 
 fn fig12b(csvs: &mut Vec<(String, String)>) {
     banner("Figure 12b: reduction in exposed load-to-use stalls (Both,N>=0.5)");
-    let rows = x::fig12b();
-    let mut t =
-        Table::new(vec!["trace".into(), "total reduction".into(), "divergent reduction".into()]);
+    let rows = ok(x::fig12b());
+    let mut t = Table::new(vec![
+        "trace".into(),
+        "total reduction".into(),
+        "divergent reduction".into(),
+    ]);
     let (mut tot, mut div) = (Vec::new(), Vec::new());
     for r in &rows {
-        t.row(vec![r.name.clone(), pct(r.total_reduction), pct(r.divergent_reduction)]);
+        t.row(vec![
+            r.name.clone(),
+            pct(r.total_reduction),
+            pct(r.divergent_reduction),
+        ]);
         tot.push(r.total_reduction);
         div.push(r.divergent_reduction);
     }
@@ -184,7 +215,7 @@ fn fig12b(csvs: &mut Vec<(String, String)>) {
 
 fn fig13(csvs: &mut Vec<(String, String)>) {
     banner("Figure 13: average speedup vs L1 miss latency");
-    let rows = x::fig13();
+    let rows = ok(x::fig13());
     let labels: Vec<String> = rows[0].means.iter().map(|(l, _)| l.clone()).collect();
     let mut header = vec!["latency".to_string()];
     header.extend(labels.iter().cloned());
@@ -205,7 +236,7 @@ fn fig13(csvs: &mut Vec<(String, String)>) {
 
 fn fig14(csvs: &mut Vec<(String, String)>) {
     banner("Figure 14: sensitivity to warp slots (vs equally-throttled baselines)");
-    let rows = x::fig14();
+    let rows = ok(x::fig14());
     let mut header = vec!["trace".to_string()];
     for r in &rows {
         header.push(format!("{} warps", r.warp_slots));
@@ -231,7 +262,7 @@ fn fig14(csvs: &mut Vec<(String, String)>) {
 
 fn fig15(csvs: &mut Vec<(String, String)>) {
     banner("Figure 15: sensitivity to subwarps per warp (32 peak warps)");
-    let rows = x::fig15();
+    let rows = ok(x::fig15());
     let mut header = vec!["trace".to_string()];
     for r in &rows {
         header.push(if r.max_subwarps == 32 {
@@ -261,14 +292,24 @@ fn fig15(csvs: &mut Vec<(String, String)>) {
 
 fn icache(csvs: &mut Vec<(String, String)>) {
     banner("Section V-C-4: instruction cache sizing");
-    let r = x::icache();
+    let r = ok(x::icache());
     let mut t = Table::new(vec!["configuration".into(), "mean speedup".into()]);
-    t.row(vec!["16KB L0I / 64KB L1I (paper baseline)".into(), format!("{:.1}%", r.big_mean)]);
-    t.row(vec!["4KB L0I / 16KB L1I (4x smaller)".into(), format!("{:.1}%", r.small_mean)]);
+    t.row(vec![
+        "16KB L0I / 64KB L1I (paper baseline)".into(),
+        format!("{:.1}%", r.big_mean),
+    ]);
+    t.row(vec![
+        "4KB L0I / 16KB L1I (4x smaller)".into(),
+        format!("{:.1}%", r.small_mean),
+    ]);
     println!("{t}");
     println!(
         "(paper: 4x smaller caches keep ~70% of the upside: 4.5% vs 6.3%; here {:.0}%)",
-        if r.big_mean.abs() > 1e-9 { r.small_mean / r.big_mean * 100.0 } else { 0.0 }
+        if r.big_mean.abs() > 1e-9 {
+            r.small_mean / r.big_mean * 100.0
+        } else {
+            0.0
+        }
     );
     csvs.push(("icache".into(), {
         let mut s = String::new();
@@ -281,7 +322,7 @@ fn icache(csvs: &mut Vec<(String, String)>) {
 
 fn order(csvs: &mut Vec<(String, String)>) {
     banner("Ablation (paper §VI limiter #3): divergent-path execution order");
-    let r = x::ablation_diverge_order();
+    let r = ok(x::ablation_diverge_order());
     let mut t = Table::new(vec!["order".into(), "mean speedup".into()]);
     for (label, m) in &r.means {
         t.row(vec![label.clone(), format!("{m:.1}%")]);
@@ -294,7 +335,7 @@ fn order(csvs: &mut Vec<(String, String)>) {
 
 fn dws(csvs: &mut Vec<(String, String)>) {
     banner("Comparison (paper SVII-B): SI vs Dynamic-Warp-Subdivision-like forking");
-    let rows = x::dws_comparison();
+    let rows = ok(x::dws_comparison());
     let mut t = Table::new(vec![
         "warps resident (of 32 slots)".into(),
         "SI gain".into(),
@@ -315,7 +356,7 @@ fn dws(csvs: &mut Vec<(String, String)>) {
 
 fn compute(csvs: &mut Vec<(String, String)>) {
     banner("Negative result (paper SVI): SI on non-raytracing compute kernels");
-    let rows = x::compute_negative_result();
+    let rows = ok(x::compute_negative_result());
     let mut t = Table::new(vec![
         "kernel".into(),
         "SI gain".into(),

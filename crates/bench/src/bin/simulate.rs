@@ -65,12 +65,8 @@ fn main() {
                     _ => usage(),
                 }
             }
-            "--latency" => {
-                sm.miss_latency = next("--latency").parse().unwrap_or_else(|_| usage())
-            }
-            "--slots" => {
-                sm.warp_slots_per_pb = next("--slots").parse().unwrap_or_else(|_| usage())
-            }
+            "--latency" => sm.miss_latency = next("--latency").parse().unwrap_or_else(|_| usage()),
+            "--slots" => sm.warp_slots_per_pb = next("--slots").parse().unwrap_or_else(|_| usage()),
             "--sms" => sm.n_sms = next("--sms").parse().unwrap_or_else(|_| usage()),
             "--subwarps" => max_subwarps = next("--subwarps").parse().unwrap_or_else(|_| usage()),
             "--order" => {
@@ -134,20 +130,41 @@ fn main() {
     );
 
     let sim = Simulator::new(sm.clone(), si);
-    let (stats, recorder) =
-        if events { let (s, r) = sim.run_recorded(&wl); (s, Some(r)) } else { (sim.run(&wl), None) };
+    let fail = |e: subwarp_core::SimError| -> ! {
+        eprintln!("simulation failed: {e}");
+        std::process::exit(1);
+    };
+    let (stats, recorder) = if events {
+        let (s, r) = sim.run_recorded(&wl).unwrap_or_else(|e| fail(e));
+        (s, Some(r))
+    } else {
+        (sim.run(&wl).unwrap_or_else(|e| fail(e)), None)
+    };
 
     println!("cycles                    {:>12}", stats.cycles);
-    println!("instructions              {:>12}  (ipc {:.2})", stats.instructions, stats.ipc());
+    println!(
+        "instructions              {:>12}  (ipc {:.2})",
+        stats.instructions,
+        stats.ipc()
+    );
     println!(
         "exposed load-to-use       {:>12}  ({:.1}% of time; divergent {:.1}%)",
         stats.exposed_load_stalls,
         stats.exposed_ratio() * 100.0,
         stats.exposed_divergent_ratio() * 100.0
     );
-    println!("exposed traversal stalls  {:>12}", stats.exposed_traversal_stalls);
-    println!("exposed fetch stalls      {:>12}", stats.exposed_fetch_stalls);
-    println!("divergences/reconverges   {:>12}  / {}", stats.divergences, stats.reconvergences);
+    println!(
+        "exposed traversal stalls  {:>12}",
+        stats.exposed_traversal_stalls
+    );
+    println!(
+        "exposed fetch stalls      {:>12}",
+        stats.exposed_fetch_stalls
+    );
+    println!(
+        "divergences/reconverges   {:>12}  / {}",
+        stats.divergences, stats.reconvergences
+    );
     println!(
         "subwarp stall/switch/yield{:>12}  / {} / {}",
         stats.subwarp_stalls, stats.subwarp_switches, stats.subwarp_yields
@@ -161,7 +178,9 @@ fn main() {
     println!("RT traversals             {:>12}", stats.rt_traversals);
 
     if compare {
-        let base = Simulator::new(sm, SiConfig::disabled()).run(&wl);
+        let base = Simulator::new(sm, SiConfig::disabled())
+            .run(&wl)
+            .unwrap_or_else(|e| fail(e));
         println!(
             "\nbaseline: {} cycles -> speedup {:+.1}%",
             base.cycles,
@@ -181,7 +200,10 @@ fn main() {
                 EventKind::Reconverge => "reconverge",
                 EventKind::Exit => "exit",
             };
-            println!("  {:>8}  warp {:>2}  {:<10} mask {:#010x} pc {}", e.cycle, e.warp, k, e.mask, e.pc);
+            println!(
+                "  {:>8}  warp {:>2}  {:<10} mask {:#010x} pc {}",
+                e.cycle, e.warp, k, e.mask, e.pc
+            );
         }
         if rec.events().len() > 200 {
             println!("  ... ({} more)", rec.events().len() - 200);

@@ -1,16 +1,20 @@
 //! Experiment implementations. Each returns plain data so the `figures`
 //! binary, the criterion benches, and the integration tests can all share
-//! them.
+//! them. Every experiment propagates simulation failures as
+//! [`SimError`] instead of panicking.
 
 use subwarp_core::{
-    DivergeOrder, EventRecorder, RunStats, SelectPolicy, SiConfig, Simulator, SmConfig,
+    DivergeOrder, EventRecorder, RunStats, SelectPolicy, SiConfig, SimError, Simulator, SmConfig,
 };
 use subwarp_workloads::{figure9_workload, microbenchmark_with, suite, MicroConfig};
 
 /// The six SI settings of Figure 12a, in the paper's legend order.
 pub fn si_configs() -> Vec<(String, SiConfig)> {
-    let policies =
-        [SelectPolicy::AllStalled, SelectPolicy::HalfStalled, SelectPolicy::AnyStalled];
+    let policies = [
+        SelectPolicy::AllStalled,
+        SelectPolicy::HalfStalled,
+        SelectPolicy::AnyStalled,
+    ];
     let mut v = Vec::new();
     for p in policies {
         for (kind, cfg) in [("SOS", SiConfig::sos(p)), ("Both", SiConfig::both(p))] {
@@ -39,19 +43,18 @@ pub struct Fig3Row {
 }
 
 /// Figure 3: baseline exposed-stall characterization over the suite.
-pub fn fig3() -> Vec<Fig3Row> {
+pub fn fig3() -> Result<Vec<Fig3Row>, SimError> {
     let sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
-    suite()
-        .iter()
-        .map(|t| {
-            let s = sim.run(&t.build());
-            Fig3Row {
-                name: t.name.to_owned(),
-                total: s.exposed_ratio(),
-                divergent: s.exposed_divergent_ratio(),
-            }
-        })
-        .collect()
+    let mut rows = Vec::new();
+    for t in suite() {
+        let s = sim.run(&t.build())?;
+        rows.push(Fig3Row {
+            name: t.name.to_owned(),
+            total: s.exposed_ratio(),
+            divergent: s.exposed_divergent_ratio(),
+        });
+    }
+    Ok(rows)
 }
 
 // --------------------------------------------------------------- Table III
@@ -72,41 +75,49 @@ pub struct Table3Row {
 /// Table III: microbenchmark speedups at divergence factors 2..32, fixed
 /// 600-cycle miss latency. `iterations` trades accuracy for runtime
 /// (the paper's figure uses a steady-state loop; ≥4 is representative).
-pub fn table3(iterations: u32) -> Vec<Table3Row> {
+pub fn table3(iterations: u32) -> Result<Vec<Table3Row>, SimError> {
     let base_sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
-    let si_sim =
-        Simulator::new(SmConfig::turing_like(), SiConfig::both(SelectPolicy::AnyStalled));
-    [16usize, 8, 4, 2, 1]
-        .iter()
-        .map(|&ss| {
-            let wl = microbenchmark_with(MicroConfig {
-                subwarp_size: ss,
-                iterations,
-                ..MicroConfig::default()
-            });
-            let b = base_sim.run(&wl);
-            let s = si_sim.run(&wl);
-            Table3Row {
-                subwarp_size: ss,
-                divergence_factor: 32 / ss,
-                speedup: s.speedup_vs(&b),
-                si_fetch_ratio: s.exposed_fetch_stalls as f64 / s.cycles as f64,
-            }
-        })
-        .collect()
+    let si_sim = Simulator::new(
+        SmConfig::turing_like(),
+        SiConfig::both(SelectPolicy::AnyStalled),
+    );
+    let mut rows = Vec::new();
+    for ss in [16usize, 8, 4, 2, 1] {
+        let wl = microbenchmark_with(MicroConfig {
+            subwarp_size: ss,
+            iterations,
+            ..MicroConfig::default()
+        });
+        let b = base_sim.run(&wl)?;
+        let s = si_sim.run(&wl)?;
+        rows.push(Table3Row {
+            subwarp_size: ss,
+            divergence_factor: 32 / ss,
+            speedup: s.speedup_vs(&b),
+            si_fetch_ratio: s.exposed_fetch_stalls as f64 / s.cycles as f64,
+        });
+    }
+    Ok(rows)
 }
 
 // --------------------------------------------------------------- Figure 10
 
 /// Figure 10 state-machine walkthroughs on the Figure 9 toy:
 /// `(stats, events)` without yield (10a) and with yield (10b).
-pub fn fig10() -> ((RunStats, EventRecorder), (RunStats, EventRecorder)) {
+#[allow(clippy::type_complexity)]
+pub fn fig10() -> Result<((RunStats, EventRecorder), (RunStats, EventRecorder)), SimError> {
     let wl = figure9_workload();
-    let a = Simulator::new(SmConfig::turing_like(), SiConfig::sos(SelectPolicy::AnyStalled))
-        .run_recorded(&wl);
-    let b = Simulator::new(SmConfig::turing_like(), SiConfig::both(SelectPolicy::AnyStalled))
-        .run_recorded(&wl);
-    (a, b)
+    let a = Simulator::new(
+        SmConfig::turing_like(),
+        SiConfig::sos(SelectPolicy::AnyStalled),
+    )
+    .run_recorded(&wl)?;
+    let b = Simulator::new(
+        SmConfig::turing_like(),
+        SiConfig::both(SelectPolicy::AnyStalled),
+    )
+    .run_recorded(&wl)?;
+    Ok((a, b))
 }
 
 // -------------------------------------------------------------- Figure 12a
@@ -123,26 +134,29 @@ pub struct Fig12aRow {
 }
 
 /// Figure 12a: suite speedups across SOS/Both × N policies at 600 cycles.
-pub fn fig12a() -> Vec<Fig12aRow> {
+pub fn fig12a() -> Result<Vec<Fig12aRow>, SimError> {
     let base_sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
     let configs = si_configs();
-    suite()
-        .iter()
-        .map(|t| {
-            let wl = t.build();
-            let base = base_sim.run(&wl);
-            let speedups: Vec<(String, f64)> = configs
-                .iter()
-                .map(|(label, si)| {
-                    let s = Simulator::new(SmConfig::turing_like(), *si).run(&wl);
-                    (label.clone(), gain_pct(&s, &base))
-                })
-                .collect();
-            let best_of =
-                speedups.iter().map(|(_, g)| *g).fold(f64::NEG_INFINITY, f64::max);
-            Fig12aRow { name: t.name.to_owned(), speedups, best_of }
-        })
-        .collect()
+    let mut rows = Vec::new();
+    for t in suite() {
+        let wl = t.build();
+        let base = base_sim.run(&wl)?;
+        let mut speedups = Vec::new();
+        for (label, si) in &configs {
+            let s = Simulator::new(SmConfig::turing_like(), *si).run(&wl)?;
+            speedups.push((label.clone(), gain_pct(&s, &base)));
+        }
+        let best_of = speedups
+            .iter()
+            .map(|(_, g)| *g)
+            .fold(f64::NEG_INFINITY, f64::max);
+        rows.push(Fig12aRow {
+            name: t.name.to_owned(),
+            speedups,
+            best_of,
+        });
+    }
+    Ok(rows)
 }
 
 // -------------------------------------------------------------- Figure 12b
@@ -160,28 +174,24 @@ pub struct Fig12bRow {
 }
 
 /// Figure 12b: stall reductions of `Both, N ≥ 0.5` vs baseline.
-pub fn fig12b() -> Vec<Fig12bRow> {
+pub fn fig12b() -> Result<Vec<Fig12bRow>, SimError> {
     let base_sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
     let si_sim = Simulator::new(SmConfig::turing_like(), SiConfig::best());
-    suite()
-        .iter()
-        .map(|t| {
-            let wl = t.build();
-            let b = base_sim.run(&wl);
-            let s = si_sim.run(&wl);
-            Fig12bRow {
-                name: t.name.to_owned(),
-                total_reduction: RunStats::reduction(
-                    s.exposed_load_stalls,
-                    b.exposed_load_stalls,
-                ),
-                divergent_reduction: RunStats::reduction(
-                    s.exposed_load_stalls_divergent,
-                    b.exposed_load_stalls_divergent,
-                ),
-            }
-        })
-        .collect()
+    let mut rows = Vec::new();
+    for t in suite() {
+        let wl = t.build();
+        let b = base_sim.run(&wl)?;
+        let s = si_sim.run(&wl)?;
+        rows.push(Fig12bRow {
+            name: t.name.to_owned(),
+            total_reduction: RunStats::reduction(s.exposed_load_stalls, b.exposed_load_stalls),
+            divergent_reduction: RunStats::reduction(
+                s.exposed_load_stalls_divergent,
+                b.exposed_load_stalls_divergent,
+            ),
+        });
+    }
+    Ok(rows)
 }
 
 // --------------------------------------------------------------- Figure 13
@@ -198,38 +208,37 @@ pub struct Fig13Row {
 }
 
 /// Figure 13: latency sensitivity sweep over {300, 600, 900} cycles.
-pub fn fig13() -> Vec<Fig13Row> {
+pub fn fig13() -> Result<Vec<Fig13Row>, SimError> {
     let configs = si_configs();
-    [300u64, 600, 900]
-        .iter()
-        .map(|&lat| {
-            let sm = SmConfig::turing_like().with_miss_latency(lat);
-            let base_sim = Simulator::new(sm.clone(), SiConfig::disabled());
-            // gains[c][t]: config c's gain on trace t.
-            let mut gains = vec![Vec::new(); configs.len()];
-            let mut best = Vec::new();
-            for t in suite() {
-                let wl = t.build();
-                let b = base_sim.run(&wl);
-                let mut trace_best = f64::NEG_INFINITY;
-                for (ci, (_, si)) in configs.iter().enumerate() {
-                    let g = gain_pct(&Simulator::new(sm.clone(), *si).run(&wl), &b);
-                    gains[ci].push(g);
-                    trace_best = trace_best.max(g);
-                }
-                best.push(trace_best);
+    let mut rows = Vec::new();
+    for lat in [300u64, 600, 900] {
+        let sm = SmConfig::turing_like().with_miss_latency(lat);
+        let base_sim = Simulator::new(sm.clone(), SiConfig::disabled());
+        // gains[c][t]: config c's gain on trace t.
+        let mut gains = vec![Vec::new(); configs.len()];
+        let mut best = Vec::new();
+        for t in suite() {
+            let wl = t.build();
+            let b = base_sim.run(&wl)?;
+            let mut trace_best = f64::NEG_INFINITY;
+            for (ci, (_, si)) in configs.iter().enumerate() {
+                let g = gain_pct(&Simulator::new(sm.clone(), *si).run(&wl)?, &b);
+                gains[ci].push(g);
+                trace_best = trace_best.max(g);
             }
-            Fig13Row {
-                latency: lat,
-                means: configs
-                    .iter()
-                    .zip(&gains)
-                    .map(|((label, _), g)| (label.clone(), subwarp_stats::mean(g)))
-                    .collect(),
-                best_of: subwarp_stats::mean(&best),
-            }
-        })
-        .collect()
+            best.push(trace_best);
+        }
+        rows.push(Fig13Row {
+            latency: lat,
+            means: configs
+                .iter()
+                .zip(&gains)
+                .map(|((label, _), g)| (label.clone(), subwarp_stats::mean(g)))
+                .collect(),
+            best_of: subwarp_stats::mean(&best),
+        });
+    }
+    Ok(rows)
 }
 
 // --------------------------------------------------------------- Figure 14
@@ -247,25 +256,26 @@ pub struct Fig14Row {
 }
 
 /// Figure 14: warp-slot sensitivity (8/16/32 slots per SM).
-pub fn fig14() -> Vec<Fig14Row> {
-    [2usize, 4, 8]
-        .iter()
-        .map(|&per_pb| {
-            let sm = SmConfig::turing_like().with_warp_slots_per_pb(per_pb);
-            let base_sim = Simulator::new(sm.clone(), SiConfig::disabled());
-            let si_sim = Simulator::new(sm.clone(), SiConfig::best());
-            let gains: Vec<(String, f64)> = suite()
-                .iter()
-                .map(|t| {
-                    let wl = t.build();
-                    let g = gain_pct(&si_sim.run(&wl), &base_sim.run(&wl));
-                    (t.name.to_owned(), g)
-                })
-                .collect();
-            let mean = subwarp_stats::mean(&gains.iter().map(|(_, g)| *g).collect::<Vec<_>>());
-            Fig14Row { warp_slots: per_pb * 4, gains, mean }
-        })
-        .collect()
+pub fn fig14() -> Result<Vec<Fig14Row>, SimError> {
+    let mut rows = Vec::new();
+    for per_pb in [2usize, 4, 8] {
+        let sm = SmConfig::turing_like().with_warp_slots_per_pb(per_pb);
+        let base_sim = Simulator::new(sm.clone(), SiConfig::disabled());
+        let si_sim = Simulator::new(sm.clone(), SiConfig::best());
+        let mut gains: Vec<(String, f64)> = Vec::new();
+        for t in suite() {
+            let wl = t.build();
+            let g = gain_pct(&si_sim.run(&wl)?, &base_sim.run(&wl)?);
+            gains.push((t.name.to_owned(), g));
+        }
+        let mean = subwarp_stats::mean(&gains.iter().map(|(_, g)| *g).collect::<Vec<_>>());
+        rows.push(Fig14Row {
+            warp_slots: per_pb * 4,
+            gains,
+            mean,
+        });
+    }
+    Ok(rows)
 }
 
 // --------------------------------------------------------------- Figure 15
@@ -282,30 +292,33 @@ pub struct Fig15Row {
 }
 
 /// Figure 15: subwarps-per-warp sensitivity (2/4/6/unlimited).
-pub fn fig15() -> Vec<Fig15Row> {
+pub fn fig15() -> Result<Vec<Fig15Row>, SimError> {
     let base_sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
     // Baselines are independent of TST capacity: compute once.
-    let baselines: Vec<(String, RunStats, subwarp_core::Workload)> = suite()
-        .iter()
-        .map(|t| {
-            let wl = t.build();
-            let b = base_sim.run(&wl);
-            (t.name.to_owned(), b, wl)
-        })
-        .collect();
-    [2usize, 4, 6, 32]
-        .iter()
-        .map(|&n| {
-            let si_sim =
-                Simulator::new(SmConfig::turing_like(), SiConfig::best().with_max_subwarps(n));
-            let gains: Vec<(String, f64)> = baselines
-                .iter()
-                .map(|(name, b, wl)| (name.clone(), gain_pct(&si_sim.run(wl), b)))
-                .collect();
-            let mean = subwarp_stats::mean(&gains.iter().map(|(_, g)| *g).collect::<Vec<_>>());
-            Fig15Row { max_subwarps: n, gains, mean }
-        })
-        .collect()
+    let mut baselines: Vec<(String, RunStats, subwarp_core::Workload)> = Vec::new();
+    for t in suite() {
+        let wl = t.build();
+        let b = base_sim.run(&wl)?;
+        baselines.push((t.name.to_owned(), b, wl));
+    }
+    let mut rows = Vec::new();
+    for n in [2usize, 4, 6, 32] {
+        let si_sim = Simulator::new(
+            SmConfig::turing_like(),
+            SiConfig::best().with_max_subwarps(n),
+        );
+        let mut gains: Vec<(String, f64)> = Vec::new();
+        for (name, b, wl) in &baselines {
+            gains.push((name.clone(), gain_pct(&si_sim.run(wl)?, b)));
+        }
+        let mean = subwarp_stats::mean(&gains.iter().map(|(_, g)| *g).collect::<Vec<_>>());
+        rows.push(Fig15Row {
+            max_subwarps: n,
+            gains,
+            mean,
+        });
+    }
+    Ok(rows)
 }
 
 // ------------------------------------------------------------ §V-C-4 icache
@@ -320,23 +333,21 @@ pub struct IcacheResult {
 }
 
 /// §V-C-4: rerun the best setting with 4× smaller L0/L1 instruction caches.
-pub fn icache() -> IcacheResult {
-    let mean_gain = |sm: SmConfig| {
+pub fn icache() -> Result<IcacheResult, SimError> {
+    let mean_gain = |sm: SmConfig| -> Result<f64, SimError> {
         let base_sim = Simulator::new(sm.clone(), SiConfig::disabled());
         let si_sim = Simulator::new(sm, SiConfig::best());
-        let gains: Vec<f64> = suite()
-            .iter()
-            .map(|t| {
-                let wl = t.build();
-                gain_pct(&si_sim.run(&wl), &base_sim.run(&wl))
-            })
-            .collect();
-        subwarp_stats::mean(&gains)
+        let mut gains: Vec<f64> = Vec::new();
+        for t in suite() {
+            let wl = t.build();
+            gains.push(gain_pct(&si_sim.run(&wl)?, &base_sim.run(&wl)?));
+        }
+        Ok(subwarp_stats::mean(&gains))
     };
-    IcacheResult {
-        big_mean: mean_gain(SmConfig::turing_like()),
-        small_mean: mean_gain(SmConfig::turing_like().with_small_icaches()),
-    }
+    Ok(IcacheResult {
+        big_mean: mean_gain(SmConfig::turing_like())?,
+        small_mean: mean_gain(SmConfig::turing_like().with_small_icaches())?,
+    })
 }
 
 // ------------------------------------------------------- order ablation §VI
@@ -350,7 +361,7 @@ pub struct OrderAblation {
 
 /// Sweeps which side of a divergent branch executes first, quantifying the
 /// paper's observation that subwarp encounter order gates SI's value.
-pub fn ablation_diverge_order() -> OrderAblation {
+pub fn ablation_diverge_order() -> Result<OrderAblation, SimError> {
     let orders = [
         ("fallthrough-first", DivergeOrder::FallthroughFirst),
         ("taken-first", DivergeOrder::TakenFirst),
@@ -359,24 +370,20 @@ pub fn ablation_diverge_order() -> OrderAblation {
         // megakernel generator annotates its dispatch branches).
         ("hinted", DivergeOrder::Hinted),
     ];
-    let means = orders
-        .iter()
-        .map(|(label, order)| {
-            let mut sm = SmConfig::turing_like();
-            sm.diverge_order = *order;
-            let base_sim = Simulator::new(sm.clone(), SiConfig::disabled());
-            let si_sim = Simulator::new(sm, SiConfig::best());
-            let gains: Vec<f64> = suite()
-                .iter()
-                .map(|t| {
-                    let wl = t.build();
-                    gain_pct(&si_sim.run(&wl), &base_sim.run(&wl))
-                })
-                .collect();
-            (label.to_string(), subwarp_stats::mean(&gains))
-        })
-        .collect();
-    OrderAblation { means }
+    let mut means = Vec::new();
+    for (label, order) in orders {
+        let mut sm = SmConfig::turing_like();
+        sm.diverge_order = order;
+        let base_sim = Simulator::new(sm.clone(), SiConfig::disabled());
+        let si_sim = Simulator::new(sm, SiConfig::best());
+        let mut gains: Vec<f64> = Vec::new();
+        for t in suite() {
+            let wl = t.build();
+            gains.push(gain_pct(&si_sim.run(&wl)?, &base_sim.run(&wl)?));
+        }
+        means.push((label.to_string(), subwarp_stats::mean(&gains)));
+    }
+    Ok(OrderAblation { means })
 }
 
 // ---------------------------------------------------- DWS comparison §VII-B
@@ -396,24 +403,23 @@ pub struct DwsRow {
 /// there are few unused warp slots." Sweeps occupancy on the most
 /// divergence-limited trace; DWS-like interleaving needs free slots, so its
 /// gains collapse as the SM fills while SI's do not.
-pub fn dws_comparison() -> Vec<DwsRow> {
+pub fn dws_comparison() -> Result<Vec<DwsRow>, SimError> {
     let trace = subwarp_workloads::trace_by_name("BFV1").expect("suite trace");
-    [8usize, 16, 24, 32]
-        .iter()
-        .map(|&n| {
-            let mut cfg = trace.config.clone();
-            cfg.n_warps = n;
-            let wl = cfg.build();
-            let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl);
-            let si = Simulator::new(SmConfig::turing_like(), SiConfig::best()).run(&wl);
-            let dws = Simulator::new(SmConfig::turing_like(), SiConfig::dws_like()).run(&wl);
-            DwsRow {
-                n_warps: n,
-                si_gain: gain_pct(&si, &base),
-                dws_gain: gain_pct(&dws, &base),
-            }
-        })
-        .collect()
+    let mut rows = Vec::new();
+    for n in [8usize, 16, 24, 32] {
+        let mut cfg = trace.config.clone();
+        cfg.n_warps = n;
+        let wl = cfg.build();
+        let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl)?;
+        let si = Simulator::new(SmConfig::turing_like(), SiConfig::best()).run(&wl)?;
+        let dws = Simulator::new(SmConfig::turing_like(), SiConfig::dws_like()).run(&wl)?;
+        rows.push(DwsRow {
+            n_warps: n,
+            si_gain: gain_pct(&si, &base),
+            dws_gain: gain_pct(&dws, &base),
+        });
+    }
+    Ok(rows)
 }
 
 // -------------------------------------------- compute negative result §VI
@@ -435,22 +441,21 @@ pub struct ComputeRow {
 /// Direct3D compute kernels and found only 11 that feature long stalls in
 /// divergent code, and none benefited beyond the margin of noise from SI."
 /// Runs the archetype compute kernels and reports SI's (absent) effect.
-pub fn compute_negative_result() -> Vec<ComputeRow> {
+pub fn compute_negative_result() -> Result<Vec<ComputeRow>, SimError> {
     let base_sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
     let si_sim = Simulator::new(SmConfig::turing_like(), SiConfig::best());
-    subwarp_workloads::compute_suite()
-        .iter()
-        .map(|wl| {
-            let b = base_sim.run(wl);
-            let s = si_sim.run(wl);
-            ComputeRow {
-                name: wl.name.clone(),
-                gain: gain_pct(&s, &b),
-                exposed: b.exposed_ratio(),
-                divergent: b.exposed_divergent_ratio(),
-            }
-        })
-        .collect()
+    let mut rows = Vec::new();
+    for wl in subwarp_workloads::compute_suite() {
+        let b = base_sim.run(&wl)?;
+        let s = si_sim.run(&wl)?;
+        rows.push(ComputeRow {
+            name: wl.name.clone(),
+            gain: gain_pct(&s, &b),
+            exposed: b.exposed_ratio(),
+            divergent: b.exposed_divergent_ratio(),
+        });
+    }
+    Ok(rows)
 }
 
 #[cfg(test)]
@@ -468,8 +473,14 @@ mod tests {
 
     #[test]
     fn gain_pct_math() {
-        let base = RunStats { cycles: 1063, ..Default::default() };
-        let si = RunStats { cycles: 1000, ..Default::default() };
+        let base = RunStats {
+            cycles: 1063,
+            ..Default::default()
+        };
+        let si = RunStats {
+            cycles: 1000,
+            ..Default::default()
+        };
         assert!((gain_pct(&si, &base) - 6.3).abs() < 0.01);
     }
 }

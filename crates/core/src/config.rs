@@ -1,7 +1,7 @@
 //! Simulator configuration: the Turing-like SM (paper Table I) and the
 //! Subwarp Interleaving feature knobs (paper §III).
 
-use serde::{Deserialize, Serialize};
+use crate::error::InvariantLevel;
 use subwarp_mem::CacheConfig;
 use subwarp_rt::RtCoreModel;
 
@@ -9,7 +9,7 @@ use subwarp_rt::RtCoreModel;
 pub const WARP_SIZE: usize = 32;
 
 /// Warp-scheduler arbitration policy within a processing block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulerPolicy {
     /// Greedy-then-oldest: keep issuing the same warp until it stalls, then
     /// fall back to the oldest ready warp.
@@ -23,7 +23,7 @@ pub enum SchedulerPolicy {
 /// The paper's §VI (limiter #3) observes that subwarp execution order
 /// matters and suggests randomization as future work; this knob enables that
 /// ablation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DivergeOrder {
     /// The fall-through (not-taken) side stays active — matches the paper's
     /// Figure 10 walkthrough and is the default.
@@ -41,7 +41,7 @@ pub enum DivergeOrder {
 }
 
 /// SM hardware parameters (paper Table I).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SmConfig {
     /// Streaming multiprocessors (Table I: 2). SMs share nothing in the
     /// bare-metal model (misses go to the fixed-latency stub, §IV-A), so
@@ -84,8 +84,12 @@ pub struct SmConfig {
     pub scheduler: SchedulerPolicy,
     /// Which side of a divergent branch keeps executing.
     pub diverge_order: DivergeOrder,
-    /// Hard cycle cap — a run exceeding this panics (deadlock guard).
+    /// Hard cycle cap — a run exceeding this fails with
+    /// [`SimError::CycleCapExceeded`](crate::SimError::CycleCapExceeded).
     pub max_cycles: u64,
+    /// How much per-cycle invariant checking the simulator performs
+    /// (default: [`InvariantLevel::Cheap`], always on).
+    pub invariants: InvariantLevel,
 }
 
 impl Default for SmConfig {
@@ -119,7 +123,48 @@ impl SmConfig {
             scheduler: SchedulerPolicy::Gto,
             diverge_order: DivergeOrder::FallthroughFirst,
             max_cycles: 200_000_000,
+            invariants: InvariantLevel::Cheap,
         }
+    }
+
+    /// Sets the per-cycle invariant-checking level.
+    pub fn with_invariants(mut self, level: InvariantLevel) -> SmConfig {
+        self.invariants = level;
+        self
+    }
+
+    /// Checks every field is in range, returning a description of the first
+    /// problem. [`Simulator::run`](crate::Simulator::run) calls this before
+    /// the first cycle and surfaces failures as
+    /// [`SimError::InvalidConfig`](crate::SimError::InvalidConfig).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_sms == 0 {
+            return Err("n_sms must be at least 1".into());
+        }
+        if self.n_pbs == 0 {
+            return Err("n_pbs must be at least 1".into());
+        }
+        if self.warp_slots_per_pb == 0 {
+            return Err("warp_slots_per_pb must be at least 1".into());
+        }
+        if self.max_cycles == 0 {
+            return Err("max_cycles must be non-zero".into());
+        }
+        if self.alu_latency == 0 {
+            return Err("alu_latency must be at least 1 cycle".into());
+        }
+        for (name, c) in [("l0i", &self.l0i), ("l1i", &self.l1i), ("l1d", &self.l1d)] {
+            if c.ways == 0 || c.line_bytes == 0 || !c.line_bytes.is_power_of_two() {
+                return Err(format!("{name} cache geometry is degenerate: {c:?}"));
+            }
+            if c.size_bytes == 0 || c.size_bytes % (c.line_bytes * c.ways as u64) != 0 {
+                return Err(format!(
+                    "{name} capacity {} is not a multiple of line_bytes*ways",
+                    c.size_bytes
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Sets the number of SMs (Table I: 2). Workload warps distribute
@@ -160,7 +205,7 @@ impl SmConfig {
 
 /// When stall-driven subwarp selection triggers, as a function of `N`, the
 /// fraction of stalled warps among live warps (paper §III-C-3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SelectPolicy {
     /// `N > 0`: switch as soon as any warp in the processing block stalls.
     AnyStalled,
@@ -194,7 +239,7 @@ impl SelectPolicy {
 }
 
 /// Subwarp Interleaving feature configuration (paper §III).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SiConfig {
     /// Master enable. When false, the simulator behaves as the baseline
     /// Turing-like SM (subwarps serialize; switches happen only at
@@ -241,19 +286,32 @@ impl SiConfig {
     /// interleaving capacity is bounded by free warp slots in the
     /// processing block rather than a per-warp thread status table.
     pub fn dws_like() -> SiConfig {
-        SiConfig { slot_limited: true, yield_enabled: false, ..SiConfig::best() }
+        SiConfig {
+            slot_limited: true,
+            yield_enabled: false,
+            ..SiConfig::best()
+        }
     }
 
     /// Switch-on-stall only ("SOS" in Figure 12a) with the given trigger
     /// policy.
     pub fn sos(policy: SelectPolicy) -> SiConfig {
-        SiConfig { enabled: true, policy, ..SiConfig::disabled() }
+        SiConfig {
+            enabled: true,
+            policy,
+            ..SiConfig::disabled()
+        }
     }
 
     /// SOS plus subwarp-yield ("Both" in Figure 12a) with the given trigger
     /// policy.
     pub fn both(policy: SelectPolicy) -> SiConfig {
-        SiConfig { enabled: true, policy, yield_enabled: true, ..SiConfig::disabled() }
+        SiConfig {
+            enabled: true,
+            policy,
+            yield_enabled: true,
+            ..SiConfig::disabled()
+        }
     }
 
     /// The paper's single best-performing setting: Both, `N ≥ 0.5`
@@ -268,11 +326,28 @@ impl SiConfig {
         SiConfig::sos(SelectPolicy::HalfStalled)
     }
 
-    /// Caps the thread status table at `n` subwarp entries.
+    /// Caps the thread status table at `n` subwarp entries. A degenerate
+    /// value (0) is reported as [`SimError::InvalidConfig`] at `run` time
+    /// by [`validate`](Self::validate), not here — builders never panic.
+    ///
+    /// [`SimError::InvalidConfig`]: crate::SimError::InvalidConfig
     pub fn with_max_subwarps(mut self, n: usize) -> SiConfig {
-        assert!(n >= 1);
         self.max_subwarps = n;
         self
+    }
+
+    /// Checks every field is in range, returning a description of the first
+    /// problem. [`Simulator::run`](crate::Simulator::run) calls this before
+    /// the first cycle and surfaces failures as
+    /// [`SimError::InvalidConfig`](crate::SimError::InvalidConfig).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_subwarps == 0 {
+            return Err("max_subwarps must be at least 1".into());
+        }
+        if self.enabled && self.yield_enabled && self.yield_threshold == 0 {
+            return Err("yield_threshold must be at least 1 when yield is enabled".into());
+        }
+        Ok(())
     }
 
     /// Report label, e.g. `SOS,N>=0.5` or `Both,N=1`.
@@ -324,8 +399,41 @@ mod tests {
     fn labels() {
         assert_eq!(SiConfig::disabled().label(), "baseline");
         assert_eq!(SiConfig::sos(SelectPolicy::AllStalled).label(), "SOS,N=1");
-        assert_eq!(SiConfig::both(SelectPolicy::HalfStalled).label(), "Both,N>=0.5");
+        assert_eq!(
+            SiConfig::both(SelectPolicy::HalfStalled).label(),
+            "Both,N>=0.5"
+        );
         assert_eq!(SiConfig::best().label(), "Both,N>=0.5");
+    }
+
+    #[test]
+    fn validate_catches_degenerate_fields() {
+        assert!(SmConfig::turing_like().validate().is_ok());
+        assert!(SiConfig::best().validate().is_ok());
+
+        let mut sm = SmConfig::turing_like();
+        sm.n_pbs = 0;
+        assert!(sm.validate().unwrap_err().contains("n_pbs"));
+        let mut sm = SmConfig::turing_like();
+        sm.max_cycles = 0;
+        assert!(sm.validate().unwrap_err().contains("max_cycles"));
+        let mut sm = SmConfig::turing_like();
+        sm.l1d.line_bytes = 100; // not a power of two
+        assert!(sm.validate().unwrap_err().contains("l1d"));
+
+        let mut si = SiConfig::best();
+        si.max_subwarps = 0;
+        assert!(si.validate().unwrap_err().contains("max_subwarps"));
+        let mut si = SiConfig::best();
+        si.yield_threshold = 0;
+        assert!(si.validate().unwrap_err().contains("yield_threshold"));
+    }
+
+    #[test]
+    fn invariant_level_defaults_to_cheap() {
+        assert_eq!(SmConfig::turing_like().invariants, InvariantLevel::Cheap);
+        let full = SmConfig::turing_like().with_invariants(InvariantLevel::Full);
+        assert_eq!(full.invariants, InvariantLevel::Full);
     }
 
     #[test]

@@ -1,0 +1,346 @@
+//! Typed simulation errors and the state snapshot attached to them.
+//!
+//! Every failure mode the simulator can encounter — deadlock, cycle-cap
+//! overrun, a violated microarchitectural invariant, or malformed inputs —
+//! is reported as a [`SimError`] from [`Simulator::run`](crate::Simulator::run)
+//! instead of a panic. Runtime errors carry a [`StateSnapshot`] of the
+//! machine at the failing cycle: per-slot warp states, thread-status-table
+//! contents, non-zero scoreboard counters, and outstanding memory requests.
+
+use crate::config::WARP_SIZE;
+use crate::warp::{lanes, ThreadState, TstEntry};
+use std::fmt;
+
+/// How much per-cycle invariant checking the simulator performs.
+///
+/// The checker validates the warp-state machine of paper Figure 7 every
+/// cycle: thread states must be mutually consistent with the thread status
+/// table, active subwarps must agree on a pc, and counted scoreboards must
+/// never underflow. Violations surface as
+/// [`SimError::InvariantViolation`] rather than debug-only assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InvariantLevel {
+    /// No per-cycle checking (fastest; faults recorded by the warp model
+    /// are still ignored).
+    Off,
+    /// Structural checks each cycle: recorded warp faults (scoreboard
+    /// underflow, mismatched `BSYNC` pcs), TST/thread-state consistency,
+    /// and active-subwarp pc agreement. The default — always on.
+    #[default]
+    Cheap,
+    /// Everything in `Cheap` plus convergence-barrier balance,
+    /// participation-mask containment, and scoreboard-counter bounds.
+    Full,
+}
+
+/// The frozen state of one resident warp at the failing cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarpSnapshot {
+    /// Warp slot index within the SM.
+    pub slot: usize,
+    /// Global warp id.
+    pub warp_id: usize,
+    /// Lanes currently `ACTIVE`.
+    pub active_mask: u32,
+    /// Lanes currently `READY`.
+    pub ready_mask: u32,
+    /// Lanes blocked at an unsuccessful `BSYNC`.
+    pub blocked_mask: u32,
+    /// Lanes demoted by `subwarp-stall`.
+    pub stalled_mask: u32,
+    /// Lanes not yet exited.
+    pub live_mask: u32,
+    /// The active subwarp's pc, if any.
+    pub active_pc: Option<usize>,
+    /// Thread-status-table contents (demoted subwarps and their watched
+    /// scoreboards).
+    pub tst: Vec<TstEntry>,
+    /// Non-zero counted-scoreboard counters as `(lane, scoreboard, count)`.
+    pub scoreboards: Vec<(usize, u8, u16)>,
+}
+
+impl WarpSnapshot {
+    /// Per-lane thread state reconstructed from the masks.
+    pub fn state_of(&self, lane: usize) -> ThreadState {
+        debug_assert!(lane < WARP_SIZE);
+        let bit = 1u32 << lane;
+        if self.active_mask & bit != 0 {
+            ThreadState::Active
+        } else if self.ready_mask & bit != 0 {
+            ThreadState::Ready
+        } else if self.blocked_mask & bit != 0 {
+            ThreadState::Blocked
+        } else if self.stalled_mask & bit != 0 {
+            ThreadState::Stalled
+        } else {
+            ThreadState::Inactive
+        }
+    }
+}
+
+impl fmt::Display for WarpSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "slot {}: warp {} active={:#010x} ready={:#010x} blocked={:#010x} \
+             stalled={:#010x} live={:#010x} tst={} pc={:?}",
+            self.slot,
+            self.warp_id,
+            self.active_mask,
+            self.ready_mask,
+            self.blocked_mask,
+            self.stalled_mask,
+            self.live_mask,
+            self.tst.len(),
+            self.active_pc
+        )?;
+        for e in &self.tst {
+            write!(f, "\n  tst entry mask={:#010x} watch={:?}", e.mask, e.watch)?;
+        }
+        if !self.scoreboards.is_empty() {
+            write!(f, "\n  pending scoreboards:")?;
+            for &(lane, sb, count) in &self.scoreboards {
+                write!(f, " lane{lane}:sb{sb}={count}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A frozen picture of one SM at the failing cycle, attached to every
+/// runtime [`SimError`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StateSnapshot {
+    /// The SM whose simulation failed.
+    pub sm_id: usize,
+    /// Cycle at which the error was raised.
+    pub cycle: u64,
+    /// Every resident warp's state.
+    pub warps: Vec<WarpSnapshot>,
+    /// In-flight LSU line requests.
+    pub outstanding_lsu: usize,
+    /// In-flight TEX line requests.
+    pub outstanding_tex: usize,
+    /// In-flight RT-core traversals.
+    pub outstanding_rt: usize,
+}
+
+impl StateSnapshot {
+    /// Total in-flight memory/traversal requests across all units.
+    pub fn outstanding_requests(&self) -> usize {
+        self.outstanding_lsu + self.outstanding_tex + self.outstanding_rt
+    }
+
+    /// Total lanes in any runnable-or-waiting (non-inactive) state.
+    pub fn live_threads(&self) -> u32 {
+        self.warps.iter().map(|w| w.live_mask.count_ones()).sum()
+    }
+}
+
+impl fmt::Display for StateSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "sm {} cycle {}: {} resident warps, {} outstanding requests \
+             (lsu={} tex={} rt={})",
+            self.sm_id,
+            self.cycle,
+            self.warps.len(),
+            self.outstanding_requests(),
+            self.outstanding_lsu,
+            self.outstanding_tex,
+            self.outstanding_rt
+        )?;
+        for (i, w) in self.warps.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Every way a simulation can fail.
+///
+/// Runtime failures (`Deadlock`, `CycleCapExceeded`, `InvariantViolation`)
+/// carry a [`StateSnapshot`]; input validation failures (`InvalidConfig`,
+/// `InvalidWorkload`) are raised before the first cycle and carry none.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// No warp made progress (issue, writeback, fetch completion, or
+    /// selection) for the watchdog window — e.g. cross-blocked convergence
+    /// barriers.
+    Deadlock {
+        /// Workload name.
+        workload: String,
+        /// Progress-free cycles that triggered the watchdog.
+        window: u64,
+        /// Machine state at detection.
+        snapshot: StateSnapshot,
+    },
+    /// The run exceeded [`SmConfig::max_cycles`](crate::SmConfig::max_cycles).
+    CycleCapExceeded {
+        /// Workload name.
+        workload: String,
+        /// The configured cap.
+        cap: u64,
+        /// Machine state at the cap.
+        snapshot: StateSnapshot,
+    },
+    /// The per-cycle invariant checker found an inconsistent warp state
+    /// (see [`InvariantLevel`]).
+    InvariantViolation {
+        /// Workload name.
+        workload: String,
+        /// Human-readable description of the violated invariant.
+        what: String,
+        /// Machine state at the violation.
+        snapshot: StateSnapshot,
+    },
+    /// An [`SmConfig`](crate::SmConfig) or [`SiConfig`](crate::SiConfig)
+    /// field is out of range.
+    InvalidConfig {
+        /// Which field, and why.
+        what: String,
+    },
+    /// The workload cannot be launched (empty program, zero warps,
+    /// out-of-range launch geometry...).
+    InvalidWorkload {
+        /// Workload name.
+        workload: String,
+        /// Which input, and why.
+        what: String,
+    },
+}
+
+impl SimError {
+    /// The attached machine snapshot, when the error was raised mid-run.
+    pub fn snapshot(&self) -> Option<&StateSnapshot> {
+        match self {
+            SimError::Deadlock { snapshot, .. }
+            | SimError::CycleCapExceeded { snapshot, .. }
+            | SimError::InvariantViolation { snapshot, .. } => Some(snapshot),
+            SimError::InvalidConfig { .. } | SimError::InvalidWorkload { .. } => None,
+        }
+    }
+
+    /// The offending workload's name, when known.
+    pub fn workload(&self) -> Option<&str> {
+        match self {
+            SimError::Deadlock { workload, .. }
+            | SimError::CycleCapExceeded { workload, .. }
+            | SimError::InvariantViolation { workload, .. }
+            | SimError::InvalidWorkload { workload, .. } => Some(workload),
+            SimError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock {
+                workload,
+                window,
+                snapshot,
+            } => write!(
+                f,
+                "deadlock in workload `{workload}` at cycle {}: no progress for \
+                 {window} cycles\n{snapshot}",
+                snapshot.cycle
+            ),
+            SimError::CycleCapExceeded {
+                workload,
+                cap,
+                snapshot,
+            } => {
+                write!(
+                    f,
+                    "workload `{workload}` exceeded the {cap}-cycle cap\n{snapshot}"
+                )
+            }
+            SimError::InvariantViolation {
+                workload,
+                what,
+                snapshot,
+            } => write!(
+                f,
+                "invariant violation in workload `{workload}` at cycle {}: {what}\n{snapshot}",
+                snapshot.cycle
+            ),
+            SimError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            SimError::InvalidWorkload { workload, what } => {
+                write!(f, "invalid workload `{workload}`: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Formats a lane mask as the lanes it contains (test/debug helper).
+pub fn mask_lanes(mask: u32) -> Vec<usize> {
+    lanes(mask).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> StateSnapshot {
+        StateSnapshot {
+            sm_id: 0,
+            cycle: 1234,
+            warps: vec![WarpSnapshot {
+                slot: 3,
+                warp_id: 7,
+                active_mask: 0x0000_000f,
+                ready_mask: 0,
+                blocked_mask: 0x0000_00f0,
+                stalled_mask: 0,
+                live_mask: 0x0000_00ff,
+                active_pc: Some(12),
+                tst: Vec::new(),
+                scoreboards: vec![(0, 1, 2)],
+            }],
+            outstanding_lsu: 2,
+            outstanding_tex: 0,
+            outstanding_rt: 1,
+        }
+    }
+
+    #[test]
+    fn snapshot_accessors() {
+        let s = sample_snapshot();
+        assert_eq!(s.outstanding_requests(), 3);
+        assert_eq!(s.live_threads(), 8);
+        assert_eq!(s.warps[0].state_of(0), ThreadState::Active);
+        assert_eq!(s.warps[0].state_of(4), ThreadState::Blocked);
+        assert_eq!(s.warps[0].state_of(31), ThreadState::Inactive);
+    }
+
+    #[test]
+    fn display_mentions_the_essentials() {
+        let s = sample_snapshot();
+        let text = s.to_string();
+        assert!(text.contains("cycle 1234"));
+        assert!(text.contains("warp 7"));
+        assert!(text.contains("lane0:sb1=2"));
+
+        let e = SimError::Deadlock {
+            workload: "bfv1".into(),
+            window: 50_000,
+            snapshot: s,
+        };
+        let text = e.to_string();
+        assert!(text.contains("deadlock in workload `bfv1`"));
+        assert!(text.contains("no progress for 50000 cycles"));
+    }
+
+    #[test]
+    fn mask_lanes_lists_set_bits() {
+        assert_eq!(mask_lanes(0b1011), vec![0, 1, 3]);
+        assert!(mask_lanes(0).is_empty());
+    }
+}

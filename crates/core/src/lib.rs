@@ -34,8 +34,19 @@
 //! [`Simulator`] with an [`SmConfig`] and an [`SiConfig`], and [`Simulator::run`]
 //! it to obtain [`RunStats`] — including the paper's headline *exposed
 //! load-to-use stall* counters.
+//!
+//! ## Error model
+//!
+//! [`Simulator::run`] returns `Result<RunStats, SimError>`: inputs are
+//! validated before the first cycle ([`SimError::InvalidConfig`],
+//! [`SimError::InvalidWorkload`]), and mid-run failures — deadlock, the
+//! cycle cap, or a violated warp-state invariant — carry a
+//! [`StateSnapshot`] of the machine at the failing cycle. Per-cycle
+//! invariant checking is always on at [`InvariantLevel::Cheap`] and can be
+//! raised to `Full` or disabled via [`SmConfig::with_invariants`].
 
 mod config;
+mod error;
 mod sm;
 mod stats;
 mod trace;
@@ -43,7 +54,8 @@ pub mod warp;
 mod workload;
 
 pub use config::{DivergeOrder, SchedulerPolicy, SelectPolicy, SiConfig, SmConfig, WARP_SIZE};
-pub use sm::{Simulator, ICACHE_LINE};
+pub use error::{mask_lanes, InvariantLevel, SimError, StateSnapshot, WarpSnapshot};
+pub use sm::{Simulator, DEADLOCK_WINDOW, ICACHE_LINE};
 pub use stats::RunStats;
 pub use trace::{EventKind, EventRecorder, TraceEvent};
 pub use workload::{InitValue, RayResult, RegInit, RtTrace, Workload};

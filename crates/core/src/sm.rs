@@ -2,21 +2,25 @@
 //! units, instruction fetch, and the Subwarp Interleaving scheduler.
 
 use crate::config::{SchedulerPolicy, SiConfig, SmConfig};
+use crate::error::{InvariantLevel, SimError, StateSnapshot};
 use crate::stats::RunStats;
 use crate::trace::{EventKind, EventRecorder, TraceEvent};
-use crate::warp::{
-    lanes, MemKind, RtJob, SbProducer, WarpSim, WarpStatus,
-};
+use crate::warp::{lanes, MemKind, RtJob, SbProducer, WarpSim, WarpStatus};
 use crate::workload::Workload;
+use std::collections::BTreeMap;
 use subwarp_isa::{Program, Reg, Scoreboard};
 use subwarp_mem::{AccessKind, Cache, DataMemory, ServiceUnit};
+
+/// Everything one simulation produces: statistics, plus the optional event
+/// recording and final data-memory image the caller asked for.
+type RunOutputs = (RunStats, Option<EventRecorder>, Option<BTreeMap<u64, u64>>);
 
 /// Instruction-cache line size in bytes (8 instructions of 16 bytes).
 pub const ICACHE_LINE: u64 = 128;
 
 /// Cycles without any progress (issue, writeback, fetch completion, or
-/// selection) after which the simulator declares a deadlock and panics.
-const DEADLOCK_WINDOW: u64 = 50_000;
+/// selection) after which the simulator reports [`SimError::Deadlock`].
+pub const DEADLOCK_WINDOW: u64 = 50_000;
 
 /// A completed memory (LSU/TEX) line response.
 #[derive(Debug)]
@@ -49,9 +53,9 @@ struct RtResp {
 /// b.exit();
 /// let wl = Workload::new("demo", b.build()?, 2)
 ///     .with_init(Reg(0), InitValue::GlobalTid);
-/// let stats = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl);
+/// let stats = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl)?;
 /// assert!(stats.cycles > 0);
-/// # Ok::<(), subwarp_isa::ProgramError>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct Simulator {
@@ -77,34 +81,67 @@ impl Simulator {
 
     /// Runs `workload` to completion and returns its statistics.
     ///
-    /// # Panics
-    /// Panics if the workload deadlocks (e.g. malformed convergence
-    /// barriers) or exceeds the configured cycle cap.
-    pub fn run(&self, workload: &Workload) -> RunStats {
-        self.run_inner(workload, None).0
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`]/[`SimError::InvalidWorkload`]
+    /// before the first cycle when the inputs cannot be simulated, and
+    /// [`SimError::Deadlock`], [`SimError::CycleCapExceeded`], or
+    /// [`SimError::InvariantViolation`] (each carrying a
+    /// [`StateSnapshot`]) when the run fails mid-flight.
+    pub fn run(&self, workload: &Workload) -> Result<RunStats, SimError> {
+        Ok(self.run_inner(workload, None, false)?.0)
     }
 
     /// Runs `workload`, additionally recording every thread-status
     /// transition (the paper's Figure 10 walkthroughs).
-    pub fn run_recorded(&self, workload: &Workload) -> (RunStats, EventRecorder) {
-        let (stats, rec) = self.run_inner(workload, Some(EventRecorder::new()));
-        (stats, rec.expect("recorder was installed"))
+    ///
+    /// # Errors
+    /// As for [`run`](Self::run).
+    pub fn run_recorded(&self, workload: &Workload) -> Result<(RunStats, EventRecorder), SimError> {
+        let (stats, rec, _) = self.run_inner(workload, Some(EventRecorder::new()), false)?;
+        Ok((stats, rec.expect("recorder was installed")))
+    }
+
+    /// Runs `workload`, additionally returning the final data-memory image:
+    /// every address the program stored to, with its last value. This is the
+    /// architectural-state oracle used by the differential fuzzer — two
+    /// schedules of the same program must agree on it exactly.
+    ///
+    /// # Errors
+    /// As for [`run`](Self::run).
+    pub fn run_with_memory(
+        &self,
+        workload: &Workload,
+    ) -> Result<(RunStats, BTreeMap<u64, u64>), SimError> {
+        let (stats, _, image) = self.run_inner(workload, None, true)?;
+        Ok((stats, image.expect("memory capture was requested")))
     }
 
     fn run_inner(
         &self,
         wl: &Workload,
         recorder: Option<EventRecorder>,
-    ) -> (RunStats, Option<EventRecorder>) {
+        capture_memory: bool,
+    ) -> Result<RunOutputs, SimError> {
+        self.sm
+            .validate()
+            .map_err(|what| SimError::InvalidConfig { what })?;
+        self.si
+            .validate()
+            .map_err(|what| SimError::InvalidConfig { what })?;
+        wl.validate().map_err(|what| SimError::InvalidWorkload {
+            workload: wl.name.clone(),
+            what,
+        })?;
         // SMs share nothing beyond the fixed-latency stub (paper SIV-A), so
         // each simulates independently over its round-robin share of warps.
         let mut total = RunStats::default();
         let mut merged_events: Vec<crate::trace::TraceEvent> = Vec::new();
+        let mut image = capture_memory.then(BTreeMap::new);
         for sm_id in 0..self.sm.n_sms {
             let rec = recorder.as_ref().map(|_| EventRecorder::new());
-            let mut st = SimState::new(&self.sm, &self.si, wl, rec, sm_id);
+            let mut st = SimState::new(&self.sm, &self.si, wl, rec, sm_id, capture_memory);
             while !st.finished() {
-                st.step();
+                st.step()?;
             }
             st.stats.l1i = st.l1i.stats();
             st.stats.l1d = st.l1d.stats();
@@ -116,6 +153,9 @@ impl Simulator {
             if let Some(r) = st.recorder {
                 merged_events.extend(r.events().iter().cloned());
             }
+            if let (Some(all), Some(sm)) = (image.as_mut(), st.mem_image) {
+                all.extend(sm);
+            }
         }
         let recorder = recorder.map(|_| {
             merged_events.sort_by_key(|e| (e.cycle, e.warp));
@@ -125,7 +165,7 @@ impl Simulator {
             }
             r
         });
-        (total, recorder)
+        Ok((total, recorder, image))
     }
 }
 
@@ -158,6 +198,9 @@ struct SimState<'a> {
     last_progress: u64,
     /// Scratch: per-slot status this cycle.
     statuses: Vec<Option<WarpStatus>>,
+    /// Shadow copy of every store, kept only when the caller asked for the
+    /// final memory image ([`Simulator::run_with_memory`]).
+    mem_image: Option<BTreeMap<u64, u64>>,
 }
 
 impl<'a> SimState<'a> {
@@ -167,6 +210,7 @@ impl<'a> SimState<'a> {
         wl: &'a Workload,
         recorder: Option<EventRecorder>,
         sm_id: usize,
+        capture_memory: bool,
     ) -> SimState<'a> {
         let n_slots = sm.total_warp_slots();
         let mut st = SimState {
@@ -190,6 +234,7 @@ impl<'a> SimState<'a> {
             recorder,
             last_progress: 0,
             statuses: vec![None; n_slots],
+            mem_image: capture_memory.then(BTreeMap::new),
         };
         st.launch_pending();
         st
@@ -210,7 +255,13 @@ impl<'a> SimState<'a> {
 
     fn record(&mut self, warp: usize, kind: EventKind, mask: u32, pc: usize) {
         if let Some(rec) = &mut self.recorder {
-            rec.record(TraceEvent { cycle: self.cycle, warp, kind, mask, pc });
+            rec.record(TraceEvent {
+                cycle: self.cycle,
+                warp,
+                kind,
+                mask,
+                pc,
+            });
         }
     }
 
@@ -233,7 +284,7 @@ impl<'a> SimState<'a> {
     }
 
     /// One simulated cycle.
-    fn step(&mut self) {
+    fn step(&mut self) -> Result<(), SimError> {
         self.drain_writebacks();
         self.wakeups();
         self.fetch_completions();
@@ -245,9 +296,52 @@ impl<'a> SimState<'a> {
             self.stall_driven_selection();
         }
         self.account_cycle(issued);
+        self.check_invariants()?;
         self.retire_and_launch();
         self.cycle += 1;
-        self.watchdog(issued);
+        self.watchdog(issued)
+    }
+
+    /// Per-cycle invariant scan (see [`InvariantLevel`]): every resident
+    /// warp's state machine is validated, and any fault the warp model
+    /// recorded mid-cycle surfaces here.
+    fn check_invariants(&mut self) -> Result<(), SimError> {
+        let full = match self.sm.invariants {
+            InvariantLevel::Off => return Ok(()),
+            InvariantLevel::Cheap => false,
+            InvariantLevel::Full => true,
+        };
+        for slot in 0..self.slots.len() {
+            let violated = match self.slots[slot].as_mut() {
+                Some(w) => w.check_invariants(full).err(),
+                None => None,
+            };
+            if let Some(what) = violated {
+                return Err(SimError::InvariantViolation {
+                    workload: self.wl.name.clone(),
+                    what,
+                    snapshot: self.snapshot(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Freezes the SM's scheduler-visible state for error reporting.
+    fn snapshot(&self) -> StateSnapshot {
+        StateSnapshot {
+            sm_id: self.sm_id,
+            cycle: self.cycle,
+            warps: self
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.as_ref().map(|w| w.snapshot(i)))
+                .collect(),
+            outstanding_lsu: self.lsu.in_flight(),
+            outstanding_tex: self.tex.in_flight(),
+            outstanding_rt: self.rt.in_flight(),
+        }
     }
 
     /// Step 1: apply LSU/TEX/RT completions (register writeback, scoreboard
@@ -278,8 +372,11 @@ impl<'a> SimState<'a> {
     fn apply_mem_resp(&mut self, resp: MemResp) {
         let cycle = self.cycle;
         // Values come from functional data memory at the lane's address.
-        let values: Vec<(usize, u64)> =
-            resp.lanes.iter().map(|&(lane, addr)| (lane, self.data.read(addr))).collect();
+        let values: Vec<(usize, u64)> = resp
+            .lanes
+            .iter()
+            .map(|&(lane, addr)| (lane, self.data.read(addr)))
+            .collect();
         if let Some(w) = self.slots[resp.slot].as_mut() {
             for (lane, value) in values {
                 w.writeback(lane, resp.dst, value, resp.sb, cycle);
@@ -320,7 +417,9 @@ impl<'a> SimState<'a> {
         let latency = self.select_latency();
         for slot in 0..self.slots.len() {
             let selected = {
-                let Some(w) = self.slots[slot].as_mut() else { continue };
+                let Some(w) = self.slots[slot].as_mut() else {
+                    continue;
+                };
                 if w.done() || w.active_mask() != 0 {
                     w.absorb_ready_at_active_pc();
                     continue;
@@ -349,11 +448,17 @@ impl<'a> SimState<'a> {
     fn fetch_initiation(&mut self) {
         for slot in 0..self.slots.len() {
             let pb = self.pb_of(slot);
-            let Some(w) = self.slots[slot].as_mut() else { continue };
+            let Some(w) = self.slots[slot].as_mut() else {
+                continue;
+            };
             if w.done() || w.fetch_pending.is_some() {
                 continue;
             }
-            let Some(pc) = (if w.active_mask() != 0 { w.active_pc() } else { None }) else {
+            let Some(pc) = (if w.active_mask() != 0 {
+                w.active_pc()
+            } else {
+                None
+            }) else {
                 continue;
             };
             if w.ib_covers(pc, self.program) {
@@ -406,7 +511,10 @@ impl<'a> SimState<'a> {
                         _ => *candidates
                             .iter()
                             .min_by_key(|&&s| {
-                                self.slots[s].as_ref().map(|w| w.warp_id).unwrap_or(usize::MAX)
+                                self.slots[s]
+                                    .as_ref()
+                                    .map(|w| w.warp_id)
+                                    .unwrap_or(usize::MAX)
                             })
                             .expect("candidates non-empty"),
                     }
@@ -450,7 +558,9 @@ impl<'a> SimState<'a> {
             self.stats.issued_by_unit[idx] += 1;
         }
         let res = {
-            let w = self.slots[slot].as_mut().expect("issuable slot is occupied");
+            let w = self.slots[slot]
+                .as_mut()
+                .expect("issuable slot is occupied");
             w.issue(
                 self.program,
                 self.wl,
@@ -480,6 +590,9 @@ impl<'a> SimState<'a> {
         // Stores update functional memory and touch the L1D.
         for (addr, value) in &res.stores {
             self.data.write(*addr, *value);
+            if let Some(image) = self.mem_image.as_mut() {
+                image.insert(*addr, *value);
+            }
         }
 
         // Memory requests: coalesce lanes into cache lines.
@@ -506,8 +619,12 @@ impl<'a> SimState<'a> {
                 };
                 // Stores need no writeback; loads (dst or scoreboard) do.
                 if !req.dst.is_zero() || req.sb.is_some() {
-                    let resp =
-                        MemResp { slot, lanes: group, dst: req.dst, sb: req.sb };
+                    let resp = MemResp {
+                        slot,
+                        lanes: group,
+                        dst: req.dst,
+                        sb: req.sb,
+                    };
                     if unit_is_tex {
                         self.tex.push(cycle + latency, resp);
                     } else {
@@ -518,10 +635,25 @@ impl<'a> SimState<'a> {
         }
 
         // RT-core jobs: latency from the pre-traced node count.
-        for RtJob { lane, ray_id, dst, sb } in res.rt_jobs {
+        for RtJob {
+            lane,
+            ray_id,
+            dst,
+            sb,
+        } in res.rt_jobs
+        {
             let ray = self.wl.rt_trace.get(ray_id);
             let latency = self.sm.rt.latency(ray.nodes);
-            self.rt.push(cycle + latency, RtResp { slot, lane, dst, sb, shader: ray.shader });
+            self.rt.push(
+                cycle + latency,
+                RtResp {
+                    slot,
+                    lane,
+                    dst,
+                    sb,
+                    shader: ray.shader,
+                },
+            );
         }
 
         // Convergence-driven selection (BSYNC block / exit) and yields.
@@ -600,7 +732,11 @@ impl<'a> SimState<'a> {
                         live += 1;
                         stalled += 1;
                     }
-                    Some(WarpStatus::NoActive { mem_stalled: true, any_ready: false, .. }) => {
+                    Some(WarpStatus::NoActive {
+                        mem_stalled: true,
+                        any_ready: false,
+                        ..
+                    }) => {
                         live += 1;
                         stalled += 1;
                     }
@@ -614,8 +750,10 @@ impl<'a> SimState<'a> {
             // hosted by free warp slots in this processing block.
             let slot_budget = if self.si.slot_limited {
                 let free = (lo..hi).filter(|&s| self.slots[s].is_none()).count();
-                let in_use: usize =
-                    (lo..hi).filter_map(|s| self.slots[s].as_ref()).map(|w| w.tst.len()).sum();
+                let in_use: usize = (lo..hi)
+                    .filter_map(|s| self.slots[s].as_ref())
+                    .map(|w| w.tst.len())
+                    .sum();
                 free.saturating_sub(in_use)
             } else {
                 usize::MAX
@@ -637,7 +775,8 @@ impl<'a> SimState<'a> {
                     } else {
                         let pc = w.active_pc().expect("mem-stalled warp has active pc");
                         let watch = self.program[pc].req_sb;
-                        w.demote_stalled(watch, self.si.max_subwarps).map(|m| (m, pc))
+                        w.demote_stalled(watch, self.si.max_subwarps)
+                            .map(|m| (m, pc))
                     }
                 };
                 let Some((mask, pc)) = demoted else { continue };
@@ -673,7 +812,10 @@ impl<'a> SimState<'a> {
         let mut fetch_wait = false;
         for slot in 0..self.slots.len() {
             match self.statuses[slot] {
-                Some(WarpStatus::MemStall { divergent, traversal }) => {
+                Some(WarpStatus::MemStall {
+                    divergent,
+                    traversal,
+                }) => {
                     if traversal {
                         traversal_stall = true;
                     } else {
@@ -681,7 +823,11 @@ impl<'a> SimState<'a> {
                         load_stall_divergent |= divergent;
                     }
                 }
-                Some(WarpStatus::NoActive { mem_stalled: true, divergent, .. }) => {
+                Some(WarpStatus::NoActive {
+                    mem_stalled: true,
+                    divergent,
+                    ..
+                }) => {
                     // Demoted subwarps waiting on memory: attribute by the
                     // producer kind of their watched scoreboards.
                     let w = self.slots[slot].as_ref().expect("slot occupied");
@@ -730,38 +876,21 @@ impl<'a> SimState<'a> {
         self.stats.cycles = self.cycle + 1;
     }
 
-    fn watchdog(&self, issued: bool) {
+    fn watchdog(&self, issued: bool) -> Result<(), SimError> {
         if self.cycle >= self.sm.max_cycles {
-            panic!(
-                "workload `{}` exceeded the {}-cycle cap",
-                self.wl.name, self.sm.max_cycles
-            );
+            return Err(SimError::CycleCapExceeded {
+                workload: self.wl.name.clone(),
+                cap: self.sm.max_cycles,
+                snapshot: self.snapshot(),
+            });
         }
         if !issued && self.cycle.saturating_sub(self.last_progress) > DEADLOCK_WINDOW {
-            let dump: Vec<String> = self
-                .slots
-                .iter()
-                .enumerate()
-                .filter_map(|(i, s)| {
-                    s.as_ref().map(|w| {
-                        format!(
-                            "slot {i}: warp {} active={:#010x} live={:#010x} tst={} pc={:?}",
-                            w.warp_id,
-                            w.active_mask(),
-                            w.live_mask(),
-                            w.tst.len(),
-                            w.active_pc()
-                        )
-                    })
-                })
-                .collect();
-            panic!(
-                "deadlock in workload `{}` at cycle {}: no progress for {} cycles\n{}",
-                self.wl.name,
-                self.cycle,
-                DEADLOCK_WINDOW,
-                dump.join("\n")
-            );
+            return Err(SimError::Deadlock {
+                workload: self.wl.name.clone(),
+                window: DEADLOCK_WINDOW,
+                snapshot: self.snapshot(),
+            });
         }
+        Ok(())
     }
 }

@@ -1,7 +1,6 @@
 //! Run statistics, including the paper's headline metric: *exposed
 //! load-to-use stalls*.
 
-use serde::{Deserialize, Serialize};
 use subwarp_mem::CacheStats;
 
 /// Counters collected over one simulation run.
@@ -13,7 +12,7 @@ use subwarp_mem::CacheStats;
 /// cycles; the divergent variant restricts to cycles where a memory-stalled
 /// warp was executing a divergent code block (its subwarp mask differs from
 /// the warp's participating mask).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     /// Cycles until all warps retired (the slowest SM's count when
     /// simulating multiple SMs).
@@ -70,7 +69,10 @@ impl RunStats {
     /// # Panics
     /// Panics if either run has zero cycles.
     pub fn speedup_vs(&self, baseline: &RunStats) -> f64 {
-        assert!(self.cycles > 0 && baseline.cycles > 0, "runs must have cycles");
+        assert!(
+            self.cycles > 0 && baseline.cycles > 0,
+            "runs must have cycles"
+        );
         baseline.cycles as f64 / self.cycles as f64
     }
 
@@ -156,8 +158,16 @@ mod tests {
 
     #[test]
     fn speedup_and_ratios() {
-        let base = RunStats { cycles: 1000, exposed_load_stalls: 400, ..Default::default() };
-        let si = RunStats { cycles: 800, exposed_load_stalls: 100, ..Default::default() };
+        let base = RunStats {
+            cycles: 1000,
+            exposed_load_stalls: 400,
+            ..Default::default()
+        };
+        let si = RunStats {
+            cycles: 800,
+            exposed_load_stalls: 100,
+            ..Default::default()
+        };
         assert!((si.speedup_vs(&base) - 1.25).abs() < 1e-12);
         assert!((base.exposed_ratio() - 0.4).abs() < 1e-12);
         assert!(

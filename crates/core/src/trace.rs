@@ -4,11 +4,9 @@
 //! Figure 9 toy kernel step by step. [`EventRecorder`] captures the same
 //! transitions so tests (and the `figures fig10` harness) can replay them.
 
-use serde::{Deserialize, Serialize};
-
 /// A thread-status-table transition kind (the labelled arrows of the
 /// paper's Figures 7 and 10).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
     /// A divergent branch split the active subwarp.
     Diverge,
@@ -31,7 +29,7 @@ pub enum EventKind {
 }
 
 /// One recorded transition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Simulation cycle of the transition.
     pub cycle: u64,
@@ -47,7 +45,7 @@ pub struct TraceEvent {
 }
 
 /// Collects [`TraceEvent`]s during a run.
-#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct EventRecorder {
     events: Vec<TraceEvent>,
 }
@@ -86,8 +84,20 @@ mod tests {
     #[test]
     fn recorder_collects_in_order() {
         let mut r = EventRecorder::new();
-        r.record(TraceEvent { cycle: 1, warp: 0, kind: EventKind::Diverge, mask: 0b01, pc: 2 });
-        r.record(TraceEvent { cycle: 5, warp: 0, kind: EventKind::Stall, mask: 0b10, pc: 5 });
+        r.record(TraceEvent {
+            cycle: 1,
+            warp: 0,
+            kind: EventKind::Diverge,
+            mask: 0b01,
+            pc: 2,
+        });
+        r.record(TraceEvent {
+            cycle: 5,
+            warp: 0,
+            kind: EventKind::Stall,
+            mask: 0b10,
+            pc: 5,
+        });
         assert_eq!(r.kinds(), vec![EventKind::Diverge, EventKind::Stall]);
         assert_eq!(r.of_kind(EventKind::Stall).count(), 1);
         assert_eq!(r.events()[1].cycle, 5);

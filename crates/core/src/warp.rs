@@ -6,8 +6,8 @@ use crate::config::{DivergeOrder, WARP_SIZE};
 use crate::trace::EventKind;
 use crate::workload::Workload;
 use subwarp_isa::{
-    Effect, Instruction, Op, Program, Reg, SbMask, Scoreboard, ThreadCtx, N_BARRIER, N_PRED,
-    N_REG, N_SB,
+    Effect, Instruction, Op, Program, Reg, SbMask, Scoreboard, ThreadCtx, N_BARRIER, N_PRED, N_REG,
+    N_SB,
 };
 
 /// Sentinel "not ready until writeback" value for long-latency destinations.
@@ -200,6 +200,10 @@ pub struct WarpSim {
     last_selected_pc: usize,
     /// Deterministic per-warp RNG state for `DivergeOrder::Random`.
     rng: u64,
+    /// First microarchitectural fault recorded by the warp model this run
+    /// (scoreboard underflow, mismatched-`BSYNC` reconvergence, ...). Read
+    /// back by the per-cycle invariant checker.
+    fault: Option<String>,
 }
 
 impl WarpSim {
@@ -225,6 +229,7 @@ impl WarpSim {
             ll_issued: 0,
             last_selected_pc: 0,
             rng: 0x9e37_79b9_7f4a_7c15 ^ (warp_id as u64).wrapping_mul(0xff51_afd7_ed55_8ccd),
+            fault: None,
         };
         for lane in 0..wl.threads_per_warp {
             w.state[lane] = ThreadState::Active;
@@ -330,8 +335,14 @@ impl WarpSim {
     /// Decrements `sb` for each lane in `mask` (writeback).
     pub fn sb_dec(&mut self, mask: u32, sb: Scoreboard) {
         for lane in lanes(mask) {
+            if self.sb_cnt[lane][sb.0 as usize] == 0 {
+                self.record_fault(format!(
+                    "scoreboard sb{} underflow: writeback without a matching issue \
+                     on warp {} lane {lane}",
+                    sb.0, self.warp_id
+                ));
+            }
             let c = &mut self.sb_cnt[lane][sb.0 as usize];
-            debug_assert!(*c > 0, "scoreboard underflow warp {} lane {lane}", self.warp_id);
             *c = c.saturating_sub(1);
         }
     }
@@ -353,13 +364,163 @@ impl WarpSim {
 
     /// Applies a long-latency writeback: stores `value` into `dst` for
     /// `lane`, marks the register ready, and decrements `sb`.
-    pub fn writeback(&mut self, lane: usize, dst: Reg, value: u64, sb: Option<Scoreboard>, cycle: u64) {
+    pub fn writeback(
+        &mut self,
+        lane: usize,
+        dst: Reg,
+        value: u64,
+        sb: Option<Scoreboard>,
+        cycle: u64,
+    ) {
         self.ctx[lane].write_reg(dst, value);
         if !dst.is_zero() {
             self.reg_ready[lane][dst.0 as usize] = cycle;
         }
         if let Some(sb) = sb {
             self.sb_dec(1 << lane, sb);
+        }
+    }
+
+    // ---- faults, invariants, and snapshots ----
+
+    /// Records the first microarchitectural fault observed by the warp
+    /// model; later faults are dropped (the first one is the root cause).
+    fn record_fault(&mut self, what: String) {
+        if self.fault.is_none() {
+            self.fault = Some(what);
+        }
+    }
+
+    /// Validates the warp-state machine, consuming any recorded fault.
+    ///
+    /// At the `Cheap` level (`full == false`) this checks recorded faults,
+    /// thread-state/TST consistency, and active-subwarp pc agreement; the
+    /// `Full` level adds convergence-barrier balance, participation-mask
+    /// containment, and scoreboard-counter bounds.
+    pub fn check_invariants(&mut self, full: bool) -> Result<(), String> {
+        if let Some(fault) = self.fault.take() {
+            return Err(fault);
+        }
+        let wid = self.warp_id;
+        // Thread states are mutually exclusive by representation (one enum
+        // per lane); what can go wrong is their relationship to the TST.
+        let mut tst_union = 0u32;
+        for e in &self.tst {
+            if e.watch.is_empty() {
+                return Err(format!(
+                    "warp {wid}: TST entry {:#010x} watches nothing",
+                    e.mask
+                ));
+            }
+            if e.mask == 0 {
+                return Err(format!("warp {wid}: empty TST entry"));
+            }
+            if e.mask & tst_union != 0 {
+                return Err(format!(
+                    "warp {wid}: TST entries overlap on lanes {:#010x}",
+                    e.mask & tst_union
+                ));
+            }
+            tst_union |= e.mask;
+            for lane in lanes(e.mask) {
+                if self.state[lane] != ThreadState::Stalled {
+                    return Err(format!(
+                        "warp {wid}: TST holds lane {lane} but its state is {:?}",
+                        self.state[lane]
+                    ));
+                }
+            }
+        }
+        let stalled = self.mask_where(ThreadState::Stalled);
+        if stalled != tst_union {
+            return Err(format!(
+                "warp {wid}: STALLED lanes {stalled:#010x} not covered by TST \
+                 entries {tst_union:#010x}"
+            ));
+        }
+        // All active lanes must agree on a pc (the SIMT invariant behind
+        // `active_pc`).
+        let active = self.active_mask();
+        if let Some(first) = lanes(active).next() {
+            for lane in lanes(active) {
+                if self.pc[lane] != self.pc[first] {
+                    return Err(format!(
+                        "warp {wid}: active subwarp pc mismatch (lane {first} at {}, \
+                         lane {lane} at {})",
+                        self.pc[first], self.pc[lane]
+                    ));
+                }
+            }
+        }
+        if !full {
+            return Ok(());
+        }
+        // Non-inactive lanes must be within the launched set.
+        let live = self.live_mask();
+        if live & !self.participating != 0 {
+            return Err(format!(
+                "warp {wid}: live lanes {:#010x} outside the participating mask {:#010x}",
+                live, self.participating
+            ));
+        }
+        // Convergence-barrier balance: blocked lanes wait on an armed
+        // barrier they participate in, and co-blocked lanes agree on the
+        // reconvergence pc.
+        for lane in lanes(self.mask_where(ThreadState::Blocked)) {
+            let b = self.blocked_bar[lane] as usize;
+            if self.barrier[b] & (1 << lane) == 0 {
+                return Err(format!(
+                    "warp {wid}: lane {lane} blocked on B{b} without participating in it"
+                ));
+            }
+            let first = lanes(self.blocked_mask_on(b as u8)).next().unwrap_or(lane);
+            if self.pc[lane] != self.pc[first] {
+                return Err(format!(
+                    "warp {wid}: lanes blocked on B{b} disagree on the BSYNC pc \
+                     ({} vs {})",
+                    self.pc[first], self.pc[lane]
+                ));
+            }
+        }
+        // Counted scoreboards bounded by the deepest plausible issue window;
+        // a runaway counter means increments are leaking.
+        for lane in lanes(self.participating) {
+            for sb in 0..N_SB {
+                if self.sb_cnt[lane][sb] > 0x4000 {
+                    return Err(format!(
+                        "warp {wid}: scoreboard sb{sb} on lane {lane} reached {} — \
+                         runaway increments",
+                        self.sb_cnt[lane][sb]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Freezes this warp's scheduler-visible state for error reporting.
+    pub fn snapshot(&self, slot: usize) -> crate::error::WarpSnapshot {
+        let mut scoreboards = Vec::new();
+        for lane in lanes(self.participating) {
+            for sb in 0..N_SB {
+                if self.sb_cnt[lane][sb] > 0 {
+                    scoreboards.push((lane, sb as u8, self.sb_cnt[lane][sb]));
+                }
+            }
+        }
+        crate::error::WarpSnapshot {
+            slot,
+            warp_id: self.warp_id,
+            active_mask: self.active_mask(),
+            ready_mask: self.mask_where(ThreadState::Ready),
+            blocked_mask: self.mask_where(ThreadState::Blocked),
+            stalled_mask: self.mask_where(ThreadState::Stalled),
+            live_mask: self.live_mask(),
+            // First active lane's pc, read directly: `active_pc` asserts pc
+            // agreement, which may be the very invariant being reported.
+            active_pc: lanes(self.active_mask()).next().map(|l| self.pc[l]),
+            tst: self.tst.clone(),
+            scoreboards,
         }
     }
 
@@ -374,7 +535,12 @@ impl WarpSim {
             let e = self.tst[i];
             if self.sb_max(e.mask, e.watch) == 0 {
                 for lane in lanes(e.mask) {
-                    debug_assert_eq!(self.state[lane], ThreadState::Stalled);
+                    if self.state[lane] != ThreadState::Stalled {
+                        self.record_fault(format!(
+                            "wakeup of warp {} lane {lane} found it {:?}, not STALLED",
+                            self.warp_id, self.state[lane]
+                        ));
+                    }
                     self.state[lane] = ThreadState::Ready;
                 }
                 let pc = lanes(e.mask).next().map(|l| self.pc[l]).unwrap_or(0);
@@ -482,11 +648,17 @@ impl WarpSim {
         let inst = &program[pc];
         // Counted-scoreboard wait (the load-to-use stall point).
         if !inst.req_sb.is_empty() {
-            let scope = if warp_wide_sb { self.live_mask() | active } else { active };
+            let scope = if warp_wide_sb {
+                self.live_mask() | active
+            } else {
+                active
+            };
             if self.sb_max(scope, inst.req_sb) > 0 {
-                let traversal =
-                    self.pending_producer(scope, inst.req_sb) == SbProducer::Traversal;
-                return WarpStatus::MemStall { divergent: self.is_divergent(), traversal };
+                let traversal = self.pending_producer(scope, inst.req_sb) == SbProducer::Traversal;
+                return WarpStatus::MemStall {
+                    divergent: self.is_divergent(),
+                    traversal,
+                };
             }
         }
         // Short-latency register/predicate dependences.
@@ -543,7 +715,11 @@ impl WarpSim {
         lat: IssueLatencies,
         diverge_order: DivergeOrder,
     ) -> IssueResult {
-        let IssueLatencies { alu: alu_latency, mufu: mufu_latency, lds: lds_latency } = lat;
+        let IssueLatencies {
+            alu: alu_latency,
+            mufu: mufu_latency,
+            lds: lds_latency,
+        } = lat;
         let pc = self.active_pc().expect("issue requires an active subwarp");
         let inst: &Instruction = &program[pc];
         let active = self.active_mask();
@@ -577,9 +753,18 @@ impl WarpSim {
                         }
                         // §VI future work: run the stall-prone side first so
                         // the other side is available for latency tolerance.
+                        // Unhinted branches (the compiler could not tell the
+                        // sides apart) fall back to per-warp randomization:
+                        // when there is no information, diversity of
+                        // execution orders across warps beats any fixed
+                        // choice.
                         DivergeOrder::Hinted => match inst.hint {
                             Some(subwarp_isa::StallHint::TakenStalls) => true,
-                            Some(subwarp_isa::StallHint::FallthroughStalls) | None => false,
+                            Some(subwarp_isa::StallHint::FallthroughStalls) => false,
+                            None => {
+                                self.rng = splitmix64(self.rng);
+                                self.rng & 1 == 1
+                            }
                         },
                     };
                     let (stay, stay_pc, leave, leave_pc) = if taken_stays {
@@ -611,10 +796,13 @@ impl WarpSim {
                     // "Barrier release").
                     let released = (blocked_here | active) & self.live_mask();
                     for lane in lanes(released) {
-                        debug_assert!(
-                            self.pc[lane] == pc,
-                            "participants blocked at a different BSYNC"
-                        );
+                        if self.pc[lane] != pc {
+                            self.record_fault(format!(
+                                "BSYNC B{b} release on warp {} found lane {lane} blocked \
+                                 at pc {} instead of the reconvergence pc {pc}",
+                                self.warp_id, self.pc[lane]
+                            ));
+                        }
                         self.state[lane] = ThreadState::Active;
                     }
                     self.set_pc(released, pc + 1);
@@ -696,7 +884,12 @@ impl WarpSim {
                             let sb = inst
                                 .wr_sb
                                 .expect("validated programs guard TraceRay with &wr=");
-                            res.rt_jobs.push(RtJob { lane, ray_id, dst, sb });
+                            res.rt_jobs.push(RtJob {
+                                lane,
+                                ray_id,
+                                dst,
+                                sb,
+                            });
                         }
                         _ => unreachable!("control effect from data-path op"),
                     }
@@ -785,7 +978,11 @@ mod tests {
     use crate::workload::{InitValue, Workload};
     use subwarp_isa::{Barrier, CmpOp, Operand, Pred, ProgramBuilder};
 
-    const LAT: IssueLatencies = IssueLatencies { alu: 4, mufu: 16, lds: 25 };
+    const LAT: IssueLatencies = IssueLatencies {
+        alu: 4,
+        mufu: 16,
+        lds: 25,
+    };
 
     fn wl_with(program: Program, n_threads: usize) -> Workload {
         Workload::new("t", program, 1)
@@ -929,7 +1126,8 @@ mod tests {
     fn scoreboard_inc_dec_and_status() {
         let mut b = ProgramBuilder::new();
         b.ldg(Reg(2), Reg(0), 0).wr_sb(Scoreboard(1));
-        b.fadd(Reg(3), Reg(2), Operand::fimm(1.0)).req_sb(Scoreboard(1));
+        b.fadd(Reg(3), Reg(2), Operand::fimm(1.0))
+            .req_sb(Scoreboard(1));
         b.exit();
         let p = b.build().unwrap();
         let wl = wl_with(p.clone(), 2);
@@ -940,16 +1138,26 @@ mod tests {
         assert_eq!(mem.kind, MemKind::Global);
         assert_eq!(mem.lanes.len(), 2);
         assert!(r.long_latency);
-        // Consumer must now report a memory stall.
-        match w.status(&p, 10, true) {
-            WarpStatus::MemStall { traversal, .. } => assert!(!traversal),
-            other => panic!("expected MemStall, got {other:?}"),
-        }
+        // Consumer must now report a (non-traversal) memory stall.
+        assert!(
+            matches!(
+                w.status(&p, 10, true),
+                WarpStatus::MemStall {
+                    traversal: false,
+                    ..
+                }
+            ),
+            "expected a load MemStall, got {:?}",
+            w.status(&p, 10, true)
+        );
         // Writeback lane 0 only: warp-wide check still stalls; active-lane
         // (SI) check for a hypothetical 1-lane subwarp would pass.
         w.writeback(0, Reg(2), 42, Some(Scoreboard(1)), 50);
         assert_eq!(w.ctx[0].reg(Reg(2)), 42);
-        assert!(matches!(w.status(&p, 60, true), WarpStatus::MemStall { .. }));
+        assert!(matches!(
+            w.status(&p, 60, true),
+            WarpStatus::MemStall { .. }
+        ));
         w.writeback(1, Reg(2), 43, Some(Scoreboard(1)), 55);
         assert_eq!(w.status(&p, 60, true), WarpStatus::Issuable);
     }
@@ -961,7 +1169,9 @@ mod tests {
         let mut w = WarpSim::launch(0, &wl);
         // Pretend the active subwarp waits on sb3.
         w.sb_inc(0b1111, Scoreboard(3), SbProducer::Load);
-        let mask = w.demote_stalled(SbMask::one(Scoreboard(3)), 32).expect("entry free");
+        let mask = w
+            .demote_stalled(SbMask::one(Scoreboard(3)), 32)
+            .expect("entry free");
         assert_eq!(mask, 0b1111);
         assert_eq!(w.active_mask(), 0);
         assert_eq!(w.tst.len(), 1);
@@ -998,7 +1208,10 @@ mod tests {
         for lane in 0..4 {
             w.state[lane] = ThreadState::Ready;
         }
-        w.pc = [3, 5, 7, 7, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        w.pc = [
+            3, 5, 7, 7, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+            0, 0, 0,
+        ];
         let (pc1, m1) = w.select(0, 6).unwrap();
         assert_eq!((pc1, m1), (3, 0b0001));
         assert_eq!(w.switch_ready, 6);
@@ -1038,7 +1251,8 @@ mod tests {
             guard += 1;
             assert!(guard < 100, "deadlock: barrier not released by exit");
             if w.active_mask() == 0 {
-                w.select(cycle, 0).expect("ready group after barrier release");
+                w.select(cycle, 0)
+                    .expect("ready group after barrier release");
             }
             w.absorb_ready_at_active_pc();
             cycle += 100;

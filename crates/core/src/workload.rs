@@ -2,11 +2,10 @@
 //! and the pre-traced RT-core results.
 
 use crate::config::WARP_SIZE;
-use serde::{Deserialize, Serialize};
 use subwarp_isa::{ConstMem, Program, Reg};
 
 /// How a register is initialized at thread launch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum InitValue {
     /// The thread's global id (`warp_id * 32 + lane`).
     GlobalTid,
@@ -22,7 +21,7 @@ pub enum InitValue {
 }
 
 /// One register-initialization directive.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegInit {
     /// Destination register.
     pub reg: Reg,
@@ -38,7 +37,7 @@ pub struct RegInit {
 /// [`subwarp_rt::Bvh`]; the simulator's RT core replays them, which is the
 /// direct analogue of the paper's trace-initialized bare-metal simulator
 /// (§IV-A).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RayResult {
     /// Shader id delivered to the megakernel (the value written to the
     /// `TraceRay` destination register).
@@ -48,7 +47,7 @@ pub struct RayResult {
 }
 
 /// A table of traversal results indexed by ray id.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RtTrace {
     results: Vec<RayResult>,
     /// Result returned for ray ids beyond the table.
@@ -58,7 +57,10 @@ pub struct RtTrace {
 impl RtTrace {
     /// An empty trace whose every lookup returns `default`.
     pub fn new(default: RayResult) -> RtTrace {
-        RtTrace { results: Vec::new(), default }
+        RtTrace {
+            results: Vec::new(),
+            default,
+        }
     }
 
     /// Builds a trace from per-ray results.
@@ -74,7 +76,10 @@ impl RtTrace {
 
     /// Looks up the traversal result for `ray_id`.
     pub fn get(&self, ray_id: u64) -> RayResult {
-        self.results.get(ray_id as usize).copied().unwrap_or(self.default)
+        self.results
+            .get(ray_id as usize)
+            .copied()
+            .unwrap_or(self.default)
     }
 
     /// Number of recorded rays.
@@ -89,7 +94,7 @@ impl RtTrace {
 }
 
 /// A complete simulator input.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Workload {
     /// Display name (trace name in reports).
     pub name: String,
@@ -158,6 +163,37 @@ impl Workload {
         self.n_warps * self.threads_per_warp
     }
 
+    /// Checks the workload can actually be launched, returning a
+    /// description of the first problem.
+    /// [`Simulator::run`](crate::Simulator::run) calls this before the
+    /// first cycle and surfaces failures as
+    /// [`SimError::InvalidWorkload`](crate::SimError::InvalidWorkload).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.program.is_empty() {
+            return Err("program is empty".into());
+        }
+        if self.n_warps == 0 {
+            return Err("n_warps must be at least 1".into());
+        }
+        if self.threads_per_warp == 0 || self.threads_per_warp > WARP_SIZE {
+            return Err(format!(
+                "threads_per_warp must be in 1..={WARP_SIZE}, got {}",
+                self.threads_per_warp
+            ));
+        }
+        if let Some(InitValue::Table(t)) = self
+            .init
+            .iter()
+            .map(|i| &i.value)
+            .find(|v| matches!(v, InitValue::Table(_)))
+        {
+            if t.is_empty() {
+                return Err("table register initializer is empty".into());
+            }
+        }
+        Ok(())
+    }
+
     /// Resolves the initial value of `reg` for a given thread.
     pub fn init_value(&self, init: &InitValue, warp: usize, lane: usize) -> u64 {
         let gtid = (warp * WARP_SIZE + lane) as u64;
@@ -196,8 +232,14 @@ mod tests {
 
     #[test]
     fn rt_trace_lookup_and_default() {
-        let mut t = RtTrace::new(RayResult { shader: 99, nodes: 1 });
-        let id = t.push(RayResult { shader: 2, nodes: 40 });
+        let mut t = RtTrace::new(RayResult {
+            shader: 99,
+            nodes: 1,
+        });
+        let id = t.push(RayResult {
+            shader: 2,
+            nodes: 40,
+        });
         assert_eq!(id, 0);
         assert_eq!(t.get(0).shader, 2);
         assert_eq!(t.get(12345).shader, 99, "default for unknown rays");
@@ -220,5 +262,18 @@ mod tests {
     #[should_panic]
     fn zero_threads_per_warp_panics() {
         Workload::new("x", trivial_program(), 1).with_threads_per_warp(0);
+    }
+
+    #[test]
+    fn validate_catches_malformed_inputs() {
+        assert!(Workload::new("ok", trivial_program(), 1).validate().is_ok());
+        let zero_warps = Workload::new("none", trivial_program(), 0);
+        assert!(zero_warps.validate().unwrap_err().contains("n_warps"));
+        let mut wide = Workload::new("wide", trivial_program(), 1);
+        wide.threads_per_warp = WARP_SIZE + 1; // bypasses the builder assert
+        assert!(wide.validate().unwrap_err().contains("threads_per_warp"));
+        let empty_table =
+            Workload::new("tbl", trivial_program(), 1).with_init(Reg(0), InitValue::Table(vec![]));
+        assert!(empty_table.validate().unwrap_err().contains("table"));
     }
 }

@@ -1,0 +1,242 @@
+//! Error-model tests: the typed `SimError` surface — deadlock detection,
+//! input validation, invariant levels, and the diagnostic snapshots every
+//! mid-run failure carries.
+
+use subwarp_core::{
+    InitValue, InvariantLevel, SelectPolicy, SiConfig, SimError, Simulator, SmConfig,
+    StateSnapshot, Workload, DEADLOCK_WINDOW,
+};
+use subwarp_isa::{Barrier, CmpOp, Operand, Pred, ProgramBuilder, Reg, Scoreboard};
+
+/// Two convergence barriers armed by both lanes, then crossed: lane 0
+/// blocks at `BSYNC B0` waiting for lane 1, while lane 1 blocks at
+/// `BSYNC B1` waiting for lane 0. Neither can ever be released, so the
+/// machine makes no progress and the deadlock watchdog must fire.
+fn cross_barrier_deadlock() -> Workload {
+    let mut b = ProgramBuilder::new();
+    let else_l = b.label("else");
+    let sync_a = b.label("syncA");
+    let sync_b = b.label("syncB");
+    b.isetp(Pred(0), Reg(0), Operand::imm(1), CmpOp::Lt);
+    b.bssy(Barrier(0), sync_a);
+    b.bssy(Barrier(1), sync_b);
+    b.bra(else_l).pred(Pred(0), false);
+    b.place(sync_a);
+    b.bsync(Barrier(0)); // lane 0: waits on B0, which lane 1 never reaches
+    b.exit();
+    b.place(else_l);
+    b.place(sync_b);
+    b.bsync(Barrier(1)); // lane 1: waits on B1, which lane 0 never reaches
+    b.exit();
+    Workload::new("crossed-barriers", b.build().unwrap(), 1)
+        .with_threads_per_warp(2)
+        .with_init(Reg(0), InitValue::LaneId)
+}
+
+#[test]
+fn deadlock_watchdog_returns_a_populated_snapshot() {
+    let wl = cross_barrier_deadlock();
+    let err = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+        .run(&wl)
+        .unwrap_err();
+    match &err {
+        SimError::Deadlock {
+            workload,
+            window,
+            snapshot,
+        } => {
+            assert_eq!(workload, "crossed-barriers");
+            assert_eq!(*window, DEADLOCK_WINDOW);
+            assert!(
+                !snapshot.warps.is_empty(),
+                "snapshot must capture the stuck warp"
+            );
+            let w = &snapshot.warps[0];
+            assert_eq!(w.live_mask.count_ones(), 2, "both lanes still live");
+            assert_eq!(
+                w.blocked_mask.count_ones(),
+                2,
+                "both lanes blocked at BSYNCs"
+            );
+            assert_eq!(w.active_mask, 0, "nothing can run");
+            assert_eq!(
+                snapshot.outstanding_requests(),
+                0,
+                "no memory excuse for the stall"
+            );
+            assert!(snapshot.cycle >= DEADLOCK_WINDOW);
+        }
+        other => panic!("expected Deadlock, got {other}"),
+    }
+    // The rendered error names the workload and carries the state dump.
+    let msg = err.to_string();
+    assert!(
+        msg.contains("deadlock") && msg.contains("crossed-barriers"),
+        "{msg}"
+    );
+    assert!(
+        msg.contains("blocked="),
+        "snapshot rendered into the message: {msg}"
+    );
+}
+
+#[test]
+fn deadlock_is_detected_under_si_configurations_too() {
+    let wl = cross_barrier_deadlock();
+    for si in [SiConfig::sos(SelectPolicy::AnyStalled), SiConfig::best()] {
+        let err = Simulator::new(SmConfig::turing_like(), si)
+            .run(&wl)
+            .unwrap_err();
+        assert!(
+            matches!(err, SimError::Deadlock { .. }),
+            "{}: expected Deadlock, got {err}",
+            si.label()
+        );
+        assert!(err.snapshot().is_some());
+    }
+}
+
+#[test]
+fn malformed_workload_is_rejected_before_the_first_cycle() {
+    let mut b = ProgramBuilder::new();
+    b.exit();
+    let wl = Workload::new("no-warps", b.build().unwrap(), 0);
+    let err = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+        .run(&wl)
+        .unwrap_err();
+    match &err {
+        SimError::InvalidWorkload { workload, what } => {
+            assert_eq!(workload, "no-warps");
+            assert!(what.contains("n_warps"), "{what}");
+        }
+        other => panic!("expected InvalidWorkload, got {other}"),
+    }
+    // Pre-run validation failures carry no snapshot — nothing ran.
+    assert!(err.snapshot().is_none());
+    assert_eq!(err.workload(), Some("no-warps"));
+}
+
+#[test]
+fn degenerate_config_is_rejected_before_the_first_cycle() {
+    let mut b = ProgramBuilder::new();
+    b.exit();
+    let wl = Workload::new("ok", b.build().unwrap(), 1);
+    let mut sm = SmConfig::turing_like();
+    sm.max_cycles = 0;
+    let err = Simulator::new(sm, SiConfig::disabled())
+        .run(&wl)
+        .unwrap_err();
+    match &err {
+        SimError::InvalidConfig { what } => assert!(what.contains("max_cycles"), "{what}"),
+        other => panic!("expected InvalidConfig, got {other}"),
+    }
+}
+
+#[test]
+fn full_invariant_level_passes_on_a_healthy_divergent_run() {
+    // A divergent kernel with loads on both paths, checked every cycle at
+    // the most expensive level: a healthy simulation must stay clean.
+    let mut b = ProgramBuilder::new();
+    let else_l = b.label("else");
+    let sync = b.label("sync");
+    b.isetp(Pred(0), Reg(0), Operand::imm(1), CmpOp::Lt);
+    b.bssy(Barrier(0), sync);
+    b.bra(else_l).pred(Pred(0), false);
+    b.ldg(Reg(2), Reg(4), 0).wr_sb(Scoreboard(0));
+    b.fadd(Reg(3), Reg(2), Operand::fimm(1.0))
+        .req_sb(Scoreboard(0));
+    b.bra(sync);
+    b.place(else_l);
+    b.tld(Reg(5), Reg(4)).wr_sb(Scoreboard(1));
+    b.fadd(Reg(6), Reg(5), Operand::fimm(1.0))
+        .req_sb(Scoreboard(1));
+    b.bra(sync);
+    b.place(sync);
+    b.bsync(Barrier(0));
+    b.exit();
+    let wl = Workload::new("healthy", b.build().unwrap(), 2)
+        .with_threads_per_warp(2)
+        .with_init(Reg(0), InitValue::LaneId)
+        .with_init(Reg(4), InitValue::GlobalTid);
+    for level in [
+        InvariantLevel::Off,
+        InvariantLevel::Cheap,
+        InvariantLevel::Full,
+    ] {
+        let sm = SmConfig::turing_like().with_invariants(level);
+        let stats = Simulator::new(sm, SiConfig::best()).run(&wl).unwrap();
+        assert!(stats.cycles > 0, "{level:?}");
+    }
+}
+
+#[test]
+fn invariant_levels_do_not_change_simulation_results() {
+    let wl = cross_barrier_deadlock();
+    // Even the failure cycle is level-independent: checking is observation,
+    // never actuation.
+    let at = |level| {
+        let sm = SmConfig::turing_like().with_invariants(level);
+        match Simulator::new(sm, SiConfig::disabled()).run(&wl) {
+            Err(SimError::Deadlock { snapshot, .. }) => snapshot.cycle,
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+    };
+    assert_eq!(at(InvariantLevel::Off), at(InvariantLevel::Cheap));
+    assert_eq!(at(InvariantLevel::Cheap), at(InvariantLevel::Full));
+}
+
+#[test]
+fn every_variant_renders_display_and_debug() {
+    let snapshot = StateSnapshot {
+        sm_id: 0,
+        cycle: 123,
+        ..Default::default()
+    };
+    let variants: Vec<SimError> = vec![
+        SimError::Deadlock {
+            workload: "w".into(),
+            window: DEADLOCK_WINDOW,
+            snapshot: snapshot.clone(),
+        },
+        SimError::CycleCapExceeded {
+            workload: "w".into(),
+            cap: 9,
+            snapshot: snapshot.clone(),
+        },
+        SimError::InvariantViolation {
+            workload: "w".into(),
+            what: "scoreboard sb0 underflow".into(),
+            snapshot,
+        },
+        SimError::InvalidConfig {
+            what: "n_pbs must be at least 1".into(),
+        },
+        SimError::InvalidWorkload {
+            workload: "w".into(),
+            what: "program is empty".into(),
+        },
+    ];
+    for (err, needle) in
+        variants
+            .iter()
+            .zip(["deadlock", "cycle cap", "invariant", "config", "workload"])
+    {
+        let shown = err.to_string();
+        let debugged = format!("{err:?}");
+        assert!(
+            shown.to_lowercase().contains(needle),
+            "Display for {debugged:.60} should mention `{needle}`: {shown}"
+        );
+        // Debug round-trips the variant name.
+        let name = match err {
+            SimError::Deadlock { .. } => "Deadlock",
+            SimError::CycleCapExceeded { .. } => "CycleCapExceeded",
+            SimError::InvariantViolation { .. } => "InvariantViolation",
+            SimError::InvalidConfig { .. } => "InvalidConfig",
+            SimError::InvalidWorkload { .. } => "InvalidWorkload",
+        };
+        assert!(debugged.contains(name), "{debugged}");
+        // And the std::error::Error impl is usable.
+        let _: &dyn std::error::Error = err;
+    }
+}

@@ -4,8 +4,8 @@
 //! and the cycle-cap guard.
 
 use subwarp_core::{
-    DivergeOrder, EventKind, InitValue, SchedulerPolicy, SelectPolicy, SiConfig, Simulator,
-    SmConfig, Workload,
+    DivergeOrder, EventKind, InitValue, SchedulerPolicy, SelectPolicy, SiConfig, SimError,
+    Simulator, SmConfig, Workload,
 };
 use subwarp_isa::{
     Barrier, CmpOp, MufuFunc, Operand, Pred, Program, ProgramBuilder, Reg, Scoreboard, StallHint,
@@ -24,13 +24,19 @@ fn divergent_two_path(taken_lanes: i64, hint: Option<StallHint>) -> Program {
     }
     // Fall-through: math only.
     for _ in 0..20 {
-        b.ffma(Reg(10), Reg(10), Operand::fimm(1.000001), Operand::fimm(0.5));
+        b.ffma(
+            Reg(10),
+            Reg(10),
+            Operand::fimm(1.000001),
+            Operand::fimm(0.5),
+        );
     }
     b.bra(sync);
     b.place(else_);
     // Taken: a stalling load.
     b.tld(Reg(2), Reg(4)).wr_sb(Scoreboard(2));
-    b.fadd(Reg(3), Reg(2), Operand::fimm(1.0)).req_sb(Scoreboard(2));
+    b.fadd(Reg(3), Reg(2), Operand::fimm(1.0))
+        .req_sb(Scoreboard(2));
     b.bra(sync);
     b.place(sync);
     b.bsync(Barrier(0));
@@ -50,8 +56,10 @@ fn lrr_scheduler_runs_the_suite_kernel_shapes() {
     let mut sm = SmConfig::turing_like();
     sm.scheduler = SchedulerPolicy::Lrr;
     let w = wl(divergent_two_path(1, None));
-    let gto = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&w);
-    let lrr = Simulator::new(sm, SiConfig::disabled()).run(&w);
+    let gto = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+        .run(&w)
+        .unwrap();
+    let lrr = Simulator::new(sm, SiConfig::disabled()).run(&w).unwrap();
     // Same work either way; timing may differ slightly.
     assert_eq!(gto.instructions, lrr.instructions);
     assert!(lrr.cycles > 0);
@@ -72,11 +80,13 @@ fn explicit_yield_op_is_inert_on_baseline_and_switches_under_si() {
         // load and explicitly yields while the taken side is still READY.
         b.ldg(Reg(2), Reg(4), 0).wr_sb(Scoreboard(0));
         b.yield_hint(); // explicit software subwarp-yield
-        b.fadd(Reg(3), Reg(2), Operand::fimm(1.0)).req_sb(Scoreboard(0));
+        b.fadd(Reg(3), Reg(2), Operand::fimm(1.0))
+            .req_sb(Scoreboard(0));
         b.bra(sync);
         b.place(else_);
         b.tld(Reg(5), Reg(4)).wr_sb(Scoreboard(1));
-        b.fadd(Reg(6), Reg(5), Operand::fimm(1.0)).req_sb(Scoreboard(1));
+        b.fadd(Reg(6), Reg(5), Operand::fimm(1.0))
+            .req_sb(Scoreboard(1));
         b.bra(sync);
         b.place(sync);
         b.bsync(Barrier(0));
@@ -84,13 +94,22 @@ fn explicit_yield_op_is_inert_on_baseline_and_switches_under_si() {
         b.build().unwrap()
     };
     let w = wl(build());
-    let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&w);
-    let (si, rec) = Simulator::new(SmConfig::turing_like(), SiConfig::sos(SelectPolicy::AnyStalled))
-        .run_recorded(&w);
+    let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+        .run(&w)
+        .unwrap();
+    let (si, rec) = Simulator::new(
+        SmConfig::turing_like(),
+        SiConfig::sos(SelectPolicy::AnyStalled),
+    )
+    .run_recorded(&w)
+    .unwrap();
     // Baseline treats YIELD as a hint no-op (it must not demote anything).
     assert_eq!(base.subwarp_yields, 0);
     // SI honours it even in SOS mode (it's an explicit instruction).
-    assert!(si.subwarp_yields >= 1, "explicit yield should fire under SI");
+    assert!(
+        si.subwarp_yields >= 1,
+        "explicit yield should fire under SI"
+    );
     assert!(rec.kinds().contains(&EventKind::Yield));
     assert!(si.cycles < base.cycles);
 }
@@ -108,12 +127,15 @@ fn yield_threshold_gates_hardware_yields() {
         b.bra(else_).pred(Pred(0), false);
         b.ldg(Reg(2), Reg(4), 0).wr_sb(Scoreboard(0));
         b.ldg(Reg(3), Reg(4), 0x8000).wr_sb(Scoreboard(1));
-        b.fadd(Reg(5), Reg(2), Operand::fimm(1.0)).req_sb(Scoreboard(0));
-        b.fadd(Reg(5), Reg(3), Operand::reg(5)).req_sb(Scoreboard(1));
+        b.fadd(Reg(5), Reg(2), Operand::fimm(1.0))
+            .req_sb(Scoreboard(0));
+        b.fadd(Reg(5), Reg(3), Operand::reg(5))
+            .req_sb(Scoreboard(1));
         b.bra(sync);
         b.place(else_);
         b.tld(Reg(6), Reg(4)).wr_sb(Scoreboard(2));
-        b.fadd(Reg(7), Reg(6), Operand::fimm(1.0)).req_sb(Scoreboard(2));
+        b.fadd(Reg(7), Reg(6), Operand::fimm(1.0))
+            .req_sb(Scoreboard(2));
         b.bra(sync);
         b.place(sync);
         b.bsync(Barrier(0));
@@ -125,8 +147,12 @@ fn yield_threshold_gates_hardware_yields() {
     eager.yield_threshold = 1;
     let mut lazy = SiConfig::both(SelectPolicy::AnyStalled);
     lazy.yield_threshold = 10;
-    let e = Simulator::new(SmConfig::turing_like(), eager).run(&w);
-    let l = Simulator::new(SmConfig::turing_like(), lazy).run(&w);
+    let e = Simulator::new(SmConfig::turing_like(), eager)
+        .run(&w)
+        .unwrap();
+    let l = Simulator::new(SmConfig::turing_like(), lazy)
+        .run(&w)
+        .unwrap();
     assert!(e.subwarp_yields > l.subwarp_yields);
     assert_eq!(l.subwarp_yields, 0, "threshold 10 never reached");
 }
@@ -136,11 +162,17 @@ fn predicated_memory_ops_only_touch_passing_lanes() {
     // Lane 0 loads; lane 1's guard fails. Both advance; only one request.
     let mut b = ProgramBuilder::new();
     b.isetp(Pred(0), Reg(0), Operand::imm(1), CmpOp::Lt);
-    b.ldg(Reg(2), Reg(4), 0).pred(Pred(0), false).wr_sb(Scoreboard(0));
-    b.fadd(Reg(3), Reg(2), Operand::fimm(1.0)).pred(Pred(0), false).req_sb(Scoreboard(0));
+    b.ldg(Reg(2), Reg(4), 0)
+        .pred(Pred(0), false)
+        .wr_sb(Scoreboard(0));
+    b.fadd(Reg(3), Reg(2), Operand::fimm(1.0))
+        .pred(Pred(0), false)
+        .req_sb(Scoreboard(0));
     b.exit();
     let w = wl(b.build().unwrap());
-    let stats = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&w);
+    let stats = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+        .run(&w)
+        .unwrap();
     assert_eq!(stats.l1d.accesses(), 1, "one line from one passing lane");
     assert!(stats.cycles > 600, "the passing lane still pays its miss");
 }
@@ -161,9 +193,12 @@ fn mufu_is_slower_than_alu_but_not_a_memory_stall() {
         wl(b.build().unwrap())
     };
     let sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
-    let mufu = sim.run(&build(true));
-    let alu = sim.run(&build(false));
-    assert!(mufu.cycles > alu.cycles + 32 * 8, "MUFU chain must be slower");
+    let mufu = sim.run(&build(true)).unwrap();
+    let alu = sim.run(&build(false)).unwrap();
+    assert!(
+        mufu.cycles > alu.cycles + 32 * 8,
+        "MUFU chain must be slower"
+    );
     assert_eq!(mufu.exposed_load_stalls, 0);
 }
 
@@ -174,7 +209,9 @@ fn lds_is_fast_and_uncached() {
     b.iadd(Reg(3), Reg(2), Operand::imm(1));
     b.exit();
     let w = wl(b.build().unwrap());
-    let stats = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&w);
+    let stats = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+        .run(&w)
+        .unwrap();
     assert_eq!(stats.l1d.accesses(), 0, "shared memory bypasses the L1D");
     assert!(stats.cycles < 300, "LDS latency is short: {}", stats.cycles);
 }
@@ -188,8 +225,11 @@ fn hinted_order_prefers_the_stalling_side() {
     sm.diverge_order = DivergeOrder::Hinted;
     let si = SiConfig::sos(SelectPolicy::AnyStalled);
     let hinted = Simulator::new(sm.clone(), si)
-        .run(&wl(divergent_two_path(1, Some(StallHint::TakenStalls))));
-    let unhinted = Simulator::new(sm, si).run(&wl(divergent_two_path(1, None)));
+        .run(&wl(divergent_two_path(1, Some(StallHint::TakenStalls))))
+        .unwrap();
+    let unhinted = Simulator::new(sm, si)
+        .run(&wl(divergent_two_path(1, None)))
+        .unwrap();
     assert!(
         hinted.cycles < unhinted.cycles,
         "hint should overlap the miss: {} vs {}",
@@ -208,11 +248,13 @@ fn two_stall_paths() -> Program {
     b.bssy(Barrier(0), sync);
     b.bra(else_).pred(Pred(0), false);
     b.ldg(Reg(2), Reg(4), 0).wr_sb(Scoreboard(0));
-    b.fadd(Reg(3), Reg(2), Operand::fimm(1.0)).req_sb(Scoreboard(0));
+    b.fadd(Reg(3), Reg(2), Operand::fimm(1.0))
+        .req_sb(Scoreboard(0));
     b.bra(sync);
     b.place(else_);
     b.tld(Reg(5), Reg(4)).wr_sb(Scoreboard(1));
-    b.fadd(Reg(6), Reg(5), Operand::fimm(1.0)).req_sb(Scoreboard(1));
+    b.fadd(Reg(6), Reg(5), Operand::fimm(1.0))
+        .req_sb(Scoreboard(1));
     b.bra(sync);
     b.place(sync);
     b.bsync(Barrier(0));
@@ -227,9 +269,15 @@ fn dws_mode_cannot_demote_when_slots_are_full() {
     let w = Workload::new("full", program, 32)
         .with_init(Reg(0), InitValue::LaneId)
         .with_init(Reg(4), InitValue::GlobalTid);
-    let si = Simulator::new(SmConfig::turing_like(), SiConfig::sos(SelectPolicy::HalfStalled))
-        .run(&w);
-    let dws = Simulator::new(SmConfig::turing_like(), SiConfig::dws_like()).run(&w);
+    let si = Simulator::new(
+        SmConfig::turing_like(),
+        SiConfig::sos(SelectPolicy::HalfStalled),
+    )
+    .run(&w)
+    .unwrap();
+    let dws = Simulator::new(SmConfig::turing_like(), SiConfig::dws_like())
+        .run(&w)
+        .unwrap();
     // Slots only free up as warps retire, so a few late forks are possible,
     // but DWS must be starved relative to SI while the SM is full.
     assert!(
@@ -242,12 +290,13 @@ fn dws_mode_cannot_demote_when_slots_are_full() {
     let w16 = Workload::new("half", two_stall_paths(), 16)
         .with_init(Reg(0), InitValue::LaneId)
         .with_init(Reg(4), InitValue::GlobalTid);
-    let dws16 = Simulator::new(SmConfig::turing_like(), SiConfig::dws_like()).run(&w16);
+    let dws16 = Simulator::new(SmConfig::turing_like(), SiConfig::dws_like())
+        .run(&w16)
+        .unwrap();
     assert!(dws16.subwarp_stalls > 0, "free slots allow DWS forks");
 }
 
 #[test]
-#[should_panic(expected = "cycle cap")]
 fn cycle_cap_guard_fires() {
     let mut b = ProgramBuilder::new();
     let spin = b.label("spin");
@@ -258,7 +307,29 @@ fn cycle_cap_guard_fires() {
     let w = wl(b.build().unwrap());
     let mut sm = SmConfig::turing_like();
     sm.max_cycles = 10_000;
-    let _ = Simulator::new(sm, SiConfig::disabled()).run(&w);
+    let err = Simulator::new(sm, SiConfig::disabled())
+        .run(&w)
+        .unwrap_err();
+    match err {
+        SimError::CycleCapExceeded {
+            ref workload,
+            cap,
+            ref snapshot,
+        } => {
+            assert_eq!(workload, "feature");
+            assert_eq!(cap, 10_000);
+            assert_eq!(snapshot.cycle, 10_000);
+            assert!(
+                !snapshot.warps.is_empty(),
+                "snapshot must capture the spinning warp"
+            );
+        }
+        other => panic!("expected CycleCapExceeded, got {other}"),
+    }
+    assert!(
+        err.to_string().contains("cycle cap"),
+        "message names the cap: {err}"
+    );
 }
 
 #[test]
@@ -271,7 +342,8 @@ fn store_load_forwarding_through_data_memory() {
     b.mov(Reg(2), Operand::imm(777));
     b.stg(Reg(2), Reg(1), 0);
     b.ldg(Reg(3), Reg(1), 0).wr_sb(Scoreboard(0));
-    b.iadd(Reg(4), Reg(3), Operand::imm(1)).req_sb(Scoreboard(0));
+    b.iadd(Reg(4), Reg(3), Operand::imm(1))
+        .req_sb(Scoreboard(0));
     b.isetp(Pred(0), Reg(4), Operand::imm(778), CmpOp::Eq);
     // Diverge on the comparison: if the loaded value was wrong, lanes fall
     // through to an extra (observable) block of instructions.
@@ -283,7 +355,9 @@ fn store_load_forwarding_through_data_memory() {
     b.place(done);
     b.exit();
     let w = wl(b.build().unwrap());
-    let stats = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&w);
+    let stats = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+        .run(&w)
+        .unwrap();
     // Both lanes took the branch: 8 real instructions, no nop block.
     assert_eq!(stats.instructions, 8, "round-tripped value must be 777");
 }
@@ -302,21 +376,32 @@ fn baseline_warp_wide_scoreboards_alias_across_subwarps() {
     b.bssy(Barrier(0), sync);
     b.bra(else_).pred(Pred(0), false);
     b.ldg(Reg(2), Reg(4), 0).wr_sb(Scoreboard(0));
-    b.fadd(Reg(3), Reg(2), Operand::fimm(1.0)).req_sb(Scoreboard(0));
+    b.fadd(Reg(3), Reg(2), Operand::fimm(1.0))
+        .req_sb(Scoreboard(0));
     b.bra(sync);
     b.place(else_);
     b.ldg(Reg(2), Reg(4), 0x40_000).wr_sb(Scoreboard(0));
-    b.fadd(Reg(3), Reg(2), Operand::fimm(2.0)).req_sb(Scoreboard(0));
+    b.fadd(Reg(3), Reg(2), Operand::fimm(2.0))
+        .req_sb(Scoreboard(0));
     b.bra(sync);
     b.place(sync);
     b.bsync(Barrier(0));
     b.exit();
     let w = wl(b.build().unwrap());
-    let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&w);
-    let si = Simulator::new(SmConfig::turing_like(), SiConfig::sos(SelectPolicy::AnyStalled))
-        .run(&w);
+    let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+        .run(&w)
+        .unwrap();
+    let si = Simulator::new(
+        SmConfig::turing_like(),
+        SiConfig::sos(SelectPolicy::AnyStalled),
+    )
+    .run(&w)
+    .unwrap();
     assert_eq!(base.instructions, si.instructions);
-    assert!(si.cycles < base.cycles, "per-lane counters overlap the two misses");
+    assert!(
+        si.cycles < base.cycles,
+        "per-lane counters overlap the two misses"
+    );
 }
 
 #[test]
@@ -342,8 +427,9 @@ fn multi_way_divergence_produces_one_subwarp_per_case() {
     b.bsync(Barrier(0));
     b.exit();
     let w = Workload::new("switch4", b.build().unwrap(), 1).with_init(Reg(0), InitValue::LaneId);
-    let (stats, rec) =
-        Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run_recorded(&w);
+    let (stats, rec) = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+        .run_recorded(&w)
+        .unwrap();
     assert_eq!(stats.divergences, 3, "three splits for four subwarps");
     assert_eq!(rec.of_kind(EventKind::Reconverge).count(), 1);
     // Every diverge event carries an 8-lane mask.
@@ -363,7 +449,12 @@ fn two_sms_split_the_work_and_scale() {
     b.mov(Reg(9), Operand::imm(16));
     b.place(loop_);
     for i in 0..48 {
-        b.ffma(Reg(10 + i % 16), Reg(2), Operand::fimm(1.5), Operand::fimm(0.5));
+        b.ffma(
+            Reg(10 + i % 16),
+            Reg(2),
+            Operand::fimm(1.5),
+            Operand::fimm(0.5),
+        );
     }
     b.iadd(Reg(9), Reg(9), Operand::imm(-1));
     b.isetp(Pred(1), Reg(9), Operand::imm(0), CmpOp::Gt);
@@ -375,9 +466,12 @@ fn two_sms_split_the_work_and_scale() {
             .with_init(Reg(0), InitValue::LaneId)
             .with_init(Reg(1), InitValue::GlobalTid)
     };
-    let one_sm = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&mk(64));
+    let one_sm = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+        .run(&mk(64))
+        .unwrap();
     let two_sm = Simulator::new(SmConfig::turing_like().with_n_sms(2), SiConfig::disabled())
-        .run(&mk(64));
+        .run(&mk(64))
+        .unwrap();
     assert_eq!(one_sm.instructions, two_sm.instructions, "same total work");
     assert!(
         two_sm.cycles < one_sm.cycles * 2 / 3,
@@ -396,8 +490,12 @@ fn multi_sm_event_recording_merges_in_cycle_order() {
         .with_init(Reg(0), InitValue::LaneId)
         .with_init(Reg(4), InitValue::Const(0x9000));
     let (_, rec) = Simulator::new(SmConfig::turing_like().with_n_sms(2), SiConfig::best())
-        .run_recorded(&wl);
+        .run_recorded(&wl)
+        .unwrap();
     let cycles: Vec<u64> = rec.events().iter().map(|e| e.cycle).collect();
-    assert!(cycles.windows(2).all(|w| w[0] <= w[1]), "events sorted by cycle");
+    assert!(
+        cycles.windows(2).all(|w| w[0] <= w[1]),
+        "events sorted by cycle"
+    );
     assert!(!cycles.is_empty());
 }

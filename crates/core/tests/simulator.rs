@@ -2,8 +2,7 @@
 //! and exposed-stall accounting on hand-built kernels.
 
 use subwarp_core::{
-    EventKind, InitValue, RayResult, RtTrace, SelectPolicy, SiConfig, Simulator, SmConfig,
-    Workload,
+    EventKind, InitValue, RayResult, RtTrace, SelectPolicy, SiConfig, Simulator, SmConfig, Workload,
 };
 use subwarp_isa::{Barrier, CmpOp, Operand, Pred, Program, ProgramBuilder, Reg, Scoreboard};
 
@@ -20,12 +19,14 @@ fn figure9_program(taken_lanes: i64) -> Program {
     // Fall-through path (Shader A of Figure 1): TLD + use.
     b.tld(Reg(2), Reg(4)).wr_sb(Scoreboard(5));
     b.fmul(Reg(10), Reg(5), Operand::cbank(1, 16));
-    b.fmul(Reg(2), Reg(2), Operand::reg(10)).req_sb(Scoreboard(5));
+    b.fmul(Reg(2), Reg(2), Operand::reg(10))
+        .req_sb(Scoreboard(5));
     b.bra(sync);
     b.place(else_);
     // Taken path (Shader B): TEX + use.
     b.tex(Reg(1), Reg(6)).wr_sb(Scoreboard(2));
-    b.fadd(Reg(1), Reg(1), Operand::reg(3)).req_sb(Scoreboard(2));
+    b.fadd(Reg(1), Reg(1), Operand::reg(3))
+        .req_sb(Scoreboard(2));
     b.bra(sync);
     b.place(sync);
     b.bsync(Barrier(0));
@@ -55,17 +56,26 @@ fn straight_line_program(n_alu: usize) -> Program {
 
 #[test]
 fn straight_line_kernel_issues_once_per_cycle_per_pb() {
-    let wl = Workload::new("alu", straight_line_program(256), 1)
-        .with_init(Reg(0), InitValue::LaneId);
-    let stats = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl);
+    let wl =
+        Workload::new("alu", straight_line_program(256), 1).with_init(Reg(0), InitValue::LaneId);
+    let stats = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+        .run(&wl)
+        .unwrap();
     assert_eq!(stats.instructions, 257);
     // One warp on one PB: one instruction per cycle plus cold instruction
     // fetches — 257 instructions span 33 lines, each a cold L1I miss
     // (200 cycles, paid once per line; no prefetcher is modelled).
     assert!(stats.cycles >= 257);
-    assert!(stats.cycles < 257 + 33 * 200 + 500, "took {} cycles", stats.cycles);
+    assert!(
+        stats.cycles < 257 + 33 * 200 + 500,
+        "took {} cycles",
+        stats.cycles
+    );
     assert_eq!(stats.exposed_load_stalls, 0);
-    assert!(stats.exposed_fetch_stalls > 0, "cold code pays fetch stalls");
+    assert!(
+        stats.exposed_fetch_stalls > 0,
+        "cold code pays fetch stalls"
+    );
 }
 
 #[test]
@@ -77,17 +87,33 @@ fn dependent_alu_chain_pays_alu_latency() {
     }
     b.exit();
     let wl = Workload::new("chain", b.build().unwrap(), 1);
-    let stats = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl);
-    assert!(stats.cycles >= 64 * 4, "dependent chain too fast: {}", stats.cycles);
+    let stats = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+        .run(&wl)
+        .unwrap();
+    assert!(
+        stats.cycles >= 64 * 4,
+        "dependent chain too fast: {}",
+        stats.cycles
+    );
 }
 
 #[test]
 fn figure9_baseline_serializes_and_exposes_stalls() {
     let wl = figure9_workload();
-    let stats = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl);
+    let stats = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+        .run(&wl)
+        .unwrap();
     // Two serialized 600-cycle misses dominate.
-    assert!(stats.cycles > 1100, "baseline should serialize: {} cycles", stats.cycles);
-    assert!(stats.exposed_load_stalls > 900, "stalls: {}", stats.exposed_load_stalls);
+    assert!(
+        stats.cycles > 1100,
+        "baseline should serialize: {} cycles",
+        stats.cycles
+    );
+    assert!(
+        stats.exposed_load_stalls > 900,
+        "stalls: {}",
+        stats.exposed_load_stalls
+    );
     // Both stalls happen in divergent code.
     assert!(stats.exposed_load_stalls_divergent > 900);
     assert_eq!(stats.divergences, 1);
@@ -97,14 +123,18 @@ fn figure9_baseline_serializes_and_exposes_stalls() {
 #[test]
 fn figure9_si_overlaps_the_two_misses() {
     let wl = figure9_workload();
-    let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl);
+    let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+        .run(&wl)
+        .unwrap();
     for si in [
         SiConfig::sos(SelectPolicy::AnyStalled),
         SiConfig::sos(SelectPolicy::HalfStalled),
         SiConfig::sos(SelectPolicy::AllStalled),
         SiConfig::best(),
     ] {
-        let stats = Simulator::new(SmConfig::turing_like(), si).run(&wl);
+        let stats = Simulator::new(SmConfig::turing_like(), si)
+            .run(&wl)
+            .unwrap();
         let speedup = stats.speedup_vs(&base);
         assert!(
             speedup > 1.5,
@@ -129,15 +159,24 @@ fn figure10a_schedule_without_yield() {
     // Select(t0) → (t0 stalls) → Wakeup(t1) → Select/Stall interleave →
     // Block → Reconverge.
     let wl = figure9_workload();
-    let (stats, rec) =
-        Simulator::new(SmConfig::turing_like(), SiConfig::sos(SelectPolicy::AnyStalled))
-            .run_recorded(&wl);
+    let (stats, rec) = Simulator::new(
+        SmConfig::turing_like(),
+        SiConfig::sos(SelectPolicy::AnyStalled),
+    )
+    .run_recorded(&wl)
+    .unwrap();
     let kinds = rec.kinds();
     // The first transition is the divergence split.
     assert_eq!(kinds[0], EventKind::Diverge);
     // A demotion happens before any wakeup (t1 stalls on its TLD first).
-    let first_stall = kinds.iter().position(|k| *k == EventKind::Stall).expect("stall");
-    let first_wakeup = kinds.iter().position(|k| *k == EventKind::Wakeup).expect("wakeup");
+    let first_stall = kinds
+        .iter()
+        .position(|k| *k == EventKind::Stall)
+        .expect("stall");
+    let first_wakeup = kinds
+        .iter()
+        .position(|k| *k == EventKind::Wakeup)
+        .expect("wakeup");
     assert!(first_stall < first_wakeup);
     // A selection follows the first stall (t0 takes the slot).
     assert!(kinds[first_stall..].contains(&EventKind::Select));
@@ -152,13 +191,25 @@ fn figure10b_yield_issues_both_loads_before_any_wakeup() {
     // With subwarp-yield, t1 hands the slot over right after issuing its
     // TLD, so the Yield event precedes the first Stall (Figure 10b).
     let wl = figure9_workload();
-    let (stats, rec) =
-        Simulator::new(SmConfig::turing_like(), SiConfig::both(SelectPolicy::AnyStalled))
-            .run_recorded(&wl);
+    let (stats, rec) = Simulator::new(
+        SmConfig::turing_like(),
+        SiConfig::both(SelectPolicy::AnyStalled),
+    )
+    .run_recorded(&wl)
+    .unwrap();
     let kinds = rec.kinds();
-    let first_yield = kinds.iter().position(|k| *k == EventKind::Yield).expect("yield");
-    let first_wakeup = kinds.iter().position(|k| *k == EventKind::Wakeup).expect("wakeup");
-    assert!(first_yield < first_wakeup, "yield should fire before any writeback");
+    let first_yield = kinds
+        .iter()
+        .position(|k| *k == EventKind::Yield)
+        .expect("yield");
+    let first_wakeup = kinds
+        .iter()
+        .position(|k| *k == EventKind::Wakeup)
+        .expect("wakeup");
+    assert!(
+        first_yield < first_wakeup,
+        "yield should fire before any writeback"
+    );
     assert!(stats.subwarp_yields >= 1);
     assert!(kinds.contains(&EventKind::Reconverge));
 }
@@ -168,21 +219,28 @@ fn yield_without_other_ready_subwarp_is_a_no_op() {
     // A convergent kernel with a load: yield has nobody to hand over to.
     let mut b = ProgramBuilder::new();
     b.ldg(Reg(2), Reg(0), 0).wr_sb(Scoreboard(0));
-    b.fadd(Reg(3), Reg(2), Operand::fimm(1.0)).req_sb(Scoreboard(0));
+    b.fadd(Reg(3), Reg(2), Operand::fimm(1.0))
+        .req_sb(Scoreboard(0));
     b.exit();
-    let wl = Workload::new("conv", b.build().unwrap(), 1)
-        .with_init(Reg(0), InitValue::Const(0x5000));
-    let stats = Simulator::new(SmConfig::turing_like(), SiConfig::best()).run(&wl);
+    let wl =
+        Workload::new("conv", b.build().unwrap(), 1).with_init(Reg(0), InitValue::Const(0x5000));
+    let stats = Simulator::new(SmConfig::turing_like(), SiConfig::best())
+        .run(&wl)
+        .unwrap();
     assert_eq!(stats.subwarp_yields, 0);
     assert_eq!(stats.subwarp_stalls, 0);
 }
 
 #[test]
 fn convergent_code_is_unaffected_by_si() {
-    let wl = Workload::new("alu", straight_line_program(512), 8)
-        .with_init(Reg(0), InitValue::GlobalTid);
-    let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl);
-    let si = Simulator::new(SmConfig::turing_like(), SiConfig::best()).run(&wl);
+    let wl =
+        Workload::new("alu", straight_line_program(512), 8).with_init(Reg(0), InitValue::GlobalTid);
+    let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+        .run(&wl)
+        .unwrap();
+    let si = Simulator::new(SmConfig::turing_like(), SiConfig::best())
+        .run(&wl)
+        .unwrap();
     assert_eq!(base.instructions, si.instructions);
     // No divergence → no subwarps → identical schedule.
     assert_eq!(base.cycles, si.cycles);
@@ -205,7 +263,8 @@ fn more_warps_hide_memory_latency() {
     for i in 0..150 {
         b.fadd(Reg((10 + i % 32) as u8), Reg(7), Operand::fimm(1.0));
     }
-    b.fadd(Reg(3), Reg(2), Operand::fimm(1.0)).req_sb(Scoreboard(0));
+    b.fadd(Reg(3), Reg(2), Operand::fimm(1.0))
+        .req_sb(Scoreboard(0));
     b.iadd(Reg(1), Reg(1), Operand::imm(0x20_000)); // next compulsory line
     b.iadd(Reg(5), Reg(5), Operand::imm(-1));
     b.isetp(Pred(0), Reg(5), Operand::imm(0), CmpOp::Gt);
@@ -222,9 +281,13 @@ fn more_warps_hide_memory_latency() {
             )
     };
     let sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
-    let s1 = sim.run(&mk(1));
-    let s16 = sim.run(&mk(16));
-    assert!(s1.exposed_ratio() > 0.4, "single warp exposes its misses: {}", s1.exposed_ratio());
+    let s1 = sim.run(&mk(1)).unwrap();
+    let s16 = sim.run(&mk(16)).unwrap();
+    assert!(
+        s1.exposed_ratio() > 0.4,
+        "single warp exposes its misses: {}",
+        s1.exposed_ratio()
+    );
     assert!(
         s16.exposed_ratio() < s1.exposed_ratio() / 2.0,
         "16 warps should hide most stalls: {} vs {}",
@@ -237,7 +300,9 @@ fn more_warps_hide_memory_latency() {
 fn waves_run_when_warps_exceed_slots() {
     let wl = Workload::new("waves", straight_line_program(64), 100)
         .with_init(Reg(0), InitValue::GlobalTid);
-    let stats = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl);
+    let stats = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+        .run(&wl)
+        .unwrap();
     assert_eq!(stats.instructions, 100 * 65);
     assert_eq!(stats.peak_resident_warps, 32, "slots full at peak");
 }
@@ -249,16 +314,21 @@ fn store_then_load_round_trips_through_data_memory() {
     b.mov(Reg(2), Operand::imm(1234));
     b.stg(Reg(2), Reg(1), 0);
     b.ldg(Reg(3), Reg(1), 0).wr_sb(Scoreboard(0));
-    b.iadd(Reg(4), Reg(3), Operand::imm(0)).req_sb(Scoreboard(0));
+    b.iadd(Reg(4), Reg(3), Operand::imm(0))
+        .req_sb(Scoreboard(0));
     b.stg(Reg(4), Reg(1), 8);
     b.exit();
     let wl = Workload::new("st-ld", b.build().unwrap(), 1).with_threads_per_warp(1);
-    let stats = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl);
+    let stats = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+        .run(&wl)
+        .unwrap();
     assert!(stats.cycles > 0);
     // The value survived the round trip (checked via the second store's
     // effect on a fresh run — the simulator is deterministic).
     // Determinism check: same workload, same cycles.
-    let again = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl);
+    let again = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+        .run(&wl)
+        .unwrap();
     assert_eq!(stats, again);
 }
 
@@ -267,12 +337,16 @@ fn trace_ray_latency_scales_with_nodes_and_returns_shader() {
     let program = {
         let mut b = ProgramBuilder::new();
         b.trace_ray(Reg(2), Reg(0)).wr_sb(Scoreboard(0));
-        b.iadd(Reg(3), Reg(2), Operand::imm(0)).req_sb(Scoreboard(0));
+        b.iadd(Reg(3), Reg(2), Operand::imm(0))
+            .req_sb(Scoreboard(0));
         b.exit();
         b.build().unwrap()
     };
     let mk = |nodes: u32| {
-        let mut t = RtTrace::new(RayResult { shader: 0, nodes: 1 });
+        let mut t = RtTrace::new(RayResult {
+            shader: 0,
+            nodes: 1,
+        });
         for _ in 0..32 {
             t.push(RayResult { shader: 3, nodes });
         }
@@ -281,9 +355,12 @@ fn trace_ray_latency_scales_with_nodes_and_returns_shader() {
             .with_rt_trace(t)
     };
     let sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
-    let shallow = sim.run(&mk(10));
-    let deep = sim.run(&mk(200));
-    assert!(deep.cycles > shallow.cycles, "deeper traversals take longer");
+    let shallow = sim.run(&mk(10)).unwrap();
+    let deep = sim.run(&mk(200)).unwrap();
+    assert!(
+        deep.cycles > shallow.cycles,
+        "deeper traversals take longer"
+    );
     assert_eq!(shallow.rt_traversals, 32);
     // Traversal stalls are attributed separately from load-to-use stalls.
     assert!(shallow.exposed_traversal_stalls > 0);
@@ -297,14 +374,33 @@ fn si_select_policies_order_aggressiveness() {
     let wl = Workload::new("fig9x8", figure9_program(1), 8)
         .with_threads_per_warp(2)
         .with_init(Reg(0), InitValue::LaneId)
-        .with_init(Reg(4), InitValue::Table((0..256).map(|i| 0x100_000 + i * 0x1000).collect()))
-        .with_init(Reg(6), InitValue::Table((0..256).map(|i| 0x900_000 + i * 0x1000).collect()));
-    let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl);
-    let any = Simulator::new(SmConfig::turing_like(), SiConfig::sos(SelectPolicy::AnyStalled))
-        .run(&wl);
-    let all = Simulator::new(SmConfig::turing_like(), SiConfig::sos(SelectPolicy::AllStalled))
-        .run(&wl);
-    assert!(any.subwarp_stalls >= all.subwarp_stalls, "N>0 demotes at least as often as N=1");
+        .with_init(
+            Reg(4),
+            InitValue::Table((0..256).map(|i| 0x100_000 + i * 0x1000).collect()),
+        )
+        .with_init(
+            Reg(6),
+            InitValue::Table((0..256).map(|i| 0x900_000 + i * 0x1000).collect()),
+        );
+    let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+        .run(&wl)
+        .unwrap();
+    let any = Simulator::new(
+        SmConfig::turing_like(),
+        SiConfig::sos(SelectPolicy::AnyStalled),
+    )
+    .run(&wl)
+    .unwrap();
+    let all = Simulator::new(
+        SmConfig::turing_like(),
+        SiConfig::sos(SelectPolicy::AllStalled),
+    )
+    .run(&wl)
+    .unwrap();
+    assert!(
+        any.subwarp_stalls >= all.subwarp_stalls,
+        "N>0 demotes at least as often as N=1"
+    );
     assert!(any.cycles <= base.cycles);
     assert!(all.cycles <= base.cycles);
 }
@@ -312,20 +408,27 @@ fn si_select_policies_order_aggressiveness() {
 #[test]
 fn tst_capacity_one_still_allows_single_overlap() {
     let wl = figure9_workload();
-    let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl);
+    let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+        .run(&wl)
+        .unwrap();
     let si1 = Simulator::new(
         SmConfig::turing_like(),
         SiConfig::sos(SelectPolicy::AnyStalled).with_max_subwarps(1),
     )
-    .run(&wl);
+    .run(&wl)
+    .unwrap();
     // One TST entry suffices for two-way divergence (one stalled + one
     // active), so the overlap is preserved.
-    assert!(si1.speedup_vs(&base) > 1.5, "speedup {}", si1.speedup_vs(&base));
+    assert!(
+        si1.speedup_vs(&base) > 1.5,
+        "speedup {}",
+        si1.speedup_vs(&base)
+    );
 }
 
 #[test]
 fn deterministic_across_runs() {
     let wl = figure9_workload();
     let sim = Simulator::new(SmConfig::turing_like(), SiConfig::best());
-    assert_eq!(sim.run(&wl), sim.run(&wl));
+    assert_eq!(sim.run(&wl).unwrap(), sim.run(&wl).unwrap());
 }

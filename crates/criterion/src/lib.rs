@@ -1,0 +1,157 @@
+#![warn(missing_docs)]
+
+//! Vendored, dependency-free stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! provides the (small) API subset the `subwarp-bench` benches use:
+//! [`Criterion::benchmark_group`], group knobs (`sample_size`,
+//! `warm_up_time`, `measurement_time`), [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is wall-clock via `std::time::Instant`
+//! with a simple mean/min/max report — enough to compare runs locally,
+//! with no statistical machinery.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level benchmark driver (a stub of criterion's `Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            warm_up: Duration::from_millis(100),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing sampling knobs.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    #[allow(dead_code)]
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets how long to run untimed warm-up iterations.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Accepted for API compatibility; sampling here is count-based.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Times `f` and prints a mean/min/max line.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        // Warm-up: run untimed until the warm-up budget elapses.
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed);
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        println!("  {id:<40} mean {mean:>12.3?}  min {min:>12.3?}  max {max:>12.3?}");
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; times the routine under test.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` once, timed (criterion iterates internally; a single timed
+    /// call per sample keeps this stub simple and predictable).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let t = Instant::now();
+        black_box(f());
+        self.elapsed += t.elapsed();
+    }
+}
+
+/// Declares a benchmark group function list (criterion-compatible shape).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_a_function() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("test");
+        g.sample_size(2).warm_up_time(Duration::from_millis(1));
+        let mut runs = 0u32;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        g.finish();
+        assert!(runs >= 2, "warm-up + samples must execute the closure");
+    }
+}

@@ -9,7 +9,6 @@
 use crate::inst::Instruction;
 use crate::op::{CmpOp, MufuFunc, Op, Operand};
 use crate::reg::{Barrier, Pred, Reg};
-use serde::{Deserialize, Serialize};
 
 /// Architectural registers per thread.
 pub const N_REG: usize = 256;
@@ -52,7 +51,7 @@ pub enum Effect {
 /// Register values are 64-bit so that generated workloads can hold full
 /// addresses; float operations use the low 32 bits (`f32`) as on real
 /// hardware.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThreadCtx {
     regs: Vec<u64>,
     preds: [bool; N_PRED],
@@ -60,7 +59,10 @@ pub struct ThreadCtx {
 
 impl Default for ThreadCtx {
     fn default() -> Self {
-        ThreadCtx { regs: vec![0; N_REG], preds: [false; N_PRED] }
+        ThreadCtx {
+            regs: vec![0; N_REG],
+            preds: [false; N_PRED],
+        }
     }
 }
 
@@ -136,7 +138,10 @@ impl ThreadCtx {
     pub fn step(&mut self, inst: &Instruction, consts: &ConstMem) -> Effect {
         debug_assert!(self.guard_passes(inst));
         match &inst.op {
-            Op::Bssy { barrier, target } => Effect::Bssy { barrier: *barrier, reconverge: *target },
+            Op::Bssy { barrier, target } => Effect::Bssy {
+                barrier: *barrier,
+                reconverge: *target,
+            },
             Op::Bsync { barrier } => Effect::Bsync { barrier: *barrier },
             Op::Bra { target } => Effect::Branch { target: *target },
             Op::Exit => Effect::Exit,
@@ -230,14 +235,23 @@ impl ThreadCtx {
             }
             Op::Stg { src, addr, offset } => {
                 let a = self.reg(*addr).wrapping_add(*offset as u64);
-                Effect::Store { addr: a, value: self.reg(*src) }
+                Effect::Store {
+                    addr: a,
+                    value: self.reg(*src),
+                }
             }
             Op::Tld { dst, addr, offset } => {
                 let a = self.reg(*addr).wrapping_add(*offset as u64);
                 Effect::TexFetch { dst: *dst, addr: a }
             }
-            Op::Tex { dst, coord } => Effect::TexFetch { dst: *dst, addr: self.reg(*coord) },
-            Op::TraceRay { dst, ray } => Effect::TraceRay { dst: *dst, ray_id: self.reg(*ray) },
+            Op::Tex { dst, coord } => Effect::TexFetch {
+                dst: *dst,
+                addr: self.reg(*coord),
+            },
+            Op::TraceRay { dst, ray } => Effect::TraceRay {
+                dst: *dst,
+                ray_id: self.reg(*ray),
+            },
         }
     }
 }
@@ -269,7 +283,7 @@ fn compare_f32(a: f32, b: f32, cmp: CmpOp) -> bool {
 /// Unset slots read as the bit pattern of `1.0f32`, which keeps generated
 /// float pipelines numerically tame without requiring every workload to
 /// populate constants.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ConstMem {
     banks: std::collections::HashMap<(u8, u16), u64>,
 }
@@ -287,7 +301,10 @@ impl ConstMem {
 
     /// Reads `c[bank][offset]`; unset slots read as `1.0f32`'s bits.
     pub fn get(&self, bank: u8, offset: u16) -> u64 {
-        self.banks.get(&(bank, offset)).copied().unwrap_or(1.0f32.to_bits() as u64)
+        self.banks
+            .get(&(bank, offset))
+            .copied()
+            .unwrap_or(1.0f32.to_bits() as u64)
     }
 }
 
@@ -318,14 +335,36 @@ mod tests {
     fn integer_math() {
         let (mut t, c) = ctx();
         t.write_reg(Reg(1), 10);
-        t.step(&Op::IAdd { dst: Reg(0), a: Reg(1), b: Operand::imm(5) }.into(), &c);
+        t.step(
+            &Op::IAdd {
+                dst: Reg(0),
+                a: Reg(1),
+                b: Operand::imm(5),
+            }
+            .into(),
+            &c,
+        );
         assert_eq!(t.reg(Reg(0)), 15);
         t.step(
-            &Op::IMad { dst: Reg(2), a: Reg(1), b: Operand::imm(3), c: Operand::imm(7) }.into(),
+            &Op::IMad {
+                dst: Reg(2),
+                a: Reg(1),
+                b: Operand::imm(3),
+                c: Operand::imm(7),
+            }
+            .into(),
             &c,
         );
         assert_eq!(t.reg(Reg(2)), 37);
-        t.step(&Op::Shl { dst: Reg(3), a: Reg(1), b: Operand::imm(2) }.into(), &c);
+        t.step(
+            &Op::Shl {
+                dst: Reg(3),
+                a: Reg(1),
+                b: Operand::imm(2),
+            }
+            .into(),
+            &c,
+        );
         assert_eq!(t.reg(Reg(3)), 40);
     }
 
@@ -333,11 +372,24 @@ mod tests {
     fn float_math_uses_low_32_bits() {
         let (mut t, c) = ctx();
         t.write_reg(Reg(1), 2.5f32.to_bits() as u64);
-        t.step(&Op::FMul { dst: Reg(0), a: Reg(1), b: Operand::fimm(4.0) }.into(), &c);
+        t.step(
+            &Op::FMul {
+                dst: Reg(0),
+                a: Reg(1),
+                b: Operand::fimm(4.0),
+            }
+            .into(),
+            &c,
+        );
         assert_eq!(f32::from_bits(t.reg(Reg(0)) as u32), 10.0);
         t.step(
-            &Op::FFma { dst: Reg(2), a: Reg(1), b: Operand::fimm(2.0), c: Operand::fimm(1.0) }
-                .into(),
+            &Op::FFma {
+                dst: Reg(2),
+                a: Reg(1),
+                b: Operand::fimm(2.0),
+                c: Operand::fimm(1.0),
+            }
+            .into(),
             &c,
         );
         assert_eq!(f32::from_bits(t.reg(Reg(2)) as u32), 6.0);
@@ -347,9 +399,27 @@ mod tests {
     fn isetp_sets_predicates() {
         let (mut t, c) = ctx();
         t.write_reg(Reg(1), 7);
-        t.step(&Op::ISetp { dst: Pred(0), a: Reg(1), b: Operand::imm(7), cmp: CmpOp::Eq }.into(), &c);
+        t.step(
+            &Op::ISetp {
+                dst: Pred(0),
+                a: Reg(1),
+                b: Operand::imm(7),
+                cmp: CmpOp::Eq,
+            }
+            .into(),
+            &c,
+        );
         assert!(t.pred(Pred(0)));
-        t.step(&Op::ISetp { dst: Pred(1), a: Reg(1), b: Operand::imm(3), cmp: CmpOp::Lt }.into(), &c);
+        t.step(
+            &Op::ISetp {
+                dst: Pred(1),
+                a: Reg(1),
+                b: Operand::imm(3),
+                cmp: CmpOp::Lt,
+            }
+            .into(),
+            &c,
+        );
         assert!(!t.pred(Pred(1)));
     }
 
@@ -371,11 +441,21 @@ mod tests {
         t.write_reg(Reg(1), 0x1000);
         t.write_reg(Reg(2), 0xdead);
         let e = t.step(
-            &Instruction::new(Op::Ldg { dst: Reg(2), addr: Reg(1), offset: 0x20 })
-                .with_wr_sb(Scoreboard(0)),
+            &Instruction::new(Op::Ldg {
+                dst: Reg(2),
+                addr: Reg(1),
+                offset: 0x20,
+            })
+            .with_wr_sb(Scoreboard(0)),
             &c,
         );
-        assert_eq!(e, Effect::Load { dst: Reg(2), addr: 0x1020 });
+        assert_eq!(
+            e,
+            Effect::Load {
+                dst: Reg(2),
+                addr: 0x1020
+            }
+        );
         // dst untouched until writeback.
         assert_eq!(t.reg(Reg(2)), 0xdead);
     }
@@ -384,14 +464,35 @@ mod tests {
     fn control_effects() {
         let (mut t, c) = ctx();
         assert_eq!(
-            t.step(&Op::Bssy { barrier: Barrier(0), target: 9 }.into(), &c),
-            Effect::Bssy { barrier: Barrier(0), reconverge: 9 }
+            t.step(
+                &Op::Bssy {
+                    barrier: Barrier(0),
+                    target: 9
+                }
+                .into(),
+                &c
+            ),
+            Effect::Bssy {
+                barrier: Barrier(0),
+                reconverge: 9
+            }
         );
         assert_eq!(
-            t.step(&Op::Bsync { barrier: Barrier(0) }.into(), &c),
-            Effect::Bsync { barrier: Barrier(0) }
+            t.step(
+                &Op::Bsync {
+                    barrier: Barrier(0)
+                }
+                .into(),
+                &c
+            ),
+            Effect::Bsync {
+                barrier: Barrier(0)
+            }
         );
-        assert_eq!(t.step(&Op::Bra { target: 3 }.into(), &c), Effect::Branch { target: 3 });
+        assert_eq!(
+            t.step(&Op::Bra { target: 3 }.into(), &c),
+            Effect::Branch { target: 3 }
+        );
         assert_eq!(t.step(&Op::Exit.into(), &c), Effect::Exit);
         assert_eq!(t.step(&Op::Yield.into(), &c), Effect::Yield);
     }
@@ -400,18 +501,47 @@ mod tests {
     fn trace_ray_carries_ray_id() {
         let (mut t, c) = ctx();
         t.write_reg(Reg(4), 1234);
-        let e = t.step(&Op::TraceRay { dst: Reg(5), ray: Reg(4) }.into(), &c);
-        assert_eq!(e, Effect::TraceRay { dst: Reg(5), ray_id: 1234 });
+        let e = t.step(
+            &Op::TraceRay {
+                dst: Reg(5),
+                ray: Reg(4),
+            }
+            .into(),
+            &c,
+        );
+        assert_eq!(
+            e,
+            Effect::TraceRay {
+                dst: Reg(5),
+                ray_id: 1234
+            }
+        );
     }
 
     #[test]
     fn const_bank_defaults_to_one() {
         let (mut t, mut c) = ctx();
         t.write_reg(Reg(5), 3.0f32.to_bits() as u64);
-        t.step(&Op::FMul { dst: Reg(10), a: Reg(5), b: Operand::cbank(1, 16) }.into(), &c);
+        t.step(
+            &Op::FMul {
+                dst: Reg(10),
+                a: Reg(5),
+                b: Operand::cbank(1, 16),
+            }
+            .into(),
+            &c,
+        );
         assert_eq!(f32::from_bits(t.reg(Reg(10)) as u32), 3.0);
         c.set(1, 16, 2.0f32.to_bits() as u64);
-        t.step(&Op::FMul { dst: Reg(10), a: Reg(5), b: Operand::cbank(1, 16) }.into(), &c);
+        t.step(
+            &Op::FMul {
+                dst: Reg(10),
+                a: Reg(5),
+                b: Operand::cbank(1, 16),
+            }
+            .into(),
+            &c,
+        );
         assert_eq!(f32::from_bits(t.reg(Reg(10)) as u32), 6.0);
     }
 
@@ -419,7 +549,15 @@ mod tests {
     fn mufu_rcp() {
         let (mut t, c) = ctx();
         t.write_reg(Reg(1), 4.0f32.to_bits() as u64);
-        t.step(&Op::Mufu { dst: Reg(0), a: Reg(1), func: MufuFunc::Rcp }.into(), &c);
+        t.step(
+            &Op::Mufu {
+                dst: Reg(0),
+                a: Reg(1),
+                func: MufuFunc::Rcp,
+            }
+            .into(),
+            &c,
+        );
         assert_eq!(f32::from_bits(t.reg(Reg(0)) as u32), 0.25);
     }
 }

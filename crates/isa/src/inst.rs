@@ -3,7 +3,6 @@
 
 use crate::op::Op;
 use crate::reg::{Pred, SbMask, Scoreboard};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A compiler hint on a (potentially divergent) branch: which side is
@@ -14,7 +13,7 @@ use std::fmt;
 /// path so that hardware can prefer the higher load stall probability path
 /// first and use the other path for latency tolerance." The simulator's
 /// `DivergeOrder::Hinted` mode consumes these.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StallHint {
     /// The taken path is likelier to stall on memory.
     TakenStalls,
@@ -28,7 +27,7 @@ pub enum StallHint {
 /// guard (`@P0` / `@!P0`), an optional write-scoreboard (`&wr=sb5`), and a
 /// set of required scoreboards that must count down to zero before issue
 /// (`&req=sb5`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Instruction {
     /// The operation and its operands.
     pub op: Op,
@@ -49,7 +48,13 @@ pub struct Instruction {
 impl Instruction {
     /// Wraps an operation with no guard and no scoreboard annotations.
     pub fn new(op: Op) -> Instruction {
-        Instruction { op, guard: None, wr_sb: None, req_sb: SbMask::EMPTY, hint: None }
+        Instruction {
+            op,
+            guard: None,
+            wr_sb: None,
+            req_sb: SbMask::EMPTY,
+            hint: None,
+        }
     }
 
     /// Sets the predicate guard (`@P0` when `negated` is false, `@!P0`
@@ -119,12 +124,20 @@ mod tests {
 
     #[test]
     fn display_matches_figure_9_style() {
-        let i = Instruction::new(Op::Tld { dst: Reg(2), addr: Reg(0), offset: 0 })
-            .with_wr_sb(Scoreboard(5));
+        let i = Instruction::new(Op::Tld {
+            dst: Reg(2),
+            addr: Reg(0),
+            offset: 0,
+        })
+        .with_wr_sb(Scoreboard(5));
         assert_eq!(i.to_string(), "TLD R2, [R0+0x0] &wr=sb5");
 
-        let i = Instruction::new(Op::FMul { dst: Reg(2), a: Reg(2), b: Operand::reg(10) })
-            .with_req_sb(Scoreboard(5));
+        let i = Instruction::new(Op::FMul {
+            dst: Reg(2),
+            a: Reg(2),
+            b: Operand::reg(10),
+        })
+        .with_req_sb(Scoreboard(5));
         assert_eq!(i.to_string(), "FMUL R2, R2, R10 &req=sb5");
 
         let i = Instruction::new(Op::Bra { target: 7 }).with_guard(Pred(0), false);

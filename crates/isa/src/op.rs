@@ -1,12 +1,11 @@
 //! Operation definitions and static classification.
 
 use crate::reg::{Barrier, Pred, Reg};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A source operand: a register, an immediate, or a constant-bank slot
 /// (`c[bank][offset]`, as in the paper's Figure 9 `FMUL R10, R5, c[1][16]`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Operand {
     /// A vector register.
     Reg(Reg),
@@ -71,7 +70,7 @@ impl fmt::Display for Operand {
 }
 
 /// Integer/float comparison operators for `ISETP`/`FSETP`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CmpOp {
     /// Equal.
     Eq,
@@ -102,7 +101,7 @@ impl fmt::Display for CmpOp {
 }
 
 /// Multi-function (transcendental) unit operations for `MUFU`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MufuFunc {
     /// Reciprocal.
     Rcp,
@@ -135,7 +134,7 @@ impl fmt::Display for MufuFunc {
 /// The execution unit an operation issues to. Determines latency class and
 /// writeback path (the paper's Figure 8b distinguishes LSU and TEX writeback
 /// broadcasts; `TraceRay` goes to the RT core).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExecUnit {
     /// Integer/float ALU (fixed short latency).
     Alu,
@@ -161,7 +160,7 @@ pub enum ExecUnit {
 /// register, `a` the first (register) source, `b`/`c` further operands,
 /// `addr`+`offset` an effective address, and `target` a resolved pc.
 #[allow(missing_docs)]
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Op {
     // --- control ---
     /// `BSSY Bx, target`: all active threads register in convergence barrier
@@ -187,7 +186,12 @@ pub enum Op {
     /// Integer add: `dst = a + b`.
     IAdd { dst: Reg, a: Reg, b: Operand },
     /// Integer multiply-add: `dst = a * b + c`.
-    IMad { dst: Reg, a: Reg, b: Operand, c: Operand },
+    IMad {
+        dst: Reg,
+        a: Reg,
+        b: Operand,
+        c: Operand,
+    },
     /// Logical shift left: `dst = a << b`.
     Shl { dst: Reg, a: Reg, b: Operand },
     /// Logical shift right: `dst = a >> b`.
@@ -201,11 +205,26 @@ pub enum Op {
     /// Float multiply: `dst = a * b`.
     FMul { dst: Reg, a: Reg, b: Operand },
     /// Fused multiply-add: `dst = a * b + c`.
-    FFma { dst: Reg, a: Reg, b: Operand, c: Operand },
+    FFma {
+        dst: Reg,
+        a: Reg,
+        b: Operand,
+        c: Operand,
+    },
     /// Integer compare, setting a predicate.
-    ISetp { dst: Pred, a: Reg, b: Operand, cmp: CmpOp },
+    ISetp {
+        dst: Pred,
+        a: Reg,
+        b: Operand,
+        cmp: CmpOp,
+    },
     /// Float compare, setting a predicate.
-    FSetp { dst: Pred, a: Reg, b: Operand, cmp: CmpOp },
+    FSetp {
+        dst: Pred,
+        a: Reg,
+        b: Operand,
+        cmp: CmpOp,
+    },
 
     // --- MUFU ---
     /// Transcendental: `dst = func(a)`.
@@ -233,9 +252,12 @@ impl Op {
     /// The unit this operation executes on.
     pub fn unit(&self) -> ExecUnit {
         match self {
-            Op::Bssy { .. } | Op::Bsync { .. } | Op::Bra { .. } | Op::Exit | Op::Yield | Op::Nop => {
-                ExecUnit::Control
-            }
+            Op::Bssy { .. }
+            | Op::Bsync { .. }
+            | Op::Bra { .. }
+            | Op::Exit
+            | Op::Yield
+            | Op::Nop => ExecUnit::Control,
             Op::Mov { .. }
             | Op::IAdd { .. }
             | Op::IMad { .. }
@@ -344,14 +366,14 @@ impl Op {
                 push_op(&mut v, b);
                 push_op(&mut v, c);
             }
-            Op::Mufu { a, .. }
-                if !a.is_zero() => {
-                    v.push(*a);
-                }
+            Op::Mufu { a, .. } if !a.is_zero() => {
+                v.push(*a);
+            }
             Op::Ldg { addr, .. } | Op::Lds { addr, .. } | Op::Tld { addr, .. }
-                if !addr.is_zero() => {
-                    v.push(*addr);
-                }
+                if !addr.is_zero() =>
+            {
+                v.push(*addr);
+            }
             Op::Stg { src, addr, .. } => {
                 if !src.is_zero() {
                     v.push(*src);
@@ -360,14 +382,12 @@ impl Op {
                     v.push(*addr);
                 }
             }
-            Op::Tex { coord, .. }
-                if !coord.is_zero() => {
-                    v.push(*coord);
-                }
-            Op::TraceRay { ray, .. }
-                if !ray.is_zero() => {
-                    v.push(*ray);
-                }
+            Op::Tex { coord, .. } if !coord.is_zero() => {
+                v.push(*coord);
+            }
+            Op::TraceRay { ray, .. } if !ray.is_zero() => {
+                v.push(*ray);
+            }
             _ => {}
         }
         v
@@ -452,48 +472,153 @@ mod tests {
 
     #[test]
     fn unit_classification() {
-        assert_eq!(Op::FMul { dst: Reg(0), a: Reg(1), b: Operand::reg(2) }.unit(), ExecUnit::Alu);
-        assert_eq!(Op::Ldg { dst: Reg(0), addr: Reg(1), offset: 0 }.unit(), ExecUnit::Lsu);
-        assert_eq!(Op::Tex { dst: Reg(0), coord: Reg(1) }.unit(), ExecUnit::Tex);
-        assert_eq!(Op::Tld { dst: Reg(0), addr: Reg(1), offset: 0 }.unit(), ExecUnit::Tex);
-        assert_eq!(Op::TraceRay { dst: Reg(0), ray: Reg(1) }.unit(), ExecUnit::RtCore);
+        assert_eq!(
+            Op::FMul {
+                dst: Reg(0),
+                a: Reg(1),
+                b: Operand::reg(2)
+            }
+            .unit(),
+            ExecUnit::Alu
+        );
+        assert_eq!(
+            Op::Ldg {
+                dst: Reg(0),
+                addr: Reg(1),
+                offset: 0
+            }
+            .unit(),
+            ExecUnit::Lsu
+        );
+        assert_eq!(
+            Op::Tex {
+                dst: Reg(0),
+                coord: Reg(1)
+            }
+            .unit(),
+            ExecUnit::Tex
+        );
+        assert_eq!(
+            Op::Tld {
+                dst: Reg(0),
+                addr: Reg(1),
+                offset: 0
+            }
+            .unit(),
+            ExecUnit::Tex
+        );
+        assert_eq!(
+            Op::TraceRay {
+                dst: Reg(0),
+                ray: Reg(1)
+            }
+            .unit(),
+            ExecUnit::RtCore
+        );
         assert_eq!(Op::Exit.unit(), ExecUnit::Control);
         assert_eq!(
-            Op::Mufu { dst: Reg(0), a: Reg(1), func: MufuFunc::Rcp }.unit(),
+            Op::Mufu {
+                dst: Reg(0),
+                a: Reg(1),
+                func: MufuFunc::Rcp
+            }
+            .unit(),
             ExecUnit::Mufu
         );
     }
 
     #[test]
     fn long_latency_classification() {
-        assert!(Op::Ldg { dst: Reg(0), addr: Reg(1), offset: 0 }.is_long_latency());
-        assert!(Op::Tex { dst: Reg(0), coord: Reg(1) }.is_long_latency());
-        assert!(Op::TraceRay { dst: Reg(0), ray: Reg(1) }.is_long_latency());
-        assert!(!Op::Lds { dst: Reg(0), addr: Reg(1), offset: 0 }.is_long_latency());
-        assert!(!Op::FAdd { dst: Reg(0), a: Reg(1), b: Operand::reg(2) }.is_long_latency());
+        assert!(Op::Ldg {
+            dst: Reg(0),
+            addr: Reg(1),
+            offset: 0
+        }
+        .is_long_latency());
+        assert!(Op::Tex {
+            dst: Reg(0),
+            coord: Reg(1)
+        }
+        .is_long_latency());
+        assert!(Op::TraceRay {
+            dst: Reg(0),
+            ray: Reg(1)
+        }
+        .is_long_latency());
+        assert!(!Op::Lds {
+            dst: Reg(0),
+            addr: Reg(1),
+            offset: 0
+        }
+        .is_long_latency());
+        assert!(!Op::FAdd {
+            dst: Reg(0),
+            a: Reg(1),
+            b: Operand::reg(2)
+        }
+        .is_long_latency());
     }
 
     #[test]
     fn dst_reg_ignores_rz() {
-        assert_eq!(Op::Ldg { dst: Reg::RZ, addr: Reg(1), offset: 0 }.dst_reg(), None);
-        assert_eq!(Op::Ldg { dst: Reg(3), addr: Reg(1), offset: 0 }.dst_reg(), Some(Reg(3)));
+        assert_eq!(
+            Op::Ldg {
+                dst: Reg::RZ,
+                addr: Reg(1),
+                offset: 0
+            }
+            .dst_reg(),
+            None
+        );
+        assert_eq!(
+            Op::Ldg {
+                dst: Reg(3),
+                addr: Reg(1),
+                offset: 0
+            }
+            .dst_reg(),
+            Some(Reg(3))
+        );
     }
 
     #[test]
     fn src_regs_collects_operands() {
-        let op = Op::FFma { dst: Reg(0), a: Reg(1), b: Operand::reg(2), c: Operand::imm(5) };
+        let op = Op::FFma {
+            dst: Reg(0),
+            a: Reg(1),
+            b: Operand::reg(2),
+            c: Operand::imm(5),
+        };
         assert_eq!(op.src_regs(), vec![Reg(1), Reg(2)]);
-        let op = Op::IMad { dst: Reg(0), a: Reg::RZ, b: Operand::reg(2), c: Operand::reg(3) };
+        let op = Op::IMad {
+            dst: Reg(0),
+            a: Reg::RZ,
+            b: Operand::reg(2),
+            c: Operand::reg(3),
+        };
         assert_eq!(op.src_regs(), vec![Reg(2), Reg(3)]);
     }
 
     #[test]
     fn display_forms() {
-        let op = Op::FMul { dst: Reg(2), a: Reg(2), b: Operand::reg(10) };
+        let op = Op::FMul {
+            dst: Reg(2),
+            a: Reg(2),
+            b: Operand::reg(10),
+        };
         assert_eq!(op.to_string(), "FMUL R2, R2, R10");
-        let op = Op::FMul { dst: Reg(10), a: Reg(5), b: Operand::cbank(1, 16) };
+        let op = Op::FMul {
+            dst: Reg(10),
+            a: Reg(5),
+            b: Operand::cbank(1, 16),
+        };
         assert_eq!(op.to_string(), "FMUL R10, R5, c[1][16]");
-        let op = Op::ISetp { dst: Pred(0), a: Reg(1), b: Operand::imm(3), cmp: CmpOp::Eq };
+        let op = Op::ISetp {
+            dst: Pred(0),
+            a: Reg(1),
+            b: Operand::imm(3),
+            cmp: CmpOp::Eq,
+        };
         assert_eq!(op.to_string(), "ISETP.EQ P0, R1, 0x3");
     }
 }

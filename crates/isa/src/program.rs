@@ -4,7 +4,6 @@ use crate::inst::Instruction;
 use crate::op::{CmpOp, MufuFunc, Op, Operand};
 use crate::reg::{Barrier, Pred, Reg, Scoreboard, N_BARRIER, N_SB};
 use crate::INSTRUCTION_BYTES;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An opaque forward-referenceable code label produced by
@@ -38,13 +37,24 @@ impl fmt::Display for ProgramError {
         match self {
             ProgramError::UnplacedLabel { name } => write!(f, "label `{name}` was never placed"),
             ProgramError::TargetOutOfRange { pc, target } => {
-                write!(f, "instruction {pc} branches to out-of-range target {target}")
+                write!(
+                    f,
+                    "instruction {pc} branches to out-of-range target {target}"
+                )
             }
             ProgramError::ScoreboardOutOfRange { pc, sb } => {
-                write!(f, "instruction {pc} names scoreboard sb{sb} (max {})", N_SB - 1)
+                write!(
+                    f,
+                    "instruction {pc} names scoreboard sb{sb} (max {})",
+                    N_SB - 1
+                )
             }
             ProgramError::BarrierOutOfRange { pc, barrier } => {
-                write!(f, "instruction {pc} names barrier B{barrier} (max {})", N_BARRIER - 1)
+                write!(
+                    f,
+                    "instruction {pc} names barrier B{barrier} (max {})",
+                    N_BARRIER - 1
+                )
             }
             ProgramError::MissingWriteScoreboard { pc } => {
                 write!(f, "long-latency instruction {pc} lacks a &wr= scoreboard")
@@ -61,7 +71,7 @@ impl std::error::Error for ProgramError {}
 /// Instruction addresses are instruction indices (the *PC* in the paper's
 /// Figure 9/10 walkthroughs); byte addresses for instruction-cache modelling
 /// are `pc * INSTRUCTION_BYTES`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     insts: Vec<Instruction>,
 }
@@ -183,7 +193,13 @@ impl ProgramBuilder {
 
     /// `BSSY Bx, label`.
     pub fn bssy(&mut self, barrier: Barrier, target: Label) -> InstRef<'_> {
-        self.push(Instruction::new(Op::Bssy { barrier, target: usize::MAX }), Some(target))
+        self.push(
+            Instruction::new(Op::Bssy {
+                barrier,
+                target: usize::MAX,
+            }),
+            Some(target),
+        )
     }
 
     /// `BSYNC Bx`.
@@ -193,7 +209,10 @@ impl ProgramBuilder {
 
     /// `BRA label`.
     pub fn bra(&mut self, target: Label) -> InstRef<'_> {
-        self.push(Instruction::new(Op::Bra { target: usize::MAX }), Some(target))
+        self.push(
+            Instruction::new(Op::Bra { target: usize::MAX }),
+            Some(target),
+        )
     }
 
     /// `EXIT`.
@@ -297,7 +316,14 @@ impl ProgramBuilder {
 
     /// `TLD dst, [addr]` — texture load by address (paper Fig. 9, line 3).
     pub fn tld(&mut self, dst: Reg, addr: Reg) -> InstRef<'_> {
-        self.push(Instruction::new(Op::Tld { dst, addr, offset: 0 }), None)
+        self.push(
+            Instruction::new(Op::Tld {
+                dst,
+                addr,
+                offset: 0,
+            }),
+            None,
+        )
     }
 
     /// `TEX dst, coord` — texture fetch (paper Fig. 9, line 7).
@@ -321,8 +347,8 @@ impl ProgramBuilder {
         for (pc, pending) in self.pending_target.iter().enumerate() {
             if let Some(label) = pending {
                 let (name, placed) = &self.labels[label.0];
-                let target = placed
-                    .ok_or_else(|| ProgramError::UnplacedLabel { name: name.clone() })?;
+                let target =
+                    placed.ok_or_else(|| ProgramError::UnplacedLabel { name: name.clone() })?;
                 match &mut self.insts[pc].op {
                     Op::Bra { target: t } | Op::Bssy { target: t, .. } => *t = target,
                     other => unreachable!("pending label on non-branch op {other:?}"),
@@ -349,9 +375,13 @@ impl ProgramBuilder {
             }
             match inst.op {
                 Op::Bssy { barrier, .. } | Op::Bsync { barrier }
-                    if barrier.0 as usize >= N_BARRIER => {
-                        return Err(ProgramError::BarrierOutOfRange { pc, barrier: barrier.0 });
-                    }
+                    if barrier.0 as usize >= N_BARRIER =>
+                {
+                    return Err(ProgramError::BarrierOutOfRange {
+                        pc,
+                        barrier: barrier.0,
+                    });
+                }
                 Op::Exit => has_exit = true,
                 _ => {}
             }
@@ -416,11 +446,13 @@ mod tests {
         b.bra(else_).pred(Pred(0), false);
         b.tld(Reg(2), Reg(0)).wr_sb(Scoreboard(5));
         b.fmul(Reg(10), Reg(5), Operand::cbank(1, 16));
-        b.fmul(Reg(2), Reg(2), Operand::reg(10)).req_sb(Scoreboard(5));
+        b.fmul(Reg(2), Reg(2), Operand::reg(10))
+            .req_sb(Scoreboard(5));
         b.bra(sync);
         b.place(else_);
         b.tex(Reg(1), Reg(8)).wr_sb(Scoreboard(2));
-        b.fadd(Reg(1), Reg(1), Operand::reg(3)).req_sb(Scoreboard(2));
+        b.fadd(Reg(1), Reg(1), Operand::reg(3))
+            .req_sb(Scoreboard(2));
         b.bra(sync);
         b.place(sync);
         b.bsync(Barrier(0));
@@ -433,7 +465,13 @@ mod tests {
         let p = figure_9_program();
         assert_eq!(p.len(), 11);
         // BSSY targets the sync point at pc 9.
-        assert_eq!(p[0].op, Op::Bssy { barrier: Barrier(0), target: 9 });
+        assert_eq!(
+            p[0].op,
+            Op::Bssy {
+                barrier: Barrier(0),
+                target: 9
+            }
+        );
         // The predicated branch targets the Else block at pc 6.
         assert_eq!(p[1].op, Op::Bra { target: 6 });
         assert_eq!(p[1].guard, Some((Pred(0), false)));
@@ -450,7 +488,12 @@ mod tests {
         let l = b.label("nowhere");
         b.bra(l);
         b.exit();
-        assert_eq!(b.build(), Err(ProgramError::UnplacedLabel { name: "nowhere".into() }));
+        assert_eq!(
+            b.build(),
+            Err(ProgramError::UnplacedLabel {
+                name: "nowhere".into()
+            })
+        );
     }
 
     #[test]
@@ -458,7 +501,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.ldg(Reg(0), Reg(1), 0);
         b.exit();
-        assert_eq!(b.build(), Err(ProgramError::MissingWriteScoreboard { pc: 0 }));
+        assert_eq!(
+            b.build(),
+            Err(ProgramError::MissingWriteScoreboard { pc: 0 })
+        );
     }
 
     #[test]
@@ -473,7 +519,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.ldg(Reg(0), Reg(1), 0).wr_sb(Scoreboard(9));
         b.exit();
-        assert_eq!(b.build(), Err(ProgramError::ScoreboardOutOfRange { pc: 0, sb: 9 }));
+        assert_eq!(
+            b.build(),
+            Err(ProgramError::ScoreboardOutOfRange { pc: 0, sb: 9 })
+        );
     }
 
     #[test]

@@ -3,7 +3,6 @@
 //! These are thin newtypes (guideline C-NEWTYPE) so that a scoreboard id can
 //! never be confused with a register number at an API boundary.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of counted scoreboards per warp (`N_SB` in the paper, §III-C).
@@ -17,7 +16,7 @@ pub const N_BARRIER: usize = 16;
 
 /// A general-purpose vector register, `R0`..`R254`. `R255` is `RZ`, the
 /// hardwired zero register.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Reg(pub u8);
 
 impl Reg {
@@ -42,7 +41,7 @@ impl fmt::Display for Reg {
 
 /// A predicate register, `P0`..`P6`. `P7` is `PT`, the hardwired true
 /// predicate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Pred(pub u8);
 
 impl Pred {
@@ -66,7 +65,7 @@ impl fmt::Display for Pred {
 }
 
 /// A convergence barrier register, `B0`..`B15` (paper §III-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Barrier(pub u8);
 
 impl fmt::Display for Barrier {
@@ -80,7 +79,7 @@ impl fmt::Display for Barrier {
 /// Long-latency producers increment a scoreboard at issue (`&wr=sbN`) and
 /// decrement it at writeback; consumers stall until the count reaches zero
 /// (`&req=sbN`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Scoreboard(pub u8);
 
 impl fmt::Display for Scoreboard {
@@ -93,7 +92,7 @@ impl fmt::Display for Scoreboard {
 ///
 /// An instruction's `&req=` annotation may name several scoreboards; issue
 /// stalls until every named counter is zero.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct SbMask(pub u8);
 
 impl SbMask {
@@ -124,7 +123,9 @@ impl SbMask {
 
     /// Iterates over the scoreboards in the set.
     pub fn iter(self) -> impl Iterator<Item = Scoreboard> {
-        (0..N_SB as u8).filter(move |i| self.0 & (1 << i) != 0).map(Scoreboard)
+        (0..N_SB as u8)
+            .filter(move |i| self.0 & (1 << i) != 0)
+            .map(Scoreboard)
     }
 }
 

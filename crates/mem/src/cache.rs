@@ -1,9 +1,7 @@
 //! A set-associative, LRU, allocate-on-miss cache model.
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry of a cache: total capacity, line size, and associativity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes. Must be a multiple of `line_bytes * ways`.
     pub size_bytes: u64,
@@ -16,29 +14,49 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// 128 KB L1 data cache (paper Table I).
     pub fn l1_data() -> CacheConfig {
-        CacheConfig { size_bytes: 128 * 1024, line_bytes: 128, ways: 8 }
+        CacheConfig {
+            size_bytes: 128 * 1024,
+            line_bytes: 128,
+            ways: 8,
+        }
     }
 
     /// 64 KB L1 instruction cache (paper Table I, upsized for SI).
     pub fn l1_instruction() -> CacheConfig {
-        CacheConfig { size_bytes: 64 * 1024, line_bytes: 128, ways: 8 }
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            line_bytes: 128,
+            ways: 8,
+        }
     }
 
     /// 16 KB per-processing-block L0 instruction cache (paper Table I).
     pub fn l0_instruction() -> CacheConfig {
-        CacheConfig { size_bytes: 16 * 1024, line_bytes: 128, ways: 8 }
+        CacheConfig {
+            size_bytes: 16 * 1024,
+            line_bytes: 128,
+            ways: 8,
+        }
     }
 
     /// The paper's §V-C-4 shipping-GPU configuration: 4× smaller
     /// instruction caches (L0 = 4 KB).
     pub fn l0_instruction_small() -> CacheConfig {
-        CacheConfig { size_bytes: 4 * 1024, line_bytes: 128, ways: 4 }
+        CacheConfig {
+            size_bytes: 4 * 1024,
+            line_bytes: 128,
+            ways: 4,
+        }
     }
 
     /// The paper's §V-C-4 shipping-GPU configuration: 4× smaller
     /// instruction caches (L1I = 16 KB).
     pub fn l1_instruction_small() -> CacheConfig {
-        CacheConfig { size_bytes: 16 * 1024, line_bytes: 128, ways: 8 }
+        CacheConfig {
+            size_bytes: 16 * 1024,
+            line_bytes: 128,
+            ways: 8,
+        }
     }
 
     /// Number of sets implied by the geometry.
@@ -47,7 +65,10 @@ impl CacheConfig {
     }
 
     fn validate(&self) {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(self.ways >= 1, "cache must have at least one way");
         assert_eq!(
             self.size_bytes % (self.line_bytes * self.ways as u64),
@@ -68,7 +89,7 @@ pub enum AccessKind {
 }
 
 /// Running hit/miss counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Accesses that found their line resident.
     pub hits: u64,
@@ -92,7 +113,7 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Way {
     tag: u64,
     valid: bool,
@@ -103,7 +124,7 @@ struct Way {
 /// A set-associative cache with true-LRU replacement and allocate-on-miss
 /// fill (no fill delay is modelled here; the *latency* of a miss is charged
 /// by the unit that owns the cache).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cache {
     config: CacheConfig,
     ways: Vec<Way>,
@@ -122,7 +143,14 @@ impl Cache {
         let n = config.sets() * config.ways;
         Cache {
             config,
-            ways: vec![Way { tag: 0, valid: false, lru: 0 }; n],
+            ways: vec![
+                Way {
+                    tag: 0,
+                    valid: false,
+                    lru: 0
+                };
+                n
+            ],
             clock: 0,
             stats: CacheStats::default(),
         }
@@ -187,7 +215,9 @@ impl Cache {
         let set = self.set_index(addr);
         let tag = self.tag_of(addr);
         let base = set * self.config.ways;
-        self.ways[base..base + self.config.ways].iter().any(|w| w.valid && w.tag == tag)
+        self.ways[base..base + self.config.ways]
+            .iter()
+            .any(|w| w.valid && w.tag == tag)
     }
 
     /// Invalidates all lines (counters are retained).
@@ -204,7 +234,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 2 sets × 2 ways × 64B lines = 256B.
-        Cache::new(CacheConfig { size_bytes: 256, line_bytes: 64, ways: 2 })
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            line_bytes: 64,
+            ways: 2,
+        })
     }
 
     #[test]
@@ -212,7 +246,11 @@ mod tests {
         let mut c = tiny();
         assert_eq!(c.access(0x100), AccessKind::Miss);
         assert_eq!(c.access(0x100), AccessKind::Hit);
-        assert_eq!(c.access(0x13f), AccessKind::Hit, "same line, different offset");
+        assert_eq!(
+            c.access(0x13f),
+            AccessKind::Hit,
+            "same line, different offset"
+        );
         assert_eq!(c.stats().hits, 2);
         assert_eq!(c.stats().misses, 1);
     }
@@ -297,7 +335,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_line_size_panics() {
-        Cache::new(CacheConfig { size_bytes: 256, line_bytes: 48, ways: 2 });
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            line_bytes: 48,
+            ways: 2,
+        });
     }
 
     #[test]
@@ -313,6 +355,10 @@ mod tests {
             }
         }
         let s = c.stats();
-        assert!(s.miss_ratio() > 0.9, "expected thrash, got {}", s.miss_ratio());
+        assert!(
+            s.miss_ratio() > 0.9,
+            "expected thrash, got {}",
+            s.miss_ratio()
+        );
     }
 }

@@ -5,11 +5,10 @@
 //! word-address) pair, so loaded values are reproducible across runs without
 //! materializing gigabytes of backing store. Stores overlay the hash.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Word-granular (8-byte) functional memory with hash-default contents.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DataMemory {
     seed: u64,
     writes: HashMap<u64, u64>,
@@ -18,7 +17,10 @@ pub struct DataMemory {
 impl DataMemory {
     /// A memory whose unwritten contents are derived from `seed`.
     pub fn new(seed: u64) -> DataMemory {
-        DataMemory { seed, writes: HashMap::new() }
+        DataMemory {
+            seed,
+            writes: HashMap::new(),
+        }
     }
 
     fn word(addr: u64) -> u64 {

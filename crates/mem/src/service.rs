@@ -56,7 +56,10 @@ pub struct ServiceUnit<T> {
 
 impl<T> Default for ServiceUnit<T> {
     fn default() -> Self {
-        ServiceUnit { heap: BinaryHeap::new(), next_seq: 0 }
+        ServiceUnit {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 }
 
@@ -70,7 +73,11 @@ impl<T> ServiceUnit<T> {
     pub fn push(&mut self, ready: u64, payload: T) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Pending { ready, seq, payload }));
+        self.heap.push(Reverse(Pending {
+            ready,
+            seq,
+            payload,
+        }));
     }
 
     /// Number of requests still in flight.
@@ -97,7 +104,10 @@ impl<T> ServiceUnit<T> {
                 break;
             }
             let Reverse(p) = self.heap.pop().expect("peeked element exists");
-            out.push(Completion { at_cycle: p.ready, payload: p.payload });
+            out.push(Completion {
+                at_cycle: p.ready,
+                payload: p.payload,
+            });
         }
         out
     }

@@ -2,11 +2,10 @@
 
 use crate::geom::{Aabb, Hit, Ray};
 use crate::scene::Scene;
-use serde::{Deserialize, Serialize};
 
 /// The result of tracing one ray: the closest hit (if any) and the number
 /// of BVH nodes visited, which drives the RT-core latency model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Traversal {
     /// Closest hit, or `None` for a miss (→ the megakernel's miss shader).
     pub hit: Option<Hit>,
@@ -14,7 +13,7 @@ pub struct Traversal {
     pub nodes_visited: u32,
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 enum Node {
     Interior { aabb: Aabb, left: u32, right: u32 },
     Leaf { aabb: Aabb, first: u32, count: u32 },
@@ -29,7 +28,7 @@ impl Node {
 }
 
 /// A median-split BVH over a [`Scene`]'s triangles.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Bvh {
     nodes: Vec<Node>,
     /// Triangle indices into the scene, reordered by construction.
@@ -46,12 +45,19 @@ impl Bvh {
     /// # Panics
     /// Panics if the scene has no triangles.
     pub fn build(scene: &Scene) -> Bvh {
-        assert!(!scene.triangles().is_empty(), "cannot build a BVH over an empty scene");
+        assert!(
+            !scene.triangles().is_empty(),
+            "cannot build a BVH over an empty scene"
+        );
         let mut order: Vec<u32> = (0..scene.triangles().len() as u32).collect();
         let mut nodes = Vec::new();
         let n = order.len();
         build_node(scene, &mut order, 0, n, &mut nodes);
-        Bvh { nodes, order, scene: scene.clone() }
+        Bvh {
+            nodes,
+            order,
+            scene: scene.clone(),
+        }
     }
 
     /// Number of nodes in the hierarchy.
@@ -89,18 +95,31 @@ impl Bvh {
                         if let Some(t) = tri.intersect(ray) {
                             if t < t_max {
                                 t_max = t;
-                                best = Some(Hit { triangle: tri_idx, material: tri.material, t });
+                                best = Some(Hit {
+                                    triangle: tri_idx,
+                                    material: tri.material,
+                                    t,
+                                });
                             }
                         }
                     }
                 }
             }
         }
-        Traversal { hit: best, nodes_visited: visited.max(1) }
+        Traversal {
+            hit: best,
+            nodes_visited: visited.max(1),
+        }
     }
 }
 
-fn build_node(scene: &Scene, order: &mut [u32], first: usize, count: usize, nodes: &mut Vec<Node>) -> u32 {
+fn build_node(
+    scene: &Scene,
+    order: &mut [u32],
+    first: usize,
+    count: usize,
+    nodes: &mut Vec<Node>,
+) -> u32 {
     let slice = &order[first..first + count];
     let mut aabb = Aabb::EMPTY;
     let mut centroid_bounds = Aabb::EMPTY;
@@ -113,7 +132,11 @@ fn build_node(scene: &Scene, order: &mut [u32], first: usize, count: usize, node
 
     let my_index = nodes.len() as u32;
     if count <= LEAF_SIZE {
-        nodes.push(Node::Leaf { aabb, first: first as u32, count: count as u32 });
+        nodes.push(Node::Leaf {
+            aabb,
+            first: first as u32,
+            count: count as u32,
+        });
         return my_index;
     }
 
@@ -127,11 +150,17 @@ fn build_node(scene: &Scene, order: &mut [u32], first: usize, count: usize, node
         ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
     });
 
-    nodes.push(Node::Interior { aabb, left: 0, right: 0 });
+    nodes.push(Node::Interior {
+        aabb,
+        left: 0,
+        right: 0,
+    });
     let left = build_node(scene, order, first, mid - first, nodes);
     let right = build_node(scene, order, mid, first + count - mid, nodes);
     match &mut nodes[my_index as usize] {
-        Node::Interior { left: l, right: r, .. } => {
+        Node::Interior {
+            left: l, right: r, ..
+        } => {
             *l = left;
             *r = right;
         }
@@ -150,14 +179,23 @@ mod tests {
         let scene = Scene::two_triangles();
         let bvh = Bvh::build(&scene);
         // Ray at left triangle (material 0, centered x = -2).
-        let hit = bvh.traverse(&Ray::new(Vec3::new(-2.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0)));
+        let hit = bvh.traverse(&Ray::new(
+            Vec3::new(-2.0, 0.0, -5.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        ));
         let h = hit.hit.expect("left triangle hit");
         assert_eq!(h.material, 0);
         // Ray at right triangle (material 1, centered x = +2).
-        let hit = bvh.traverse(&Ray::new(Vec3::new(2.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0)));
+        let hit = bvh.traverse(&Ray::new(
+            Vec3::new(2.0, 0.0, -5.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        ));
         assert_eq!(hit.hit.expect("right triangle hit").material, 1);
         // Ray between them misses.
-        let miss = bvh.traverse(&Ray::new(Vec3::new(0.0, 10.0, -5.0), Vec3::new(0.0, 0.0, 1.0)));
+        let miss = bvh.traverse(&Ray::new(
+            Vec3::new(0.0, 10.0, -5.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        ));
         assert!(miss.hit.is_none());
         assert!(miss.nodes_visited >= 1);
     }

@@ -1,7 +1,6 @@
 //! Rays, axis-aligned boxes, and triangles with intersection routines.
 
 use crate::vec3::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// A ray with precomputed inverse direction for slab tests.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -18,7 +17,11 @@ impl Ray {
     /// Creates a ray; `dir` is normalized.
     pub fn new(origin: Vec3, dir: Vec3) -> Ray {
         let dir = dir.normalized();
-        Ray { origin, dir, inv_dir: Vec3::new(1.0 / dir.x, 1.0 / dir.y, 1.0 / dir.z) }
+        Ray {
+            origin,
+            dir,
+            inv_dir: Vec3::new(1.0 / dir.x, 1.0 / dir.y, 1.0 / dir.z),
+        }
     }
 
     /// The point at parameter `t`.
@@ -28,7 +31,7 @@ impl Ray {
 }
 
 /// An axis-aligned bounding box.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Aabb {
     /// Minimum corner.
     pub min: Vec3,
@@ -38,17 +41,33 @@ pub struct Aabb {
 
 impl Aabb {
     /// An inverted (empty) box that grows correctly under [`Aabb::union`].
-    pub const EMPTY: Aabb =
-        Aabb { min: Vec3 { x: f32::MAX, y: f32::MAX, z: f32::MAX }, max: Vec3 { x: f32::MIN, y: f32::MIN, z: f32::MIN } };
+    pub const EMPTY: Aabb = Aabb {
+        min: Vec3 {
+            x: f32::MAX,
+            y: f32::MAX,
+            z: f32::MAX,
+        },
+        max: Vec3 {
+            x: f32::MIN,
+            y: f32::MIN,
+            z: f32::MIN,
+        },
+    };
 
     /// The smallest box containing both inputs.
     pub fn union(self, o: Aabb) -> Aabb {
-        Aabb { min: self.min.min(o.min), max: self.max.max(o.max) }
+        Aabb {
+            min: self.min.min(o.min),
+            max: self.max.max(o.max),
+        }
     }
 
     /// Grows the box to contain `p`.
     pub fn grow(self, p: Vec3) -> Aabb {
-        Aabb { min: self.min.min(p), max: self.max.max(p) }
+        Aabb {
+            min: self.min.min(p),
+            max: self.max.max(p),
+        }
     }
 
     /// Box centroid.
@@ -94,7 +113,7 @@ impl Aabb {
 /// The material id selects which *shader* the megakernel invokes when a ray
 /// hits this triangle — the source of warp divergence in the paper's
 /// Figure 5 walkthrough.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Triangle {
     /// First vertex.
     pub a: Vec3,
@@ -144,7 +163,7 @@ impl Triangle {
 }
 
 /// The closest hit found by a traversal.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Hit {
     /// Index of the struck triangle.
     pub triangle: u32,
@@ -199,7 +218,10 @@ mod tests {
 
     #[test]
     fn aabb_slab_test() {
-        let b = Aabb { min: Vec3::new(-1.0, -1.0, -1.0), max: Vec3::new(1.0, 1.0, 1.0) };
+        let b = Aabb {
+            min: Vec3::new(-1.0, -1.0, -1.0),
+            max: Vec3::new(1.0, 1.0, 1.0),
+        };
         let hit = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
         assert!(b.intersects(&hit, 0.0, f32::MAX));
         let miss = Ray::new(Vec3::new(0.0, 5.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
@@ -214,14 +236,20 @@ mod tests {
         let bb = t.aabb();
         assert_eq!(bb.min, Vec3::new(-1.0, -1.0, 0.0));
         assert_eq!(bb.max, Vec3::new(1.0, 1.0, 0.0));
-        let u = bb.union(Aabb { min: Vec3::splat(-2.0), max: Vec3::splat(-1.5) });
+        let u = bb.union(Aabb {
+            min: Vec3::splat(-2.0),
+            max: Vec3::splat(-1.5),
+        });
         assert_eq!(u.min, Vec3::splat(-2.0));
         assert_eq!(u.max, Vec3::new(1.0, 1.0, 0.0));
     }
 
     #[test]
     fn longest_axis() {
-        let b = Aabb { min: Vec3::ZERO, max: Vec3::new(1.0, 3.0, 2.0) };
+        let b = Aabb {
+            min: Vec3::ZERO,
+            max: Vec3::new(1.0, 3.0, 2.0),
+        };
         assert_eq!(b.longest_axis(), 1);
     }
 

@@ -7,10 +7,8 @@
 //! We charge `base + per_node × nodes_visited` cycles per ray, so scene
 //! depth and ray coherence directly shape the traversal tail.
 
-use serde::{Deserialize, Serialize};
-
 /// Latency parameters for RT-core BVH traversals.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RtCoreModel {
     /// Fixed cost per traversal (SM→RT-core round trip + setup).
     pub base_cycles: u64,
@@ -26,7 +24,10 @@ impl Default for RtCoreModel {
         // cycles and are "often the dominant factor" (§VI, limiter #2).
         // These defaults put typical traversals (20–120 nodes) in the
         // 0.6–2.6k cycle range.
-        RtCoreModel { base_cycles: 200, cycles_per_node: 20 }
+        RtCoreModel {
+            base_cycles: 200,
+            cycles_per_node: 20,
+        }
     }
 }
 
@@ -50,7 +51,10 @@ mod tests {
 
     #[test]
     fn custom_model() {
-        let m = RtCoreModel { base_cycles: 100, cycles_per_node: 2 };
+        let m = RtCoreModel {
+            base_cycles: 100,
+            cycles_per_node: 2,
+        };
         assert_eq!(m.latency(10), 120);
     }
 }

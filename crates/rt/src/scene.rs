@@ -7,12 +7,10 @@
 
 use crate::geom::{Ray, Triangle};
 use crate::vec3::Vec3;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use subwarp_prng::SmallRng;
 
 /// A bag of triangles with material ids.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Scene {
     triangles: Vec<Triangle>,
     n_materials: u32,
@@ -86,12 +84,21 @@ impl Scene {
                     rng.gen_range(-0.2..0.2),
                 )
             };
-            let (a, b, c) = (center + jitter(&mut rng), center + jitter(&mut rng), center + jitter(&mut rng));
+            let (a, b, c) = (
+                center + jitter(&mut rng),
+                center + jitter(&mut rng),
+                center + jitter(&mut rng),
+            );
             // Skip degenerate slivers that normalize() would reject later.
             if (b - a).cross(c - a).length() < 1e-4 {
                 continue;
             }
-            s.triangles.push(Triangle { a, b, c, material: rng.gen_range(0..n_materials) });
+            s.triangles.push(Triangle {
+                a,
+                b,
+                c,
+                material: rng.gen_range(0..n_materials),
+            });
         }
         // Ensure non-empty even if every sample degenerated (vanishingly
         // unlikely, but keeps Bvh::build's precondition honest).
@@ -149,19 +156,66 @@ impl Scene {
         let mut s = Scene::empty();
         let mut quad = |a: Vec3, b: Vec3, c: Vec3, d: Vec3, material: u32| {
             s.triangles.push(Triangle { a, b, c, material });
-            s.triangles.push(Triangle { a, b: c, c: d, material });
+            s.triangles.push(Triangle {
+                a,
+                b: c,
+                c: d,
+                material,
+            });
             s.n_materials = s.n_materials.max(material + 1);
         };
         let (lo, hi, back) = (-4.0, 4.0, 8.0);
         // Back wall (0), floor (1), ceiling (2), left (3), right (4).
-        quad(Vec3::new(lo, lo, back), Vec3::new(hi, lo, back), Vec3::new(hi, hi, back), Vec3::new(lo, hi, back), 0);
-        quad(Vec3::new(lo, lo, 0.0), Vec3::new(hi, lo, 0.0), Vec3::new(hi, lo, back), Vec3::new(lo, lo, back), 1);
-        quad(Vec3::new(lo, hi, 0.0), Vec3::new(hi, hi, 0.0), Vec3::new(hi, hi, back), Vec3::new(lo, hi, back), 2);
-        quad(Vec3::new(lo, lo, 0.0), Vec3::new(lo, hi, 0.0), Vec3::new(lo, hi, back), Vec3::new(lo, lo, back), 3);
-        quad(Vec3::new(hi, lo, 0.0), Vec3::new(hi, hi, 0.0), Vec3::new(hi, hi, back), Vec3::new(hi, lo, back), 4);
+        quad(
+            Vec3::new(lo, lo, back),
+            Vec3::new(hi, lo, back),
+            Vec3::new(hi, hi, back),
+            Vec3::new(lo, hi, back),
+            0,
+        );
+        quad(
+            Vec3::new(lo, lo, 0.0),
+            Vec3::new(hi, lo, 0.0),
+            Vec3::new(hi, lo, back),
+            Vec3::new(lo, lo, back),
+            1,
+        );
+        quad(
+            Vec3::new(lo, hi, 0.0),
+            Vec3::new(hi, hi, 0.0),
+            Vec3::new(hi, hi, back),
+            Vec3::new(lo, hi, back),
+            2,
+        );
+        quad(
+            Vec3::new(lo, lo, 0.0),
+            Vec3::new(lo, hi, 0.0),
+            Vec3::new(lo, hi, back),
+            Vec3::new(lo, lo, back),
+            3,
+        );
+        quad(
+            Vec3::new(hi, lo, 0.0),
+            Vec3::new(hi, hi, 0.0),
+            Vec3::new(hi, hi, back),
+            Vec3::new(hi, lo, back),
+            4,
+        );
         // Two inner blocks (materials 5 and 6): front faces only.
-        quad(Vec3::new(-2.5, -4.0, 4.0), Vec3::new(-0.5, -4.0, 4.0), Vec3::new(-0.5, -1.0, 4.0), Vec3::new(-2.5, -1.0, 4.0), 5);
-        quad(Vec3::new(0.8, -4.0, 5.5), Vec3::new(2.8, -4.0, 5.5), Vec3::new(2.8, 0.5, 5.5), Vec3::new(0.8, 0.5, 5.5), 6);
+        quad(
+            Vec3::new(-2.5, -4.0, 4.0),
+            Vec3::new(-0.5, -4.0, 4.0),
+            Vec3::new(-0.5, -1.0, 4.0),
+            Vec3::new(-2.5, -1.0, 4.0),
+            5,
+        );
+        quad(
+            Vec3::new(0.8, -4.0, 5.5),
+            Vec3::new(2.8, -4.0, 5.5),
+            Vec3::new(2.8, 0.5, 5.5),
+            Vec3::new(0.8, 0.5, 5.5),
+            6,
+        );
         s
     }
 
@@ -210,8 +264,7 @@ mod tests {
         // neighbouring buildings mostly see the same shader.
         let s = Scene::grid_city(16, 4, 4, 1);
         assert_eq!(s.triangles().len(), 16 * 4 * 2);
-        let first_col: Vec<u32> =
-            s.triangles()[0..8].iter().map(|t| t.material).collect();
+        let first_col: Vec<u32> = s.triangles()[0..8].iter().map(|t| t.material).collect();
         assert!(first_col.iter().all(|&m| m == first_col[0]));
     }
 

@@ -1,10 +1,9 @@
 //! A minimal 3-component float vector.
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, Div, Mul, Neg, Sub};
 
 /// A 3D vector of `f32` components.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Vec3 {
     /// X component.
     pub x: f32,
@@ -16,7 +15,11 @@ pub struct Vec3 {
 
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Constructs a vector from components.
     pub fn new(x: f32, y: f32, z: f32) -> Vec3 {
@@ -59,12 +62,20 @@ impl Vec3 {
 
     /// Component-wise minimum.
     pub fn min(self, o: Vec3) -> Vec3 {
-        Vec3 { x: self.x.min(o.x), y: self.y.min(o.y), z: self.z.min(o.z) }
+        Vec3 {
+            x: self.x.min(o.x),
+            y: self.y.min(o.y),
+            z: self.z.min(o.z),
+        }
     }
 
     /// Component-wise maximum.
     pub fn max(self, o: Vec3) -> Vec3 {
-        Vec3 { x: self.x.max(o.x), y: self.y.max(o.y), z: self.z.max(o.z) }
+        Vec3 {
+            x: self.x.max(o.x),
+            y: self.y.max(o.y),
+            z: self.z.max(o.z),
+        }
     }
 
     /// Component by axis index (0 = x, 1 = y, 2 = z).

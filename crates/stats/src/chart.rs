@@ -19,7 +19,13 @@ pub struct BarChart {
 impl BarChart {
     /// Creates a chart with the given title and series legend.
     pub fn new(title: impl Into<String>, series: Vec<String>) -> BarChart {
-        BarChart { title: title.into(), series, groups: Vec::new(), unit: String::new(), width: 48 }
+        BarChart {
+            title: title.into(),
+            series,
+            groups: Vec::new(),
+            unit: String::new(),
+            width: 48,
+        }
     }
 
     /// Sets the unit suffix shown after values.
@@ -40,7 +46,11 @@ impl BarChart {
     /// # Panics
     /// Panics if the value count differs from the series count.
     pub fn group(&mut self, label: impl Into<String>, values: Vec<f64>) -> &mut BarChart {
-        assert_eq!(values.len(), self.series.len(), "value count must match series count");
+        assert_eq!(
+            values.len(),
+            self.series.len(),
+            "value count must match series count"
+        );
         self.groups.push((label.into(), values));
         self
     }
@@ -55,8 +65,13 @@ impl fmt::Display for BarChart {
             .flat_map(|(_, vs)| vs.iter())
             .fold(0.0f64, |m, &v| m.max(v.abs()))
             .max(1e-12);
-        let label_w =
-            self.groups.iter().map(|(l, _)| l.len()).chain(self.series.iter().map(|s| s.len())).max().unwrap_or(4);
+        let label_w = self
+            .groups
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(self.series.iter().map(|s| s.len()))
+            .max()
+            .unwrap_or(4);
         let marks = ['#', '=', '+', '-', '~', ':', '*', '.'];
         for (i, name) in self.series.iter().enumerate() {
             writeln!(f, "  {} {}", marks[i % marks.len()], name)?;
@@ -66,7 +81,12 @@ impl fmt::Display for BarChart {
                 let n = ((v.abs() / max) * self.width as f64).round() as usize;
                 let bar: String = std::iter::repeat_n(marks[i % marks.len()], n).collect();
                 let lab = if i == 0 { label.as_str() } else { "" };
-                writeln!(f, "{lab:>label_w$} |{bar:<bw$} {v:.1}{u}", bw = self.width, u = self.unit)?;
+                writeln!(
+                    f,
+                    "{lab:>label_w$} |{bar:<bw$} {v:.1}{u}",
+                    bw = self.width,
+                    u = self.unit
+                )?;
             }
         }
         Ok(())
@@ -79,7 +99,9 @@ mod tests {
 
     #[test]
     fn renders_scaled_bars() {
-        let mut c = BarChart::new("Speedup", vec!["SOS".into(), "Both".into()]).unit("%").width(10);
+        let mut c = BarChart::new("Speedup", vec!["SOS".into(), "Both".into()])
+            .unit("%")
+            .width(10);
         c.group("BFV1", vec![15.0, 19.4]);
         c.group("Coll1", vec![0.5, 0.6]);
         let s = c.to_string();

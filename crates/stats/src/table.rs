@@ -12,7 +12,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(header: Vec<String>) -> Table {
-        Table { header, rows: Vec::new() }
+        Table {
+            header,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -46,7 +49,14 @@ impl Table {
             }
         }
         let mut out = String::new();
-        out.push_str(&self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));

@@ -17,12 +17,23 @@ fn main() {
     let si_sim = Simulator::new(sm, SiConfig::sos(SelectPolicy::AnyStalled));
     println!("pad={pad} iters={iters} loads={loads} warps={warps}");
     for ss in [16usize, 8, 4, 2, 1] {
-        let wl = microbenchmark_with(MicroConfig { subwarp_size: ss, iterations: iters, loads_per_iter: loads, body_pad: pad, n_warps: warps });
-        let b = base_sim.run(&wl);
-        let s = si_sim.run(&wl);
-        println!("  div {:2}: speedup {:5.2}  (base {:8} si {:8})  si-fetch {:4.1}%  si-l2u {:4.1}%",
-            32/ss, b.cycles as f64 / s.cycles as f64, b.cycles, s.cycles,
+        let wl = microbenchmark_with(MicroConfig {
+            subwarp_size: ss,
+            iterations: iters,
+            loads_per_iter: loads,
+            body_pad: pad,
+            n_warps: warps,
+        });
+        let b = base_sim.run(&wl).unwrap();
+        let s = si_sim.run(&wl).unwrap();
+        println!(
+            "  div {:2}: speedup {:5.2}  (base {:8} si {:8})  si-fetch {:4.1}%  si-l2u {:4.1}%",
+            32 / ss,
+            b.cycles as f64 / s.cycles as f64,
+            b.cycles,
+            s.cycles,
             s.exposed_fetch_stalls as f64 / s.cycles as f64 * 100.0,
-            s.exposed_load_stalls as f64 / s.cycles as f64 * 100.0);
+            s.exposed_load_stalls as f64 / s.cycles as f64 * 100.0
+        );
     }
 }

@@ -14,11 +14,14 @@ fn main() {
             c.n_warps = warps;
             c.bounces = bounces;
             let wl = c.build();
-            let b = base_sim.run(&wl);
-            let s = si_sim.run(&wl);
-            println!("warps {warps:2} bounces {bounces}: spd {:5.1}%  l2u {:4.1}% div {:4.1}%",
+            let b = base_sim.run(&wl).unwrap();
+            let s = si_sim.run(&wl).unwrap();
+            println!(
+                "warps {warps:2} bounces {bounces}: spd {:5.1}%  l2u {:4.1}% div {:4.1}%",
                 (b.cycles as f64 / s.cycles as f64 - 1.0) * 100.0,
-                b.exposed_ratio()*100.0, b.exposed_divergent_ratio()*100.0);
+                b.exposed_ratio() * 100.0,
+                b.exposed_divergent_ratio() * 100.0
+            );
         }
     }
 }

@@ -59,8 +59,11 @@ pub fn stencil(iters: u32, n_warps: usize) -> Workload {
     b.ldg(Reg(3), Reg(1), -8).wr_sb(Scoreboard(0));
     b.ldg(Reg(4), Reg(1), 0).wr_sb(Scoreboard(1));
     b.ldg(Reg(5), Reg(1), 8).wr_sb(Scoreboard(2));
-    b.fadd(Reg(6), Reg(3), Operand::reg(4)).req_sb(Scoreboard(0)).req_sb(Scoreboard(1));
-    b.fadd(Reg(6), Reg(5), Operand::reg(6)).req_sb(Scoreboard(2));
+    b.fadd(Reg(6), Reg(3), Operand::reg(4))
+        .req_sb(Scoreboard(0))
+        .req_sb(Scoreboard(1));
+    b.fadd(Reg(6), Reg(5), Operand::reg(6))
+        .req_sb(Scoreboard(2));
     b.fmul(Reg(6), Reg(6), Operand::fimm(1.0 / 3.0));
     b.imad(Reg(7), Reg(0), Operand::imm(8), Operand::imm(OUT_BASE));
     b.stg(Reg(6), Reg(7), 0);
@@ -96,8 +99,7 @@ pub fn matmul_tile(iters: u32, n_warps: usize) -> Workload {
     b.isetp(Pred(1), Reg(9), Operand::imm(0), CmpOp::Gt);
     b.bra(loop_).pred(Pred(1), false);
     b.exit();
-    Workload::new("compute/matmul-tile", finish(b), n_warps)
-        .with_init(Reg(0), InitValue::GlobalTid)
+    Workload::new("compute/matmul-tile", finish(b), n_warps).with_init(Reg(0), InitValue::GlobalTid)
 }
 
 /// A parallel tree reduction with `__syncwarp`-style phases: convergent,
@@ -106,7 +108,8 @@ pub fn reduction(n_warps: usize) -> Workload {
     let mut b = ProgramBuilder::new();
     b.imad(Reg(1), Reg(0), Operand::imm(8), Operand::imm(X_BASE));
     b.ldg(Reg(3), Reg(1), 0).wr_sb(Scoreboard(0));
-    b.fadd(Reg(4), Reg(3), Operand::fimm(0.0)).req_sb(Scoreboard(0));
+    b.fadd(Reg(4), Reg(3), Operand::fimm(0.0))
+        .req_sb(Scoreboard(0));
     // log2(32) butterfly phases, each re-synchronized at a barrier.
     for (phase, shift) in [16i64, 8, 4, 2, 1].iter().enumerate() {
         let sync = b.label(&format!("sync{phase}"));
@@ -121,8 +124,7 @@ pub fn reduction(n_warps: usize) -> Workload {
     b.imad(Reg(6), Reg(0), Operand::imm(8), Operand::imm(OUT_BASE));
     b.stg(Reg(4), Reg(6), 0);
     b.exit();
-    Workload::new("compute/reduction", finish(b), n_warps)
-        .with_init(Reg(0), InitValue::GlobalTid)
+    Workload::new("compute/reduction", finish(b), n_warps).with_init(Reg(0), InitValue::GlobalTid)
 }
 
 /// A scatter histogram: data-dependent store addresses, convergent control
@@ -136,18 +138,19 @@ pub fn histogram(iters: u32, n_warps: usize) -> Workload {
     b.place(loop_);
     b.ldg(Reg(3), Reg(1), 0).wr_sb(Scoreboard(0));
     // bin = value & 1023; scatter-increment its counter.
-    b.and(Reg(4), Reg(3), Operand::imm(1023)).req_sb(Scoreboard(0));
+    b.and(Reg(4), Reg(3), Operand::imm(1023))
+        .req_sb(Scoreboard(0));
     b.imad(Reg(5), Reg(4), Operand::imm(8), Operand::imm(OUT_BASE));
     b.ldg(Reg(6), Reg(5), 0).wr_sb(Scoreboard(1));
-    b.iadd(Reg(6), Reg(6), Operand::imm(1)).req_sb(Scoreboard(1));
+    b.iadd(Reg(6), Reg(6), Operand::imm(1))
+        .req_sb(Scoreboard(1));
     b.stg(Reg(6), Reg(5), 0);
     b.iadd(Reg(1), Reg(1), Operand::imm(stride));
     b.iadd(Reg(9), Reg(9), Operand::imm(-1));
     b.isetp(Pred(1), Reg(9), Operand::imm(0), CmpOp::Gt);
     b.bra(loop_).pred(Pred(1), false);
     b.exit();
-    Workload::new("compute/histogram", finish(b), n_warps)
-        .with_init(Reg(0), InitValue::GlobalTid)
+    Workload::new("compute/histogram", finish(b), n_warps).with_init(Reg(0), InitValue::GlobalTid)
 }
 
 /// Divergent control flow whose bodies are pure math — the common "branchy
@@ -165,12 +168,22 @@ pub fn branchy_math(iters: u32, n_warps: usize) -> Workload {
     b.bssy(Barrier(0), sync);
     b.bra(else_).pred(Pred(0), false);
     for _ in 0..12 {
-        b.ffma(Reg(10), Reg(10), Operand::fimm(1.000001), Operand::fimm(0.25));
+        b.ffma(
+            Reg(10),
+            Reg(10),
+            Operand::fimm(1.000001),
+            Operand::fimm(0.25),
+        );
     }
     b.bra(sync);
     b.place(else_);
     for _ in 0..12 {
-        b.ffma(Reg(11), Reg(11), Operand::fimm(0.999999), Operand::fimm(0.75));
+        b.ffma(
+            Reg(11),
+            Reg(11),
+            Operand::fimm(0.999999),
+            Operand::fimm(0.75),
+        );
     }
     b.bra(sync);
     b.place(sync);
@@ -179,8 +192,7 @@ pub fn branchy_math(iters: u32, n_warps: usize) -> Workload {
     b.isetp(Pred(1), Reg(9), Operand::imm(0), CmpOp::Gt);
     b.bra(loop_).pred(Pred(1), false);
     b.exit();
-    Workload::new("compute/branchy-math", finish(b), n_warps)
-        .with_init(Reg(0), InitValue::LaneId)
+    Workload::new("compute/branchy-math", finish(b), n_warps).with_init(Reg(0), InitValue::LaneId)
 }
 
 /// The rare case (11 of the paper's 400): long stalls *inside* divergent
@@ -207,11 +219,13 @@ pub fn divergent_loads_full_occupancy(iters: u32) -> Workload {
     b.bssy(Barrier(0), sync);
     b.bra(else_).pred(Pred(0), false);
     b.ldg(Reg(3), Reg(1), 0).wr_sb(Scoreboard(0));
-    b.fadd(Reg(4), Reg(3), Operand::fimm(1.0)).req_sb(Scoreboard(0));
+    b.fadd(Reg(4), Reg(3), Operand::fimm(1.0))
+        .req_sb(Scoreboard(0));
     b.bra(sync);
     b.place(else_);
     b.ldg(Reg(3), Reg(1), 0x10_000).wr_sb(Scoreboard(1));
-    b.fadd(Reg(5), Reg(3), Operand::fimm(2.0)).req_sb(Scoreboard(1));
+    b.fadd(Reg(5), Reg(3), Operand::fimm(2.0))
+        .req_sb(Scoreboard(1));
     b.bra(sync);
     b.place(sync);
     b.bsync(Barrier(0));
@@ -249,7 +263,7 @@ mod tests {
     fn all_compute_kernels_run_to_completion() {
         let sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
         for wl in compute_suite() {
-            let s = sim.run(&wl);
+            let s = sim.run(&wl).unwrap();
             assert!(s.instructions > 0, "{} did nothing", wl.name);
         }
     }
@@ -257,17 +271,29 @@ mod tests {
     #[test]
     fn convergent_kernels_never_demote_subwarps() {
         let sim = Simulator::new(SmConfig::turing_like(), SiConfig::best());
-        for wl in [saxpy(4, 8), stencil(4, 8), matmul_tile(4, 8), histogram(4, 8)] {
-            let s = sim.run(&wl);
-            assert_eq!(s.subwarp_stalls, 0, "{} has no divergence to exploit", wl.name);
+        for wl in [
+            saxpy(4, 8),
+            stencil(4, 8),
+            matmul_tile(4, 8),
+            histogram(4, 8),
+        ] {
+            let s = sim.run(&wl).unwrap();
+            assert_eq!(
+                s.subwarp_stalls, 0,
+                "{} has no divergence to exploit",
+                wl.name
+            );
         }
     }
 
     #[test]
     fn branchy_math_diverges_but_never_stalls_divergently() {
         let sim = Simulator::new(SmConfig::turing_like(), SiConfig::best());
-        let s = sim.run(&branchy_math(8, 8));
+        let s = sim.run(&branchy_math(8, 8)).unwrap();
         assert!(s.divergences > 0, "the kernel must actually diverge");
-        assert_eq!(s.subwarp_stalls, 0, "math-only bodies never load-to-use stall");
+        assert_eq!(
+            s.subwarp_stalls, 0,
+            "math-only bodies never load-to-use stall"
+        );
     }
 }

@@ -34,8 +34,8 @@ mod suite;
 mod toy;
 
 pub use compute::{
-    branchy_math, compute_suite, divergent_loads_full_occupancy, histogram, matmul_tile,
-    reduction, saxpy, stencil,
+    branchy_math, compute_suite, divergent_loads_full_occupancy, histogram, matmul_tile, reduction,
+    saxpy, stencil,
 };
 pub use megakernel::{MegakernelConfig, SceneKind, ShaderProfile};
 pub use micro::{microbenchmark, microbenchmark_with, MicroConfig};

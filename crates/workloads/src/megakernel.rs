@@ -12,10 +12,9 @@
 //! therefore controls the warp's hit entropy — the knob behind the
 //! per-trace differences in the paper's Figure 3.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use subwarp_core::{InitValue, RayResult, RtTrace, Workload, WARP_SIZE};
 use subwarp_isa::{Barrier, CmpOp, Operand, Pred, ProgramBuilder, Reg, Scoreboard, StallHint};
+use subwarp_prng::SmallRng;
 use subwarp_rt::{Bvh, Ray, Scene, Vec3};
 
 /// Which procedural scene the megakernel's rays fly through.
@@ -47,12 +46,15 @@ pub enum SceneKind {
 impl SceneKind {
     fn build(&self, seed: u64) -> Scene {
         match *self {
-            SceneKind::Soup { triangles, materials } => {
-                Scene::soup_with_materials(triangles, materials, seed)
-            }
-            SceneKind::City { width, depth, materials } => {
-                Scene::grid_city(width, depth, materials, seed)
-            }
+            SceneKind::Soup {
+                triangles,
+                materials,
+            } => Scene::soup_with_materials(triangles, materials, seed),
+            SceneKind::City {
+                width,
+                depth,
+                materials,
+            } => Scene::grid_city(width, depth, materials, seed),
             SceneKind::Cornell => Scene::cornell_like(),
         }
     }
@@ -86,7 +88,14 @@ pub struct ShaderProfile {
 impl ShaderProfile {
     /// A minimal miss-shader profile: a couple of math ops, no memory.
     pub fn miss() -> ShaderProfile {
-        ShaderProfile { tex_ops: 0, ldg_ops: 0, hot_loads: 0, math_ops: 4, trips: 1, code_pad: 8 }
+        ShaderProfile {
+            tex_ops: 0,
+            ldg_ops: 0,
+            hot_loads: 0,
+            math_ops: 4,
+            trips: 1,
+            code_pad: 8,
+        }
     }
 }
 
@@ -147,23 +156,34 @@ impl MegakernelConfig {
         let vp_w = 64u32;
         let vp_h = (total as u32).div_ceil(vp_w);
 
-        let mut results = vec![RayResult { shader: miss_shader, nodes: 2 }; total * self.bounces as usize];
+        let mut results = vec![
+            RayResult {
+                shader: miss_shader,
+                nodes: 2
+            };
+            total * self.bounces as usize
+        ];
         let mut rng = SmallRng::seed_from_u64(self.seed ^ 0xABCD);
         for gtid in 0..total {
-            let mut ray =
-                Scene::camera_ray(gtid as u32 % vp_w, gtid as u32 / vp_w, vp_w, vp_h);
+            let mut ray = Scene::camera_ray(gtid as u32 % vp_w, gtid as u32 / vp_w, vp_w, vp_h);
             let mut alive = true;
             for bounce in 0..self.bounces as usize {
                 let idx = gtid + bounce * total;
                 if !alive {
                     // Escaped rays keep invoking the miss shader cheaply.
-                    results[idx] = RayResult { shader: miss_shader, nodes: 2 };
+                    results[idx] = RayResult {
+                        shader: miss_shader,
+                        nodes: 2,
+                    };
                     continue;
                 }
                 let t = bvh.traverse(&ray);
                 match t.hit {
                     Some(hit) => {
-                        results[idx] = RayResult { shader: hit.material, nodes: t.nodes_visited };
+                        results[idx] = RayResult {
+                            shader: hit.material,
+                            nodes: t.nodes_visited,
+                        };
                         // Scatter a secondary ray from the hit point.
                         let p = ray.at(hit.t);
                         let dir = Vec3::new(
@@ -171,17 +191,30 @@ impl MegakernelConfig {
                             rng.gen_range(-1.0..1.0f32),
                             rng.gen_range(-1.0..1.0f32),
                         );
-                        let dir = if dir.length() < 1e-3 { Vec3::new(0.0, 1.0, 0.0) } else { dir };
+                        let dir = if dir.length() < 1e-3 {
+                            Vec3::new(0.0, 1.0, 0.0)
+                        } else {
+                            dir
+                        };
                         ray = Ray::new(p + dir.normalized() * 1e-3, dir);
                     }
                     None => {
-                        results[idx] = RayResult { shader: miss_shader, nodes: t.nodes_visited };
+                        results[idx] = RayResult {
+                            shader: miss_shader,
+                            nodes: t.nodes_visited,
+                        };
                         alive = false;
                     }
                 }
             }
         }
-        RtTrace::from_results(results, RayResult { shader: miss_shader, nodes: 2 })
+        RtTrace::from_results(
+            results,
+            RayResult {
+                shader: miss_shader,
+                nodes: 2,
+            },
+        )
     }
 
     /// Emits the megakernel program.
@@ -200,8 +233,9 @@ impl MegakernelConfig {
         let mut b = ProgramBuilder::new();
         let mk_loop = b.label("megakernel_loop");
         let post = b.label("post_switch");
-        let shader_labels: Vec<_> =
-            (0..n_shaders.saturating_sub(1)).map(|s| b.label(&format!("shader{s}"))).collect();
+        let shader_labels: Vec<_> = (0..n_shaders.saturating_sub(1))
+            .map(|s| b.label(&format!("shader{s}")))
+            .collect();
 
         b.iadd(Reg(60), Reg(0), Operand::imm(0)); // ray id = gtid
         b.mov(Reg(61), Operand::imm(self.bounces as i64));
@@ -213,10 +247,17 @@ impl MegakernelConfig {
         if self.common_ldg > 0 {
             // Per-thread streaming region keyed by ray id: compulsory misses
             // in *convergent* code.
-            b.imad(Reg(30), Reg(60), Operand::imm(1024), Operand::imm(COMMON_BASE));
+            b.imad(
+                Reg(30),
+                Reg(60),
+                Operand::imm(1024),
+                Operand::imm(COMMON_BASE),
+            );
             for j in 0..self.common_ldg {
-                b.ldg(Reg(31), Reg(30), j as i64 * LINE).wr_sb(Scoreboard(6));
-                b.fadd(Reg(32), Reg(31), Operand::reg(32)).req_sb(Scoreboard(6));
+                b.ldg(Reg(31), Reg(30), j as i64 * LINE)
+                    .wr_sb(Scoreboard(6));
+                b.fadd(Reg(32), Reg(31), Operand::reg(32))
+                    .req_sb(Scoreboard(6));
             }
         }
         for _ in 0..self.common_math {
@@ -224,12 +265,21 @@ impl MegakernelConfig {
         }
         // Dispatch on the hit shader — the divergence point of Figure 5.
         // Each dispatch branch carries a stall-probability hint (§VI future
-        // work): TakenStalls when the shader it jumps to has cold loads,
-        // FallthroughStalls when a stall-prone shader remains further down
-        // the chain. Hints are free metadata; only `DivergeOrder::Hinted`
-        // consumes them.
-        let has_cold =
-            |p: &ShaderProfile| p.hot_loads < p.tex_ops + p.ldg_ops && p.tex_ops + p.ldg_ops > 0;
+        // work): the side estimated to expose more load-to-use latency
+        // should run *first* so its stalls overlap the other side's
+        // execution. The estimate scores each profile by the latency its
+        // math slack cannot cover (latencies mirror the Turing-like
+        // defaults — the hint models a profiling compiler's guess, not the
+        // exact machine). Hints are free metadata; only
+        // `DivergeOrder::Hinted` consumes them.
+        let stall_score = |p: &ShaderProfile| -> u64 {
+            let total = p.tex_ops + p.ldg_ops;
+            let hot = p.hot_loads.min(total);
+            let (cold, hot_tex) = (total - hot, p.tex_ops.min(hot));
+            let hot_ldg = hot - hot_tex;
+            let exposed = |n: usize, lat: u64| n as u64 * lat.saturating_sub(p.math_ops as u64);
+            p.trips as u64 * (exposed(cold, 600) + exposed(hot_tex, 50) + exposed(hot_ldg, 30))
+        };
         b.bssy(Barrier(0), post);
         for (s, label) in shader_labels.iter().enumerate() {
             let cmp = b.isetp(Pred(0), Reg(62), Operand::imm(s as i64), CmpOp::Eq);
@@ -237,10 +287,22 @@ impl MegakernelConfig {
                 // First use of the traversal result waits on its scoreboard.
                 cmp.req_sb(Scoreboard(7));
             }
-            let later_cold = self.profiles[s + 1..].iter().any(has_cold);
-            let hint = if has_cold(&self.profiles[s]) {
+            let here = stall_score(&self.profiles[s]);
+            let later_best = self.profiles[s + 1..]
+                .iter()
+                .map(stall_score)
+                .max()
+                .unwrap_or(0);
+            // Hint only when one side clearly dominates (≥1.25×) AND the
+            // dominant side's exposure is miss-sized (≥100 cycles): a
+            // profiling compiler cannot distinguish near-tied paths, and
+            // hit-latency differences are within profiling noise. An
+            // over-confident hint is worse than admitting ignorance —
+            // unhinted branches randomize per warp, recovering order
+            // diversity.
+            let hint = if here >= 100 && 4 * here >= 5 * later_best {
                 Some(StallHint::TakenStalls)
-            } else if later_cold {
+            } else if later_best >= 100 && 4 * later_best >= 5 * here {
                 Some(StallHint::FallthroughStalls)
             } else {
                 None
@@ -251,7 +313,14 @@ impl MegakernelConfig {
             }
         }
         // Fall-through: the last shader (the miss shader).
-        self.emit_shader(&mut b, (n_shaders - 1) as usize, post, STREAM_BASE, HOT_BASE, HOT_REGION);
+        self.emit_shader(
+            &mut b,
+            (n_shaders - 1) as usize,
+            post,
+            STREAM_BASE,
+            HOT_BASE,
+            HOT_REGION,
+        );
         for (s, label) in shader_labels.iter().enumerate() {
             b.place(*label);
             self.emit_shader(&mut b, s, post, STREAM_BASE, HOT_BASE, HOT_REGION);
@@ -284,7 +353,12 @@ impl MegakernelConfig {
         let p = &self.profiles[s];
         let region = 1i64 << 22;
         // Streaming cursor: per-thread, per-shader, per-bounce fresh lines.
-        b.imad(Reg(50), Reg(60), Operand::imm(2048), Operand::imm(stream_base + s as i64 * region));
+        b.imad(
+            Reg(50),
+            Reg(60),
+            Operand::imm(2048),
+            Operand::imm(stream_base + s as i64 * region),
+        );
         // Hot base: shared by all lanes → L1D-resident after warm-up.
         b.mov(Reg(51), Operand::imm(hot_base + s as i64 * hot_region));
         if p.trips > 1 {
@@ -310,7 +384,12 @@ impl MegakernelConfig {
                 b.ldg(Reg(40), base, off).wr_sb(sb);
             }
             for m in 0..p.math_ops {
-                b.ffma(Reg(45), Reg(45), Operand::fimm(1.0 + m as f32 * 1e-6), Operand::fimm(0.5));
+                b.ffma(
+                    Reg(45),
+                    Reg(45),
+                    Operand::fimm(1.0 + m as f32 * 1e-6),
+                    Operand::fimm(0.5),
+                );
             }
             // The load-to-use point.
             b.fadd(Reg(44), Reg(40), Operand::reg(44)).req_sb(sb);
@@ -327,7 +406,11 @@ impl MegakernelConfig {
             // Advance streaming past this trip's lines and loop back
             // (trip count is uniform per subwarp: no divergence, no barrier
             // needed).
-            b.iadd(Reg(50), Reg(50), Operand::imm((total_mem as i64 + 1) * LINE));
+            b.iadd(
+                Reg(50),
+                Reg(50),
+                Operand::imm((total_mem as i64 + 1) * LINE),
+            );
             b.iadd(Reg(48), Reg(48), Operand::imm(-1));
             b.isetp(Pred(2), Reg(48), Operand::imm(0), CmpOp::Gt);
             b.bra(loop_top).pred(Pred(2), false);
@@ -345,7 +428,10 @@ mod tests {
     use subwarp_core::{SiConfig, Simulator, SmConfig};
 
     fn small_config() -> MegakernelConfig {
-        let scene = SceneKind::Soup { triangles: 512, materials: 4 };
+        let scene = SceneKind::Soup {
+            triangles: 512,
+            materials: 4,
+        };
         MegakernelConfig {
             name: "test-mk".into(),
             scene,
@@ -372,7 +458,9 @@ mod tests {
     fn build_produces_runnable_workload() {
         let wl = small_config().build();
         assert_eq!(wl.rt_trace.len(), 4 * 32 * 2);
-        let stats = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl);
+        let stats = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+            .run(&wl)
+            .unwrap();
         assert!(stats.instructions > 0);
         assert!(stats.rt_traversals > 0);
         assert!(stats.divergences > 0, "soup scene must splinter warps");
@@ -382,15 +470,22 @@ mod tests {
     #[test]
     fn si_helps_the_divergent_megakernel() {
         let wl = small_config().build();
-        let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl);
-        let si = Simulator::new(SmConfig::turing_like(), SiConfig::best()).run(&wl);
+        let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+            .run(&wl)
+            .unwrap();
+        let si = Simulator::new(SmConfig::turing_like(), SiConfig::best())
+            .run(&wl)
+            .unwrap();
         assert!(
             si.cycles <= base.cycles,
             "SI should not slow the megakernel: {} vs {}",
             si.cycles,
             base.cycles
         );
-        assert!(si.subwarp_stalls > 0, "divergent stalls should trigger demotions");
+        assert!(
+            si.subwarp_stalls > 0,
+            "divergent stalls should trigger demotions"
+        );
     }
 
     #[test]

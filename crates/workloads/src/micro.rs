@@ -56,7 +56,11 @@ impl Default for MicroConfig {
 /// # Panics
 /// Panics if `subwarp_size` is not a power of two in `1..=32`.
 pub fn microbenchmark(subwarp_size: usize, iterations: u32) -> Workload {
-    microbenchmark_with(MicroConfig { subwarp_size, iterations, ..MicroConfig::default() })
+    microbenchmark_with(MicroConfig {
+        subwarp_size,
+        iterations,
+        ..MicroConfig::default()
+    })
 }
 
 /// Builds the microbenchmark from a full [`MicroConfig`].
@@ -84,11 +88,17 @@ pub fn microbenchmark_with(cfg: MicroConfig) -> Workload {
     let mut b = ProgramBuilder::new();
     let loop_ = b.label("loop");
     let sync = b.label("sync");
-    let case_labels: Vec<_> =
-        (0..n_subwarps.saturating_sub(1)).map(|k| b.label(&format!("case{k}"))).collect();
+    let case_labels: Vec<_> = (0..n_subwarps.saturating_sub(1))
+        .map(|k| b.label(&format!("case{k}")))
+        .collect();
 
     b.shr(Reg(1), Reg(0), Operand::imm(shift));
-    b.imad(Reg(2), Reg(1), Operand::imm(SUBWARP_REGION), Operand::imm(BASE));
+    b.imad(
+        Reg(2),
+        Reg(1),
+        Operand::imm(SUBWARP_REGION),
+        Operand::imm(BASE),
+    );
     b.imad(Reg(2), Reg(3), Operand::imm(WARP_REGION), Operand::reg(2));
     b.mov(Reg(9), Operand::imm(cfg.iterations as i64));
     b.place(loop_);
@@ -109,7 +119,11 @@ pub fn microbenchmark_with(cfg: MicroConfig) -> Workload {
         let mut pad_left = cfg.body_pad;
         for j in 0..cfg.loads_per_iter {
             b.ldg(Reg(4), Reg(2), j as i64 * LINE).wr_sb(sb);
-            let chunk = if j + 1 == cfg.loads_per_iter { pad_left } else { pad_per_load };
+            let chunk = if j + 1 == cfg.loads_per_iter {
+                pad_left
+            } else {
+                pad_per_load
+            };
             for p in 0..chunk.min(pad_left) {
                 b.fmul(Reg(6), Reg(5), Operand::fimm(1.0 + p as f32 * 1e-7));
             }
@@ -129,17 +143,25 @@ pub fn microbenchmark_with(cfg: MicroConfig) -> Workload {
     b.bsync(Barrier(0));
     // Advance the cursor past this iteration's lines: misses stay
     // compulsory (`subwarp_offset += L2_CACHE_LINE` in Figure 11).
-    b.iadd(Reg(2), Reg(2), Operand::imm(cfg.loads_per_iter as i64 * LINE));
+    b.iadd(
+        Reg(2),
+        Reg(2),
+        Operand::imm(cfg.loads_per_iter as i64 * LINE),
+    );
     b.iadd(Reg(9), Reg(9), Operand::imm(-1));
     b.isetp(Pred(1), Reg(9), Operand::imm(0), CmpOp::Gt);
     b.bra(loop_).pred(Pred(1), false);
     b.exit();
 
     let program = b.build().expect("microbenchmark program is valid");
-    Workload::new(format!("micro/subwarp{}", cfg.subwarp_size), program, cfg.n_warps)
-        .with_init(Reg(0), InitValue::LaneId)
-        .with_init(Reg(3), InitValue::WarpId)
-        .with_data_seed(0x5eed)
+    Workload::new(
+        format!("micro/subwarp{}", cfg.subwarp_size),
+        program,
+        cfg.n_warps,
+    )
+    .with_init(Reg(0), InitValue::LaneId)
+    .with_init(Reg(3), InitValue::WarpId)
+    .with_data_seed(0x5eed)
 }
 
 #[cfg(test)]
@@ -163,9 +185,15 @@ mod tests {
     #[test]
     fn two_way_micro_speeds_up_near_2x() {
         let wl = microbenchmark(16, 2);
-        let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl);
-        let si = Simulator::new(SmConfig::turing_like(), SiConfig::sos(SelectPolicy::AnyStalled))
-            .run(&wl);
+        let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+            .run(&wl)
+            .unwrap();
+        let si = Simulator::new(
+            SmConfig::turing_like(),
+            SiConfig::sos(SelectPolicy::AnyStalled),
+        )
+        .run(&wl)
+        .unwrap();
         let speedup = si.speedup_vs(&base);
         assert!(
             (1.5..=2.3).contains(&speedup),
@@ -180,10 +208,18 @@ mod tests {
         let base2 = microbenchmark(16, 2);
         let base4 = microbenchmark(8, 2);
         let sim_b = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
-        let sim_si =
-            Simulator::new(SmConfig::turing_like(), SiConfig::sos(SelectPolicy::AnyStalled));
-        let s2 = sim_si.run(&base2).speedup_vs(&sim_b.run(&base2));
-        let s4 = sim_si.run(&base4).speedup_vs(&sim_b.run(&base4));
+        let sim_si = Simulator::new(
+            SmConfig::turing_like(),
+            SiConfig::sos(SelectPolicy::AnyStalled),
+        );
+        let s2 = sim_si
+            .run(&base2)
+            .unwrap()
+            .speedup_vs(&sim_b.run(&base2).unwrap());
+        let s4 = sim_si
+            .run(&base4)
+            .unwrap()
+            .speedup_vs(&sim_b.run(&base4).unwrap());
         assert!(s4 > s2 + 0.5, "4-way {s4:.2} should beat 2-way {s2:.2}");
     }
 
@@ -191,8 +227,11 @@ mod tests {
     fn baseline_serializes_subwarps() {
         // Baseline time should scale roughly with divergence factor.
         let sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
-        let c2 = sim.run(&microbenchmark(16, 2)).cycles;
-        let c8 = sim.run(&microbenchmark(4, 2)).cycles;
-        assert!(c8 > 3 * c2, "8-way baseline {c8} should be ~4x the 2-way {c2}");
+        let c2 = sim.run(&microbenchmark(16, 2)).unwrap().cycles;
+        let c8 = sim.run(&microbenchmark(4, 2)).unwrap().cycles;
+        assert!(
+            c8 > 3 * c2,
+            "8-way baseline {c8} should be ~4x the 2-way {c2}"
+        );
     }
 }

@@ -16,9 +16,8 @@
 //!   shader heaviness.
 
 use crate::megakernel::{MegakernelConfig, SceneKind, ShaderProfile};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use subwarp_core::Workload;
+use subwarp_prng::SmallRng;
 
 /// A named trace: its Table II description plus the generator
 /// configuration.
@@ -82,7 +81,11 @@ fn profiles(
         v.push(ShaderProfile {
             tex_ops,
             ldg_ops,
-            hot_loads: if has_cold { hot.min(total_mem) } else { total_mem },
+            hot_loads: if has_cold {
+                hot.min(total_mem)
+            } else {
+                total_mem
+            },
             math_ops,
             trips: t,
             code_pad,
@@ -92,124 +95,198 @@ fn profiles(
     v
 }
 
-fn mk(
-    name: &'static str,
-    description: &'static str,
-    config: MegakernelConfig,
-) -> TraceSpec {
-    TraceSpec { name, description, config }
+fn mk(name: &'static str, description: &'static str, config: MegakernelConfig) -> TraceSpec {
+    TraceSpec {
+        name,
+        description,
+        config,
+    }
 }
 
 /// The full ten-trace suite (Table II order).
 pub fn suite() -> Vec<TraceSpec> {
     vec![
-        mk("AV1", "ArchViz Interior, GI-Diffuse (Unreal Engine 4)", MegakernelConfig {
-            name: "AV1".into(),
-            scene: SceneKind::Soup { triangles: 3000, materials: 6 },
-            bounces: 2,
-            n_warps: 12,
-            seed: 101,
-            profiles: profiles(6, 101, (1, 1), (1, 2), 2, (16, 28), (1, 1), (16, 40), 0.85),
-            common_ldg: 1,
-            common_math: 24,
-        }),
-        mk("AV2", "ArchViz Interior, Ambient Occlusion (Unreal Engine 4)", MegakernelConfig {
-            name: "AV2".into(),
-            scene: SceneKind::Soup { triangles: 3000, materials: 4 },
-            bounces: 2,
-            n_warps: 28,
-            seed: 102,
-            profiles: profiles(4, 102, (0, 1), (1, 1), 1, (18, 30), (1, 1), (12, 24), 0.45),
-            common_ldg: 1,
-            common_math: 28,
-        }),
-        mk("BFV1", "Battlefield V scene 1, Reflections (Frostbite 3)", MegakernelConfig {
-            name: "BFV1".into(),
-            scene: SceneKind::Soup { triangles: 6000, materials: 10 },
-            bounces: 2,
-            n_warps: 18,
-            seed: 103,
-            profiles: profiles(10, 103, (1, 1), (1, 1), 1, (10, 16), (1, 1), (20, 48), 0.4),
-            common_ldg: 0,
-            common_math: 12,
-        }),
-        mk("BFV2", "Battlefield V scene 2, Reflections (Frostbite 3)", MegakernelConfig {
-            name: "BFV2".into(),
-            scene: SceneKind::Soup { triangles: 5000, materials: 8 },
-            bounces: 2,
-            n_warps: 18,
-            seed: 104,
-            profiles: profiles(8, 104, (1, 1), (1, 1), 1, (10, 18), (1, 1), (16, 40), 0.45),
-            common_ldg: 0,
-            common_math: 14,
-        }),
-        mk("Coll1", "RTX Collage demo 1, Ambient Occlusion", MegakernelConfig {
-            name: "Coll1".into(),
-            scene: SceneKind::City { width: 24, depth: 6, materials: 3 },
-            bounces: 2,
-            n_warps: 24,
-            seed: 105,
-            profiles: profiles(3, 105, (0, 1), (1, 1), 2, (14, 22), (1, 1), (8, 16), 1.0),
-            common_ldg: 3,
-            common_math: 20,
-        }),
-        mk("Coll2", "RTX Collage demo 2, Reflections", MegakernelConfig {
-            name: "Coll2".into(),
-            scene: SceneKind::City { width: 24, depth: 8, materials: 5 },
-            bounces: 2,
-            n_warps: 24,
-            seed: 106,
-            profiles: profiles(5, 106, (0, 1), (1, 1), 2, (12, 20), (1, 1), (8, 20), 1.0),
-            common_ldg: 3,
-            common_math: 16,
-        }),
-        mk("Ctrl", "Control, multiple RT effects (Northlight)", MegakernelConfig {
-            name: "Ctrl".into(),
-            scene: SceneKind::Soup { triangles: 4000, materials: 7 },
-            bounces: 2,
-            n_warps: 32,
-            seed: 107,
-            profiles: profiles(7, 107, (1, 1), (1, 2), 2, (12, 20), (1, 1), (16, 32), 0.4),
-            common_ldg: 2,
-            common_math: 16,
-        }),
-        mk("DDGI", "Dynamic Diffuse GI, Greek Villa demo", MegakernelConfig {
-            name: "DDGI".into(),
-            // Deep scene → traversal-heavy (the Amdahl component).
-            scene: SceneKind::Soup { triangles: 12000, materials: 5 },
-            bounces: 3,
-            n_warps: 20,
-            seed: 108,
-            profiles: profiles(5, 108, (0, 1), (1, 1), 1, (16, 26), (1, 1), (12, 24), 1.0),
-            common_ldg: 2,
-            common_math: 20,
-        }),
-        mk("MC", "Minecraft, multiple RT effects", MegakernelConfig {
-            name: "MC".into(),
-            scene: SceneKind::Soup { triangles: 2500, materials: 12 },
-            bounces: 2,
-            n_warps: 18,
-            seed: 109,
-            profiles: profiles(12, 109, (1, 1), (1, 1), 1, (12, 18), (1, 1), (16, 40), 0.35),
-            common_ldg: 1,
-            common_math: 14,
-        }),
-        mk("MW", "Mechwarrior 5, Reflections (Unreal Engine 4)", MegakernelConfig {
-            name: "MW".into(),
-            scene: SceneKind::Soup { triangles: 4500, materials: 6 },
-            bounces: 2,
-            n_warps: 18,
-            seed: 110,
-            profiles: profiles(6, 110, (1, 1), (1, 2), 2, (12, 20), (1, 1), (12, 32), 1.0),
-            common_ldg: 2,
-            common_math: 16,
-        }),
+        mk(
+            "AV1",
+            "ArchViz Interior, GI-Diffuse (Unreal Engine 4)",
+            MegakernelConfig {
+                name: "AV1".into(),
+                scene: SceneKind::Soup {
+                    triangles: 3000,
+                    materials: 6,
+                },
+                bounces: 2,
+                n_warps: 12,
+                seed: 101,
+                profiles: profiles(6, 101, (1, 1), (1, 2), 2, (16, 28), (1, 1), (16, 40), 0.85),
+                common_ldg: 1,
+                common_math: 24,
+            },
+        ),
+        mk(
+            "AV2",
+            "ArchViz Interior, Ambient Occlusion (Unreal Engine 4)",
+            MegakernelConfig {
+                name: "AV2".into(),
+                scene: SceneKind::Soup {
+                    triangles: 3000,
+                    materials: 4,
+                },
+                bounces: 2,
+                n_warps: 28,
+                seed: 102,
+                profiles: profiles(4, 102, (0, 1), (1, 1), 1, (18, 30), (1, 1), (12, 24), 0.45),
+                common_ldg: 1,
+                common_math: 28,
+            },
+        ),
+        mk(
+            "BFV1",
+            "Battlefield V scene 1, Reflections (Frostbite 3)",
+            MegakernelConfig {
+                name: "BFV1".into(),
+                scene: SceneKind::Soup {
+                    triangles: 6000,
+                    materials: 10,
+                },
+                bounces: 2,
+                n_warps: 18,
+                seed: 103,
+                profiles: profiles(10, 103, (1, 1), (1, 1), 1, (10, 16), (1, 1), (20, 48), 0.4),
+                common_ldg: 0,
+                common_math: 12,
+            },
+        ),
+        mk(
+            "BFV2",
+            "Battlefield V scene 2, Reflections (Frostbite 3)",
+            MegakernelConfig {
+                name: "BFV2".into(),
+                scene: SceneKind::Soup {
+                    triangles: 5000,
+                    materials: 8,
+                },
+                bounces: 2,
+                n_warps: 18,
+                seed: 104,
+                profiles: profiles(8, 104, (1, 1), (1, 1), 1, (10, 18), (1, 1), (16, 40), 0.45),
+                common_ldg: 0,
+                common_math: 14,
+            },
+        ),
+        mk(
+            "Coll1",
+            "RTX Collage demo 1, Ambient Occlusion",
+            MegakernelConfig {
+                name: "Coll1".into(),
+                scene: SceneKind::City {
+                    width: 24,
+                    depth: 6,
+                    materials: 3,
+                },
+                bounces: 2,
+                n_warps: 24,
+                seed: 105,
+                profiles: profiles(3, 105, (0, 1), (1, 1), 2, (14, 22), (1, 1), (8, 16), 1.0),
+                common_ldg: 3,
+                common_math: 20,
+            },
+        ),
+        mk(
+            "Coll2",
+            "RTX Collage demo 2, Reflections",
+            MegakernelConfig {
+                name: "Coll2".into(),
+                scene: SceneKind::City {
+                    width: 24,
+                    depth: 8,
+                    materials: 5,
+                },
+                bounces: 2,
+                n_warps: 24,
+                seed: 106,
+                profiles: profiles(5, 106, (0, 1), (1, 1), 2, (14, 22), (1, 1), (8, 20), 1.0),
+                common_ldg: 8,
+                common_math: 20,
+            },
+        ),
+        mk(
+            "Ctrl",
+            "Control, multiple RT effects (Northlight)",
+            MegakernelConfig {
+                name: "Ctrl".into(),
+                scene: SceneKind::Soup {
+                    triangles: 4000,
+                    materials: 7,
+                },
+                bounces: 2,
+                n_warps: 32,
+                seed: 107,
+                profiles: profiles(7, 107, (1, 1), (1, 2), 2, (12, 20), (1, 1), (16, 32), 0.4),
+                common_ldg: 2,
+                common_math: 16,
+            },
+        ),
+        mk(
+            "DDGI",
+            "Dynamic Diffuse GI, Greek Villa demo",
+            MegakernelConfig {
+                name: "DDGI".into(),
+                // Deep scene → traversal-heavy (the Amdahl component).
+                scene: SceneKind::Soup {
+                    triangles: 12000,
+                    materials: 5,
+                },
+                bounces: 3,
+                n_warps: 20,
+                seed: 108,
+                profiles: profiles(5, 108, (0, 1), (1, 1), 2, (16, 26), (1, 1), (12, 24), 1.0),
+                common_ldg: 2,
+                common_math: 20,
+            },
+        ),
+        mk(
+            "MC",
+            "Minecraft, multiple RT effects",
+            MegakernelConfig {
+                name: "MC".into(),
+                scene: SceneKind::Soup {
+                    triangles: 2500,
+                    materials: 12,
+                },
+                bounces: 2,
+                n_warps: 18,
+                seed: 109,
+                profiles: profiles(12, 109, (1, 1), (1, 1), 1, (12, 18), (1, 1), (16, 40), 0.35),
+                common_ldg: 1,
+                common_math: 14,
+            },
+        ),
+        mk(
+            "MW",
+            "Mechwarrior 5, Reflections (Unreal Engine 4)",
+            MegakernelConfig {
+                name: "MW".into(),
+                scene: SceneKind::Soup {
+                    triangles: 4500,
+                    materials: 6,
+                },
+                bounces: 2,
+                n_warps: 28,
+                seed: 110,
+                profiles: profiles(6, 110, (1, 1), (2, 2), 2, (12, 20), (1, 1), (12, 32), 1.0),
+                common_ldg: 6,
+                common_math: 24,
+            },
+        ),
     ]
 }
 
 /// Looks up a suite trace by name (case-insensitive).
 pub fn trace_by_name(name: &str) -> Option<TraceSpec> {
-    suite().into_iter().find(|t| t.name.eq_ignore_ascii_case(name))
+    suite()
+        .into_iter()
+        .find(|t| t.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]

@@ -25,14 +25,16 @@ pub fn figure9_program(taken_lanes: i64) -> Program {
     // 4. FMUL R10, R5, c[1][16]
     b.fmul(Reg(10), Reg(5), Operand::cbank(1, 16));
     // 5. FMUL R2, R2, R10; &req=sb5 (load-to-use stall)
-    b.fmul(Reg(2), Reg(2), Operand::reg(10)).req_sb(Scoreboard(5));
+    b.fmul(Reg(2), Reg(2), Operand::reg(10))
+        .req_sb(Scoreboard(5));
     // 6. BRA syncPoint
     b.bra(sync);
     b.place(else_);
     // 7. TEX R1, R8, R9; &wr=sb2
     b.tex(Reg(1), Reg(6)).wr_sb(Scoreboard(2));
     // 8. FADD R1, R1, R3; &req=sb2 (load-to-use stall)
-    b.fadd(Reg(1), Reg(1), Operand::reg(3)).req_sb(Scoreboard(2));
+    b.fadd(Reg(1), Reg(1), Operand::reg(3))
+        .req_sb(Scoreboard(2));
     // 9. BRA syncPoint
     b.bra(sync);
     b.place(sync);
@@ -71,8 +73,12 @@ mod tests {
     #[test]
     fn toy_runs_on_both_configs() {
         let wl = figure9_workload();
-        let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl);
-        let si = Simulator::new(SmConfig::turing_like(), SiConfig::best()).run(&wl);
+        let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+            .run(&wl)
+            .unwrap();
+        let si = Simulator::new(SmConfig::turing_like(), SiConfig::best())
+            .run(&wl)
+            .unwrap();
         assert!(si.cycles < base.cycles);
     }
 }

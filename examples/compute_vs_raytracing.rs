@@ -22,8 +22,8 @@ fn main() {
         "divergent stall share".into(),
     ]);
     let mut run = |name: String, kind: &str, wl: &subwarp_interleaving::core::Workload| {
-        let b = base_sim.run(wl);
-        let s = si_sim.run(wl);
+        let b = base_sim.run(wl).unwrap();
+        let s = si_sim.run(wl).unwrap();
         t.row(vec![
             name,
             kind.into(),

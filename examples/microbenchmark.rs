@@ -11,15 +11,19 @@ use subwarp_interleaving::workloads::microbenchmark;
 
 fn main() {
     let base_sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
-    let si_sim =
-        Simulator::new(SmConfig::turing_like(), SiConfig::sos(SelectPolicy::AnyStalled));
+    let si_sim = Simulator::new(
+        SmConfig::turing_like(),
+        SiConfig::sos(SelectPolicy::AnyStalled),
+    );
 
-    println!("{:>12} {:>11} {:>10} {:>14} {:>14}",
-        "SUBWARP_SIZE", "divergence", "speedup", "SI l2u-stall%", "SI fetch-stall%");
+    println!(
+        "{:>12} {:>11} {:>10} {:>14} {:>14}",
+        "SUBWARP_SIZE", "divergence", "speedup", "SI l2u-stall%", "SI fetch-stall%"
+    );
     for subwarp_size in [16usize, 8, 4, 2, 1] {
         let wl = microbenchmark(subwarp_size, 16);
-        let base = base_sim.run(&wl);
-        let si = si_sim.run(&wl);
+        let base = base_sim.run(&wl).unwrap();
+        let si = si_sim.run(&wl).unwrap();
         println!(
             "{:>12} {:>11} {:>9.2}x {:>13.1}% {:>14.1}%",
             subwarp_size,

@@ -18,7 +18,9 @@ fn main() {
     });
     println!("trace {}: {}\n", trace.name, trace.description);
     let wl = trace.build();
-    let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl);
+    let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+        .run(&wl)
+        .unwrap();
 
     let mut t = Table::new(vec![
         "configuration".into(),
@@ -28,7 +30,9 @@ fn main() {
         "yields".into(),
     ]);
     let mut run = |label: String, si: SiConfig| {
-        let s = Simulator::new(SmConfig::turing_like(), si).run(&wl);
+        let s = Simulator::new(SmConfig::turing_like(), si)
+            .run(&wl)
+            .unwrap();
         t.row(vec![
             label,
             format!("{:+.1}%", (s.speedup_vs(&base) - 1.0) * 100.0),
@@ -38,18 +42,28 @@ fn main() {
         ]);
     };
 
-    for p in [SelectPolicy::AllStalled, SelectPolicy::HalfStalled, SelectPolicy::AnyStalled] {
+    for p in [
+        SelectPolicy::AllStalled,
+        SelectPolicy::HalfStalled,
+        SelectPolicy::AnyStalled,
+    ] {
         run(format!("SOS,{}", p.label()), SiConfig::sos(p));
         run(format!("Both,{}", p.label()), SiConfig::both(p));
     }
     for n in [2usize, 4, 6] {
-        run(format!("Both,N>=0.5,TST={n}"), SiConfig::best().with_max_subwarps(n));
+        run(
+            format!("Both,N>=0.5,TST={n}"),
+            SiConfig::best().with_max_subwarps(n),
+        );
     }
     let mut slow_switch = SiConfig::best();
     slow_switch.switch_latency = 20;
     run("Both,N>=0.5,switch=20cy".into(), slow_switch);
 
     println!("{t}");
-    println!("baseline: {} cycles, {:.1}% exposed load-to-use stalls",
-        base.cycles, base.exposed_ratio() * 100.0);
+    println!(
+        "baseline: {} cycles, {:.1}% exposed load-to-use stalls",
+        base.cycles,
+        base.exposed_ratio() * 100.0
+    );
 }

@@ -9,9 +9,7 @@
 use subwarp_interleaving::core::{
     EventKind, InitValue, SelectPolicy, SiConfig, Simulator, SmConfig, Workload,
 };
-use subwarp_interleaving::isa::{
-    Barrier, CmpOp, Operand, Pred, ProgramBuilder, Reg, Scoreboard,
-};
+use subwarp_interleaving::isa::{Barrier, CmpOp, Operand, Pred, ProgramBuilder, Reg, Scoreboard};
 
 fn main() {
     // --- 1. Author a divergent kernel (the paper's Figure 9) -------------
@@ -25,11 +23,13 @@ fn main() {
     b.bra(else_).pred(Pred(0), false);
     b.tld(Reg(2), Reg(4)).wr_sb(Scoreboard(5)); //   TLD R2 … &wr=sb5
     b.fmul(Reg(10), Reg(5), Operand::cbank(1, 16));
-    b.fmul(Reg(2), Reg(2), Operand::reg(10)).req_sb(Scoreboard(5)); // stall
+    b.fmul(Reg(2), Reg(2), Operand::reg(10))
+        .req_sb(Scoreboard(5)); // stall
     b.bra(sync);
     b.place(else_);
     b.tex(Reg(1), Reg(6)).wr_sb(Scoreboard(2)); //   TEX R1 … &wr=sb2
-    b.fadd(Reg(1), Reg(1), Operand::reg(3)).req_sb(Scoreboard(2)); // stall
+    b.fadd(Reg(1), Reg(1), Operand::reg(3))
+        .req_sb(Scoreboard(2)); // stall
     b.bra(sync);
     b.place(sync);
     b.bsync(Barrier(0));
@@ -45,17 +45,28 @@ fn main() {
         .with_init(Reg(6), InitValue::Const(0x20_000));
 
     // --- 3. Run baseline vs Subwarp Interleaving --------------------------
-    let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl);
-    let (si, events) =
-        Simulator::new(SmConfig::turing_like(), SiConfig::sos(SelectPolicy::AnyStalled))
-            .run_recorded(&wl);
+    let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+        .run(&wl)
+        .unwrap();
+    let (si, events) = Simulator::new(
+        SmConfig::turing_like(),
+        SiConfig::sos(SelectPolicy::AnyStalled),
+    )
+    .run_recorded(&wl)
+    .unwrap();
 
-    println!("baseline            : {:>6} cycles ({} exposed stall cycles)",
-        base.cycles, base.exposed_load_stalls);
-    println!("subwarp interleaving: {:>6} cycles ({} exposed stall cycles)",
-        si.cycles, si.exposed_load_stalls);
-    println!("speedup             : {:.2}x  (the two ~600-cycle misses overlap)",
-        si.speedup_vs(&base));
+    println!(
+        "baseline            : {:>6} cycles ({} exposed stall cycles)",
+        base.cycles, base.exposed_load_stalls
+    );
+    println!(
+        "subwarp interleaving: {:>6} cycles ({} exposed stall cycles)",
+        si.cycles, si.exposed_load_stalls
+    );
+    println!(
+        "speedup             : {:.2}x  (the two ~600-cycle misses overlap)",
+        si.speedup_vs(&base)
+    );
 
     // --- 4. Replay the thread-status transitions (paper Figure 10a) ------
     println!("\nsubwarp scheduler events:");
@@ -70,6 +81,9 @@ fn main() {
             EventKind::Reconverge => "barrier release: reconverged",
             EventKind::Exit => "threads exited",
         };
-        println!("  cycle {:>5}  mask {:#04b}  pc {:>2}  {what}", e.cycle, e.mask, e.pc);
+        println!(
+            "  cycle {:>5}  mask {:#04b}  pc {:>2}  {what}",
+            e.cycle, e.mask, e.pc
+        );
     }
 }

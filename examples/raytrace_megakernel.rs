@@ -14,7 +14,10 @@ fn main() {
     // A high-entropy scene: random triangles with 8 materials. Neighbouring
     // camera rays strike different materials, so warps splinter at the
     // shader switch.
-    let scene_kind = SceneKind::Soup { triangles: 4000, materials: 8 };
+    let scene_kind = SceneKind::Soup {
+        triangles: 4000,
+        materials: 8,
+    };
 
     // Inspect the scene/BVH the generator will trace through.
     let scene = Scene::soup_with_materials(4000, 8, 7);
@@ -60,18 +63,42 @@ fn main() {
         wl.rt_trace.len()
     );
 
-    let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl);
-    let si = Simulator::new(SmConfig::turing_like(), SiConfig::best()).run(&wl);
+    let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+        .run(&wl)
+        .unwrap();
+    let si = Simulator::new(SmConfig::turing_like(), SiConfig::best())
+        .run(&wl)
+        .unwrap();
 
     println!("{:<26} {:>12} {:>12}", "", "baseline", "SI (Both,N>=0.5)");
     let row = |k: &str, a: u64, b: u64| println!("{k:<26} {a:>12} {b:>12}");
     row("cycles", base.cycles, si.cycles);
     row("instructions", base.instructions, si.instructions);
-    row("exposed load-to-use", base.exposed_load_stalls, si.exposed_load_stalls);
-    row("  ...in divergent code", base.exposed_load_stalls_divergent, si.exposed_load_stalls_divergent);
-    row("exposed RT-traversal", base.exposed_traversal_stalls, si.exposed_traversal_stalls);
+    row(
+        "exposed load-to-use",
+        base.exposed_load_stalls,
+        si.exposed_load_stalls,
+    );
+    row(
+        "  ...in divergent code",
+        base.exposed_load_stalls_divergent,
+        si.exposed_load_stalls_divergent,
+    );
+    row(
+        "exposed RT-traversal",
+        base.exposed_traversal_stalls,
+        si.exposed_traversal_stalls,
+    );
     row("divergences", base.divergences, si.divergences);
-    row("subwarp-stall demotions", base.subwarp_stalls, si.subwarp_stalls);
-    row("subwarp switches", base.subwarp_switches, si.subwarp_switches);
+    row(
+        "subwarp-stall demotions",
+        base.subwarp_stalls,
+        si.subwarp_stalls,
+    );
+    row(
+        "subwarp switches",
+        base.subwarp_switches,
+        si.subwarp_switches,
+    );
     println!("\nspeedup: {:.1}%", (si.speedup_vs(&base) - 1.0) * 100.0);
 }

@@ -25,9 +25,12 @@
 //! let wl = microbenchmark(16, 4);
 //!
 //! // Run it on a baseline SM and on an SI-enabled SM, then compare cycles.
-//! let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl);
-//! let si = Simulator::new(SmConfig::turing_like(), SiConfig::switch_on_stall()).run(&wl);
+//! // `run` returns `Result<RunStats, SimError>`; failures carry a snapshot
+//! // of the machine state at the failing cycle.
+//! let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl)?;
+//! let si = Simulator::new(SmConfig::turing_like(), SiConfig::switch_on_stall()).run(&wl)?;
 //! assert!(si.cycles <= base.cycles);
+//! # Ok::<(), subwarp_interleaving::core::SimError>(())
 //! ```
 
 pub use subwarp_core as core;

@@ -13,20 +13,32 @@ use subwarp_workloads::{suite, trace_by_name};
 /// regions".
 #[test]
 fn fig3_stall_characterization_shape() {
-    let rows = fig3();
+    let rows = fig3().unwrap();
     let total_mean = mean(&rows.iter().map(|r| r.total).collect::<Vec<_>>());
     let div_mean = mean(&rows.iter().map(|r| r.divergent).collect::<Vec<_>>());
     // Paper's suite spans ~15–70% total exposure; mean in the tens of %.
-    assert!((0.15..0.60).contains(&total_mean), "total mean {total_mean}");
+    assert!(
+        (0.15..0.60).contains(&total_mean),
+        "total mean {total_mean}"
+    );
     // Divergent stalls are a large minority share of exposure.
-    assert!(div_mean > 0.3 * total_mean, "divergent share too small: {div_mean}");
+    assert!(
+        div_mean > 0.3 * total_mean,
+        "divergent share too small: {div_mean}"
+    );
     assert!(div_mean < total_mean + 1e-9);
     // BFV traces are divergence-dominated; Coll traces are not.
     let get = |n: &str| rows.iter().find(|r| r.name == n).expect("trace present");
     let bfv1 = get("BFV1");
     let coll1 = get("Coll1");
-    assert!(bfv1.divergent / bfv1.total > 0.9, "BFV1 stalls should be divergent");
-    assert!(coll1.divergent / coll1.total < 0.6, "Coll1 stalls should be mostly convergent");
+    assert!(
+        bfv1.divergent / bfv1.total > 0.9,
+        "BFV1 stalls should be divergent"
+    );
+    assert!(
+        coll1.divergent / coll1.total < 0.6,
+        "Coll1 stalls should be mostly convergent"
+    );
 }
 
 /// §V-A / Table III: "SI delivers almost linear speedups until about 16-way
@@ -35,8 +47,13 @@ fn fig3_stall_characterization_shape() {
 /// stalls rise sharply".
 #[test]
 fn table3_scaling_and_taper() {
-    let rows = table3(8); // reduced iterations for test runtime
-    let speedup = |d: usize| rows.iter().find(|r| r.divergence_factor == d).unwrap().speedup;
+    let rows = table3(8).unwrap(); // reduced iterations for test runtime
+    let speedup = |d: usize| {
+        rows.iter()
+            .find(|r| r.divergence_factor == d)
+            .unwrap()
+            .speedup
+    };
     // Near-linear low end (≥85% efficiency at 2- and 4-way).
     assert!(speedup(2) > 1.7, "2-way: {}", speedup(2));
     assert!(speedup(4) > 3.4, "4-way: {}", speedup(4));
@@ -50,8 +67,16 @@ fn table3_scaling_and_taper() {
         speedup(16)
     );
     // The taper's mechanism: fetch stalls rise sharply with divergence.
-    let fetch = |d: usize| rows.iter().find(|r| r.divergence_factor == d).unwrap().si_fetch_ratio;
-    assert!(fetch(32) > 4.0 * fetch(4), "fetch stalls must spike at 32-way");
+    let fetch = |d: usize| {
+        rows.iter()
+            .find(|r| r.divergence_factor == d)
+            .unwrap()
+            .si_fetch_ratio
+    };
+    assert!(
+        fetch(32) > 4.0 * fetch(4),
+        "fetch stalls must spike at 32-way"
+    );
 }
 
 /// §V-B: SI speeds up the suite; reflections (BFV) benefit most, demos with
@@ -64,7 +89,7 @@ fn fig12a_winners_and_losers() {
     let si_sim = Simulator::new(SmConfig::turing_like(), SiConfig::best());
     let gain = |name: &str| {
         let wl = trace_by_name(name).expect("suite trace").build();
-        gain_pct(&si_sim.run(&wl), &base_sim.run(&wl))
+        gain_pct(&si_sim.run(&wl).unwrap(), &base_sim.run(&wl).unwrap())
     };
     let bfv1 = gain("BFV1");
     let coll1 = gain("Coll1");
@@ -81,12 +106,20 @@ fn fig12a_winners_and_losers() {
 /// convergent-stall traces.
 #[test]
 fn fig12b_stall_reductions() {
-    let rows = fig12b();
-    let div_mean = mean(&rows.iter().map(|r| r.divergent_reduction).collect::<Vec<_>>());
+    let rows = fig12b().unwrap();
+    let div_mean = mean(
+        &rows
+            .iter()
+            .map(|r| r.divergent_reduction)
+            .collect::<Vec<_>>(),
+    );
     assert!(div_mean > 0.15, "mean divergent reduction {div_mean}");
     // Coll2 shows visible divergent-stall reduction yet (checked above)
     // negligible speedup — the paper's "loose approximation" caveat.
-    let coll2 = rows.iter().find(|r| r.name == "Coll2").expect("trace present");
+    let coll2 = rows
+        .iter()
+        .find(|r| r.name == "Coll2")
+        .expect("trace present");
     assert!(coll2.divergent_reduction > 0.1);
 }
 
@@ -104,7 +137,7 @@ fn fig13_latency_monotonicity() {
             .iter()
             .map(|t| {
                 let wl = t.build();
-                gain_pct(&si_sim.run(&wl), &base_sim.run(&wl))
+                gain_pct(&si_sim.run(&wl).unwrap(), &base_sim.run(&wl).unwrap())
             })
             .collect();
         means.push(mean(&gains));
@@ -122,13 +155,15 @@ fn fig13_latency_monotonicity() {
 fn fig15_small_tst_captures_most_upside() {
     let base_sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
     let mean_gain = |n: usize| {
-        let si_sim =
-            Simulator::new(SmConfig::turing_like(), SiConfig::best().with_max_subwarps(n));
+        let si_sim = Simulator::new(
+            SmConfig::turing_like(),
+            SiConfig::best().with_max_subwarps(n),
+        );
         let gains: Vec<f64> = suite()
             .iter()
             .map(|t| {
                 let wl = t.build();
-                gain_pct(&si_sim.run(&wl), &base_sim.run(&wl))
+                gain_pct(&si_sim.run(&wl).unwrap(), &base_sim.run(&wl).unwrap())
             })
             .collect();
         mean(&gains)
@@ -136,9 +171,15 @@ fn fig15_small_tst_captures_most_upside() {
     let two = mean_gain(2);
     let four = mean_gain(4);
     let unlimited = mean_gain(32);
-    assert!(two > 0.6 * unlimited, "2 subwarps: {two:.1}% vs unlimited {unlimited:.1}%");
+    assert!(
+        two > 0.6 * unlimited,
+        "2 subwarps: {two:.1}% vs unlimited {unlimited:.1}%"
+    );
     assert!(four >= two - 0.3, "4 subwarps should not lose to 2");
-    assert!(four > 0.8 * unlimited, "4 subwarps capture ≥80% (paper: 82%)");
+    assert!(
+        four > 0.8 * unlimited,
+        "4 subwarps capture ≥80% (paper: 82%)"
+    );
 }
 
 /// §V-C-4: with 4× smaller instruction caches, most of the upside remains
@@ -152,7 +193,7 @@ fn icache_sizing_keeps_most_upside() {
             .iter()
             .map(|t| {
                 let wl = t.build();
-                gain_pct(&si_sim.run(&wl), &base_sim.run(&wl))
+                gain_pct(&si_sim.run(&wl).unwrap(), &base_sim.run(&wl).unwrap())
             })
             .collect();
         mean(&gains)
@@ -163,8 +204,14 @@ fn icache_sizing_keeps_most_upside() {
     // model retains at least that (and sometimes more, because SI also
     // hides the *fetch* latency that small caches expose in the baseline —
     // see EXPERIMENTS.md).
-    assert!(small > 0.5 * big, "small caches keep most upside: {small:.1} vs {big:.1}");
-    assert!(small < big * 2.0, "small-cache gains should stay comparable");
+    assert!(
+        small > 0.5 * big,
+        "small caches keep most upside: {small:.1} vs {big:.1}"
+    );
+    assert!(
+        small < big * 2.0,
+        "small-cache gains should stay comparable"
+    );
 }
 
 /// §III-C-3: the trigger-policy knob orders aggressiveness — N=1 is the
@@ -173,12 +220,18 @@ fn icache_sizing_keeps_most_upside() {
 fn policy_knob_orders_demotions() {
     let wl = trace_by_name("MC").expect("suite trace").build();
     let demotions = |p| {
-        Simulator::new(SmConfig::turing_like(), SiConfig::sos(p)).run(&wl).subwarp_stalls
+        Simulator::new(SmConfig::turing_like(), SiConfig::sos(p))
+            .run(&wl)
+            .unwrap()
+            .subwarp_stalls
     };
     let all = demotions(SelectPolicy::AllStalled);
     let half = demotions(SelectPolicy::HalfStalled);
     let any = demotions(SelectPolicy::AnyStalled);
-    assert!(all <= half && half <= any, "demotions: N=1 {all}, N>=0.5 {half}, N>0 {any}");
+    assert!(
+        all <= half && half <= any,
+        "demotions: N=1 {all}, N>=0.5 {half}, N>0 {any}"
+    );
 }
 
 /// §VI limiter #2: traversal latency is an Amdahl component SI cannot
@@ -189,14 +242,23 @@ fn traversal_amdahl_limits_ddgi() {
     let si_sim = Simulator::new(SmConfig::turing_like(), SiConfig::best());
     let run = |name: &str| {
         let wl = trace_by_name(name).expect("suite trace").build();
-        let b = base_sim.run(&wl);
-        let s = si_sim.run(&wl);
-        (gain_pct(&s, &b), b.exposed_traversal_stalls as f64 / b.cycles as f64)
+        let b = base_sim.run(&wl).unwrap();
+        let s = si_sim.run(&wl).unwrap();
+        (
+            gain_pct(&s, &b),
+            b.exposed_traversal_stalls as f64 / b.cycles as f64,
+        )
     };
     let (ddgi_gain, ddgi_trav) = run("DDGI");
     let (bfv_gain, _) = run("BFV1");
-    assert!(ddgi_trav > 0.03, "DDGI should be traversal-heavy: {ddgi_trav}");
-    assert!(ddgi_gain < bfv_gain / 2.0, "DDGI {ddgi_gain:.1}% vs BFV1 {bfv_gain:.1}%");
+    assert!(
+        ddgi_trav > 0.03,
+        "DDGI should be traversal-heavy: {ddgi_trav}"
+    );
+    assert!(
+        ddgi_gain < bfv_gain / 2.0,
+        "DDGI {ddgi_gain:.1}% vs BFV1 {bfv_gain:.1}%"
+    );
 }
 
 /// §VI future work: software stall hints — "prefer the higher load stall
@@ -214,7 +276,7 @@ fn stall_hints_beat_oblivious_orders() {
             .iter()
             .map(|t| {
                 let wl = t.build();
-                gain_pct(&si_sim.run(&wl), &base_sim.run(&wl))
+                gain_pct(&si_sim.run(&wl).unwrap(), &base_sim.run(&wl).unwrap())
             })
             .collect();
         mean(&gains)
@@ -233,7 +295,7 @@ fn stall_hints_beat_oblivious_orders() {
 /// from SI." SI must be inert on ordinary compute.
 #[test]
 fn compute_kernels_do_not_benefit() {
-    for row in subwarp_bench::compute_negative_result() {
+    for row in subwarp_bench::compute_negative_result().unwrap() {
         assert!(
             row.gain.abs() < 3.0,
             "{} gained {:.1}% — beyond the margin of noise",

@@ -1,7 +1,9 @@
-//! Property-based tests (proptest) over the substrates and the simulator's
-//! global invariants.
+//! Property-style tests over the substrates and the simulator's global
+//! invariants. Each test draws many random cases from a seeded
+//! `subwarp_prng::SmallRng` stream, so the suite is deterministic and
+//! fully offline (no external property-testing framework); a failing case
+//! prints the iteration index so it can be replayed.
 
-use proptest::prelude::*;
 use subwarp_interleaving::core::{
     InitValue, SelectPolicy, SiConfig, Simulator, SmConfig, Workload,
 };
@@ -9,6 +11,7 @@ use subwarp_interleaving::isa::{CmpOp, Operand, ProgramBuilder, Reg, SbMask, Sco
 use subwarp_interleaving::mem::{AccessKind, Cache, CacheConfig, ServiceUnit};
 use subwarp_interleaving::rt::{Bvh, Ray, Scene, Vec3};
 use subwarp_interleaving::workloads::{microbenchmark_with, MicroConfig};
+use subwarp_prng::SmallRng;
 
 // ---------------------------------------------------------------- caches
 
@@ -47,47 +50,64 @@ impl RefCache {
     }
 }
 
-proptest! {
-    #[test]
-    fn cache_matches_lru_reference(
-        addrs in prop::collection::vec(0u64..(1 << 14), 1..400),
-        ways in 1usize..4,
-    ) {
-        let cfg = CacheConfig { size_bytes: (ways as u64) * 4 * 64, line_bytes: 64, ways };
+#[test]
+fn cache_matches_lru_reference() {
+    let mut rng = SmallRng::seed_from_u64(0xCAC4E);
+    for case in 0..64 {
+        let ways = rng.gen_range(1..4usize);
+        let n = rng.gen_range(1..400usize);
+        let cfg = CacheConfig {
+            size_bytes: (ways as u64) * 4 * 64,
+            line_bytes: 64,
+            ways,
+        };
         let mut dut = Cache::new(cfg);
         let mut reference = RefCache::new(cfg);
-        for &a in &addrs {
-            prop_assert_eq!(dut.access(a), reference.access(a), "at address {:#x}", a);
+        for _ in 0..n {
+            let a = rng.gen_range(0u64..(1 << 14));
+            assert_eq!(
+                dut.access(a),
+                reference.access(a),
+                "case {case}, address {a:#x}"
+            );
         }
     }
+}
 
-    #[test]
-    fn cache_stats_add_up(addrs in prop::collection::vec(0u64..(1 << 16), 1..300)) {
+#[test]
+fn cache_stats_add_up() {
+    let mut rng = SmallRng::seed_from_u64(0x57A75);
+    for case in 0..64 {
+        let n = rng.gen_range(1..300usize);
         let mut c = Cache::new(CacheConfig::l1_data());
-        for &a in &addrs {
-            c.access(a);
+        for _ in 0..n {
+            c.access(rng.gen_range(0u64..(1 << 16)));
         }
         let s = c.stats();
-        prop_assert_eq!(s.accesses(), addrs.len() as u64);
-        prop_assert!(s.miss_ratio() >= 0.0 && s.miss_ratio() <= 1.0);
+        assert_eq!(s.accesses(), n as u64, "case {case}");
+        assert!((0.0..=1.0).contains(&s.miss_ratio()), "case {case}");
     }
+}
 
-    // ---------------------------------------------------------- service unit
+// ---------------------------------------------------------- service unit
 
-    #[test]
-    fn service_unit_completes_everything_in_order(
-        reqs in prop::collection::vec((0u64..1000, 0u32..100), 1..200)
-    ) {
+#[test]
+fn service_unit_completes_everything_in_order() {
+    let mut rng = SmallRng::seed_from_u64(0x5EFF1CE);
+    for case in 0..64 {
+        let reqs: Vec<(u64, u32)> = (0..rng.gen_range(1..200usize))
+            .map(|_| (rng.gen_range(0u64..1000), rng.gen_range(0u32..100)))
+            .collect();
         let mut u = ServiceUnit::new();
         for &(ready, payload) in &reqs {
             u.push(ready, payload);
         }
         let done = u.pop_ready(2000);
-        prop_assert_eq!(done.len(), reqs.len());
-        prop_assert!(u.is_empty());
+        assert_eq!(done.len(), reqs.len(), "case {case}");
+        assert!(u.is_empty(), "case {case}");
         // Completion cycles are monotone.
         for w in done.windows(2) {
-            prop_assert!(w[0].at_cycle <= w[1].at_cycle);
+            assert!(w[0].at_cycle <= w[1].at_cycle, "case {case}");
         }
         // Nothing completes before its ready cycle.
         let mut u = ServiceUnit::new();
@@ -96,21 +116,21 @@ proptest! {
         }
         let min_ready = reqs.iter().map(|&(r, _)| r).min().unwrap();
         if min_ready > 0 {
-            prop_assert!(u.pop_ready(min_ready - 1).is_empty());
+            assert!(u.pop_ready(min_ready - 1).is_empty(), "case {case}");
         }
     }
+}
 
-    // ------------------------------------------------------------------ BVH
+// ------------------------------------------------------------------ BVH
 
-    #[test]
-    fn bvh_traversal_matches_brute_force(
-        n_tris in 1usize..120,
-        seed in 0u64..1000,
-        ox in -3.0f32..3.0,
-        oy in -3.0f32..3.0,
-        dx in -1.0f32..1.0,
-        dy in -1.0f32..1.0,
-    ) {
+#[test]
+fn bvh_traversal_matches_brute_force() {
+    let mut rng = SmallRng::seed_from_u64(0xB5);
+    for case in 0..48 {
+        let n_tris = rng.gen_range(1..120usize);
+        let seed = rng.gen_range(0u64..1000);
+        let (ox, oy) = (rng.gen_range(-3.0..3.0f32), rng.gen_range(-3.0..3.0f32));
+        let (dx, dy) = (rng.gen_range(-1.0..1.0f32), rng.gen_range(-1.0..1.0f32));
         let scene = Scene::random_soup(n_tris, seed);
         let bvh = Bvh::build(&scene);
         let ray = Ray::new(Vec3::new(ox, oy, -10.0), Vec3::new(dx, dy, 1.0));
@@ -126,101 +146,132 @@ proptest! {
         match (got, want) {
             (None, None) => {}
             (Some(h), Some((i, d))) => {
-                prop_assert_eq!(h.triangle, i);
-                prop_assert!((h.t - d).abs() < 1e-4);
+                assert_eq!(h.triangle, i, "case {case}");
+                assert!((h.t - d).abs() < 1e-4, "case {case}");
             }
-            (g, w) => prop_assert!(false, "bvh {:?} vs brute {:?}", g, w),
+            (g, w) => panic!("case {case}: bvh {g:?} vs brute {w:?}"),
         }
     }
+}
 
-    // ------------------------------------------------------------------ ISA
+// ------------------------------------------------------------------ ISA
 
-    #[test]
-    fn sbmask_set_semantics(ids in prop::collection::vec(0u8..8, 0..16)) {
+#[test]
+fn sbmask_set_semantics() {
+    let mut rng = SmallRng::seed_from_u64(0x5B);
+    for case in 0..64 {
+        let ids: Vec<u8> = (0..rng.gen_range(0..16usize))
+            .map(|_| rng.gen_range(0u8..8))
+            .collect();
         let mask: SbMask = ids.iter().map(|&i| Scoreboard(i)).collect();
         for i in 0..8u8 {
-            prop_assert_eq!(mask.contains(Scoreboard(i)), ids.contains(&i));
+            assert_eq!(
+                mask.contains(Scoreboard(i)),
+                ids.contains(&i),
+                "case {case}"
+            );
         }
-        prop_assert_eq!(mask.is_empty(), ids.is_empty());
+        assert_eq!(mask.is_empty(), ids.is_empty(), "case {case}");
     }
+}
 
-    #[test]
-    fn builder_rejects_dangling_scoreboards(sb in 8u8..255) {
+#[test]
+fn builder_rejects_dangling_scoreboards() {
+    let mut rng = SmallRng::seed_from_u64(0xDA);
+    for _ in 0..32 {
+        let sb = rng.gen_range(8u8..255);
         let mut b = ProgramBuilder::new();
         b.ldg(Reg(0), Reg(1), 0).wr_sb(Scoreboard(sb));
         b.exit();
-        prop_assert!(b.build().is_err());
+        assert!(
+            b.build().is_err(),
+            "sb{sb} is out of range and must be rejected"
+        );
     }
+}
 
-    // -------------------------------------------------------- simulator laws
+// -------------------------------------------------------- simulator laws
 
-    #[test]
-    fn simulator_is_deterministic_on_random_micro_configs(
-        subwarp_shift in 0u32..6,
-        iterations in 1u32..3,
-        loads in 1usize..4,
-        pad in 0usize..16,
-    ) {
+#[test]
+fn simulator_is_deterministic_on_random_micro_configs() {
+    let mut rng = SmallRng::seed_from_u64(0xDE7);
+    for case in 0..12 {
         let cfg = MicroConfig {
-            subwarp_size: 1 << subwarp_shift,
-            iterations,
-            loads_per_iter: loads,
-            body_pad: pad,
+            subwarp_size: 1 << rng.gen_range(0u32..6),
+            iterations: rng.gen_range(1u32..3),
+            loads_per_iter: rng.gen_range(1..4usize),
+            body_pad: rng.gen_range(0..16usize),
             n_warps: 2,
         };
         let wl = microbenchmark_with(cfg);
         let sim = Simulator::new(SmConfig::turing_like(), SiConfig::best());
-        prop_assert_eq!(sim.run(&wl), sim.run(&wl));
+        assert_eq!(sim.run(&wl).unwrap(), sim.run(&wl).unwrap(), "case {case}");
     }
+}
 
-    #[test]
-    fn si_preserves_instruction_count_and_never_collapses(
-        subwarp_shift in 0u32..6,
-        loads in 1usize..4,
-    ) {
+#[test]
+fn si_preserves_instruction_count_and_never_collapses() {
+    let mut rng = SmallRng::seed_from_u64(0x1C);
+    for case in 0..10 {
         let cfg = MicroConfig {
-            subwarp_size: 1 << subwarp_shift,
+            subwarp_size: 1 << rng.gen_range(0u32..6),
             iterations: 1,
-            loads_per_iter: loads,
+            loads_per_iter: rng.gen_range(1..4usize),
             body_pad: 4,
             n_warps: 2,
         };
         let wl = microbenchmark_with(cfg);
-        let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl);
+        let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+            .run(&wl)
+            .unwrap();
         for si in [
             SiConfig::sos(SelectPolicy::AnyStalled),
             SiConfig::sos(SelectPolicy::AllStalled),
             SiConfig::best(),
             SiConfig::best().with_max_subwarps(2),
         ] {
-            let s = Simulator::new(SmConfig::turing_like(), si).run(&wl);
+            let s = Simulator::new(SmConfig::turing_like(), si)
+                .run(&wl)
+                .unwrap();
             // SIMT semantics are schedule-independent: the same instructions
             // execute regardless of interleaving.
-            prop_assert_eq!(s.instructions, base.instructions);
+            assert_eq!(s.instructions, base.instructions, "case {case}");
             // SI can only help or mildly hurt — never deadlock or blow up.
-            prop_assert!(s.cycles <= base.cycles * 2);
-            prop_assert!(s.cycles * 64 >= base.cycles, "implausible speedup");
+            assert!(s.cycles <= base.cycles * 2, "case {case}");
+            assert!(
+                s.cycles * 64 >= base.cycles,
+                "case {case}: implausible speedup"
+            );
         }
     }
+}
 
-    #[test]
-    fn predicated_branch_kernels_terminate_under_all_policies(
-        threshold in 0i64..33,
-        n_warps in 1usize..3,
-    ) {
+#[test]
+fn predicated_branch_kernels_terminate_under_all_policies() {
+    let mut rng = SmallRng::seed_from_u64(0xB7A);
+    for case in 0..10 {
+        let threshold = rng.gen_range(0i64..33);
+        let n_warps = rng.gen_range(1..3usize);
         // A data-dependent two-way divergence at an arbitrary lane split.
         let mut b = ProgramBuilder::new();
         let else_ = b.label("else");
         let sync = b.label("sync");
-        b.isetp(subwarp_interleaving::isa::Pred(0), Reg(0), Operand::imm(threshold), CmpOp::Lt);
+        b.isetp(
+            subwarp_interleaving::isa::Pred(0),
+            Reg(0),
+            Operand::imm(threshold),
+            CmpOp::Lt,
+        );
         b.bssy(subwarp_interleaving::isa::Barrier(0), sync);
         b.bra(else_).pred(subwarp_interleaving::isa::Pred(0), false);
         b.ldg(Reg(2), Reg(1), 0).wr_sb(Scoreboard(0));
-        b.fadd(Reg(3), Reg(2), Operand::fimm(1.0)).req_sb(Scoreboard(0));
+        b.fadd(Reg(3), Reg(2), Operand::fimm(1.0))
+            .req_sb(Scoreboard(0));
         b.bra(sync);
         b.place(else_);
         b.ldg(Reg(2), Reg(1), 0x40_000).wr_sb(Scoreboard(1));
-        b.fadd(Reg(3), Reg(2), Operand::fimm(2.0)).req_sb(Scoreboard(1));
+        b.fadd(Reg(3), Reg(2), Operand::fimm(2.0))
+            .req_sb(Scoreboard(1));
         b.bra(sync);
         b.place(sync);
         b.bsync(subwarp_interleaving::isa::Barrier(0));
@@ -228,10 +279,16 @@ proptest! {
         let wl = Workload::new("prop-kernel", b.build().expect("valid"), n_warps)
             .with_init(Reg(0), InitValue::LaneId)
             .with_init(Reg(1), InitValue::GlobalTid);
-        for si in [SiConfig::disabled(), SiConfig::best(), SiConfig::sos(SelectPolicy::AllStalled)] {
-            let s = Simulator::new(SmConfig::turing_like(), si).run(&wl);
-            prop_assert!(s.cycles > 0);
-            prop_assert_eq!(s.instructions % n_warps as u64, 0);
+        for si in [
+            SiConfig::disabled(),
+            SiConfig::best(),
+            SiConfig::sos(SelectPolicy::AllStalled),
+        ] {
+            let s = Simulator::new(SmConfig::turing_like(), si)
+                .run(&wl)
+                .unwrap();
+            assert!(s.cycles > 0, "case {case}");
+            assert_eq!(s.instructions % n_warps as u64, 0, "case {case}");
         }
     }
 }

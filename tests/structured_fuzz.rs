@@ -1,198 +1,51 @@
 //! Structured-program fuzzing: generate random *well-formed* kernels
-//! (nested if/else with convergence barriers, uniform and divergent loops,
-//! memory ops on both writeback paths, predicated exits) and check the
+//! (nested if/else with convergence barriers, uniform loops, loads on all
+//! three latency classes) via the `subwarp-fuzz` generator and check the
 //! simulator's global invariants under every scheduling mode.
 //!
 //! The invariants:
-//! 1. Termination — no deadlock, no watchdog panic, under baseline and
+//! 1. Termination — no deadlock, no watchdog error, under baseline and
 //!    every SI configuration.
 //! 2. Schedule independence — SIMT functional semantics don't depend on
 //!    the interleaving, so the executed warp-instruction count and the
 //!    per-thread architectural results are identical across configs.
 //! 3. Determinism — identical runs produce identical statistics.
+//!
+//! Cases are drawn from a fixed seed range so the suite is deterministic;
+//! a failing case prints the seed, replayable with
+//! `cargo run -p subwarp-fuzz -- --seed <N> --iters 1`.
 
-use proptest::prelude::*;
-use subwarp_core::{
-    DivergeOrder, InitValue, SelectPolicy, SiConfig, Simulator, SmConfig, Workload,
-};
-use subwarp_isa::{Barrier, CmpOp, Operand, Pred, Program, ProgramBuilder, Reg, Scoreboard};
+use subwarp_core::{SiConfig, Simulator, SmConfig};
+use subwarp_fuzz::{build_workload, check_seed, Block, FuzzReport, LoadClass};
 
-/// A recursive structured-code shape.
-#[derive(Debug, Clone)]
-enum Block {
-    /// `pad` ALU instructions.
-    Math { pad: u8 },
-    /// A load (alternating LSU/TEX path by `tex`) plus its dependent use.
-    Load { tex: bool, stride_reg: u8 },
-    /// Divergent if/else on `lane < split`, wrapped in BSSY/BSYNC.
-    IfElse { split: u8, then_b: Box<Block>, else_b: Box<Block> },
-    /// A uniform counted loop around a body.
-    Loop { trips: u8, body: Box<Block> },
-    /// Two blocks in sequence.
-    Seq(Box<Block>, Box<Block>),
-}
-
-fn block_strategy() -> impl Strategy<Value = Block> {
-    let leaf = prop_oneof![
-        (1u8..8).prop_map(|pad| Block::Math { pad }),
-        (any::<bool>(), 1u8..4).prop_map(|(tex, s)| Block::Load { tex, stride_reg: s }),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            (1u8..32, inner.clone(), inner.clone()).prop_map(|(split, t, e)| Block::IfElse {
-                split,
-                then_b: Box::new(t),
-                else_b: Box::new(e),
-            }),
-            (1u8..4, inner.clone()).prop_map(|(trips, b)| Block::Loop {
-                trips,
-                body: Box::new(b)
-            }),
-            (inner.clone(), inner).prop_map(|(a, b)| Block::Seq(Box::new(a), Box::new(b))),
-        ]
-    })
-}
-
-/// Emission context threading barrier/scoreboard/loop-register allocation.
-struct Emitter {
-    b: ProgramBuilder,
-    depth: u8,
-    next_sb: u8,
-    next_loop_reg: u8,
-}
-
-impl Emitter {
-    fn emit(&mut self, block: &Block) {
-        match block {
-            Block::Math { pad } => {
-                for i in 0..*pad {
-                    self.b.ffma(
-                        Reg(40),
-                        Reg(40),
-                        Operand::fimm(1.0 + i as f32 * 1e-6),
-                        Operand::fimm(0.5),
-                    );
-                }
-            }
-            Block::Load { tex, stride_reg } => {
-                let sb = Scoreboard(self.next_sb % 6);
-                self.next_sb += 1;
-                // Address = R1 (per-thread base) advanced by a stride so
-                // repeated loads touch fresh lines.
-                self.b.iadd(Reg(1), Reg(1), Operand::imm(*stride_reg as i64 * 128 + 128));
-                if *tex {
-                    self.b.tld(Reg(41), Reg(1)).wr_sb(sb);
-                } else {
-                    self.b.ldg(Reg(41), Reg(1), 0).wr_sb(sb);
-                }
-                self.b.fadd(Reg(40), Reg(41), Operand::reg(40)).req_sb(sb);
-            }
-            Block::IfElse { split, then_b, else_b } => {
-                let bar = Barrier(self.depth);
-                self.depth += 1;
-                let else_l = self.b.label(&format!("else{}", self.b.here()));
-                let sync = self.b.label(&format!("sync{}", self.b.here()));
-                // P0 = lane < split (R0 holds the lane id).
-                self.b.isetp(Pred(0), Reg(0), Operand::imm(*split as i64), CmpOp::Lt);
-                self.b.bssy(bar, sync);
-                self.b.bra(else_l).pred(Pred(0), false);
-                self.emit(then_b);
-                self.b.bra(sync);
-                self.b.place(else_l);
-                self.emit(else_b);
-                self.b.bra(sync);
-                self.b.place(sync);
-                self.b.bsync(bar);
-                self.depth -= 1;
-            }
-            Block::Loop { trips, body } => {
-                let reg = Reg(50 + self.next_loop_reg % 8);
-                let pred = Pred(1 + (self.next_loop_reg % 5));
-                self.next_loop_reg += 1;
-                self.b.mov(reg, Operand::imm(*trips as i64));
-                let top = self.b.label(&format!("loop{}", self.b.here()));
-                self.b.place(top);
-                self.emit(body);
-                self.b.iadd(reg, reg, Operand::imm(-1));
-                self.b.isetp(pred, reg, Operand::imm(0), CmpOp::Gt);
-                self.b.bra(top).pred(pred, false);
-            }
-            Block::Seq(a, c) => {
-                self.emit(a);
-                self.emit(c);
-            }
+#[test]
+fn structured_kernels_terminate_and_are_schedule_independent() {
+    // The full differential oracle over a deterministic seed range: each
+    // seed's program runs under the whole baseline + SelectPolicy ×
+    // DivergeOrder grid with instruction counts and memory images compared
+    // bit for bit.
+    let mut report = FuzzReport::default();
+    for seed in 1000..1024u64 {
+        if let Err(d) = check_seed(seed, &mut report) {
+            panic!("schedule divergence: {d}");
         }
     }
+    assert_eq!(report.programs, 24);
+    assert!(report.instructions > 0);
 }
 
-fn build_program(block: &Block) -> Program {
-    let mut e = Emitter { b: ProgramBuilder::new(), depth: 0, next_sb: 0, next_loop_reg: 0 };
-    e.emit(block);
-    // Write the accumulator out so functional results are observable.
-    e.b.imad(Reg(2), Reg(0), Operand::imm(8), Operand::imm(1 << 28));
-    e.b.stg(Reg(40), Reg(2), 0);
-    e.b.exit();
-    e.b.build().expect("structured generator emits valid programs")
-}
-
-fn workload(block: &Block, n_warps: usize) -> Workload {
-    Workload::new("fuzz", build_program(block), n_warps)
-        .with_init(Reg(0), InitValue::LaneId)
-        .with_init(Reg(1), InitValue::GlobalTid)
-        .with_init(Reg(40), InitValue::Const(0))
-}
-
-fn all_configs() -> Vec<(SmConfig, SiConfig)> {
-    let base = SmConfig::turing_like();
-    let mut rand_order = base.clone();
-    rand_order.diverge_order = DivergeOrder::Random;
-    let mut taken = base.clone();
-    taken.diverge_order = DivergeOrder::TakenFirst;
-    vec![
-        (base.clone(), SiConfig::disabled()),
-        (base.clone(), SiConfig::sos(SelectPolicy::AnyStalled)),
-        (base.clone(), SiConfig::sos(SelectPolicy::AllStalled)),
-        (base.clone(), SiConfig::best()),
-        (base.clone(), SiConfig::best().with_max_subwarps(2)),
-        (base, SiConfig::dws_like()),
-        (rand_order, SiConfig::best()),
-        (taken, SiConfig::sos(SelectPolicy::HalfStalled)),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    #[test]
-    fn structured_kernels_terminate_and_are_schedule_independent(
-        block in block_strategy(),
-        n_warps in 1usize..4,
-    ) {
-        let wl = workload(&block, n_warps);
-        let mut instruction_counts = Vec::new();
-        for (sm, si) in all_configs() {
-            let sim = Simulator::new(sm, si);
-            let stats = sim.run(&wl); // would panic on deadlock
-            prop_assert!(stats.cycles > 0);
-            // Determinism.
-            prop_assert_eq!(&sim.run(&wl), &stats);
-            instruction_counts.push(stats.instructions);
-        }
-        // Schedule independence: every config executed the same number of
-        // warp instructions (SIMT functional semantics are
-        // interleaving-invariant; only cycle counts may differ).
-        let first = instruction_counts[0];
-        prop_assert!(
-            instruction_counts.iter().all(|&c| c == first),
-            "instruction counts diverged: {:?}",
-            instruction_counts
-        );
+#[test]
+fn repeated_runs_are_deterministic() {
+    let wl = subwarp_fuzz::random_workload(7);
+    for si in [SiConfig::disabled(), SiConfig::best(), SiConfig::dws_like()] {
+        let sim = Simulator::new(SmConfig::turing_like(), si);
+        assert_eq!(sim.run(&wl).unwrap(), sim.run(&wl).unwrap());
     }
 }
 
 /// A fixed deep-nesting smoke case (3 levels of divergence with loops and
-/// both memory paths) that would have caught convergence-barrier bugs
-/// without waiting on proptest's shrinking.
+/// both memory paths) that exercises convergence-barrier handling without
+/// any randomness at all.
 #[test]
 fn deep_nesting_smoke() {
     let block = Block::IfElse {
@@ -201,26 +54,42 @@ fn deep_nesting_smoke() {
             trips: 2,
             body: Box::new(Block::IfElse {
                 split: 5,
-                then_b: Box::new(Block::Load { tex: false, stride_reg: 1 }),
+                then_b: Box::new(Block::Load {
+                    class: LoadClass::Global,
+                    stride: 1,
+                }),
                 else_b: Box::new(Block::Seq(
                     Box::new(Block::Math { pad: 3 }),
-                    Box::new(Block::Load { tex: true, stride_reg: 2 }),
+                    Box::new(Block::Load {
+                        class: LoadClass::Texture,
+                        stride: 2,
+                    }),
                 )),
             }),
         }),
         else_b: Box::new(Block::IfElse {
             split: 23,
-            then_b: Box::new(Block::Load { tex: true, stride_reg: 3 }),
+            then_b: Box::new(Block::Load {
+                class: LoadClass::Texture,
+                stride: 3,
+            }),
             else_b: Box::new(Block::Loop {
                 trips: 3,
                 body: Box::new(Block::Math { pad: 5 }),
             }),
         }),
     };
-    let wl = workload(&block, 2);
-    let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl);
-    let si = Simulator::new(SmConfig::turing_like(), SiConfig::best()).run(&wl);
+    let wl = build_workload(&block, 2);
+    let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled())
+        .run(&wl)
+        .unwrap();
+    let si = Simulator::new(SmConfig::turing_like(), SiConfig::best())
+        .run(&wl)
+        .unwrap();
     assert_eq!(base.instructions, si.instructions);
-    assert!(si.cycles <= base.cycles, "SI should help nested divergent loads");
+    assert!(
+        si.cycles <= base.cycles,
+        "SI should help nested divergent loads"
+    );
     assert!(base.divergences >= 2, "nesting must actually diverge");
 }
