@@ -1,0 +1,84 @@
+//! Simulator performance smoke: runs the fixed reference sweep (the
+//! Figure 12a grid — ten suite traces × seven simulator configurations)
+//! and reports wall time plus simulated cycles/second, so perf regressions
+//! in the hot loop show up as numbers rather than anecdotes.
+//!
+//! ```text
+//! perf [--jobs N] [--out PATH]
+//! ```
+//!
+//! Writes a small JSON report (default `BENCH_sim.json` in the current
+//! directory, i.e. the repo root under `cargo run`). The JSON is
+//! hand-rolled: the workspace is offline and keeps zero external
+//! dependencies.
+
+use std::time::Instant;
+use subwarp_bench::fig12a_sweep;
+use subwarp_workloads::built_suite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::from("BENCH_sim.json");
+    let mut jobs = subwarp_pool::default_jobs();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = it.next().cloned().unwrap_or(out),
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or(jobs)
+            }
+            other => {
+                eprintln!("usage: perf [--jobs N] [--out PATH] (unknown arg {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Workload construction (BVH build + ray tracing), timed separately so
+    // the sweep numbers measure the simulator alone.
+    let t0 = Instant::now();
+    let n_workloads = built_suite().len();
+    let build_s = t0.elapsed().as_secs_f64();
+
+    let sweep = fig12a_sweep();
+    let n_runs = sweep.len();
+    let t1 = Instant::now();
+    let grid = sweep.run_with_jobs(jobs).expect("reference sweep failed");
+    let wall_s = t1.elapsed().as_secs_f64();
+
+    let mut sim_cycles: u64 = 0;
+    let mut instructions: u64 = 0;
+    for row in &grid {
+        for s in row {
+            sim_cycles += s.cycles;
+            instructions += s.instructions;
+        }
+    }
+    let cycles_per_second = sim_cycles as f64 / wall_s;
+    let runs_per_second = n_runs as f64 / wall_s;
+
+    // `baseline` pins the pre-overhaul numbers (serial HashMap-backed
+    // simulator, per-figure workload rebuilds) measured on the single-core
+    // reference container, so the report always shows the trajectory.
+    let json = format!(
+        "{{\n  \"bench\": \"fig12a-reference-sweep\",\n  \"jobs\": {jobs},\n  \
+         \"workloads\": {n_workloads},\n  \"sim_runs\": {n_runs},\n  \
+         \"workload_build_s\": {build_s:.3},\n  \"sweep_wall_s\": {wall_s:.3},\n  \
+         \"sim_cycles\": {sim_cycles},\n  \"instructions\": {instructions},\n  \
+         \"cycles_per_second\": {cycles_per_second:.0},\n  \
+         \"runs_per_second\": {runs_per_second:.2},\n  \
+         \"baseline\": {{\n    \"label\": \"pre-overhaul main (serial, per-figure rebuilds)\",\n    \
+         \"fig12a_wall_s\": 5.628,\n    \"figures_all_wall_s\": 54.132\n  }}\n}}\n"
+    );
+    std::fs::write(&out, &json).expect("write report");
+    println!(
+        "reference sweep: {n_runs} runs, {sim_cycles} simulated cycles in {wall_s:.3}s \
+         ({cycles_per_second:.0} cycles/s, {runs_per_second:.1} runs/s, {jobs} jobs)"
+    );
+    println!("workload build: {n_workloads} traces in {build_s:.3}s");
+    println!("report: {out}");
+}

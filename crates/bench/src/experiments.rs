@@ -2,11 +2,104 @@
 //! binary, the criterion benches, and the integration tests can all share
 //! them. Every experiment propagates simulation failures as
 //! [`SimError`] instead of panicking.
+//!
+//! Experiments are expressed as [`Sweep`] grids — named simulator
+//! configurations crossed with shared, prebuilt workloads — so every
+//! figure both avoids rebuilding workloads in its inner loops and runs
+//! its independent simulations on the worker pool.
+
+use std::sync::Arc;
 
 use subwarp_core::{
     DivergeOrder, EventRecorder, RunStats, SelectPolicy, SiConfig, SimError, Simulator, SmConfig,
+    Workload,
 };
-use subwarp_workloads::{figure9_workload, microbenchmark_with, suite, MicroConfig};
+use subwarp_workloads::{built_suite, figure9_workload, microbenchmark_with, MicroConfig};
+
+// ------------------------------------------------------------------- Sweep
+
+/// A declarative experiment sweep: the cartesian grid of shared workloads
+/// × named simulator configurations.
+///
+/// Every figure and table of the paper is some slice of this grid. The
+/// cells are completely independent `Simulator::run` calls, so
+/// [`Sweep::run`] fans them out across the [`subwarp_pool`] workers and
+/// reassembles the results in grid order — a parallel sweep returns
+/// exactly what the serial one (`SUBWARP_JOBS=1`) returns.
+#[derive(Default)]
+pub struct Sweep {
+    workloads: Vec<(String, Arc<Workload>)>,
+    configs: Vec<(String, SmConfig, SiConfig)>,
+}
+
+impl Sweep {
+    /// An empty sweep; add rows and columns with the builder methods.
+    pub fn new() -> Sweep {
+        Sweep::default()
+    }
+
+    /// A sweep over the shared, built-once Table II suite
+    /// ([`built_suite`]).
+    pub fn over_suite() -> Sweep {
+        let mut s = Sweep::new();
+        for (t, wl) in built_suite() {
+            s.workloads.push((t.name.to_owned(), Arc::clone(wl)));
+        }
+        s
+    }
+
+    /// Adds a (prebuilt, shared) workload row.
+    pub fn workload(mut self, name: impl Into<String>, wl: Arc<Workload>) -> Sweep {
+        self.workloads.push((name.into(), wl));
+        self
+    }
+
+    /// Adds a simulator-configuration column.
+    pub fn config(mut self, label: impl Into<String>, sm: SmConfig, si: SiConfig) -> Sweep {
+        self.configs.push((label.into(), sm, si));
+        self
+    }
+
+    /// Workload names in grid row order.
+    pub fn workload_names(&self) -> impl Iterator<Item = &str> {
+        self.workloads.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Number of cells (`workloads × configs`) the sweep will run.
+    pub fn len(&self) -> usize {
+        self.workloads.len() * self.configs.len()
+    }
+
+    /// True when the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs the grid on the default worker count
+    /// ([`subwarp_pool::default_jobs`]). `grid[w][c]` holds workload `w`
+    /// under configuration `c`; on failure, the first error in grid order
+    /// is returned.
+    pub fn run(&self) -> Result<Vec<Vec<RunStats>>, SimError> {
+        self.run_with_jobs(subwarp_pool::default_jobs())
+    }
+
+    /// Runs the grid on exactly `workers` threads (the serial/parallel
+    /// determinism A/B hook).
+    pub fn run_with_jobs(&self, workers: usize) -> Result<Vec<Vec<RunStats>>, SimError> {
+        let nc = self.configs.len();
+        let cells = subwarp_pool::run_with_jobs(workers, self.len(), |i| {
+            let (_, wl) = &self.workloads[i / nc];
+            let (_, sm, si) = &self.configs[i % nc];
+            Simulator::new(sm.clone(), *si).run(wl)
+        });
+        let mut it = cells.into_iter();
+        let mut grid = Vec::with_capacity(self.workloads.len());
+        for _ in 0..self.workloads.len() {
+            grid.push((&mut it).take(nc).collect::<Result<Vec<_>, _>>()?);
+        }
+        Ok(grid)
+    }
+}
 
 /// The six SI settings of Figure 12a, in the paper's legend order.
 pub fn si_configs() -> Vec<(String, SiConfig)> {
@@ -44,17 +137,17 @@ pub struct Fig3Row {
 
 /// Figure 3: baseline exposed-stall characterization over the suite.
 pub fn fig3() -> Result<Vec<Fig3Row>, SimError> {
-    let sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
-    let mut rows = Vec::new();
-    for t in suite() {
-        let s = sim.run(&t.build())?;
-        rows.push(Fig3Row {
-            name: t.name.to_owned(),
-            total: s.exposed_ratio(),
-            divergent: s.exposed_divergent_ratio(),
-        });
-    }
-    Ok(rows)
+    let sweep = Sweep::over_suite().config("base", SmConfig::turing_like(), SiConfig::disabled());
+    let grid = sweep.run()?;
+    Ok(sweep
+        .workload_names()
+        .zip(&grid)
+        .map(|(name, row)| Fig3Row {
+            name: name.to_owned(),
+            total: row[0].exposed_ratio(),
+            divergent: row[0].exposed_divergent_ratio(),
+        })
+        .collect())
 }
 
 // --------------------------------------------------------------- Table III
@@ -76,34 +169,45 @@ pub struct Table3Row {
 /// 600-cycle miss latency. `iterations` trades accuracy for runtime
 /// (the paper's figure uses a steady-state loop; ≥4 is representative).
 pub fn table3(iterations: u32) -> Result<Vec<Table3Row>, SimError> {
-    let base_sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
-    let si_sim = Simulator::new(
-        SmConfig::turing_like(),
-        SiConfig::both(SelectPolicy::AnyStalled),
-    );
-    let mut rows = Vec::new();
-    for ss in [16usize, 8, 4, 2, 1] {
+    let sizes = [16usize, 8, 4, 2, 1];
+    let mut sweep = Sweep::new()
+        .config("base", SmConfig::turing_like(), SiConfig::disabled())
+        .config(
+            "si",
+            SmConfig::turing_like(),
+            SiConfig::both(SelectPolicy::AnyStalled),
+        );
+    for ss in sizes {
         let wl = microbenchmark_with(MicroConfig {
             subwarp_size: ss,
             iterations,
             ..MicroConfig::default()
         });
-        let b = base_sim.run(&wl)?;
-        let s = si_sim.run(&wl)?;
-        rows.push(Table3Row {
-            subwarp_size: ss,
-            divergence_factor: 32 / ss,
-            speedup: s.speedup_vs(&b),
-            si_fetch_ratio: s.exposed_fetch_stalls as f64 / s.cycles as f64,
-        });
+        sweep = sweep.workload(wl.name.clone(), Arc::new(wl));
     }
-    Ok(rows)
+    let grid = sweep.run()?;
+    Ok(sizes
+        .iter()
+        .zip(&grid)
+        .map(|(&ss, row)| {
+            let (b, s) = (&row[0], &row[1]);
+            Table3Row {
+                subwarp_size: ss,
+                divergence_factor: 32 / ss,
+                speedup: s.speedup_vs(b),
+                si_fetch_ratio: s.exposed_fetch_stalls as f64 / s.cycles as f64,
+            }
+        })
+        .collect())
 }
 
 // --------------------------------------------------------------- Figure 10
 
 /// Figure 10 state-machine walkthroughs on the Figure 9 toy:
 /// `(stats, events)` without yield (10a) and with yield (10b).
+///
+/// Stays serial: `run_recorded` returns the event tape alongside the
+/// stats, and two toy runs are far below the pool's break-even point.
 #[allow(clippy::type_complexity)]
 pub fn fig10() -> Result<((RunStats, EventRecorder), (RunStats, EventRecorder)), SimError> {
     let wl = figure9_workload();
@@ -133,30 +237,43 @@ pub struct Fig12aRow {
     pub best_of: f64,
 }
 
+/// The Figure 12a job grid — the full suite × (baseline + the six SI
+/// settings). Also the `perf` binary's reference sweep.
+pub fn fig12a_sweep() -> Sweep {
+    let mut sweep =
+        Sweep::over_suite().config("base", SmConfig::turing_like(), SiConfig::disabled());
+    for (label, si) in si_configs() {
+        sweep = sweep.config(label, SmConfig::turing_like(), si);
+    }
+    sweep
+}
+
 /// Figure 12a: suite speedups across SOS/Both × N policies at 600 cycles.
 pub fn fig12a() -> Result<Vec<Fig12aRow>, SimError> {
-    let base_sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
     let configs = si_configs();
-    let mut rows = Vec::new();
-    for t in suite() {
-        let wl = t.build();
-        let base = base_sim.run(&wl)?;
-        let mut speedups = Vec::new();
-        for (label, si) in &configs {
-            let s = Simulator::new(SmConfig::turing_like(), *si).run(&wl)?;
-            speedups.push((label.clone(), gain_pct(&s, &base)));
-        }
-        let best_of = speedups
-            .iter()
-            .map(|(_, g)| *g)
-            .fold(f64::NEG_INFINITY, f64::max);
-        rows.push(Fig12aRow {
-            name: t.name.to_owned(),
-            speedups,
-            best_of,
-        });
-    }
-    Ok(rows)
+    let sweep = fig12a_sweep();
+    let grid = sweep.run()?;
+    Ok(sweep
+        .workload_names()
+        .zip(&grid)
+        .map(|(name, row)| {
+            let base = &row[0];
+            let speedups: Vec<(String, f64)> = configs
+                .iter()
+                .zip(&row[1..])
+                .map(|((label, _), s)| (label.clone(), gain_pct(s, base)))
+                .collect();
+            let best_of = speedups
+                .iter()
+                .map(|(_, g)| *g)
+                .fold(f64::NEG_INFINITY, f64::max);
+            Fig12aRow {
+                name: name.to_owned(),
+                speedups,
+                best_of,
+            }
+        })
+        .collect())
 }
 
 // -------------------------------------------------------------- Figure 12b
@@ -175,23 +292,25 @@ pub struct Fig12bRow {
 
 /// Figure 12b: stall reductions of `Both, N ≥ 0.5` vs baseline.
 pub fn fig12b() -> Result<Vec<Fig12bRow>, SimError> {
-    let base_sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
-    let si_sim = Simulator::new(SmConfig::turing_like(), SiConfig::best());
-    let mut rows = Vec::new();
-    for t in suite() {
-        let wl = t.build();
-        let b = base_sim.run(&wl)?;
-        let s = si_sim.run(&wl)?;
-        rows.push(Fig12bRow {
-            name: t.name.to_owned(),
-            total_reduction: RunStats::reduction(s.exposed_load_stalls, b.exposed_load_stalls),
-            divergent_reduction: RunStats::reduction(
-                s.exposed_load_stalls_divergent,
-                b.exposed_load_stalls_divergent,
-            ),
-        });
-    }
-    Ok(rows)
+    let sweep = Sweep::over_suite()
+        .config("base", SmConfig::turing_like(), SiConfig::disabled())
+        .config("si", SmConfig::turing_like(), SiConfig::best());
+    let grid = sweep.run()?;
+    Ok(sweep
+        .workload_names()
+        .zip(&grid)
+        .map(|(name, row)| {
+            let (b, s) = (&row[0], &row[1]);
+            Fig12bRow {
+                name: name.to_owned(),
+                total_reduction: RunStats::reduction(s.exposed_load_stalls, b.exposed_load_stalls),
+                divergent_reduction: RunStats::reduction(
+                    s.exposed_load_stalls_divergent,
+                    b.exposed_load_stalls_divergent,
+                ),
+            }
+        })
+        .collect())
 }
 
 // --------------------------------------------------------------- Figure 13
@@ -213,16 +332,19 @@ pub fn fig13() -> Result<Vec<Fig13Row>, SimError> {
     let mut rows = Vec::new();
     for lat in [300u64, 600, 900] {
         let sm = SmConfig::turing_like().with_miss_latency(lat);
-        let base_sim = Simulator::new(sm.clone(), SiConfig::disabled());
+        let mut sweep = Sweep::over_suite().config("base", sm.clone(), SiConfig::disabled());
+        for (label, si) in &configs {
+            sweep = sweep.config(label.clone(), sm.clone(), *si);
+        }
+        let grid = sweep.run()?;
         // gains[c][t]: config c's gain on trace t.
         let mut gains = vec![Vec::new(); configs.len()];
         let mut best = Vec::new();
-        for t in suite() {
-            let wl = t.build();
-            let b = base_sim.run(&wl)?;
+        for row in &grid {
+            let base = &row[0];
             let mut trace_best = f64::NEG_INFINITY;
-            for (ci, (_, si)) in configs.iter().enumerate() {
-                let g = gain_pct(&Simulator::new(sm.clone(), *si).run(&wl)?, &b);
+            for (ci, s) in row[1..].iter().enumerate() {
+                let g = gain_pct(s, base);
                 gains[ci].push(g);
                 trace_best = trace_best.max(g);
             }
@@ -260,14 +382,15 @@ pub fn fig14() -> Result<Vec<Fig14Row>, SimError> {
     let mut rows = Vec::new();
     for per_pb in [2usize, 4, 8] {
         let sm = SmConfig::turing_like().with_warp_slots_per_pb(per_pb);
-        let base_sim = Simulator::new(sm.clone(), SiConfig::disabled());
-        let si_sim = Simulator::new(sm.clone(), SiConfig::best());
-        let mut gains: Vec<(String, f64)> = Vec::new();
-        for t in suite() {
-            let wl = t.build();
-            let g = gain_pct(&si_sim.run(&wl)?, &base_sim.run(&wl)?);
-            gains.push((t.name.to_owned(), g));
-        }
+        let sweep = Sweep::over_suite()
+            .config("base", sm.clone(), SiConfig::disabled())
+            .config("si", sm, SiConfig::best());
+        let grid = sweep.run()?;
+        let gains: Vec<(String, f64)> = sweep
+            .workload_names()
+            .zip(&grid)
+            .map(|(name, row)| (name.to_owned(), gain_pct(&row[1], &row[0])))
+            .collect();
         let mean = subwarp_stats::mean(&gains.iter().map(|(_, g)| *g).collect::<Vec<_>>());
         rows.push(Fig14Row {
             warp_slots: per_pb * 4,
@@ -291,26 +414,28 @@ pub struct Fig15Row {
     pub mean: f64,
 }
 
-/// Figure 15: subwarps-per-warp sensitivity (2/4/6/unlimited).
+/// Figure 15: subwarps-per-warp sensitivity (2/4/6/unlimited). One grid:
+/// the baseline column is shared by all four capacities, so it is
+/// simulated once.
 pub fn fig15() -> Result<Vec<Fig15Row>, SimError> {
-    let base_sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
-    // Baselines are independent of TST capacity: compute once.
-    let mut baselines: Vec<(String, RunStats, subwarp_core::Workload)> = Vec::new();
-    for t in suite() {
-        let wl = t.build();
-        let b = base_sim.run(&wl)?;
-        baselines.push((t.name.to_owned(), b, wl));
-    }
-    let mut rows = Vec::new();
-    for n in [2usize, 4, 6, 32] {
-        let si_sim = Simulator::new(
+    let caps = [2usize, 4, 6, 32];
+    let mut sweep =
+        Sweep::over_suite().config("base", SmConfig::turing_like(), SiConfig::disabled());
+    for n in caps {
+        sweep = sweep.config(
+            format!("tst{n}"),
             SmConfig::turing_like(),
             SiConfig::best().with_max_subwarps(n),
         );
-        let mut gains: Vec<(String, f64)> = Vec::new();
-        for (name, b, wl) in &baselines {
-            gains.push((name.clone(), gain_pct(&si_sim.run(wl)?, b)));
-        }
+    }
+    let grid = sweep.run()?;
+    let mut rows = Vec::new();
+    for (ci, n) in caps.into_iter().enumerate() {
+        let gains: Vec<(String, f64)> = sweep
+            .workload_names()
+            .zip(&grid)
+            .map(|(name, row)| (name.to_owned(), gain_pct(&row[1 + ci], &row[0])))
+            .collect();
         let mean = subwarp_stats::mean(&gains.iter().map(|(_, g)| *g).collect::<Vec<_>>());
         rows.push(Fig15Row {
             max_subwarps: n,
@@ -334,19 +459,23 @@ pub struct IcacheResult {
 
 /// §V-C-4: rerun the best setting with 4× smaller L0/L1 instruction caches.
 pub fn icache() -> Result<IcacheResult, SimError> {
-    let mean_gain = |sm: SmConfig| -> Result<f64, SimError> {
-        let base_sim = Simulator::new(sm.clone(), SiConfig::disabled());
-        let si_sim = Simulator::new(sm, SiConfig::best());
-        let mut gains: Vec<f64> = Vec::new();
-        for t in suite() {
-            let wl = t.build();
-            gains.push(gain_pct(&si_sim.run(&wl)?, &base_sim.run(&wl)?));
-        }
-        Ok(subwarp_stats::mean(&gains))
+    let small = SmConfig::turing_like().with_small_icaches();
+    let sweep = Sweep::over_suite()
+        .config("big/base", SmConfig::turing_like(), SiConfig::disabled())
+        .config("big/si", SmConfig::turing_like(), SiConfig::best())
+        .config("small/base", small.clone(), SiConfig::disabled())
+        .config("small/si", small, SiConfig::best());
+    let grid = sweep.run()?;
+    let mean_gain = |si: usize, base: usize| {
+        let gains: Vec<f64> = grid
+            .iter()
+            .map(|row| gain_pct(&row[si], &row[base]))
+            .collect();
+        subwarp_stats::mean(&gains)
     };
     Ok(IcacheResult {
-        big_mean: mean_gain(SmConfig::turing_like())?,
-        small_mean: mean_gain(SmConfig::turing_like().with_small_icaches())?,
+        big_mean: mean_gain(1, 0),
+        small_mean: mean_gain(3, 2),
     })
 }
 
@@ -370,19 +499,26 @@ pub fn ablation_diverge_order() -> Result<OrderAblation, SimError> {
         // megakernel generator annotates its dispatch branches).
         ("hinted", DivergeOrder::Hinted),
     ];
-    let mut means = Vec::new();
+    let mut sweep = Sweep::over_suite();
     for (label, order) in orders {
         let mut sm = SmConfig::turing_like();
         sm.diverge_order = order;
-        let base_sim = Simulator::new(sm.clone(), SiConfig::disabled());
-        let si_sim = Simulator::new(sm, SiConfig::best());
-        let mut gains: Vec<f64> = Vec::new();
-        for t in suite() {
-            let wl = t.build();
-            gains.push(gain_pct(&si_sim.run(&wl)?, &base_sim.run(&wl)?));
-        }
-        means.push((label.to_string(), subwarp_stats::mean(&gains)));
+        sweep = sweep
+            .config(format!("{label}/base"), sm.clone(), SiConfig::disabled())
+            .config(format!("{label}/si"), sm, SiConfig::best());
     }
+    let grid = sweep.run()?;
+    let means = orders
+        .iter()
+        .enumerate()
+        .map(|(oi, (label, _))| {
+            let gains: Vec<f64> = grid
+                .iter()
+                .map(|row| gain_pct(&row[2 * oi + 1], &row[2 * oi]))
+                .collect();
+            (label.to_string(), subwarp_stats::mean(&gains))
+        })
+        .collect();
     Ok(OrderAblation { means })
 }
 
@@ -405,21 +541,26 @@ pub struct DwsRow {
 /// gains collapse as the SM fills while SI's do not.
 pub fn dws_comparison() -> Result<Vec<DwsRow>, SimError> {
     let trace = subwarp_workloads::trace_by_name("BFV1").expect("suite trace");
-    let mut rows = Vec::new();
-    for n in [8usize, 16, 24, 32] {
+    let occupancies = [8usize, 16, 24, 32];
+    let mut sweep = Sweep::new()
+        .config("base", SmConfig::turing_like(), SiConfig::disabled())
+        .config("si", SmConfig::turing_like(), SiConfig::best())
+        .config("dws", SmConfig::turing_like(), SiConfig::dws_like());
+    for n in occupancies {
         let mut cfg = trace.config.clone();
         cfg.n_warps = n;
-        let wl = cfg.build();
-        let base = Simulator::new(SmConfig::turing_like(), SiConfig::disabled()).run(&wl)?;
-        let si = Simulator::new(SmConfig::turing_like(), SiConfig::best()).run(&wl)?;
-        let dws = Simulator::new(SmConfig::turing_like(), SiConfig::dws_like()).run(&wl)?;
-        rows.push(DwsRow {
-            n_warps: n,
-            si_gain: gain_pct(&si, &base),
-            dws_gain: gain_pct(&dws, &base),
-        });
+        sweep = sweep.workload(format!("BFV1/{n}w"), Arc::new(cfg.build()));
     }
-    Ok(rows)
+    let grid = sweep.run()?;
+    Ok(occupancies
+        .iter()
+        .zip(&grid)
+        .map(|(&n, row)| DwsRow {
+            n_warps: n,
+            si_gain: gain_pct(&row[1], &row[0]),
+            dws_gain: gain_pct(&row[2], &row[0]),
+        })
+        .collect())
 }
 
 // -------------------------------------------- compute negative result §VI
@@ -442,20 +583,27 @@ pub struct ComputeRow {
 /// divergent code, and none benefited beyond the margin of noise from SI."
 /// Runs the archetype compute kernels and reports SI's (absent) effect.
 pub fn compute_negative_result() -> Result<Vec<ComputeRow>, SimError> {
-    let base_sim = Simulator::new(SmConfig::turing_like(), SiConfig::disabled());
-    let si_sim = Simulator::new(SmConfig::turing_like(), SiConfig::best());
-    let mut rows = Vec::new();
+    let mut sweep = Sweep::new()
+        .config("base", SmConfig::turing_like(), SiConfig::disabled())
+        .config("si", SmConfig::turing_like(), SiConfig::best());
     for wl in subwarp_workloads::compute_suite() {
-        let b = base_sim.run(&wl)?;
-        let s = si_sim.run(&wl)?;
-        rows.push(ComputeRow {
-            name: wl.name.clone(),
-            gain: gain_pct(&s, &b),
-            exposed: b.exposed_ratio(),
-            divergent: b.exposed_divergent_ratio(),
-        });
+        let name = wl.name.clone();
+        sweep = sweep.workload(name, Arc::new(wl));
     }
-    Ok(rows)
+    let grid = sweep.run()?;
+    Ok(sweep
+        .workload_names()
+        .zip(&grid)
+        .map(|(name, row)| {
+            let (b, s) = (&row[0], &row[1]);
+            ComputeRow {
+                name: name.to_owned(),
+                gain: gain_pct(s, b),
+                exposed: b.exposed_ratio(),
+                divergent: b.exposed_divergent_ratio(),
+            }
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -482,5 +630,32 @@ mod tests {
             ..Default::default()
         };
         assert!((gain_pct(&si, &base) - 6.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn sweep_grid_shape_and_order() {
+        let wl = Arc::new(figure9_workload());
+        let sweep = Sweep::new()
+            .workload("a", Arc::clone(&wl))
+            .workload("b", wl)
+            .config("base", SmConfig::turing_like(), SiConfig::disabled())
+            .config("si", SmConfig::turing_like(), SiConfig::best());
+        assert_eq!(sweep.len(), 4);
+        let grid = sweep.run().unwrap();
+        assert_eq!(grid.len(), 2);
+        assert_eq!(grid[0].len(), 2);
+        // Identical workload rows must produce identical cells.
+        assert_eq!(grid[0], grid[1]);
+    }
+
+    #[test]
+    fn sweep_parallel_matches_serial() {
+        let sweep = Sweep::new()
+            .workload("toy", Arc::new(figure9_workload()))
+            .config("base", SmConfig::turing_like(), SiConfig::disabled())
+            .config("si", SmConfig::turing_like(), SiConfig::best());
+        let serial = sweep.run_with_jobs(1).unwrap();
+        let parallel = sweep.run_with_jobs(4).unwrap();
+        assert_eq!(serial, parallel);
     }
 }

@@ -47,6 +47,7 @@
 
 mod config;
 mod error;
+mod image;
 mod sm;
 mod stats;
 mod trace;
@@ -55,6 +56,7 @@ mod workload;
 
 pub use config::{DivergeOrder, SchedulerPolicy, SelectPolicy, SiConfig, SmConfig, WARP_SIZE};
 pub use error::{mask_lanes, InvariantLevel, SimError, StateSnapshot, WarpSnapshot};
+pub use image::MemoryImage;
 pub use sm::{Simulator, DEADLOCK_WINDOW, ICACHE_LINE};
 pub use stats::RunStats;
 pub use trace::{EventKind, EventRecorder, TraceEvent};

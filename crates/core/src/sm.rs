@@ -3,17 +3,17 @@
 
 use crate::config::{SchedulerPolicy, SiConfig, SmConfig};
 use crate::error::{InvariantLevel, SimError, StateSnapshot};
+use crate::image::MemoryImage;
 use crate::stats::RunStats;
 use crate::trace::{EventKind, EventRecorder, TraceEvent};
 use crate::warp::{lanes, MemKind, RtJob, SbProducer, WarpSim, WarpStatus};
 use crate::workload::Workload;
-use std::collections::BTreeMap;
 use subwarp_isa::{Program, Reg, Scoreboard};
 use subwarp_mem::{AccessKind, Cache, DataMemory, ServiceUnit};
 
 /// Everything one simulation produces: statistics, plus the optional event
 /// recording and final data-memory image the caller asked for.
-type RunOutputs = (RunStats, Option<EventRecorder>, Option<BTreeMap<u64, u64>>);
+type RunOutputs = (RunStats, Option<EventRecorder>, Option<MemoryImage>);
 
 /// Instruction-cache line size in bytes (8 instructions of 16 bytes).
 pub const ICACHE_LINE: u64 = 128;
@@ -111,7 +111,7 @@ impl Simulator {
     pub fn run_with_memory(
         &self,
         workload: &Workload,
-    ) -> Result<(RunStats, BTreeMap<u64, u64>), SimError> {
+    ) -> Result<(RunStats, MemoryImage), SimError> {
         let (stats, _, image) = self.run_inner(workload, None, true)?;
         Ok((stats, image.expect("memory capture was requested")))
     }
@@ -136,7 +136,10 @@ impl Simulator {
         // each simulates independently over its round-robin share of warps.
         let mut total = RunStats::default();
         let mut merged_events: Vec<crate::trace::TraceEvent> = Vec::new();
-        let mut image = capture_memory.then(BTreeMap::new);
+        // Stores from every SM are concatenated in SM order; finalization's
+        // last-wins rule then gives later SMs priority, matching the old
+        // ordered-map `extend` semantics.
+        let mut store_log = capture_memory.then(Vec::new);
         for sm_id in 0..self.sm.n_sms {
             let rec = recorder.as_ref().map(|_| EventRecorder::new());
             let mut st = SimState::new(&self.sm, &self.si, wl, rec, sm_id, capture_memory);
@@ -153,7 +156,7 @@ impl Simulator {
             if let Some(r) = st.recorder {
                 merged_events.extend(r.events().iter().cloned());
             }
-            if let (Some(all), Some(sm)) = (image.as_mut(), st.mem_image) {
+            if let (Some(all), Some(sm)) = (store_log.as_mut(), st.mem_image) {
                 all.extend(sm);
             }
         }
@@ -165,7 +168,7 @@ impl Simulator {
             }
             r
         });
-        Ok((total, recorder, image))
+        Ok((total, recorder, store_log.map(MemoryImage::from_log)))
     }
 }
 
@@ -198,9 +201,10 @@ struct SimState<'a> {
     last_progress: u64,
     /// Scratch: per-slot status this cycle.
     statuses: Vec<Option<WarpStatus>>,
-    /// Shadow copy of every store, kept only when the caller asked for the
-    /// final memory image ([`Simulator::run_with_memory`]).
-    mem_image: Option<BTreeMap<u64, u64>>,
+    /// Append-only log of every store in program order, kept only when the
+    /// caller asked for the final memory image
+    /// ([`Simulator::run_with_memory`]); finalized into a [`MemoryImage`].
+    mem_image: Option<Vec<(u64, u64)>>,
 }
 
 impl<'a> SimState<'a> {
@@ -234,7 +238,7 @@ impl<'a> SimState<'a> {
             recorder,
             last_progress: 0,
             statuses: vec![None; n_slots],
-            mem_image: capture_memory.then(BTreeMap::new),
+            mem_image: capture_memory.then(Vec::new),
         };
         st.launch_pending();
         st
@@ -299,7 +303,67 @@ impl<'a> SimState<'a> {
         self.check_invariants()?;
         self.retire_and_launch();
         self.cycle += 1;
-        self.watchdog(issued)
+        self.watchdog(issued)?;
+        self.fast_forward(issued);
+        Ok(())
+    }
+
+    /// Event-driven fast-forward over quiescent stretches.
+    ///
+    /// When a cycle ends with no issue and no recorded progress, every
+    /// machine input to the next cycle is unchanged, so the following
+    /// cycles replay identically until the next *scheduled* event: a
+    /// service-unit completion, an instruction-fill arrival, or a
+    /// switch-latency expiry. Jump the clock straight to that event,
+    /// bulk-applying the stall accounting the replayed cycles would have
+    /// performed. The jump is clamped to the watchdog horizons so the
+    /// cycle-cap and deadlock errors still fire on their exact cycle with
+    /// their exact snapshots — a run with fast-forward is bit-for-bit
+    /// indistinguishable from the cycle-by-cycle run (stall-heavy
+    /// workloads just get there orders of magnitude sooner).
+    fn fast_forward(&mut self, issued: bool) {
+        if issued || self.last_progress + 1 == self.cycle {
+            return; // something happened this cycle — no quiescence
+        }
+        // Time-dependent classifications expire on cycles only the warp's
+        // ready-timestamps know; don't skip while one is visible.
+        // (`Issuable` cannot appear here — an issuable warp issues — but
+        // the guard is cheap insurance.)
+        for st in self.statuses.iter().flatten() {
+            if matches!(st, WarpStatus::Issuable | WarpStatus::ShortDep) {
+                return;
+            }
+        }
+        let executed = self.cycle - 1;
+        // Next scheduled event, starting from the watchdog horizons (both
+        // always exist, so a fully event-free machine still terminates on
+        // the exact deadlock cycle).
+        let mut wake = (self.last_progress + DEADLOCK_WINDOW).min(self.sm.max_cycles - 1);
+        let mut clamp = |t: u64| wake = wake.min(t);
+        if let Some(t) = self.lsu.next_ready() {
+            clamp(t);
+        }
+        if let Some(t) = self.tex.next_ready() {
+            clamp(t);
+        }
+        if let Some(t) = self.rt.next_ready() {
+            clamp(t);
+        }
+        for w in self.slots.iter().flatten() {
+            if let Some((t, _)) = w.fetch_pending {
+                clamp(t);
+            }
+            if w.switch_ready > executed {
+                clamp(w.switch_ready);
+            }
+        }
+        let skipped = wake.saturating_sub(self.cycle);
+        if skipped == 0 {
+            return;
+        }
+        self.account_idle(skipped);
+        self.cycle += skipped;
+        self.stats.cycles = self.cycle;
     }
 
     /// Per-cycle invariant scan (see [`InvariantLevel`]): every resident
@@ -348,15 +412,15 @@ impl<'a> SimState<'a> {
     /// broadcast — paper Figure 8b).
     fn drain_writebacks(&mut self) {
         let mut progressed = false;
-        for resp in self.lsu.pop_ready(self.cycle) {
+        while let Some(resp) = self.lsu.pop_if_ready(self.cycle) {
             progressed = true;
             self.apply_mem_resp(resp.payload);
         }
-        for resp in self.tex.pop_ready(self.cycle) {
+        while let Some(resp) = self.tex.pop_if_ready(self.cycle) {
             progressed = true;
             self.apply_mem_resp(resp.payload);
         }
-        for resp in self.rt.pop_ready(self.cycle) {
+        while let Some(resp) = self.rt.pop_if_ready(self.cycle) {
             progressed = true;
             let r = resp.payload;
             if let Some(w) = self.slots[r.slot].as_mut() {
@@ -372,14 +436,10 @@ impl<'a> SimState<'a> {
     fn apply_mem_resp(&mut self, resp: MemResp) {
         let cycle = self.cycle;
         // Values come from functional data memory at the lane's address.
-        let values: Vec<(usize, u64)> = resp
-            .lanes
-            .iter()
-            .map(|&(lane, addr)| (lane, self.data.read(addr)))
-            .collect();
+        let data = &self.data;
         if let Some(w) = self.slots[resp.slot].as_mut() {
-            for (lane, value) in values {
-                w.writeback(lane, resp.dst, value, resp.sb, cycle);
+            for &(lane, addr) in &resp.lanes {
+                w.writeback(lane, resp.dst, data.read(addr), resp.sb, cycle);
             }
         }
     }
@@ -496,38 +556,30 @@ impl<'a> SimState<'a> {
         for pb in 0..self.sm.n_pbs {
             let lo = pb * self.sm.warp_slots_per_pb;
             let hi = lo + self.sm.warp_slots_per_pb;
-            let candidates: Vec<usize> = (lo..hi)
-                .filter(|&s| self.statuses[s] == Some(WarpStatus::Issuable))
-                .collect();
-            if candidates.is_empty() {
-                continue;
-            }
+            let issuable = |s: usize| self.statuses[s] == Some(WarpStatus::Issuable);
             let chosen = match self.sm.scheduler {
                 SchedulerPolicy::Gto => {
                     // Greedy: stick with the last issued warp if still ready;
                     // otherwise the oldest (smallest warp id).
                     match self.last_issued[pb] {
-                        Some(last) if candidates.contains(&last) => last,
-                        _ => *candidates
-                            .iter()
-                            .min_by_key(|&&s| {
-                                self.slots[s]
-                                    .as_ref()
-                                    .map(|w| w.warp_id)
-                                    .unwrap_or(usize::MAX)
-                            })
-                            .expect("candidates non-empty"),
+                        Some(last) if issuable(last) => Some(last),
+                        _ => (lo..hi).filter(|&s| issuable(s)).min_by_key(|&s| {
+                            self.slots[s]
+                                .as_ref()
+                                .map(|w| w.warp_id)
+                                .unwrap_or(usize::MAX)
+                        }),
                     }
                 }
                 SchedulerPolicy::Lrr => {
                     // Round robin after the last issued slot.
                     let start = self.last_issued[pb].map(|s| s + 1).unwrap_or(lo);
-                    *candidates
-                        .iter()
-                        .find(|&&s| s >= start)
-                        .unwrap_or(&candidates[0])
+                    (start..hi)
+                        .find(|&s| issuable(s))
+                        .or_else(|| (lo..hi).find(|&s| issuable(s)))
                 }
             };
+            let Some(chosen) = chosen else { continue };
             self.last_issued[pb] = Some(chosen);
             self.issue_warp(chosen);
             any = true;
@@ -590,8 +642,8 @@ impl<'a> SimState<'a> {
         // Stores update functional memory and touch the L1D.
         for (addr, value) in &res.stores {
             self.data.write(*addr, *value);
-            if let Some(image) = self.mem_image.as_mut() {
-                image.insert(*addr, *value);
+            if let Some(log) = self.mem_image.as_mut() {
+                log.push((*addr, *value));
             }
         }
 
@@ -680,7 +732,7 @@ impl<'a> SimState<'a> {
         if self.si.enabled && self.si.yield_enabled && res.long_latency {
             let should = {
                 let w = self.slots[slot].as_ref().expect("slot occupied");
-                w.ll_issued >= self.si.yield_threshold && !w.ready_groups().is_empty()
+                w.ll_issued >= self.si.yield_threshold && w.has_ready()
             };
             if should {
                 self.apply_yield(slot);
@@ -695,7 +747,7 @@ impl<'a> SimState<'a> {
         let latency = self.si.switch_latency;
         let (yielded, selected) = {
             let w = self.slots[slot].as_mut().expect("slot occupied");
-            if w.ready_groups().is_empty() {
+            if !w.has_ready() {
                 // "If no ready subwarp is available, the current subwarp
                 // transitions back to ACTIVE" — nothing to do.
                 return;
@@ -770,7 +822,7 @@ impl<'a> SimState<'a> {
                 }
                 let demoted = {
                     let w = self.slots[s].as_mut().expect("stalled slot occupied");
-                    if w.switch_ready > cycle || w.ready_groups().is_empty() {
+                    if w.switch_ready > cycle || !w.has_ready() {
                         None
                     } else {
                         let pc = w.active_pc().expect("mem-stalled warp has active pc");
@@ -801,11 +853,18 @@ impl<'a> SimState<'a> {
         if issued {
             return;
         }
+        self.account_idle(1);
+    }
+
+    /// Attributes `n` consecutive idle cycles with the current statuses.
+    /// `n > 1` only during [`fast_forward`](Self::fast_forward), where the
+    /// statuses are provably constant across the whole stretch.
+    fn account_idle(&mut self, n: u64) {
         let any_live = self.slots.iter().flatten().any(|w| !w.done());
         if !any_live {
             return;
         }
-        self.stats.idle_cycles += 1;
+        self.stats.idle_cycles += n;
         let mut load_stall = false;
         let mut load_stall_divergent = false;
         let mut traversal_stall = false;
@@ -849,14 +908,14 @@ impl<'a> SimState<'a> {
             }
         }
         if load_stall {
-            self.stats.exposed_load_stalls += 1;
+            self.stats.exposed_load_stalls += n;
             if load_stall_divergent {
-                self.stats.exposed_load_stalls_divergent += 1;
+                self.stats.exposed_load_stalls_divergent += n;
             }
         } else if traversal_stall {
-            self.stats.exposed_traversal_stalls += 1;
+            self.stats.exposed_traversal_stalls += n;
         } else if fetch_wait {
-            self.stats.exposed_fetch_stalls += 1;
+            self.stats.exposed_fetch_stalls += n;
         }
     }
 

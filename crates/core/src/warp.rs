@@ -143,9 +143,19 @@ pub enum WarpStatus {
     Done,
 }
 
-/// Iterates over set lanes of a mask.
+/// Iterates over set lanes of a mask, lowest first.
+#[inline]
 pub fn lanes(mask: u32) -> impl Iterator<Item = usize> {
-    (0..WARP_SIZE).filter(move |i| mask & (1 << i) != 0)
+    let mut m = mask;
+    std::iter::from_fn(move || {
+        if m == 0 {
+            None
+        } else {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            Some(i)
+        }
+    })
 }
 
 /// Result latencies for short (non-scoreboard) operation classes, passed to
@@ -167,8 +177,15 @@ pub struct WarpSim {
     pub warp_id: usize,
     /// Per-thread architectural state.
     pub ctx: Vec<ThreadCtx>,
-    /// Per-thread scheduler state.
-    pub state: [ThreadState; WARP_SIZE],
+    /// Per-thread scheduler state as per-state lane bitmasks — the
+    /// scheduler's hot queries (active mask, "any ready?", live mask) become
+    /// single word reads instead of 32-lane scans. A lane in none of the
+    /// masks is `Inactive`; [`WarpSim::state`]/[`WarpSim::set_state`] give
+    /// the per-lane enum view.
+    active: u32,
+    ready: u32,
+    blocked: u32,
+    stalled: u32,
     /// Per-thread program counter.
     pub pc: [usize; WARP_SIZE],
     /// Barrier a thread is blocked on (valid when `state == Blocked`).
@@ -179,12 +196,17 @@ pub struct WarpSim {
     barrier: [u32; N_BARRIER],
     /// Per-thread counted scoreboards.
     sb_cnt: [[u16; N_SB]; WARP_SIZE],
+    /// Per-scoreboard mask of lanes with a nonzero counter — the
+    /// scheduler's per-cycle "is anything pending?" probes reduce to mask
+    /// intersections instead of lane-by-lane counter scans.
+    sb_nonzero: [u32; N_SB],
     /// What kind of operation last armed each scoreboard.
     sb_producer: [SbProducer; N_SB],
-    /// Per-thread, per-register ready cycle.
-    reg_ready: Vec<Vec<u64>>,
+    /// Per-thread, per-register ready cycle, flattened to one contiguous
+    /// `WARP_SIZE * N_REG` block (indexed `lane * N_REG + reg`).
+    reg_ready: Box<[u64]>,
     /// Per-thread, per-predicate ready cycle.
-    pred_ready: Vec<[u64; N_PRED]>,
+    pred_ready: [[u64; N_PRED]; WARP_SIZE],
     /// Instruction-buffer line currently held (line-aligned byte address).
     pub ib_line: Option<u64>,
     /// Outstanding fetch: (completion cycle, line address).
@@ -213,15 +235,19 @@ impl WarpSim {
         let mut w = WarpSim {
             warp_id,
             ctx: vec![ThreadCtx::new(); WARP_SIZE],
-            state: [ThreadState::Inactive; WARP_SIZE],
+            active: 0,
+            ready: 0,
+            blocked: 0,
+            stalled: 0,
             pc: [0; WARP_SIZE],
             blocked_bar: [0; WARP_SIZE],
             participating: 0,
             barrier: [0; N_BARRIER],
             sb_cnt: [[0; N_SB]; WARP_SIZE],
+            sb_nonzero: [0; N_SB],
             sb_producer: [SbProducer::None; N_SB],
-            reg_ready: vec![vec![0; N_REG]; WARP_SIZE],
-            pred_ready: vec![[0; N_PRED]; WARP_SIZE],
+            reg_ready: vec![0; WARP_SIZE * N_REG].into_boxed_slice(),
+            pred_ready: [[0; N_PRED]; WARP_SIZE],
             ib_line: None,
             fetch_pending: None,
             tst: Vec::new(),
@@ -232,7 +258,7 @@ impl WarpSim {
             fault: None,
         };
         for lane in 0..wl.threads_per_warp {
-            w.state[lane] = ThreadState::Active;
+            w.active |= 1 << lane;
             w.participating |= 1 << lane;
             for init in &wl.init {
                 let v = wl.init_value(&init.value, warp_id, lane);
@@ -244,24 +270,54 @@ impl WarpSim {
 
     // ---- masks and groups ----
 
-    fn mask_where(&self, want: ThreadState) -> u32 {
-        let mut m = 0;
-        for (i, s) in self.state.iter().enumerate() {
-            if *s == want {
-                m |= 1 << i;
-            }
+    /// The scheduler state of one lane.
+    pub fn state(&self, lane: usize) -> ThreadState {
+        let bit = 1u32 << lane;
+        if self.active & bit != 0 {
+            ThreadState::Active
+        } else if self.ready & bit != 0 {
+            ThreadState::Ready
+        } else if self.blocked & bit != 0 {
+            ThreadState::Blocked
+        } else if self.stalled & bit != 0 {
+            ThreadState::Stalled
+        } else {
+            ThreadState::Inactive
         }
-        m
+    }
+
+    /// Moves one lane to `state`, removing it from its current state.
+    pub fn set_state(&mut self, lane: usize, state: ThreadState) {
+        let bit = 1u32 << lane;
+        self.active &= !bit;
+        self.ready &= !bit;
+        self.blocked &= !bit;
+        self.stalled &= !bit;
+        match state {
+            ThreadState::Active => self.active |= bit,
+            ThreadState::Ready => self.ready |= bit,
+            ThreadState::Blocked => self.blocked |= bit,
+            ThreadState::Stalled => self.stalled |= bit,
+            ThreadState::Inactive => {}
+        }
     }
 
     /// Lanes currently ACTIVE.
+    #[inline]
     pub fn active_mask(&self) -> u32 {
-        self.mask_where(ThreadState::Active)
+        self.active
     }
 
     /// Lanes not yet exited.
+    #[inline]
     pub fn live_mask(&self) -> u32 {
-        self.participating & !self.mask_where(ThreadState::Inactive)
+        self.active | self.ready | self.blocked | self.stalled
+    }
+
+    /// True when some subwarp is READY for selection.
+    #[inline]
+    pub fn has_ready(&self) -> bool {
+        self.ready != 0
     }
 
     /// True when every participating thread has exited.
@@ -288,7 +344,7 @@ impl WarpSim {
     /// READY threads grouped into maximal same-pc subwarps, sorted by pc.
     pub fn ready_groups(&self) -> Vec<(usize, u32)> {
         let mut groups: Vec<(usize, u32)> = Vec::new();
-        for lane in lanes(self.mask_where(ThreadState::Ready)) {
+        for lane in lanes(self.ready) {
             match groups.iter_mut().find(|(pc, _)| *pc == self.pc[lane]) {
                 Some((_, m)) => *m |= 1 << lane,
                 None => groups.push((self.pc[lane], 1 << lane)),
@@ -329,6 +385,7 @@ impl WarpSim {
         for lane in lanes(mask) {
             self.sb_cnt[lane][sb.0 as usize] += 1;
         }
+        self.sb_nonzero[sb.0 as usize] |= mask;
         self.sb_producer[sb.0 as usize] = producer;
     }
 
@@ -344,23 +401,42 @@ impl WarpSim {
             }
             let c = &mut self.sb_cnt[lane][sb.0 as usize];
             *c = c.saturating_sub(1);
+            if *c == 0 {
+                self.sb_nonzero[sb.0 as usize] &= !(1 << lane);
+            }
         }
+    }
+
+    /// True when any lane in `lanes_mask` has a nonzero counter on any
+    /// scoreboard in `sbs` — the per-cycle stall probe, O(|sbs|) mask tests.
+    #[inline]
+    pub fn sb_pending(&self, lanes_mask: u32, sbs: SbMask) -> bool {
+        sbs.iter()
+            .any(|sb| self.sb_nonzero[sb.0 as usize] & lanes_mask != 0)
     }
 
     /// The producer kind of the first still-pending scoreboard in `sbs` for
     /// the given lanes.
     pub fn pending_producer(&self, lanes_mask: u32, sbs: SbMask) -> SbProducer {
         for sb in sbs.iter() {
-            for lane in lanes(lanes_mask) {
-                if self.sb_cnt[lane][sb.0 as usize] > 0 {
-                    return self.sb_producer[sb.0 as usize];
-                }
+            if self.sb_nonzero[sb.0 as usize] & lanes_mask != 0 {
+                return self.sb_producer[sb.0 as usize];
             }
         }
         SbProducer::None
     }
 
     // ---- register writeback ----
+
+    #[inline]
+    fn reg_ready_at(&self, lane: usize, reg: usize) -> u64 {
+        self.reg_ready[lane * N_REG + reg]
+    }
+
+    #[inline]
+    fn set_reg_ready(&mut self, lane: usize, reg: usize, cycle: u64) {
+        self.reg_ready[lane * N_REG + reg] = cycle;
+    }
 
     /// Applies a long-latency writeback: stores `value` into `dst` for
     /// `lane`, marks the register ready, and decrements `sb`.
@@ -374,7 +450,7 @@ impl WarpSim {
     ) {
         self.ctx[lane].write_reg(dst, value);
         if !dst.is_zero() {
-            self.reg_ready[lane][dst.0 as usize] = cycle;
+            self.set_reg_ready(lane, dst.0 as usize, cycle);
         }
         if let Some(sb) = sb {
             self.sb_dec(1 << lane, sb);
@@ -423,15 +499,15 @@ impl WarpSim {
             }
             tst_union |= e.mask;
             for lane in lanes(e.mask) {
-                if self.state[lane] != ThreadState::Stalled {
+                if self.state(lane) != ThreadState::Stalled {
                     return Err(format!(
                         "warp {wid}: TST holds lane {lane} but its state is {:?}",
-                        self.state[lane]
+                        self.state(lane)
                     ));
                 }
             }
         }
-        let stalled = self.mask_where(ThreadState::Stalled);
+        let stalled = self.stalled;
         if stalled != tst_union {
             return Err(format!(
                 "warp {wid}: STALLED lanes {stalled:#010x} not covered by TST \
@@ -466,7 +542,7 @@ impl WarpSim {
         // Convergence-barrier balance: blocked lanes wait on an armed
         // barrier they participate in, and co-blocked lanes agree on the
         // reconvergence pc.
-        for lane in lanes(self.mask_where(ThreadState::Blocked)) {
+        for lane in lanes(self.blocked) {
             let b = self.blocked_bar[lane] as usize;
             if self.barrier[b] & (1 << lane) == 0 {
                 return Err(format!(
@@ -495,6 +571,22 @@ impl WarpSim {
                 }
             }
         }
+        // The nonzero-lane masks must agree with the counters they summarize.
+        for sb in 0..N_SB {
+            let mut expect = 0u32;
+            for lane in 0..WARP_SIZE {
+                if self.sb_cnt[lane][sb] > 0 {
+                    expect |= 1 << lane;
+                }
+            }
+            if expect != self.sb_nonzero[sb] {
+                return Err(format!(
+                    "warp {wid}: sb{sb} nonzero-lane mask {:#010x} disagrees with \
+                     counters {expect:#010x}",
+                    self.sb_nonzero[sb]
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -511,10 +603,10 @@ impl WarpSim {
         crate::error::WarpSnapshot {
             slot,
             warp_id: self.warp_id,
-            active_mask: self.active_mask(),
-            ready_mask: self.mask_where(ThreadState::Ready),
-            blocked_mask: self.mask_where(ThreadState::Blocked),
-            stalled_mask: self.mask_where(ThreadState::Stalled),
+            active_mask: self.active,
+            ready_mask: self.ready,
+            blocked_mask: self.blocked,
+            stalled_mask: self.stalled,
             live_mask: self.live_mask(),
             // First active lane's pc, read directly: `active_pc` asserts pc
             // agreement, which may be the very invariant being reported.
@@ -533,16 +625,20 @@ impl WarpSim {
         let mut i = 0;
         while i < self.tst.len() {
             let e = self.tst[i];
-            if self.sb_max(e.mask, e.watch) == 0 {
-                for lane in lanes(e.mask) {
-                    if self.state[lane] != ThreadState::Stalled {
+            if !self.sb_pending(e.mask, e.watch) {
+                if e.mask & !self.stalled != 0 {
+                    for lane in lanes(e.mask & !self.stalled) {
                         self.record_fault(format!(
                             "wakeup of warp {} lane {lane} found it {:?}, not STALLED",
-                            self.warp_id, self.state[lane]
+                            self.warp_id,
+                            self.state(lane)
                         ));
                     }
-                    self.state[lane] = ThreadState::Ready;
                 }
+                self.stalled &= !e.mask;
+                self.active &= !e.mask;
+                self.blocked &= !e.mask;
+                self.ready |= e.mask;
                 let pc = lanes(e.mask).next().map(|l| self.pc[l]).unwrap_or(0);
                 woken.push((e.mask, pc));
                 self.tst.swap_remove(i);
@@ -563,21 +659,19 @@ impl WarpSim {
         if self.tst.len() >= max_entries {
             return None;
         }
-        let mask = self.active_mask();
+        let mask = self.active;
         assert!(mask != 0, "no active subwarp to demote");
-        for lane in lanes(mask) {
-            self.state[lane] = ThreadState::Stalled;
-        }
+        self.active = 0;
+        self.stalled |= mask;
         self.tst.push(TstEntry { mask, watch });
         Some(mask)
     }
 
     /// `subwarp-yield`: moves the active subwarp to READY.
     pub fn demote_ready(&mut self) -> u32 {
-        let mask = self.active_mask();
-        for lane in lanes(mask) {
-            self.state[lane] = ThreadState::Ready;
-        }
+        let mask = self.active;
+        self.active = 0;
+        self.ready |= mask;
         mask
     }
 
@@ -597,9 +691,8 @@ impl WarpSim {
             .copied()
             .expect("groups is non-empty");
         let (pc, mask) = chosen;
-        for lane in lanes(mask) {
-            self.state[lane] = ThreadState::Active;
-        }
+        self.ready &= !mask;
+        self.active |= mask;
         self.last_selected_pc = pc;
         self.switch_ready = cycle + switch_latency;
         self.ll_issued = 0;
@@ -610,12 +703,18 @@ impl WarpSim {
     /// Absorbs READY threads standing at the active subwarp's pc into the
     /// active subwarp (they are by definition the same maximal-pc group).
     pub fn absorb_ready_at_active_pc(&mut self) {
+        if self.ready == 0 {
+            return;
+        }
         if let Some(apc) = self.active_pc() {
-            for lane in lanes(self.mask_where(ThreadState::Ready)) {
+            let mut absorbed = 0u32;
+            for lane in lanes(self.ready) {
                 if self.pc[lane] == apc {
-                    self.state[lane] = ThreadState::Active;
+                    absorbed |= 1 << lane;
                 }
             }
+            self.ready &= !absorbed;
+            self.active |= absorbed;
         }
     }
 
@@ -630,10 +729,10 @@ impl WarpSim {
         if self.done() {
             return WarpStatus::Done;
         }
-        let active = self.active_mask();
+        let active = self.active;
         if active == 0 {
             return WarpStatus::NoActive {
-                any_ready: !self.ready_groups().is_empty(),
+                any_ready: self.ready != 0,
                 mem_stalled: !self.tst.is_empty(),
                 divergent: self.is_divergent(),
             };
@@ -653,7 +752,7 @@ impl WarpSim {
             } else {
                 active
             };
-            if self.sb_max(scope, inst.req_sb) > 0 {
+            if self.sb_pending(scope, inst.req_sb) {
                 let traversal = self.pending_producer(scope, inst.req_sb) == SbProducer::Traversal;
                 return WarpStatus::MemStall {
                     divergent: self.is_divergent(),
@@ -671,9 +770,10 @@ impl WarpSim {
                 }
             }
         }
-        for r in inst.op.src_regs() {
+        let (srcs, n_srcs) = inst.op.src_regs_fixed();
+        for r in &srcs[..n_srcs] {
             for lane in lanes(active) {
-                let ready = self.reg_ready[lane][r.0 as usize];
+                let ready = self.reg_ready_at(lane, r.0 as usize);
                 if ready > cycle {
                     // A NEVER-ready source without a req_sb annotation is a
                     // workload bug (missing &req=): surface it loudly.
@@ -774,9 +874,8 @@ impl WarpSim {
                     };
                     self.set_pc(stay, stay_pc);
                     self.set_pc(leave, leave_pc);
-                    for lane in lanes(leave) {
-                        self.state[lane] = ThreadState::Ready;
-                    }
+                    self.active &= !leave;
+                    self.ready |= leave;
                     res.events.push((EventKind::Diverge, leave, leave_pc));
                 }
             }
@@ -803,25 +902,30 @@ impl WarpSim {
                                 self.warp_id, self.pc[lane]
                             ));
                         }
-                        self.state[lane] = ThreadState::Active;
                     }
+                    self.blocked &= !released;
+                    self.ready &= !released;
+                    self.stalled &= !released;
+                    self.active |= released;
                     self.set_pc(released, pc + 1);
                     self.barrier[b] = 0;
                     res.events.push((EventKind::Reconverge, released, pc + 1));
                 } else {
                     // Unsuccessful BSYNC: arriving threads block.
                     for lane in lanes(active) {
-                        self.state[lane] = ThreadState::Blocked;
                         self.blocked_bar[lane] = barrier.0;
                     }
+                    self.active &= !active;
+                    self.blocked |= active;
                     res.events.push((EventKind::Block, active, pc));
                     res.needs_select = true;
                 }
             }
             Op::Exit => {
-                for lane in lanes(pass) {
-                    self.state[lane] = ThreadState::Inactive;
-                }
+                self.active &= !pass;
+                self.ready &= !pass;
+                self.blocked &= !pass;
+                self.stalled &= !pass;
                 self.set_pc(fail, pc + 1);
                 res.events.push((EventKind::Exit, pass, pc));
                 // Exits may passively satisfy barriers other participants
@@ -853,7 +957,7 @@ impl WarpSim {
                                 } else {
                                     alu_latency
                                 };
-                                self.reg_ready[lane][dst.0 as usize] = cycle + lat;
+                                self.set_reg_ready(lane, dst.0 as usize, cycle + lat);
                             }
                             if let Some(p) = inst.op.dst_pred() {
                                 self.pred_ready[lane][p.0 as usize] = cycle + alu_latency;
@@ -865,11 +969,12 @@ impl WarpSim {
                                 // become ready at writeback; un-guarded
                                 // short loads (LDS) have a known fixed
                                 // latency.
-                                self.reg_ready[lane][dst.0 as usize] = if inst.wr_sb.is_some() {
+                                let at = if inst.wr_sb.is_some() {
                                     NEVER
                                 } else {
                                     cycle + lds_latency
                                 };
+                                self.set_reg_ready(lane, dst.0 as usize, at);
                             }
                             mem_lanes.push((lane, addr));
                         }
@@ -879,7 +984,7 @@ impl WarpSim {
                         }
                         Effect::TraceRay { dst, ray_id } => {
                             if !dst.is_zero() {
-                                self.reg_ready[lane][dst.0 as usize] = NEVER;
+                                self.set_reg_ready(lane, dst.0 as usize, NEVER);
                             }
                             let sb = inst
                                 .wr_sb
@@ -935,8 +1040,8 @@ impl WarpSim {
 
     fn blocked_mask_on(&self, barrier: u8) -> u32 {
         let mut m = 0;
-        for lane in 0..WARP_SIZE {
-            if self.state[lane] == ThreadState::Blocked && self.blocked_bar[lane] == barrier {
+        for lane in lanes(self.blocked) {
+            if self.blocked_bar[lane] == barrier {
                 m |= 1 << lane;
             }
         }
@@ -955,9 +1060,8 @@ impl WarpSim {
             }
             let blocked_here = self.blocked_mask_on(b as u8);
             if blocked_here != 0 && participants & !(blocked_here | inactive) == 0 {
-                for lane in lanes(blocked_here) {
-                    self.state[lane] = ThreadState::Ready;
-                }
+                self.blocked &= !blocked_here;
+                self.ready |= blocked_here;
                 let pc = lanes(blocked_here).next().map(|l| self.pc[l]).unwrap_or(0);
                 res.events.push((EventKind::Wakeup, blocked_here, pc));
             }
@@ -1193,8 +1297,8 @@ mod tests {
         w.sb_inc(0b1111, Scoreboard(0), SbProducer::Load);
         assert!(w.demote_stalled(SbMask::one(Scoreboard(0)), 1).is_some());
         // Re-activate two lanes manually and try to demote again: table full.
-        w.state[0] = ThreadState::Active;
-        w.state[1] = ThreadState::Active;
+        w.set_state(0, ThreadState::Active);
+        w.set_state(1, ThreadState::Active);
         assert!(w.demote_stalled(SbMask::one(Scoreboard(0)), 1).is_none());
         assert_eq!(w.tst.len(), 1);
     }
@@ -1206,7 +1310,7 @@ mod tests {
         let mut w = WarpSim::launch(0, &wl);
         // Hand-craft three ready groups at pcs 3, 5, 7.
         for lane in 0..4 {
-            w.state[lane] = ThreadState::Ready;
+            w.set_state(lane, ThreadState::Ready);
         }
         w.pc = [
             3, 5, 7, 7, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,

@@ -1,0 +1,42 @@
+//! Bit-for-bit parity between the sorted-on-finalize `Vec` memory image
+//! and a `BTreeMap` built by inserting every store in program order — the
+//! original implementation's semantics (last store per address wins,
+//! iteration in ascending address order).
+
+use std::collections::BTreeMap;
+use subwarp_core::MemoryImage;
+use subwarp_prng::SmallRng;
+
+fn random_log(rng: &mut SmallRng, len: usize) -> Vec<(u64, u64)> {
+    (0..len)
+        .map(|_| {
+            // A small address universe guarantees plenty of same-address
+            // collisions, the case where "last store wins" matters.
+            let addr = rng.gen_range(0u64..64) * 8;
+            (addr, rng.next_u64())
+        })
+        .collect()
+}
+
+#[test]
+fn image_matches_btreemap_reference() {
+    let mut rng = SmallRng::seed_from_u64(0x1234);
+    for round in 0..200 {
+        let log = random_log(&mut rng, round * 7 % 500);
+        let reference: BTreeMap<u64, u64> = log.iter().copied().collect();
+        let image = MemoryImage::from_log(log);
+        assert_eq!(image.len(), reference.len());
+        assert!(image.iter().eq(reference.iter().map(|(&a, &v)| (a, v))));
+        for addr in (0..70 * 8).step_by(8) {
+            assert_eq!(image.get(addr), reference.get(&addr).copied(), "{addr:#x}");
+        }
+    }
+}
+
+#[test]
+fn empty_log_yields_empty_image() {
+    let image = MemoryImage::from_log(Vec::new());
+    assert!(image.is_empty());
+    assert_eq!(image.len(), 0);
+    assert_eq!(image.get(0), None);
+}

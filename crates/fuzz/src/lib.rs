@@ -25,10 +25,9 @@
 //! failure is reproducible with
 //! `cargo run -p subwarp-fuzz -- --seed <N> --iters 1`.
 
-use std::collections::BTreeMap;
-
 use subwarp_core::{
-    DivergeOrder, InitValue, SelectPolicy, SiConfig, SimError, Simulator, SmConfig, Workload,
+    DivergeOrder, InitValue, MemoryImage, RunStats, SelectPolicy, SiConfig, SimError, Simulator,
+    SmConfig, Workload,
 };
 use subwarp_isa::{Barrier, CmpOp, Operand, Pred, Program, ProgramBuilder, Reg, Scoreboard};
 use subwarp_prng::SmallRng;
@@ -328,11 +327,11 @@ impl std::fmt::Display for Divergence {
 
 impl std::error::Error for Divergence {}
 
-fn diff_images(base: &BTreeMap<u64, u64>, other: &BTreeMap<u64, u64>) -> Option<String> {
+fn diff_images(base: &MemoryImage, other: &MemoryImage) -> Option<String> {
     if base == other {
         return None;
     }
-    for (addr, v) in base {
+    for (addr, v) in base.iter() {
         match other.get(addr) {
             None => {
                 return Some(format!(
@@ -347,13 +346,10 @@ fn diff_images(base: &BTreeMap<u64, u64>, other: &BTreeMap<u64, u64>) -> Option<
             _ => {}
         }
     }
-    let extra = other.keys().find(|a| !base.contains_key(a));
-    extra.map(|a| {
-        format!(
-            "address {a:#x}: config wrote {:#x}, baseline wrote nothing",
-            other[a]
-        )
-    })
+    other
+        .iter()
+        .find(|(a, _)| base.get(*a).is_none())
+        .map(|(a, o)| format!("address {a:#x}: config wrote {o:#x}, baseline wrote nothing"))
 }
 
 /// Statistics from a completed fuzzing campaign.
@@ -367,10 +363,26 @@ pub struct FuzzReport {
     pub instructions: u64,
 }
 
-/// Checks one seed: generates its program and runs it under every grid
-/// configuration, comparing instruction counts and final memory images
-/// against the baseline.
+/// Checks one seed: generates its program once, runs it under every grid
+/// configuration on the default worker count, and compares instruction
+/// counts and final memory images against the single cached baseline run.
 pub fn check_seed(seed: u64, report: &mut FuzzReport) -> Result<(), Divergence> {
+    check_seed_with_jobs(seed, report, subwarp_pool::default_jobs())
+}
+
+/// [`check_seed`] with an explicit worker count (`1` forces the serial
+/// path — used by the program-parallel batch driver so pools don't nest,
+/// and by determinism tests).
+///
+/// All grid configurations share one generated workload and one baseline
+/// `(stats, image)` pair; the comparisons happen in grid order after the
+/// runs complete, so the reported divergence is the same no matter how
+/// many workers ran the grid.
+pub fn check_seed_with_jobs(
+    seed: u64,
+    report: &mut FuzzReport,
+    workers: usize,
+) -> Result<(), Divergence> {
     let wl = random_workload(seed);
     let fail = |config: &str, what: String| Divergence {
         seed,
@@ -380,18 +392,24 @@ pub fn check_seed(seed: u64, report: &mut FuzzReport) -> Result<(), Divergence> 
     let sim_err = |config: &str, e: SimError| fail(config, format!("simulation error: {e}"));
 
     let grid = config_grid();
-    let (base_label, base_sm, base_si) = &grid[0];
-    let (base_stats, base_image) = Simulator::new(base_sm.clone(), *base_si)
-        .run_with_memory(&wl)
+    let results: Vec<Result<(RunStats, MemoryImage), SimError>> =
+        subwarp_pool::run_with_jobs(workers, grid.len(), |i| {
+            let (_, sm, si) = &grid[i];
+            Simulator::new(sm.clone(), *si).run_with_memory(&wl)
+        });
+    let mut results = results.into_iter();
+
+    let base_label = grid[0].0.as_str();
+    let (base_stats, base_image) = results
+        .next()
+        .expect("grid is non-empty")
         .map_err(|e| sim_err(base_label, e))?;
     report.programs += 1;
     report.runs += 1;
     report.instructions += base_stats.instructions;
 
-    for (label, sm, si) in &grid[1..] {
-        let (stats, image) = Simulator::new(sm.clone(), *si)
-            .run_with_memory(&wl)
-            .map_err(|e| sim_err(label, e))?;
+    for ((label, _, _), result) in grid[1..].iter().zip(results) {
+        let (stats, image) = result.map_err(|e| sim_err(label, e))?;
         report.runs += 1;
         report.instructions += stats.instructions;
         if stats.instructions != base_stats.instructions {
@@ -411,12 +429,34 @@ pub fn check_seed(seed: u64, report: &mut FuzzReport) -> Result<(), Divergence> 
 }
 
 /// Runs `iters` fuzzing iterations starting from `seed` (iteration `i`
-/// checks seed `seed + i`). Returns campaign statistics, or the first
-/// reproducible divergence.
+/// checks seed `seed + i`) on the default worker count. Returns campaign
+/// statistics, or the first reproducible divergence.
 pub fn run_fuzz(seed: u64, iters: u64) -> Result<FuzzReport, Box<Divergence>> {
+    run_fuzz_with_jobs(seed, iters, subwarp_pool::default_jobs())
+}
+
+/// [`run_fuzz`] with an explicit worker count.
+///
+/// The *programs* are the parallel axis (each job checks one seed's full
+/// configuration grid serially): a batch offers `iters`-way parallelism
+/// with no cross-job coordination, while the per-program grid is only ~28
+/// wide. Results are reduced in seed order, so the returned report and
+/// the first-divergence choice match the serial campaign exactly.
+pub fn run_fuzz_with_jobs(
+    seed: u64,
+    iters: u64,
+    workers: usize,
+) -> Result<FuzzReport, Box<Divergence>> {
+    let per_seed = subwarp_pool::run_with_jobs(workers, iters as usize, |i| {
+        let mut r = FuzzReport::default();
+        check_seed_with_jobs(seed.wrapping_add(i as u64), &mut r, 1).map(|()| r)
+    });
     let mut report = FuzzReport::default();
-    for i in 0..iters {
-        check_seed(seed.wrapping_add(i), &mut report).map_err(Box::new)?;
+    for result in per_seed {
+        let r = result.map_err(Box::new)?;
+        report.programs += r.programs;
+        report.runs += r.runs;
+        report.instructions += r.instructions;
     }
     Ok(report)
 }
@@ -449,6 +489,13 @@ mod tests {
         assert_eq!(report.programs, 4);
         assert_eq!(report.runs, 4 * config_grid().len() as u64);
         assert!(report.instructions > 0);
+    }
+
+    #[test]
+    fn parallel_campaign_matches_serial() {
+        let serial = run_fuzz_with_jobs(99, 6, 1).expect("schedules must agree");
+        let parallel = run_fuzz_with_jobs(99, 6, 4).expect("schedules must agree");
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -53,12 +53,23 @@ fn main() {
     }
 
     let n_configs = config_grid().len();
-    eprintln!("# fuzzing {iters} programs from seed {seed} across {n_configs} configurations");
+    let jobs = subwarp_pool::default_jobs();
+    eprintln!(
+        "# fuzzing {iters} programs from seed {seed} across {n_configs} configurations ({jobs} jobs)"
+    );
+    let t0 = std::time::Instant::now();
     match run_fuzz(seed, iters) {
         Ok(r) => {
+            let dt = t0.elapsed().as_secs_f64();
             println!(
                 "ok: {} programs x {} configurations = {} runs, {} instructions, all identical",
                 r.programs, n_configs, r.runs, r.instructions
+            );
+            println!(
+                "{} programs in {:.3}s ({:.1} programs/s)",
+                r.programs,
+                dt,
+                r.programs as f64 / dt.max(1e-9)
             );
         }
         Err(d) => {

@@ -53,14 +53,17 @@ pub enum Effect {
 /// hardware.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThreadCtx {
-    regs: Vec<u64>,
+    // Inline array rather than a Vec: the register file is read on every
+    // executed instruction, and keeping it flat in the warp's thread array
+    // avoids a pointer chase per operand.
+    regs: [u64; N_REG],
     preds: [bool; N_PRED],
 }
 
 impl Default for ThreadCtx {
     fn default() -> Self {
         ThreadCtx {
-            regs: vec![0; N_REG],
+            regs: [0; N_REG],
             preds: [false; N_PRED],
         }
     }
@@ -283,10 +286,19 @@ fn compare_f32(a: f32, b: f32, cmp: CmpOp) -> bool {
 /// Unset slots read as the bit pattern of `1.0f32`, which keeps generated
 /// float pipelines numerically tame without requiring every workload to
 /// populate constants.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Banks are stored as dense per-bank arrays grown on demand and pre-filled
+/// with the default pattern, so `get` — on the functional-execution hot path
+/// of every constant operand — is two bounds-checked indexes instead of a
+/// hash lookup. Equality compares *read semantics* (every slot observes the
+/// same value), not representation.
+#[derive(Debug, Clone, Default)]
 pub struct ConstMem {
-    banks: std::collections::HashMap<(u8, u16), u64>,
+    banks: Vec<Vec<u64>>,
 }
+
+/// What unset constant slots read as: the bit pattern of `1.0f32`.
+const CONST_DEFAULT: u64 = 0x3f80_0000;
 
 impl ConstMem {
     /// An empty constant memory.
@@ -296,15 +308,44 @@ impl ConstMem {
 
     /// Sets `c[bank][offset]`.
     pub fn set(&mut self, bank: u8, offset: u16, value: u64) {
-        self.banks.insert((bank, offset), value);
+        let bank = bank as usize;
+        if bank >= self.banks.len() {
+            self.banks.resize(bank + 1, Vec::new());
+        }
+        let slots = &mut self.banks[bank];
+        if offset as usize >= slots.len() {
+            slots.resize(offset as usize + 1, CONST_DEFAULT);
+        }
+        slots[offset as usize] = value;
     }
 
     /// Reads `c[bank][offset]`; unset slots read as `1.0f32`'s bits.
+    #[inline]
     pub fn get(&self, bank: u8, offset: u16) -> u64 {
-        self.banks
-            .get(&(bank, offset))
-            .copied()
-            .unwrap_or(1.0f32.to_bits() as u64)
+        match self.banks.get(bank as usize) {
+            Some(slots) => slots.get(offset as usize).copied().unwrap_or(CONST_DEFAULT),
+            None => CONST_DEFAULT,
+        }
+    }
+}
+
+impl PartialEq for ConstMem {
+    fn eq(&self, other: &Self) -> bool {
+        let n_banks = self.banks.len().max(other.banks.len());
+        for b in 0..n_banks {
+            let empty: &[u64] = &[];
+            let a = self.banks.get(b).map(|v| v.as_slice()).unwrap_or(empty);
+            let c = other.banks.get(b).map(|v| v.as_slice()).unwrap_or(empty);
+            let n = a.len().max(c.len());
+            for o in 0..n {
+                let av = a.get(o).copied().unwrap_or(CONST_DEFAULT);
+                let cv = c.get(o).copied().unwrap_or(CONST_DEFAULT);
+                if av != cv {
+                    return false;
+                }
+            }
+        }
+        true
     }
 }
 

@@ -335,16 +335,28 @@ impl Op {
     /// Source registers read by this operation (for short-latency dependency
     /// tracking in the issue stage).
     pub fn src_regs(&self) -> Vec<Reg> {
-        fn push_op(v: &mut Vec<Reg>, o: &Operand) {
-            if let Some(r) = o.src_reg() {
-                if !r.is_zero() {
-                    v.push(r);
-                }
+        let (buf, n) = self.src_regs_fixed();
+        buf[..n].to_vec()
+    }
+
+    /// Allocation-free [`src_regs`](Self::src_regs): the sources in a fixed
+    /// buffer plus a count. This is the form the simulator's per-cycle
+    /// issue-readiness check uses (an op reads at most 3 registers).
+    #[inline]
+    pub fn src_regs_fixed(&self) -> ([Reg; 3], usize) {
+        let mut buf = [Reg::RZ; 3];
+        let mut n = 0;
+        let mut push = |r: Reg| {
+            if !r.is_zero() {
+                buf[n] = r;
+                n += 1;
             }
+        };
+        fn op_reg(o: &Operand) -> Reg {
+            o.src_reg().unwrap_or(Reg::RZ)
         }
-        let mut v = Vec::with_capacity(3);
         match self {
-            Op::Mov { src, .. } => push_op(&mut v, src),
+            Op::Mov { src, .. } => push(op_reg(src)),
             Op::IAdd { a, b, .. }
             | Op::Shl { a, b, .. }
             | Op::Shr { a, b, .. }
@@ -354,43 +366,25 @@ impl Op {
             | Op::FMul { a, b, .. }
             | Op::ISetp { a, b, .. }
             | Op::FSetp { a, b, .. } => {
-                if !a.is_zero() {
-                    v.push(*a);
-                }
-                push_op(&mut v, b);
+                push(*a);
+                push(op_reg(b));
             }
             Op::IMad { a, b, c, .. } | Op::FFma { a, b, c, .. } => {
-                if !a.is_zero() {
-                    v.push(*a);
-                }
-                push_op(&mut v, b);
-                push_op(&mut v, c);
+                push(*a);
+                push(op_reg(b));
+                push(op_reg(c));
             }
-            Op::Mufu { a, .. } if !a.is_zero() => {
-                v.push(*a);
-            }
-            Op::Ldg { addr, .. } | Op::Lds { addr, .. } | Op::Tld { addr, .. }
-                if !addr.is_zero() =>
-            {
-                v.push(*addr);
-            }
+            Op::Mufu { a, .. } => push(*a),
+            Op::Ldg { addr, .. } | Op::Lds { addr, .. } | Op::Tld { addr, .. } => push(*addr),
             Op::Stg { src, addr, .. } => {
-                if !src.is_zero() {
-                    v.push(*src);
-                }
-                if !addr.is_zero() {
-                    v.push(*addr);
-                }
+                push(*src);
+                push(*addr);
             }
-            Op::Tex { coord, .. } if !coord.is_zero() => {
-                v.push(*coord);
-            }
-            Op::TraceRay { ray, .. } if !ray.is_zero() => {
-                v.push(*ray);
-            }
+            Op::Tex { coord, .. } => push(*coord),
+            Op::TraceRay { ray, .. } => push(*ray),
             _ => {}
         }
-        v
+        (buf, n)
     }
 
     /// Branch target, for control-flow validation.

@@ -1,0 +1,89 @@
+//! Bit-for-bit parity between the flat-array register/constant banks and
+//! straightforward map-based reference models.
+//!
+//! `ThreadCtx` keeps registers and predicates in dense inline arrays and
+//! `ConstMem` keeps constant banks in `Vec<Vec<u64>>`; both used to be
+//! `HashMap`s. These property tests replay long randomized access
+//! sequences against `HashMap` models implementing the documented
+//! semantics (`RZ` reads 0 and drops writes, `PT` reads true and drops
+//! writes, unset constant slots read as `1.0f32`'s bits) and assert every
+//! observable read agrees.
+
+use std::collections::HashMap;
+use subwarp_isa::{ConstMem, Pred, Reg, ThreadCtx};
+use subwarp_prng::SmallRng;
+
+const CONST_DEFAULT: u64 = 0x3f80_0000;
+
+#[test]
+fn thread_ctx_matches_hashmap_reference() {
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+    let mut ctx = ThreadCtx::new();
+    let mut reg_model: HashMap<u8, u64> = HashMap::new();
+    let mut pred_model: HashMap<u8, bool> = HashMap::new();
+    for _ in 0..20_000 {
+        match rng.gen_range(0u32..4) {
+            0 => {
+                // Biased toward low registers (the ones programs use) but
+                // covering the full range including RZ (255).
+                let r = if rng.gen_bool() {
+                    rng.gen_range(0u8..=63)
+                } else {
+                    rng.gen_range(0u8..=255)
+                };
+                let v = rng.next_u64();
+                ctx.write_reg(Reg(r), v);
+                if r != 255 {
+                    reg_model.insert(r, v);
+                }
+            }
+            1 => {
+                let r = rng.gen_range(0u8..=255);
+                let expect = if r == 255 {
+                    0
+                } else {
+                    reg_model.get(&r).copied().unwrap_or(0)
+                };
+                assert_eq!(ctx.reg(Reg(r)), expect, "R{r}");
+            }
+            2 => {
+                let p = rng.gen_range(0u8..=7);
+                let v = rng.gen_bool();
+                ctx.write_pred(Pred(p), v);
+                if p != 7 {
+                    pred_model.insert(p, v);
+                }
+            }
+            _ => {
+                let p = rng.gen_range(0u8..=7);
+                let expect = p == 7 || pred_model.get(&p).copied().unwrap_or(false);
+                assert_eq!(ctx.pred(Pred(p)), expect, "P{p}");
+            }
+        }
+    }
+}
+
+#[test]
+fn const_mem_matches_hashmap_reference() {
+    let mut rng = SmallRng::seed_from_u64(0xBEEF);
+    let mut consts = ConstMem::new();
+    let mut model: HashMap<(u8, u16), u64> = HashMap::new();
+    for _ in 0..20_000 {
+        let bank = rng.gen_range(0u8..=5);
+        // Mix dense low offsets with sparse high ones so the Vec banks
+        // exercise both the resize path and out-of-range reads.
+        let offset = if rng.gen_bool() {
+            rng.gen_range(0u16..=32)
+        } else {
+            rng.gen_range(0u16..=2048)
+        };
+        if rng.gen_bool() {
+            let v = rng.next_u64();
+            consts.set(bank, offset, v);
+            model.insert((bank, offset), v);
+        } else {
+            let expect = model.get(&(bank, offset)).copied().unwrap_or(CONST_DEFAULT);
+            assert_eq!(consts.get(bank, offset), expect, "c[{bank}][{offset}]");
+        }
+    }
+}

@@ -99,17 +99,27 @@ impl<T> ServiceUnit<T> {
     /// order.
     pub fn pop_ready(&mut self, now: u64) -> Vec<Completion<T>> {
         let mut out = Vec::new();
-        while let Some(Reverse(p)) = self.heap.peek() {
-            if p.ready > now {
-                break;
-            }
-            let Reverse(p) = self.heap.pop().expect("peeked element exists");
-            out.push(Completion {
-                at_cycle: p.ready,
-                payload: p.payload,
-            });
+        while let Some(c) = self.pop_if_ready(now) {
+            out.push(c);
         }
         out
+    }
+
+    /// Pops the single earliest request whose completion cycle is `<= now`,
+    /// if any — the allocation-free form of [`pop_ready`](Self::pop_ready)
+    /// for per-cycle drain loops.
+    #[inline]
+    pub fn pop_if_ready(&mut self, now: u64) -> Option<Completion<T>> {
+        match self.heap.peek() {
+            Some(Reverse(p)) if p.ready <= now => {
+                let Reverse(p) = self.heap.pop().expect("peeked element exists");
+                Some(Completion {
+                    at_cycle: p.ready,
+                    payload: p.payload,
+                })
+            }
+            _ => None,
+        }
     }
 }
 

@@ -1,0 +1,95 @@
+//! Bit-for-bit parity between the paged `DataMemory` overlay and the
+//! original word-granular `HashMap` overlay semantics.
+//!
+//! The spec: a word reads as its last stored value if it was ever written,
+//! else as `splitmix64(word_address ^ seed)`. The paged implementation
+//! (512-word pages in an open-addressed page table) must be
+//! indistinguishable from a `HashMap<u64, u64>` overlay over that default
+//! under any interleaving of reads and writes.
+
+use std::collections::HashMap;
+use subwarp_mem::DataMemory;
+use subwarp_prng::SmallRng;
+
+/// The documented hash-default function, restated independently so a
+/// regression in the implementation's constant choices fails the test.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+struct Reference {
+    seed: u64,
+    overlay: HashMap<u64, u64>,
+}
+
+impl Reference {
+    fn read(&self, addr: u64) -> u64 {
+        let word = addr >> 3;
+        self.overlay
+            .get(&word)
+            .copied()
+            .unwrap_or_else(|| splitmix64(word ^ self.seed))
+    }
+
+    fn write(&mut self, addr: u64, value: u64) {
+        self.overlay.insert(addr >> 3, value);
+    }
+}
+
+fn random_addr(rng: &mut SmallRng) -> u64 {
+    match rng.gen_range(0u32..4) {
+        // Dense region: many hits within one page.
+        0 => rng.gen_range(0u64..4096),
+        // Page-boundary straddles.
+        1 => 4096 * rng.gen_range(0u64..8) + rng.gen_range(0u64..16),
+        // Sparse far pages: forces page-table growth and probing.
+        2 => rng.gen_range(0u64..64) * 0x10_0000,
+        // Unaligned: exercises word-granularity aliasing.
+        _ => rng.gen_range(0u64..100_000),
+    }
+}
+
+#[test]
+fn paged_overlay_matches_hashmap_reference() {
+    for seed in [0u64, 1, 0xDEAD_BEEF] {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xA5A5);
+        let mut mem = DataMemory::new(seed);
+        let mut reference = Reference {
+            seed,
+            overlay: HashMap::new(),
+        };
+        for _ in 0..50_000 {
+            let addr = random_addr(&mut rng);
+            if rng.gen_bool() {
+                let v = rng.next_u64();
+                mem.write(addr, v);
+                reference.write(addr, v);
+            } else {
+                assert_eq!(
+                    mem.read(addr),
+                    reference.read(addr),
+                    "seed {seed} addr {addr:#x}"
+                );
+            }
+            assert_eq!(mem.written_words(), reference.overlay.len());
+        }
+        // Final full sweep over everything the reference knows about, plus
+        // neighbours that were never written.
+        for (&word, &v) in &reference.overlay {
+            assert_eq!(mem.read(word << 3), v);
+            let next = (word + 1) << 3;
+            assert_eq!(mem.read(next), reference.read(next));
+        }
+    }
+}
+
+#[test]
+fn unwritten_reads_are_the_documented_hash() {
+    let mem = DataMemory::new(42);
+    for addr in (0..4096u64).step_by(8) {
+        assert_eq!(mem.read(addr), splitmix64((addr >> 3) ^ 42));
+    }
+}

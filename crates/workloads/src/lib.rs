@@ -39,5 +39,5 @@ pub use compute::{
 };
 pub use megakernel::{MegakernelConfig, SceneKind, ShaderProfile};
 pub use micro::{microbenchmark, microbenchmark_with, MicroConfig};
-pub use suite::{suite, trace_by_name, TraceSpec};
+pub use suite::{built_suite, suite, trace_by_name, TraceSpec};
 pub use toy::{figure9_program, figure9_workload};

@@ -16,6 +16,7 @@
 //!   shader heaviness.
 
 use crate::megakernel::{MegakernelConfig, SceneKind, ShaderProfile};
+use std::sync::{Arc, OnceLock};
 use subwarp_core::Workload;
 use subwarp_prng::SmallRng;
 
@@ -287,6 +288,27 @@ pub fn trace_by_name(name: &str) -> Option<TraceSpec> {
     suite()
         .into_iter()
         .find(|t| t.name.eq_ignore_ascii_case(name))
+}
+
+/// The suite with every workload **built once per process** and shared.
+///
+/// [`TraceSpec::build`] traces every thread's rays through a freshly
+/// constructed BVH, which costs milliseconds per trace — cheap for one
+/// figure, wasteful when a dozen experiments each rebuild the same ten
+/// scenes. The workloads are immutable after construction, so experiments
+/// (and the worker threads of a parallel sweep) share them through
+/// `Arc<Workload>` instead of rebuilding.
+pub fn built_suite() -> &'static [(TraceSpec, Arc<Workload>)] {
+    static BUILT: OnceLock<Vec<(TraceSpec, Arc<Workload>)>> = OnceLock::new();
+    BUILT.get_or_init(|| {
+        suite()
+            .into_iter()
+            .map(|t| {
+                let wl = Arc::new(t.build());
+                (t, wl)
+            })
+            .collect()
+    })
 }
 
 #[cfg(test)]
