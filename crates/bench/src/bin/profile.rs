@@ -1,0 +1,186 @@
+//! Profile one workload: emit a Chrome trace-event / Perfetto JSON timeline
+//! and print a Figure-5-style cycle-attribution breakdown.
+//!
+//! ```text
+//! profile [options] <workload>
+//!
+//! workloads:
+//!   trace:<NAME>          a suite trace (AV1, BFV1, Coll1, ...)
+//!   micro:<SUBWARP_SIZE>  the Figure 11 microbenchmark
+//!   toy                   the Figure 9 two-subwarp toy
+//!
+//! options:
+//!   --si <off|sos|both|dws>   interleaving mode          [default: off]
+//!   --policy <any|half|all>   stall trigger (N>0/≥0.5/1) [default: half]
+//!   --latency <cycles>        L1 miss latency            [default: 600]
+//!   --out <path>              trace output file          [default: subwarp_profile.json]
+//!   --compare                 also profile-free run the baseline and
+//!                             print its breakdown column
+//! ```
+//!
+//! Load the emitted JSON in <https://ui.perfetto.dev> (or `chrome://tracing`):
+//! each SM is a process with per-warp subwarp-activity tracks, cycle
+//! attribution tracks (SM-level and per processing block), and counter
+//! tracks for LSU/TEX/RT occupancy and cache hit rates. Time is encoded as
+//! 1 cycle = 1 µs.
+
+use subwarp_core::{
+    ChromeTraceProfiler, CycleCause, RunStats, SelectPolicy, SiConfig, Simulator, SmConfig,
+    Workload,
+};
+use subwarp_stats::Table;
+use subwarp_workloads::{figure9_workload, microbenchmark, trace_by_name};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: profile [--si off|sos|both|dws] [--policy any|half|all] \
+         [--latency N] [--out PATH] [--compare] <trace:NAME|micro:SIZE|toy>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut sm = SmConfig::turing_like();
+    let mut si = SiConfig::disabled();
+    let mut policy = SelectPolicy::HalfStalled;
+    let mut si_kind = "off".to_owned();
+    let mut out = String::from("subwarp_profile.json");
+    let mut compare = false;
+    let mut target: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--si" => si_kind = next("--si"),
+            "--policy" => {
+                policy = match next("--policy").as_str() {
+                    "any" => SelectPolicy::AnyStalled,
+                    "half" => SelectPolicy::HalfStalled,
+                    "all" => SelectPolicy::AllStalled,
+                    _ => usage(),
+                }
+            }
+            "--latency" => sm.miss_latency = next("--latency").parse().unwrap_or_else(|_| usage()),
+            "--out" => out = next("--out"),
+            "--compare" => compare = true,
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') => target = Some(other.to_owned()),
+            _ => usage(),
+        }
+    }
+    match si_kind.as_str() {
+        "off" => {}
+        "sos" => si = SiConfig::sos(policy),
+        "both" => si = SiConfig::both(policy),
+        "dws" => {
+            si = SiConfig::dws_like();
+            si.policy = policy;
+        }
+        _ => usage(),
+    }
+
+    let Some(target) = target else { usage() };
+    let wl: Workload = if let Some(name) = target.strip_prefix("trace:") {
+        match trace_by_name(name) {
+            Some(t) => {
+                eprintln!("# {}: {}", t.name, t.description);
+                t.build()
+            }
+            None => {
+                eprintln!("unknown trace `{name}`");
+                std::process::exit(2);
+            }
+        }
+    } else if let Some(size) = target.strip_prefix("micro:") {
+        microbenchmark(size.parse().unwrap_or_else(|_| usage()), 16)
+    } else if target == "toy" {
+        figure9_workload()
+    } else {
+        usage()
+    };
+
+    let fail = |e: subwarp_core::SimError| -> ! {
+        eprintln!("simulation failed: {e}");
+        std::process::exit(1);
+    };
+    eprintln!(
+        "# profiling `{}` under SI={} (miss latency {})",
+        wl.name,
+        si.label(),
+        sm.miss_latency
+    );
+    let mut profiler = ChromeTraceProfiler::new();
+    let stats = Simulator::new(sm.clone(), si)
+        .run_profiled(&wl, &mut profiler)
+        .unwrap_or_else(|e| fail(e));
+    let json = profiler.to_json();
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "# wrote {out} ({} events, {} bytes) - load it at https://ui.perfetto.dev",
+        profiler.event_count(),
+        json.len()
+    );
+
+    let base = compare.then(|| {
+        Simulator::new(sm, SiConfig::disabled())
+            .run(&wl)
+            .unwrap_or_else(|e| fail(e))
+    });
+
+    // Figure-5-style breakdown: cycles per cause and share of kernel time.
+    let mut header = vec![
+        "cause".to_owned(),
+        format!("cycles ({})", si.label()),
+        "share".to_owned(),
+    ];
+    if base.is_some() {
+        header.push("cycles (baseline)".to_owned());
+        header.push("share".to_owned());
+    }
+    let mut table = Table::new(header);
+    let share = |r: &RunStats, c: CycleCause| {
+        let denom = r.causes_total().max(1);
+        format!("{:5.1}%", r.cause(c) as f64 * 100.0 / denom as f64)
+    };
+    for cause in CycleCause::ALL {
+        let mut row = vec![
+            cause.label().to_owned(),
+            stats.cause(cause).to_string(),
+            share(&stats, cause),
+        ];
+        if let Some(b) = &base {
+            row.push(b.cause(cause).to_string());
+            row.push(share(b, cause));
+        }
+        table.row(row);
+    }
+    let mut total_row = vec![
+        "total".to_owned(),
+        stats.causes_total().to_string(),
+        "100.0%".to_owned(),
+    ];
+    if let Some(b) = &base {
+        total_row.push(b.causes_total().to_string());
+        total_row.push("100.0%".to_owned());
+    }
+    table.row(total_row);
+    println!("{table}");
+    if let Some(b) = &base {
+        println!(
+            "speedup vs baseline: {:+.1}%  (cycles {} -> {})",
+            (stats.speedup_vs(b) - 1.0) * 100.0,
+            b.cycles,
+            stats.cycles
+        );
+    }
+}

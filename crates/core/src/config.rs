@@ -90,6 +90,11 @@ pub struct SmConfig {
     /// How much per-cycle invariant checking the simulator performs
     /// (default: [`InvariantLevel::Cheap`], always on).
     pub invariants: InvariantLevel,
+    /// Event-driven quiescence fast-forward (default: on). Disabling it
+    /// forces a cycle-by-cycle step loop — results must be bit-identical
+    /// either way; the knob exists for parity regression tests and for
+    /// cycle-granular profiling of quiescent stretches.
+    pub fast_forward: bool,
 }
 
 impl Default for SmConfig {
@@ -124,12 +129,21 @@ impl SmConfig {
             diverge_order: DivergeOrder::FallthroughFirst,
             max_cycles: 200_000_000,
             invariants: InvariantLevel::Cheap,
+            fast_forward: true,
         }
     }
 
     /// Sets the per-cycle invariant-checking level.
     pub fn with_invariants(mut self, level: InvariantLevel) -> SmConfig {
         self.invariants = level;
+        self
+    }
+
+    /// Enables or disables the quiescence fast-forward. Simulation results
+    /// are identical either way (pinned by the fast-forward parity tests);
+    /// `false` trades speed for a strictly cycle-by-cycle step loop.
+    pub fn with_fast_forward(mut self, enabled: bool) -> SmConfig {
+        self.fast_forward = enabled;
         self
     }
 

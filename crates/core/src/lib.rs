@@ -44,10 +44,22 @@
 //! [`StateSnapshot`] of the machine at the failing cycle. Per-cycle
 //! invariant checking is always on at [`InvariantLevel::Cheap`] and can be
 //! raised to `Full` or disabled via [`SmConfig::with_invariants`].
+//!
+//! ## Observability
+//!
+//! Every simulated cycle is attributed to exactly one [`CycleCause`]
+//! (issued, load/traversal/fetch stall, switch penalty, short dependency,
+//! barrier, idle), with conservation — per-cause counts summing to the
+//! cycle count — enforced at the end of every run. Attach a [`Profiler`]
+//! via [`Simulator::run_profiled`] to stream cycle attribution, thread
+//! status transitions, and occupancy/cache counters;
+//! [`ChromeTraceProfiler`] renders them as Perfetto-loadable Chrome
+//! trace-event JSON.
 
 mod config;
 mod error;
 mod image;
+mod profile;
 mod sm;
 mod stats;
 mod trace;
@@ -57,7 +69,8 @@ mod workload;
 pub use config::{DivergeOrder, SchedulerPolicy, SelectPolicy, SiConfig, SmConfig, WARP_SIZE};
 pub use error::{mask_lanes, InvariantLevel, SimError, StateSnapshot, WarpSnapshot};
 pub use image::MemoryImage;
+pub use profile::{ChromeTraceProfiler, CounterSample, Profiler};
 pub use sm::{Simulator, DEADLOCK_WINDOW, ICACHE_LINE};
-pub use stats::RunStats;
+pub use stats::{CycleCause, RunStats};
 pub use trace::{EventKind, EventRecorder, TraceEvent};
 pub use workload::{InitValue, RayResult, RegInit, RtTrace, Workload};

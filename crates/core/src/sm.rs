@@ -4,9 +4,10 @@
 use crate::config::{SchedulerPolicy, SiConfig, SmConfig};
 use crate::error::{InvariantLevel, SimError, StateSnapshot};
 use crate::image::MemoryImage;
-use crate::stats::RunStats;
+use crate::profile::{CounterSample, Profiler};
+use crate::stats::{CycleCause, RunStats};
 use crate::trace::{EventKind, EventRecorder, TraceEvent};
-use crate::warp::{lanes, MemKind, RtJob, SbProducer, WarpSim, WarpStatus};
+use crate::warp::{lanes, MemKind, RtJob, WarpSim, WarpStatus};
 use crate::workload::Workload;
 use subwarp_isa::{Program, Reg, Scoreboard};
 use subwarp_mem::{AccessKind, Cache, DataMemory, ServiceUnit};
@@ -88,7 +89,22 @@ impl Simulator {
     /// [`SimError::InvariantViolation`] (each carrying a
     /// [`StateSnapshot`]) when the run fails mid-flight.
     pub fn run(&self, workload: &Workload) -> Result<RunStats, SimError> {
-        Ok(self.run_inner(workload, None, false)?.0)
+        Ok(self.run_inner(workload, None, false, None)?.0)
+    }
+
+    /// Runs `workload` with an attached [`Profiler`], streaming per-cycle
+    /// cause attribution, thread-status transitions, and occupancy/cache
+    /// counter samples to it as the simulation executes. The profiler is a
+    /// pure observer: statistics are bit-identical to [`run`](Self::run).
+    ///
+    /// # Errors
+    /// As for [`run`](Self::run).
+    pub fn run_profiled(
+        &self,
+        workload: &Workload,
+        profiler: &mut dyn Profiler,
+    ) -> Result<RunStats, SimError> {
+        Ok(self.run_inner(workload, None, false, Some(profiler))?.0)
     }
 
     /// Runs `workload`, additionally recording every thread-status
@@ -97,7 +113,7 @@ impl Simulator {
     /// # Errors
     /// As for [`run`](Self::run).
     pub fn run_recorded(&self, workload: &Workload) -> Result<(RunStats, EventRecorder), SimError> {
-        let (stats, rec, _) = self.run_inner(workload, Some(EventRecorder::new()), false)?;
+        let (stats, rec, _) = self.run_inner(workload, Some(EventRecorder::new()), false, None)?;
         Ok((stats, rec.expect("recorder was installed")))
     }
 
@@ -112,7 +128,7 @@ impl Simulator {
         &self,
         workload: &Workload,
     ) -> Result<(RunStats, MemoryImage), SimError> {
-        let (stats, _, image) = self.run_inner(workload, None, true)?;
+        let (stats, _, image) = self.run_inner(workload, None, true, None)?;
         Ok((stats, image.expect("memory capture was requested")))
     }
 
@@ -121,6 +137,7 @@ impl Simulator {
         wl: &Workload,
         recorder: Option<EventRecorder>,
         capture_memory: bool,
+        mut profiler: Option<&mut dyn Profiler>,
     ) -> Result<RunOutputs, SimError> {
         self.sm
             .validate()
@@ -142,9 +159,38 @@ impl Simulator {
         let mut store_log = capture_memory.then(Vec::new);
         for sm_id in 0..self.sm.n_sms {
             let rec = recorder.as_ref().map(|_| EventRecorder::new());
-            let mut st = SimState::new(&self.sm, &self.si, wl, rec, sm_id, capture_memory);
+            if let Some(p) = profiler.as_deref_mut() {
+                p.begin_sm(sm_id);
+            }
+            // The profiler reference is moved into the SM state (and taken
+            // back after the run): `&mut dyn` is invariant in its object
+            // lifetime, so a per-iteration reborrow would not check.
+            let mut st = SimState::new(
+                &self.sm,
+                &self.si,
+                wl,
+                rec,
+                sm_id,
+                capture_memory,
+                profiler.take(),
+            );
             while !st.finished() {
                 st.step()?;
+            }
+            // Cycle-attribution conservation: every cycle this SM simulated
+            // — including fast-forwarded stretches — must land in exactly
+            // one cause bucket. Always checked; it is one sum per run.
+            let attributed = st.stats.causes_total();
+            if attributed != st.stats.cycles {
+                return Err(SimError::InvariantViolation {
+                    workload: wl.name.clone(),
+                    what: format!(
+                        "cycle-attribution conservation violated on SM {sm_id}: \
+                         per-cause sum {attributed} != cycles {}",
+                        st.stats.cycles
+                    ),
+                    snapshot: st.snapshot(),
+                });
             }
             st.stats.l1i = st.l1i.stats();
             st.stats.l1d = st.l1d.stats();
@@ -153,11 +199,16 @@ impl Simulator {
                 st.stats.l0i.misses += l0.stats().misses;
             }
             total.accumulate_sm(&st.stats);
+            let final_cycle = st.stats.cycles;
+            profiler = st.profiler.take();
             if let Some(r) = st.recorder {
                 merged_events.extend(r.events().iter().cloned());
             }
             if let (Some(all), Some(sm)) = (store_log.as_mut(), st.mem_image) {
                 all.extend(sm);
+            }
+            if let Some(p) = profiler.as_deref_mut() {
+                p.end_sm(final_cycle);
             }
         }
         let recorder = recorder.map(|_| {
@@ -173,7 +224,7 @@ impl Simulator {
 }
 
 /// All mutable state of one run.
-struct SimState<'a> {
+struct SimState<'a, 'p> {
     sm: &'a SmConfig,
     si: &'a SiConfig,
     wl: &'a Workload,
@@ -205,9 +256,16 @@ struct SimState<'a> {
     /// caller asked for the final memory image
     /// ([`Simulator::run_with_memory`]); finalized into a [`MemoryImage`].
     mem_image: Option<Vec<(u64, u64)>>,
+    /// Optional observability sink ([`Simulator::run_profiled`]). `None` in
+    /// ordinary runs — every profiling hook is gated on one `Option` check.
+    profiler: Option<&'p mut dyn Profiler>,
+    /// Scratch: which PBs issued this cycle (per-PB cause attribution for
+    /// the profiler).
+    pb_issued: Vec<bool>,
 }
 
-impl<'a> SimState<'a> {
+impl<'a, 'p> SimState<'a, 'p> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         sm: &'a SmConfig,
         si: &'a SiConfig,
@@ -215,7 +273,8 @@ impl<'a> SimState<'a> {
         recorder: Option<EventRecorder>,
         sm_id: usize,
         capture_memory: bool,
-    ) -> SimState<'a> {
+        profiler: Option<&'p mut dyn Profiler>,
+    ) -> SimState<'a, 'p> {
         let n_slots = sm.total_warp_slots();
         let mut st = SimState {
             sm,
@@ -239,6 +298,8 @@ impl<'a> SimState<'a> {
             last_progress: 0,
             statuses: vec![None; n_slots],
             mem_image: capture_memory.then(Vec::new),
+            profiler,
+            pb_issued: vec![false; sm.n_pbs],
         };
         st.launch_pending();
         st
@@ -258,14 +319,21 @@ impl<'a> SimState<'a> {
     }
 
     fn record(&mut self, warp: usize, kind: EventKind, mask: u32, pc: usize) {
+        if self.recorder.is_none() && self.profiler.is_none() {
+            return;
+        }
+        let ev = TraceEvent {
+            cycle: self.cycle,
+            warp,
+            kind,
+            mask,
+            pc,
+        };
+        if let Some(p) = self.profiler.as_deref_mut() {
+            p.event(&ev);
+        }
         if let Some(rec) = &mut self.recorder {
-            rec.record(TraceEvent {
-                cycle: self.cycle,
-                warp,
-                kind,
-                mask,
-                pc,
-            });
+            rec.record(ev);
         }
     }
 
@@ -304,7 +372,9 @@ impl<'a> SimState<'a> {
         self.retire_and_launch();
         self.cycle += 1;
         self.watchdog(issued)?;
-        self.fast_forward(issued);
+        if self.sm.fast_forward {
+            self.fast_forward(issued);
+        }
         Ok(())
     }
 
@@ -362,6 +432,12 @@ impl<'a> SimState<'a> {
             return;
         }
         self.account_idle(skipped);
+        if self.profiler.is_some() {
+            // Statuses (and therefore per-PB causes) are constant across the
+            // stretch; counters cannot change while nothing completes, so no
+            // sample is taken.
+            self.profile_cycle(skipped, false);
+        }
         self.cycle += skipped;
         self.stats.cycles = self.cycle;
     }
@@ -553,6 +629,7 @@ impl<'a> SimState<'a> {
     /// Step 7: per-PB issue (one instruction per PB per cycle).
     fn issue_stage(&mut self) -> bool {
         let mut any = false;
+        self.pb_issued.fill(false);
         for pb in 0..self.sm.n_pbs {
             let lo = pb * self.sm.warp_slots_per_pb;
             let hi = lo + self.sm.warp_slots_per_pb;
@@ -582,6 +659,7 @@ impl<'a> SimState<'a> {
             let Some(chosen) = chosen else { continue };
             self.last_issued[pb] = Some(chosen);
             self.issue_warp(chosen);
+            self.pb_issued[pb] = true;
             any = true;
         }
         if any {
@@ -848,12 +926,39 @@ impl<'a> SimState<'a> {
         }
     }
 
-    /// Step 9: exposed-stall accounting (the paper's §I metric).
+    /// Step 9: exposed-stall accounting (the paper's §I metric) and
+    /// exhaustive per-cycle cause attribution.
     fn account_cycle(&mut self, issued: bool) {
         if issued {
-            return;
+            self.stats.cycle_causes[CycleCause::Issued.index()] += 1;
+            if self.profiler.is_some() {
+                self.emit_sm_span(CycleCause::Issued, 1);
+            }
+        } else {
+            self.account_idle(1);
         }
-        self.account_idle(1);
+        if self.profiler.is_some() {
+            self.profile_cycle(1, true);
+        }
+    }
+
+    /// Records `n` cycles of `cause` in the conservation-checked breakdown,
+    /// streaming the span to an attached profiler.
+    fn tally_cause(&mut self, cause: CycleCause, n: u64) {
+        self.stats.cycle_causes[cause.index()] += n;
+        if self.profiler.is_some() {
+            self.emit_sm_span(cause, n);
+        }
+    }
+
+    /// Profiler-only emission half of [`tally_cause`](Self::tally_cause),
+    /// outlined so the plain-`run` hot path carries only the counter add.
+    #[cold]
+    #[inline(never)]
+    fn emit_sm_span(&mut self, cause: CycleCause, n: u64) {
+        if let Some(p) = self.profiler.as_deref_mut() {
+            p.sm_cycles(self.cycle, n, cause);
+        }
     }
 
     /// Attributes `n` consecutive idle cycles with the current statuses.
@@ -862,6 +967,9 @@ impl<'a> SimState<'a> {
     fn account_idle(&mut self, n: u64) {
         let any_live = self.slots.iter().flatten().any(|w| !w.done());
         if !any_live {
+            // Launch/drain slack: no resident warp can make progress or is
+            // waiting on anything — pure idle time.
+            self.tally_cause(CycleCause::Idle, n);
             return;
         }
         self.stats.idle_cycles += n;
@@ -869,6 +977,9 @@ impl<'a> SimState<'a> {
         let mut load_stall_divergent = false;
         let mut traversal_stall = false;
         let mut fetch_wait = false;
+        let mut switch_wait = false;
+        let mut short_dep = false;
+        let mut barrier = false;
         for slot in 0..self.slots.len() {
             match self.statuses[slot] {
                 Some(WarpStatus::MemStall {
@@ -890,20 +1001,19 @@ impl<'a> SimState<'a> {
                     // Demoted subwarps waiting on memory: attribute by the
                     // producer kind of their watched scoreboards.
                     let w = self.slots[slot].as_ref().expect("slot occupied");
-                    let mut saw_load = false;
-                    for e in &w.tst {
-                        if w.pending_producer(e.mask, e.watch) != SbProducer::Traversal {
-                            saw_load = true;
-                        }
-                    }
-                    if saw_load {
+                    if w.tst_waits_on_load() {
                         load_stall = true;
                         load_stall_divergent |= divergent;
                     } else {
                         traversal_stall = true;
                     }
                 }
+                Some(WarpStatus::NoActive {
+                    mem_stalled: false, ..
+                }) => barrier = true,
                 Some(WarpStatus::FetchWait) => fetch_wait = true,
+                Some(WarpStatus::SwitchWait) => switch_wait = true,
+                Some(WarpStatus::ShortDep) => short_dep = true,
                 _ => {}
             }
         }
@@ -916,6 +1026,109 @@ impl<'a> SimState<'a> {
             self.stats.exposed_traversal_stalls += n;
         } else if fetch_wait {
             self.stats.exposed_fetch_stalls += n;
+        }
+        // Exhaustive single-cause attribution, extending the exposure
+        // priority above (load > traversal > fetch) over the causes the
+        // historical counters leave unclassified.
+        let cause = if load_stall {
+            CycleCause::LoadStall
+        } else if traversal_stall {
+            CycleCause::TraversalStall
+        } else if fetch_wait {
+            CycleCause::FetchStall
+        } else if switch_wait {
+            CycleCause::SwitchPenalty
+        } else if short_dep {
+            CycleCause::ShortDep
+        } else if barrier {
+            CycleCause::Barrier
+        } else {
+            // Live warps exist but none is stalled, waiting, or blocked:
+            // only `Done` warps awaiting retirement alongside empty slots.
+            CycleCause::Idle
+        };
+        self.tally_cause(cause, n);
+    }
+
+    /// Classifies one processing block's cycle when it did not issue, using
+    /// the same priority as the SM-level attribution but restricted to the
+    /// PB's own warp slots. Profiler-only (per-PB trace tracks).
+    fn classify_pb(&self, pb: usize) -> CycleCause {
+        let lo = pb * self.sm.warp_slots_per_pb;
+        let hi = lo + self.sm.warp_slots_per_pb;
+        let mut cause = CycleCause::Idle;
+        let mut rank = usize::MAX;
+        let mut consider = |c: CycleCause| {
+            let r = c.index();
+            if r < rank {
+                rank = r;
+                cause = c;
+            }
+        };
+        for slot in lo..hi {
+            match self.statuses[slot] {
+                Some(WarpStatus::MemStall { traversal, .. }) => consider(if traversal {
+                    CycleCause::TraversalStall
+                } else {
+                    CycleCause::LoadStall
+                }),
+                Some(WarpStatus::NoActive {
+                    mem_stalled: true, ..
+                }) => {
+                    let w = self.slots[slot].as_ref().expect("slot occupied");
+                    consider(if w.tst_waits_on_load() {
+                        CycleCause::LoadStall
+                    } else {
+                        CycleCause::TraversalStall
+                    });
+                }
+                Some(WarpStatus::NoActive {
+                    mem_stalled: false, ..
+                }) => consider(CycleCause::Barrier),
+                Some(WarpStatus::FetchWait) => consider(CycleCause::FetchStall),
+                Some(WarpStatus::SwitchWait) => consider(CycleCause::SwitchPenalty),
+                Some(WarpStatus::ShortDep) => consider(CycleCause::ShortDep),
+                _ => {}
+            }
+        }
+        cause
+    }
+
+    /// Streams per-PB cause spans (and, for executed cycles, a counter
+    /// sample) to the attached profiler. Only called when one is attached;
+    /// outlined to keep the profiler-free step loop compact.
+    #[cold]
+    #[inline(never)]
+    fn profile_cycle(&mut self, n: u64, sample_counters: bool) {
+        for pb in 0..self.sm.n_pbs {
+            let cause = if self.pb_issued[pb] {
+                CycleCause::Issued
+            } else {
+                self.classify_pb(pb)
+            };
+            let cycle = self.cycle;
+            if let Some(p) = self.profiler.as_deref_mut() {
+                p.pb_cycles(pb, cycle, n, cause);
+            }
+        }
+        if sample_counters {
+            let mut l0i = subwarp_mem::CacheStats::default();
+            for l0 in &self.l0i {
+                l0i.hits += l0.stats().hits;
+                l0i.misses += l0.stats().misses;
+            }
+            let sample = CounterSample {
+                cycle: self.cycle,
+                lsu_in_flight: self.lsu.in_flight(),
+                tex_in_flight: self.tex.in_flight(),
+                rt_in_flight: self.rt.in_flight(),
+                l0i,
+                l1i: self.l1i.stats(),
+                l1d: self.l1d.stats(),
+            };
+            if let Some(p) = self.profiler.as_deref_mut() {
+                p.counters(&sample);
+            }
         }
     }
 

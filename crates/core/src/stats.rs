@@ -3,6 +3,81 @@
 
 use subwarp_mem::CacheStats;
 
+/// The single cause attributed to one simulated SM cycle.
+///
+/// Every cycle an SM executes — including cycles skipped in bulk by the
+/// quiescence fast-forward — is tagged with exactly one of these causes.
+/// The attribution follows the exposure priority the paper's Figure 5 uses
+/// (load > traversal > fetch), extended so the remaining non-issue cycles
+/// are also classified rather than lumped as "idle". Conservation (the sum
+/// of per-cause counts equals the SM's cycle count) is enforced at the end
+/// of every run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CycleCause {
+    /// At least one processing block issued an instruction.
+    Issued,
+    /// No issue; ≥1 warp stalled on an outstanding long-latency load.
+    LoadStall,
+    /// No issue; the only memory-stalled warps wait on RT-core traversals.
+    TraversalStall,
+    /// No issue; ≥1 warp waiting on an instruction fetch.
+    FetchStall,
+    /// No issue; ≥1 warp serving a subwarp-switch penalty.
+    SwitchPenalty,
+    /// No issue; ≥1 warp in a short fixed-latency dependency bubble.
+    ShortDep,
+    /// No issue; every live warp is blocked at a convergence barrier.
+    Barrier,
+    /// No live warps ready or stalled — launch/drain slack, or the SM is
+    /// empty.
+    Idle,
+}
+
+impl CycleCause {
+    /// Number of distinct causes (the length of [`RunStats::cycle_causes`]).
+    pub const COUNT: usize = 8;
+
+    /// All causes, in attribution-priority order (after `Issued`).
+    pub const ALL: [CycleCause; CycleCause::COUNT] = [
+        CycleCause::Issued,
+        CycleCause::LoadStall,
+        CycleCause::TraversalStall,
+        CycleCause::FetchStall,
+        CycleCause::SwitchPenalty,
+        CycleCause::ShortDep,
+        CycleCause::Barrier,
+        CycleCause::Idle,
+    ];
+
+    /// Index of this cause in [`RunStats::cycle_causes`].
+    pub fn index(self) -> usize {
+        match self {
+            CycleCause::Issued => 0,
+            CycleCause::LoadStall => 1,
+            CycleCause::TraversalStall => 2,
+            CycleCause::FetchStall => 3,
+            CycleCause::SwitchPenalty => 4,
+            CycleCause::ShortDep => 5,
+            CycleCause::Barrier => 6,
+            CycleCause::Idle => 7,
+        }
+    }
+
+    /// Short human-readable label (used by the trace exporter and tables).
+    pub fn label(self) -> &'static str {
+        match self {
+            CycleCause::Issued => "issued",
+            CycleCause::LoadStall => "load-stall",
+            CycleCause::TraversalStall => "traversal-stall",
+            CycleCause::FetchStall => "fetch-stall",
+            CycleCause::SwitchPenalty => "switch-penalty",
+            CycleCause::ShortDep => "short-dep",
+            CycleCause::Barrier => "barrier",
+            CycleCause::Idle => "idle",
+        }
+    }
+}
+
 /// Counters collected over one simulation run.
 ///
 /// The paper's key metric (§I): "we define exposed long-latency or
@@ -41,6 +116,14 @@ pub struct RunStats {
     pub exposed_fetch_stalls: u64,
     /// Cycles where the SM issued nothing at all.
     pub idle_cycles: u64,
+    /// Exhaustive per-cycle cause attribution, indexed by
+    /// [`CycleCause::index`]. Unlike the `exposed_*` counters above (which
+    /// keep the paper's historical definitions and may leave trailing
+    /// non-issue cycles unclassified), every simulated cycle lands in
+    /// exactly one bucket here; the conservation invariant checks that the
+    /// buckets sum to [`sm_cycles_total`](Self::sm_cycles_total) (per SM:
+    /// its `cycles`).
+    pub cycle_causes: [u64; CycleCause::COUNT],
     /// subwarp-stall demotions performed (SI only).
     pub subwarp_stalls: u64,
     /// subwarp-select activations performed.
@@ -117,6 +200,9 @@ impl RunStats {
         self.exposed_traversal_stalls += sm.exposed_traversal_stalls;
         self.exposed_fetch_stalls += sm.exposed_fetch_stalls;
         self.idle_cycles += sm.idle_cycles;
+        for (a, b) in self.cycle_causes.iter_mut().zip(sm.cycle_causes.iter()) {
+            *a += b;
+        }
         self.subwarp_stalls += sm.subwarp_stalls;
         self.subwarp_switches += sm.subwarp_switches;
         self.subwarp_yields += sm.subwarp_yields;
@@ -140,6 +226,36 @@ impl RunStats {
         } else {
             1.0 - ours as f64 / baseline as f64
         }
+    }
+
+    /// Cycles attributed to `cause`.
+    pub fn cause(&self, cause: CycleCause) -> u64 {
+        self.cycle_causes[cause.index()]
+    }
+
+    /// Sum of all per-cause cycle counts. The conservation invariant
+    /// guarantees this equals [`sm_cycles_total`](Self::sm_cycles_total)
+    /// (for a single-SM run: [`cycles`](Self::cycles)).
+    pub fn causes_total(&self) -> u64 {
+        self.cycle_causes.iter().sum()
+    }
+
+    /// Per-cause `(cause, cycles, share-of-time)` rows in priority order —
+    /// the Figure-5-style stall breakdown.
+    pub fn cause_breakdown(&self) -> Vec<(CycleCause, u64, f64)> {
+        let denom = self.time_denominator();
+        CycleCause::ALL
+            .iter()
+            .map(|&c| {
+                let n = self.cause(c);
+                let share = if denom == 0 {
+                    0.0
+                } else {
+                    n as f64 / denom as f64
+                };
+                (c, n, share)
+            })
+            .collect()
     }
 
     /// Instructions per cycle.

@@ -28,6 +28,23 @@ pub enum EventKind {
     Exit,
 }
 
+impl EventKind {
+    /// Short lower-case label (the paper's transition names), used by the
+    /// trace exporter and report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Diverge => "diverge",
+            EventKind::Stall => "subwarp-stall",
+            EventKind::Wakeup => "subwarp-wakeup",
+            EventKind::Select => "subwarp-select",
+            EventKind::Yield => "subwarp-yield",
+            EventKind::Block => "block",
+            EventKind::Reconverge => "reconverge",
+            EventKind::Exit => "exit",
+        }
+    }
+}
+
 /// One recorded transition.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {

@@ -426,6 +426,16 @@ impl WarpSim {
         SbProducer::None
     }
 
+    /// True when any demoted TST entry is waiting on a non-traversal
+    /// producer (a load or texture fetch). Stall attribution uses this to
+    /// split "no active subwarp, memory stalled" warps into load vs
+    /// RT-traversal exposure, matching the paper's Figure 5 categories.
+    pub fn tst_waits_on_load(&self) -> bool {
+        self.tst
+            .iter()
+            .any(|e| self.pending_producer(e.mask, e.watch) != SbProducer::Traversal)
+    }
+
     // ---- register writeback ----
 
     #[inline]

@@ -1,0 +1,145 @@
+//! Fast-forward parity tests: the event-driven quiescence fast-forward is a
+//! pure performance optimization and must be *observationally invisible* —
+//! identical `RunStats` (including the per-cause cycle attribution), identical
+//! deadlock-watchdog firing cycles, and identical cycle-cap firing cycles,
+//! whether the simulator steps every cycle or jumps over quiescent stretches.
+
+use subwarp_core::{
+    CycleCause, InitValue, SelectPolicy, SiConfig, SimError, Simulator, SmConfig, Workload,
+    DEADLOCK_WINDOW,
+};
+use subwarp_isa::{Barrier, CmpOp, Operand, Pred, ProgramBuilder, Reg, Scoreboard};
+
+/// Crossed convergence barriers (same construction as `errors.rs`): lane 0
+/// blocks at `BSYNC B0` waiting for lane 1, lane 1 at `BSYNC B1` waiting for
+/// lane 0. No progress is ever possible, so the watchdog must fire.
+fn cross_barrier_deadlock() -> Workload {
+    let mut b = ProgramBuilder::new();
+    let else_l = b.label("else");
+    let sync_a = b.label("syncA");
+    let sync_b = b.label("syncB");
+    b.isetp(Pred(0), Reg(0), Operand::imm(1), CmpOp::Lt);
+    b.bssy(Barrier(0), sync_a);
+    b.bssy(Barrier(1), sync_b);
+    b.bra(else_l).pred(Pred(0), false);
+    b.place(sync_a);
+    b.bsync(Barrier(0));
+    b.exit();
+    b.place(else_l);
+    b.place(sync_b);
+    b.bsync(Barrier(1));
+    b.exit();
+    Workload::new("crossed-barriers", b.build().unwrap(), 1)
+        .with_threads_per_warp(2)
+        .with_init(Reg(0), InitValue::LaneId)
+}
+
+/// A divergent kernel with long-latency loads on both paths — the shape that
+/// exercises memory-stall quiescence, subwarp switches, and reconvergence.
+fn divergent_load_kernel() -> Workload {
+    let mut b = ProgramBuilder::new();
+    let else_l = b.label("else");
+    let sync = b.label("sync");
+    b.isetp(Pred(0), Reg(0), Operand::imm(1), CmpOp::Lt);
+    b.bssy(Barrier(0), sync);
+    b.bra(else_l).pred(Pred(0), false);
+    b.ldg(Reg(2), Reg(4), 0).wr_sb(Scoreboard(0));
+    b.fadd(Reg(3), Reg(2), Operand::fimm(1.0))
+        .req_sb(Scoreboard(0));
+    b.bra(sync);
+    b.place(else_l);
+    b.tld(Reg(5), Reg(4)).wr_sb(Scoreboard(1));
+    b.fadd(Reg(6), Reg(5), Operand::fimm(1.0))
+        .req_sb(Scoreboard(1));
+    b.bra(sync);
+    b.place(sync);
+    b.bsync(Barrier(0));
+    b.exit();
+    Workload::new("divergent-loads", b.build().unwrap(), 4)
+        .with_threads_per_warp(2)
+        .with_init(Reg(0), InitValue::LaneId)
+        .with_init(Reg(4), InitValue::GlobalTid)
+}
+
+fn si_grid() -> Vec<SiConfig> {
+    vec![
+        SiConfig::disabled(),
+        SiConfig::sos(SelectPolicy::AnyStalled),
+        SiConfig::both(SelectPolicy::HalfStalled),
+        SiConfig::best(),
+        SiConfig::dws_like(),
+    ]
+}
+
+#[test]
+fn deadlock_fires_on_the_same_cycle_with_and_without_fast_forward() {
+    let wl = cross_barrier_deadlock();
+    for si in si_grid() {
+        let fire_cycle = |ff: bool| {
+            let sm = SmConfig::turing_like().with_fast_forward(ff);
+            match Simulator::new(sm, si).run(&wl) {
+                Err(SimError::Deadlock { snapshot, .. }) => snapshot.cycle,
+                other => panic!("{}: expected Deadlock, got {other:?}", si.label()),
+            }
+        };
+        let serial = fire_cycle(false);
+        let fast = fire_cycle(true);
+        assert_eq!(
+            serial,
+            fast,
+            "{}: watchdog fired at {serial} serially but {fast} fast-forwarded",
+            si.label()
+        );
+        assert!(serial >= DEADLOCK_WINDOW, "{}: fired too early", si.label());
+    }
+}
+
+#[test]
+fn cycle_cap_fires_on_the_same_cycle_with_and_without_fast_forward() {
+    // Cap the run below the deadlock horizon so the cycle cap — not the
+    // watchdog — terminates it, then check the cap fires at the same cycle
+    // either way.
+    let wl = cross_barrier_deadlock();
+    let cap = DEADLOCK_WINDOW / 2;
+    let fire_cycle = |ff: bool| {
+        let mut sm = SmConfig::turing_like().with_fast_forward(ff);
+        sm.max_cycles = cap;
+        match Simulator::new(sm, SiConfig::disabled()).run(&wl) {
+            Err(SimError::CycleCapExceeded {
+                snapshot, cap: c, ..
+            }) => {
+                assert_eq!(c, cap);
+                snapshot.cycle
+            }
+            other => panic!("expected CycleCapExceeded, got {other:?}"),
+        }
+    };
+    let serial = fire_cycle(false);
+    let fast = fire_cycle(true);
+    assert_eq!(
+        serial, fast,
+        "cap fired at {serial} serially, {fast} fast-forwarded"
+    );
+}
+
+#[test]
+fn fast_forward_yields_bit_identical_run_stats() {
+    let wl = divergent_load_kernel();
+    for si in si_grid() {
+        let run = |ff: bool| {
+            let sm = SmConfig::turing_like().with_fast_forward(ff);
+            Simulator::new(sm, si).run(&wl).unwrap()
+        };
+        let serial = run(false);
+        let fast = run(true);
+        assert_eq!(
+            serial,
+            fast,
+            "{}: fast-forward changed the simulation result",
+            si.label()
+        );
+        // The bulk attribution of skipped cycles must also conserve.
+        assert_eq!(fast.causes_total(), fast.cycles, "{}", si.label());
+        assert!(fast.cause(CycleCause::LoadStall) > 0, "{}", si.label());
+    }
+}

@@ -198,11 +198,17 @@ impl Cache {
             self.stats.hits += 1;
             return AccessKind::Hit;
         }
-        // Miss: fill into an invalid way, else evict LRU.
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|w| if w.valid { w.lru } else { 0 })
-            .expect("cache set has at least one way");
+        // Miss: fill into an invalid way unconditionally; only a full set
+        // evicts its LRU way. (Keying invalid ways as `lru == 0` instead
+        // would let a valid way with timestamp 0 tie with — and, under a
+        // different min-selection order, lose to — a free way.)
+        let victim = match ways.iter_mut().find(|w| !w.valid) {
+            Some(free) => free,
+            None => ways
+                .iter_mut()
+                .min_by_key(|w| w.lru)
+                .expect("cache set has at least one way"),
+        };
         victim.tag = tag;
         victim.valid = true;
         victim.lru = self.clock;
@@ -271,6 +277,41 @@ mod tests {
         assert!(c.probe(a));
         assert!(!c.probe(b));
         assert!(c.probe(d));
+    }
+
+    #[test]
+    fn invalid_way_wins_lru_tie_against_valid_way() {
+        // Manufacture the latent tie the old victim selection keyed wrong:
+        // a valid way whose lru timestamp is 0 sitting next to an invalid
+        // (free) way. Through the public API this cannot arise (the clock
+        // pre-increments, so valid ways always have lru >= 1), so the state
+        // is forged directly.
+        let mut c = tiny();
+        let set0 = 0; // ways[0..2]
+        c.ways[set0] = Way {
+            tag: c.tag_of(0x000),
+            valid: true,
+            lru: 0,
+        };
+        c.ways[set0 + 1] = Way {
+            tag: 0,
+            valid: false,
+            lru: 0,
+        };
+        // A new line for set 0 must fill the free way, not evict the
+        // resident line.
+        assert_eq!(c.access(0x080), AccessKind::Miss);
+        assert!(c.probe(0x000), "valid way was evicted while a way sat free");
+        assert!(c.probe(0x080));
+    }
+
+    #[test]
+    fn invalid_ways_fill_before_any_eviction() {
+        let mut c = tiny();
+        // Two misses to the same set fill both ways without evicting.
+        assert_eq!(c.access(0x000), AccessKind::Miss);
+        assert_eq!(c.access(0x080), AccessKind::Miss);
+        assert!(c.probe(0x000) && c.probe(0x080));
     }
 
     #[test]

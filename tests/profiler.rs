@@ -1,0 +1,92 @@
+//! End-to-end profiler tests: attaching a `Profiler` must not perturb the
+//! simulation, and the emitted Chrome trace-event JSON must be structurally
+//! sound for a real suite workload (the dependency-free counterpart of
+//! loading it in Perfetto).
+
+use subwarp_interleaving::core::{ChromeTraceProfiler, SiConfig, Simulator, SmConfig};
+use subwarp_interleaving::workloads::{built_suite, figure9_workload};
+
+/// Minimal structural JSON check: balanced brackets outside strings, valid
+/// escapes, and a single top-level value. Not a full parser — just enough to
+/// catch truncated output, unescaped quotes, and mismatched nesting, which
+/// are the failure modes of hand-rendered JSON.
+fn assert_json_sound(json: &str) {
+    let mut depth: Vec<char> = Vec::new();
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut top_level_values = 0usize;
+    for (i, c) in json.char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            } else {
+                assert!(c >= ' ', "raw control character at byte {i}");
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => {
+                if depth.is_empty() {
+                    top_level_values += 1;
+                }
+                depth.push(c);
+            }
+            '}' => assert_eq!(depth.pop(), Some('{'), "mismatched `}}` at byte {i}"),
+            ']' => assert_eq!(depth.pop(), Some('['), "mismatched `]` at byte {i}"),
+            _ => {}
+        }
+    }
+    assert!(!in_string, "unterminated string literal");
+    assert!(depth.is_empty(), "unclosed brackets: {depth:?}");
+    assert_eq!(top_level_values, 1, "expected exactly one top-level value");
+}
+
+#[test]
+fn profiling_is_observation_not_actuation() {
+    // Identical RunStats with and without a profiler attached, for the toy
+    // and for a real trace, baseline and SI.
+    let suite = built_suite();
+    let (_, trace_wl) = &suite[0];
+    for wl in [&figure9_workload(), trace_wl.as_ref()] {
+        for si in [SiConfig::disabled(), SiConfig::best()] {
+            let sim = Simulator::new(SmConfig::turing_like(), si);
+            let plain = sim.run(wl).unwrap();
+            let mut profiler = ChromeTraceProfiler::new();
+            let profiled = sim.run_profiled(wl, &mut profiler).unwrap();
+            assert_eq!(plain, profiled, "{} / {}", wl.name, si.label());
+            assert!(profiler.event_count() > 0, "{}", wl.name);
+        }
+    }
+}
+
+#[test]
+fn chrome_trace_json_is_structurally_sound_for_a_suite_workload() {
+    let suite = built_suite();
+    let (spec, wl) = &suite[0];
+    let mut profiler = ChromeTraceProfiler::new();
+    Simulator::new(SmConfig::turing_like(), SiConfig::best())
+        .run_profiled(wl, &mut profiler)
+        .unwrap();
+    let json = profiler.to_json();
+    assert!(!json.is_empty(), "{}: empty trace", spec.name);
+    assert_json_sound(&json);
+    // The trace-event envelope and every track family are present.
+    for needle in [
+        "\"traceEvents\"",
+        "\"displayTimeUnit\"",
+        "\"ph\":\"X\"",
+        "\"ph\":\"M\"",
+        "\"ph\":\"C\"",
+        "issued",
+        "load-stall",
+        "L1D hit rate",
+        "LSU in-flight",
+    ] {
+        assert!(json.contains(needle), "{}: missing {needle}", spec.name);
+    }
+}

@@ -292,3 +292,38 @@ fn predicated_branch_kernels_terminate_under_all_policies() {
         }
     }
 }
+
+// ------------------------------------------------- cycle attribution
+
+/// Tentpole invariant, checked from the outside: every simulated cycle is
+/// attributed to exactly one `CycleCause`, so the per-cause counts must sum
+/// to `cycles` for *every* suite workload under the baseline and all 26
+/// fuzzer SI configurations (every `SelectPolicy` × `DivergeOrder` combo in
+/// switch-on-stall and yield flavours, a capacity-limited TST, and the
+/// DWS-like scheme). The simulator also self-checks this conservation at the
+/// end of every run — this test pins it on the returned stats.
+#[test]
+fn cycle_attribution_conserves_over_suite_and_fuzzer_grid() {
+    use subwarp_interleaving::core::CycleCause;
+
+    let grid = subwarp_fuzz::config_grid();
+    assert!(grid.len() >= 27, "fuzzer grid shrank to {}", grid.len());
+    let mut sweep = subwarp_bench::Sweep::over_suite();
+    for (label, sm, si) in &grid {
+        sweep = sweep.config(label.clone(), sm.clone(), *si);
+    }
+    let results = sweep.run().expect("suite x fuzzer-grid simulates cleanly");
+    let suite = subwarp_bench::Sweep::over_suite();
+    let names: Vec<String> = suite.workload_names().map(str::to_owned).collect();
+    for (w, row) in results.iter().enumerate() {
+        for (c, stats) in row.iter().enumerate() {
+            let ctx = format!("{} / {}", names[w], grid[c].0);
+            let total: u64 = CycleCause::ALL.iter().map(|&x| stats.cause(x)).sum();
+            assert_eq!(total, stats.causes_total(), "{ctx}");
+            assert_eq!(total, stats.cycles, "{ctx}: attribution leak");
+            // Productive work exists and is correctly tagged on every trace.
+            assert!(stats.cause(CycleCause::Issued) > 0, "{ctx}");
+            assert!(stats.cause(CycleCause::Issued) <= stats.cycles, "{ctx}");
+        }
+    }
+}
