@@ -59,7 +59,9 @@ fn bench(c: &mut Criterion) {
             }
             let mut n = 0;
             for now in 0..600 {
-                n += u.pop_ready(now).len();
+                while u.pop_if_ready(now).is_some() {
+                    n += 1;
+                }
             }
             n
         })

@@ -2,8 +2,12 @@
 //! (HPCA 2022) and prints them as aligned tables and ASCII bar charts.
 //!
 //! ```text
-//! figures [fig3|table3|fig10|fig12a|fig12b|fig13|fig14|fig15|icache|order|all] [--csv DIR]
+//! figures [fig3|table3|fig10|fig12a|fig12b|fig13|fig14|fig15|icache|order|all|mem-sweep] [--csv DIR]
 //! ```
+//!
+//! `mem-sweep` (the hierarchical-memory-backend sensitivity study, beyond
+//! the paper) is not part of `all`, which regenerates exactly the paper's
+//! figures on the paper's fixed-latency model.
 
 use std::fmt::Write as _;
 use subwarp_bench as x;
@@ -41,6 +45,7 @@ fn main() {
             "order" => order(&mut csvs),
             "dws" => dws(&mut csvs),
             "compute" => compute(&mut csvs),
+            "mem-sweep" => mem_sweep(&mut csvs),
             other => {
                 eprintln!("unknown figure `{other}`");
                 std::process::exit(2);
@@ -375,6 +380,48 @@ fn compute(csvs: &mut Vec<(String, String)>) {
     println!("(paper SVI: of 400+ compute kernels, only 11 had long stalls in divergent");
     println!(" code, and none benefited beyond the margin of noise from SI)");
     csvs.push(("compute".into(), t.to_csv()));
+}
+
+fn mem_sweep(csvs: &mut Vec<(String, String)>) {
+    banner("Memory-hierarchy sweep: SI gain vs measured miss latency and DRAM bandwidth");
+    let r = ok(x::mem_sweep());
+    let mut csv = String::new();
+    let _ = writeln!(
+        csv,
+        "axis,label,mean_fill_latency,mean_gain_pct,l2_hit_rate,channel_utilization"
+    );
+    for (axis, rows) in [("latency", &r.latency), ("bandwidth", &r.bandwidth)] {
+        let mut t = Table::new(vec![
+            "variant".into(),
+            "mean fill latency".into(),
+            "SI gain".into(),
+            "L2 hit rate".into(),
+            "chan util".into(),
+        ]);
+        for row in rows {
+            t.row(vec![
+                row.label.clone(),
+                format!("{:.0} cy", row.mean_fill_latency),
+                format!("{:.1}%", row.mean_gain_pct),
+                pct(row.l2_hit_rate),
+                pct(row.channel_utilization),
+            ]);
+            let _ = writeln!(
+                csv,
+                "{axis},{},{:.1},{:.3},{:.4},{:.4}",
+                row.label,
+                row.mean_fill_latency,
+                row.mean_gain_pct,
+                row.l2_hit_rate,
+                row.channel_utilization
+            );
+        }
+        println!("--- {axis} axis ---\n{t}");
+    }
+    println!("(Figure 13's trend, re-asked with load-dependent latency: SI's upside");
+    println!(" grows with the fill latency it hides; shrinking channel bandwidth");
+    println!(" converts latency tolerance into bandwidth contention)");
+    csvs.push(("mem_sweep".into(), csv));
 }
 
 fn pct(x: f64) -> String {

@@ -13,6 +13,7 @@
 //!   --si <off|sos|both|dws>   interleaving mode          [default: off]
 //!   --policy <any|half|all>   stall trigger (N>0/≥0.5/1) [default: half]
 //!   --latency <cycles>        L1 miss latency            [default: 600]
+//!   --mem <fixed|hier>        memory backend             [default: fixed]
 //!   --out <path>              trace output file          [default: subwarp_profile.json]
 //!   --compare                 also profile-free run the baseline and
 //!                             print its breakdown column
@@ -21,12 +22,14 @@
 //! Load the emitted JSON in <https://ui.perfetto.dev> (or `chrome://tracing`):
 //! each SM is a process with per-warp subwarp-activity tracks, cycle
 //! attribution tracks (SM-level and per processing block), and counter
-//! tracks for LSU/TEX/RT occupancy and cache hit rates. Time is encoded as
-//! 1 cycle = 1 µs.
+//! tracks for LSU/TEX/RT occupancy and cache hit rates. With `--mem hier`
+//! the trace gains L2-hit-rate, MSHR-occupancy, and DRAM-busy-channel
+//! tracks, and the breakdown is followed by the memory-hierarchy counters.
+//! Time is encoded as 1 cycle = 1 µs.
 
 use subwarp_core::{
-    ChromeTraceProfiler, CycleCause, RunStats, SelectPolicy, SiConfig, Simulator, SmConfig,
-    Workload,
+    ChromeTraceProfiler, CycleCause, HierarchyConfig, MemBackendConfig, RunStats, SelectPolicy,
+    SiConfig, Simulator, SmConfig, Workload,
 };
 use subwarp_stats::Table;
 use subwarp_workloads::{figure9_workload, microbenchmark, trace_by_name};
@@ -34,7 +37,8 @@ use subwarp_workloads::{figure9_workload, microbenchmark, trace_by_name};
 fn usage() -> ! {
     eprintln!(
         "usage: profile [--si off|sos|both|dws] [--policy any|half|all] \
-         [--latency N] [--out PATH] [--compare] <trace:NAME|micro:SIZE|toy>"
+         [--latency N] [--mem fixed|hier] [--out PATH] [--compare] \
+         <trace:NAME|micro:SIZE|toy>"
     );
     std::process::exit(2);
 }
@@ -68,6 +72,13 @@ fn main() {
                 }
             }
             "--latency" => sm.miss_latency = next("--latency").parse().unwrap_or_else(|_| usage()),
+            "--mem" => {
+                sm.mem_backend = match next("--mem").as_str() {
+                    "fixed" => MemBackendConfig::Fixed,
+                    "hier" => MemBackendConfig::Hierarchical(HierarchyConfig::turing_like()),
+                    _ => usage(),
+                }
+            }
             "--out" => out = next("--out"),
             "--compare" => compare = true,
             "--help" | "-h" => usage(),
@@ -175,6 +186,7 @@ fn main() {
     }
     table.row(total_row);
     println!("{table}");
+    print_mem_stats(&stats);
     if let Some(b) = &base {
         println!(
             "speedup vs baseline: {:+.1}%  (cycles {} -> {})",
@@ -183,4 +195,51 @@ fn main() {
             stats.cycles
         );
     }
+}
+
+/// Appends the memory-backend counters to the breakdown: one summary line
+/// for the fixed stub, the full hierarchy picture for `--mem hier`.
+fn print_mem_stats(stats: &RunStats) {
+    let mem = &stats.mem;
+    if mem.requests == 0 {
+        return;
+    }
+    if mem.channel_busy_cycles.is_empty() {
+        println!(
+            "memory backend: fixed stub — {} fills at {:.0} cycles each",
+            mem.fills,
+            mem.mean_fill_latency()
+        );
+        return;
+    }
+    println!("memory backend: L2+MSHR+DRAM hierarchy");
+    println!(
+        "  fills {} (merges {}), mean fill latency {:.0} cycles",
+        mem.fills,
+        mem.mshr_merges,
+        mem.mean_fill_latency()
+    );
+    println!(
+        "  L2 hit rate {:.1}% ({} hits / {} accesses)",
+        (1.0 - mem.l2.miss_ratio()) * 100.0,
+        mem.l2.hits,
+        mem.l2.accesses()
+    );
+    println!("  MSHR high-water {} entries", mem.mshr_high_water);
+    println!(
+        "  DRAM row hits {:.1}% ({} / {})",
+        if mem.row_hits + mem.row_misses == 0 {
+            0.0
+        } else {
+            mem.row_hits as f64 * 100.0 / (mem.row_hits + mem.row_misses) as f64
+        },
+        mem.row_hits,
+        mem.row_hits + mem.row_misses
+    );
+    let util: Vec<String> = mem
+        .channel_utilization(stats.sm_cycles_total.max(1))
+        .iter()
+        .map(|u| format!("{:.1}%", u * 100.0))
+        .collect();
+    println!("  DRAM channel utilization [{}]", util.join(", "));
 }

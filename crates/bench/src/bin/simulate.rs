@@ -13,6 +13,7 @@
 //!   --si <off|sos|both|dws>   interleaving mode          [default: off]
 //!   --policy <any|half|all>   stall trigger (N>0/≥0.5/1) [default: half]
 //!   --latency <cycles>        L1 miss latency            [default: 600]
+//!   --mem <fixed|hier>        memory backend             [default: fixed]
 //!   --slots <per-pb>          warp slots per PB          [default: 8]
 //!   --sms <n>                 streaming multiprocessors  [default: 1]
 //!   --subwarps <n>            TST entries per warp       [default: 32]
@@ -23,15 +24,17 @@
 //! ```
 
 use subwarp_core::{
-    DivergeOrder, EventKind, SelectPolicy, SiConfig, Simulator, SmConfig, Workload,
+    DivergeOrder, EventKind, HierarchyConfig, MemBackendConfig, SelectPolicy, SiConfig, Simulator,
+    SmConfig, Workload,
 };
 use subwarp_workloads::{figure9_workload, microbenchmark, trace_by_name};
 
 fn usage() -> ! {
     eprintln!(
         "usage: simulate [--si off|sos|both|dws] [--policy any|half|all] \
-         [--latency N] [--slots N] [--sms N] [--subwarps N] [--order ft|taken|random|hinted] \
-         [--small-icache] [--compare] [--events] <trace:NAME|micro:SIZE|toy>"
+         [--latency N] [--mem fixed|hier] [--slots N] [--sms N] [--subwarps N] \
+         [--order ft|taken|random|hinted] [--small-icache] [--compare] [--events] \
+         <trace:NAME|micro:SIZE|toy>"
     );
     std::process::exit(2);
 }
@@ -66,6 +69,13 @@ fn main() {
                 }
             }
             "--latency" => sm.miss_latency = next("--latency").parse().unwrap_or_else(|_| usage()),
+            "--mem" => {
+                sm.mem_backend = match next("--mem").as_str() {
+                    "fixed" => MemBackendConfig::Fixed,
+                    "hier" => MemBackendConfig::Hierarchical(HierarchyConfig::turing_like()),
+                    _ => usage(),
+                }
+            }
             "--slots" => sm.warp_slots_per_pb = next("--slots").parse().unwrap_or_else(|_| usage()),
             "--sms" => sm.n_sms = next("--sms").parse().unwrap_or_else(|_| usage()),
             "--subwarps" => max_subwarps = next("--subwarps").parse().unwrap_or_else(|_| usage()),
@@ -176,6 +186,33 @@ fn main() {
         stats.l1d.miss_ratio() * 100.0
     );
     println!("RT traversals             {:>12}", stats.rt_traversals);
+    if !stats.mem.channel_busy_cycles.is_empty() {
+        let mem = &stats.mem;
+        println!(
+            "L2 hit rate               {:>11.1}%  ({} hits / {} accesses)",
+            (1.0 - mem.l2.miss_ratio()) * 100.0,
+            mem.l2.hits,
+            mem.l2.accesses()
+        );
+        println!(
+            "mem fills / MSHR merges   {:>12}  / {}  (mean fill {:.0} cycles, high-water {})",
+            mem.fills,
+            mem.mshr_merges,
+            mem.mean_fill_latency(),
+            mem.mshr_high_water
+        );
+        let util: Vec<String> = mem
+            .channel_utilization(stats.sm_cycles_total.max(1))
+            .iter()
+            .map(|u| format!("{:.0}%", u * 100.0))
+            .collect();
+        println!(
+            "DRAM row hits / misses    {:>12}  / {}  chan util [{}]",
+            mem.row_hits,
+            mem.row_misses,
+            util.join(" ")
+        );
+    }
 
     if compare {
         let base = Simulator::new(sm, SiConfig::disabled())

@@ -11,8 +11,8 @@
 use std::sync::Arc;
 
 use subwarp_core::{
-    DivergeOrder, EventRecorder, RunStats, SelectPolicy, SiConfig, SimError, Simulator, SmConfig,
-    Workload,
+    DivergeOrder, EventRecorder, HierarchyConfig, MemBackendConfig, RunStats, SelectPolicy,
+    SiConfig, SimError, Simulator, SmConfig, Workload,
 };
 use subwarp_workloads::{built_suite, figure9_workload, microbenchmark_with, MicroConfig};
 
@@ -604,6 +604,109 @@ pub fn compute_negative_result() -> Result<Vec<ComputeRow>, SimError> {
             }
         })
         .collect())
+}
+
+// ------------------------------------------------- memory-hierarchy sweep
+
+/// One point of the memory-hierarchy sensitivity sweep: a hierarchical
+/// backend variant, its *measured* memory behaviour over the suite, and the
+/// mean SI gain it yields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemSweepRow {
+    /// Variant label (`lat x1.5`, `burst 16`, ...).
+    pub label: String,
+    /// Mean fill latency actually observed over the suite's baseline runs
+    /// (total fill cycles / fills) — the x-axis of the latency trend.
+    pub mean_fill_latency: f64,
+    /// Mean SI (`Both,N>=0.5`) speedup % over the suite.
+    pub mean_gain_pct: f64,
+    /// Suite-aggregate L2 hit rate of the baseline runs.
+    pub l2_hit_rate: f64,
+    /// Mean per-channel DRAM busy fraction of the baseline runs.
+    pub channel_utilization: f64,
+}
+
+/// The two axes of `figures mem-sweep`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemSweepResult {
+    /// L2/DRAM latency scaling at fixed bandwidth (Figure 13's question,
+    /// re-asked with load-dependent latency).
+    pub latency: Vec<MemSweepRow>,
+    /// Channel-bandwidth scaling (burst cycles per line) at fixed latency.
+    pub bandwidth: Vec<MemSweepRow>,
+}
+
+/// A [`HierarchyConfig`] with every latency leg scaled by `scale`.
+fn scaled_hierarchy(scale: f64) -> HierarchyConfig {
+    let s = |x: u64| ((x as f64 * scale).round() as u64).max(1);
+    let mut h = HierarchyConfig::turing_like();
+    h.l2_hit_latency = s(h.l2_hit_latency);
+    h.dram.row_hit_latency = s(h.dram.row_hit_latency);
+    h.dram.row_miss_latency = s(h.dram.row_miss_latency);
+    h
+}
+
+/// Runs baseline vs. SI-best over the suite on one hierarchical variant and
+/// reduces the grid to a [`MemSweepRow`].
+fn mem_sweep_point(label: String, h: HierarchyConfig) -> Result<MemSweepRow, SimError> {
+    let sm = SmConfig::turing_like().with_mem_backend(MemBackendConfig::Hierarchical(h));
+    let sweep = Sweep::over_suite()
+        .config("base", sm.clone(), SiConfig::disabled())
+        .config("si", sm, SiConfig::best());
+    let grid = sweep.run()?;
+    let mut gains = Vec::new();
+    let mut fills = 0u64;
+    let mut fill_cycles = 0u64;
+    let mut l2 = subwarp_core::MemBackendStats::default();
+    let mut utils = Vec::new();
+    for row in &grid {
+        let (base, si) = (&row[0], &row[1]);
+        gains.push(gain_pct(si, base));
+        fills += base.mem.fills;
+        fill_cycles += base.mem.total_fill_latency;
+        l2.merge(&base.mem);
+        let busy: u64 = base.mem.channel_busy_cycles.iter().sum();
+        let chans = base.mem.channel_busy_cycles.len() as u64;
+        if chans > 0 && base.sm_cycles_total > 0 {
+            utils.push(busy as f64 / (chans * base.sm_cycles_total) as f64);
+        }
+    }
+    Ok(MemSweepRow {
+        label,
+        mean_fill_latency: if fills == 0 {
+            0.0
+        } else {
+            fill_cycles as f64 / fills as f64
+        },
+        mean_gain_pct: subwarp_stats::mean(&gains),
+        l2_hit_rate: 1.0 - l2.l2.miss_ratio(),
+        channel_utilization: subwarp_stats::mean(&utils),
+    })
+}
+
+/// `figures mem-sweep`: SI sensitivity to *realistic* memory behaviour.
+///
+/// Axis 1 scales every L2/DRAM latency leg (×0.5 … ×2), re-asking Figure
+/// 13's question with load-dependent latency: SI's upside should grow
+/// monotonically with the mean fill latency it helps hide. Axis 2 scales
+/// per-channel bandwidth via the burst occupancy (1 … 64 cycles/line),
+/// probing whether SI's extra memory-level parallelism still pays when
+/// channels saturate.
+pub fn mem_sweep() -> Result<MemSweepResult, SimError> {
+    let mut latency = Vec::new();
+    for scale in [0.5, 1.0, 1.5, 2.0] {
+        latency.push(mem_sweep_point(
+            format!("lat x{scale}"),
+            scaled_hierarchy(scale),
+        )?);
+    }
+    let mut bandwidth = Vec::new();
+    for burst in [1u64, 4, 16, 64] {
+        let mut h = HierarchyConfig::turing_like();
+        h.dram.burst_cycles = burst;
+        bandwidth.push(mem_sweep_point(format!("burst {burst}"), h)?);
+    }
+    Ok(MemSweepResult { latency, bandwidth })
 }
 
 #[cfg(test)]

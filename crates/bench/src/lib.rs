@@ -16,6 +16,7 @@
 //! | [`fig15`] | Figure 15 — sensitivity to subwarps per warp |
 //! | [`icache`] | §V-C-4 — 4× smaller instruction caches |
 //! | [`ablation_diverge_order`] | §VI limiter #3 — divergent-path order |
+//! | [`mem_sweep`] | beyond the paper — SI speedup vs measured miss latency and DRAM bandwidth on the hierarchical memory backend |
 //!
 //! The `figures` binary formats these as tables and ASCII charts; the
 //! criterion benches under `benches/` time representative slices.

@@ -2,7 +2,7 @@
 //! Subwarp Interleaving feature knobs (paper §III).
 
 use crate::error::InvariantLevel;
-use subwarp_mem::CacheConfig;
+use subwarp_mem::{CacheConfig, MemBackendConfig};
 use subwarp_rt::RtCoreModel;
 
 /// Threads per warp.
@@ -52,8 +52,10 @@ pub struct SmConfig {
     pub n_pbs: usize,
     /// Warp slots per processing block (Table I sweeps {2, 4, 8}).
     pub warp_slots_per_pb: usize,
-    /// L1 miss latency in cycles — the fixed-latency memory stub
-    /// (Table I sweeps {300, 600, 900}).
+    /// L1 miss latency in cycles for the fixed-latency
+    /// [`MemBackendConfig::Fixed`] backend (Table I sweeps {300, 600, 900}).
+    /// Ignored when [`mem_backend`](Self::mem_backend) selects the
+    /// hierarchical model, which derives miss latency from L2/DRAM state.
     pub miss_latency: u64,
     /// LSU L1-hit latency.
     pub lsu_hit_latency: u64,
@@ -95,6 +97,11 @@ pub struct SmConfig {
     /// either way; the knob exists for parity regression tests and for
     /// cycle-granular profiling of quiescent stretches.
     pub fast_forward: bool,
+    /// Timing model for traffic that misses the L1D: the paper's
+    /// fixed-latency stub (default) or the cycle-level L2 + MSHR +
+    /// DRAM-channel hierarchy. Timing-only — data values always come from
+    /// the functional [`DataMemory`](subwarp_mem::DataMemory).
+    pub mem_backend: MemBackendConfig,
 }
 
 impl Default for SmConfig {
@@ -130,6 +137,7 @@ impl SmConfig {
             max_cycles: 200_000_000,
             invariants: InvariantLevel::Cheap,
             fast_forward: true,
+            mem_backend: MemBackendConfig::Fixed,
         }
     }
 
@@ -178,6 +186,9 @@ impl SmConfig {
                 ));
             }
         }
+        self.mem_backend
+            .validate()
+            .map_err(|what| format!("mem_backend: {what}"))?;
         Ok(())
     }
 
@@ -192,6 +203,12 @@ impl SmConfig {
     /// Sets the L1 miss latency (paper Figure 13 sweeps 300/600/900).
     pub fn with_miss_latency(mut self, cycles: u64) -> SmConfig {
         self.miss_latency = cycles;
+        self
+    }
+
+    /// Selects the memory-hierarchy timing backend for L1-miss traffic.
+    pub fn with_mem_backend(mut self, backend: MemBackendConfig) -> SmConfig {
+        self.mem_backend = backend;
         self
     }
 
@@ -434,6 +451,12 @@ mod tests {
         let mut sm = SmConfig::turing_like();
         sm.l1d.line_bytes = 100; // not a power of two
         assert!(sm.validate().unwrap_err().contains("l1d"));
+
+        let mut sm = SmConfig::turing_like();
+        let mut h = subwarp_mem::HierarchyConfig::turing_like();
+        h.mshrs = 0;
+        sm.mem_backend = MemBackendConfig::Hierarchical(h);
+        assert!(sm.validate().unwrap_err().contains("mem_backend"));
 
         let mut si = SiConfig::best();
         si.max_subwarps = 0;

@@ -74,3 +74,9 @@ pub use sm::{Simulator, DEADLOCK_WINDOW, ICACHE_LINE};
 pub use stats::{CycleCause, RunStats};
 pub use trace::{EventKind, EventRecorder, TraceEvent};
 pub use workload::{InitValue, RayResult, RegInit, RtTrace, Workload};
+
+// Memory-backend configuration and counters, re-exported so downstream
+// crates can select a backend without depending on `subwarp-mem` directly.
+pub use subwarp_mem::{
+    DramConfig, HierarchyConfig, MemBackendConfig, MemBackendStats, MemCounters,
+};

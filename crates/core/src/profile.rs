@@ -13,7 +13,9 @@
 //!    Figure 7/10 arrows), from which per-warp subwarp-activity timelines
 //!    are reconstructed.
 //! 3. **Counters** — LSU/TEX/RT occupancy and L0I/L1I/L1D hit rates,
-//!    sampled once per executed cycle.
+//!    sampled once per executed cycle; when the SM runs the hierarchical
+//!    memory backend, L2 hit rate, MSHR occupancy, and DRAM channel
+//!    occupancy tracks are emitted too.
 //!
 //! Profiling is strictly opt-in: when no profiler is attached the simulator
 //! performs no sampling and no event construction beyond its ordinary
@@ -23,7 +25,7 @@ use std::collections::BTreeMap;
 
 use crate::stats::CycleCause;
 use crate::trace::TraceEvent;
-use subwarp_mem::CacheStats;
+use subwarp_mem::{CacheStats, MemCounters};
 
 /// A point-in-time sample of service-unit occupancy and instruction/data
 /// cache counters, taken once per executed cycle while a profiler is
@@ -44,6 +46,10 @@ pub struct CounterSample {
     pub l1i: CacheStats,
     /// L1 data cache counters.
     pub l1d: CacheStats,
+    /// Memory-backend occupancy (L2 counters, in-flight MSHRs, busy DRAM
+    /// channels). `None` when the SM runs the fixed-latency stub, which has
+    /// no dynamic state — default traces are unchanged by its absence.
+    pub mem: Option<MemCounters>,
 }
 
 /// Observability sink driven by the simulator during a
@@ -362,6 +368,20 @@ impl Profiler for ChromeTraceProfiler {
                 }
             }
         }
+        if let Some(mem) = sample.mem {
+            let last_mem = last.and_then(|l| l.mem);
+            if last_mem.map(|m| m.l2) != Some(mem.l2) {
+                if let Some(r) = hit_rate(mem.l2) {
+                    self.counter("L2 hit rate", sample.cycle, r);
+                }
+            }
+            if last_mem.map(|m| m.mshr_in_flight) != Some(mem.mshr_in_flight) {
+                self.counter("MSHR in-flight", sample.cycle, mem.mshr_in_flight as f64);
+            }
+            if last_mem.map(|m| m.busy_channels) != Some(mem.busy_channels) {
+                self.counter("DRAM busy channels", sample.cycle, mem.busy_channels as f64);
+            }
+        }
         self.last_counters = Some(*sample);
     }
 }
@@ -433,6 +453,51 @@ mod tests {
         p.end_sm(3);
         let json = p.to_json();
         assert_eq!(json.matches("LSU in-flight").count(), 2);
+    }
+
+    #[test]
+    fn mem_counter_tracks_only_with_backend_counters() {
+        // Fixed-backend samples (mem: None) emit no memory-hierarchy tracks.
+        let mut p = ChromeTraceProfiler::new();
+        p.begin_sm(0);
+        p.counters(&CounterSample {
+            cycle: 0,
+            lsu_in_flight: 1,
+            ..Default::default()
+        });
+        p.end_sm(1);
+        let json = p.to_json();
+        assert!(!json.contains("L2 hit rate"));
+        assert!(!json.contains("MSHR in-flight"));
+        assert!(!json.contains("DRAM busy channels"));
+
+        // Hierarchical samples emit them, with on-change dedup.
+        let mut p = ChromeTraceProfiler::new();
+        p.begin_sm(0);
+        let mem = MemCounters {
+            l2: CacheStats { hits: 3, misses: 1 },
+            mshr_in_flight: 2,
+            busy_channels: 1,
+        };
+        let mut s = CounterSample {
+            cycle: 0,
+            mem: Some(mem),
+            ..Default::default()
+        };
+        p.counters(&s);
+        s.cycle = 1;
+        p.counters(&s); // unchanged: no new events
+        s.cycle = 2;
+        s.mem = Some(MemCounters {
+            mshr_in_flight: 0,
+            ..mem
+        });
+        p.counters(&s);
+        p.end_sm(3);
+        let json = p.to_json();
+        assert_eq!(json.matches("L2 hit rate").count(), 1);
+        assert_eq!(json.matches("MSHR in-flight").count(), 2);
+        assert_eq!(json.matches("DRAM busy channels").count(), 1);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::trace::{EventKind, EventRecorder, TraceEvent};
 use crate::warp::{lanes, MemKind, RtJob, WarpSim, WarpStatus};
 use crate::workload::Workload;
 use subwarp_isa::{Program, Reg, Scoreboard};
-use subwarp_mem::{AccessKind, Cache, DataMemory, ServiceUnit};
+use subwarp_mem::{AccessKind, Cache, DataMemory, MemoryBackend, ServiceUnit};
 
 /// Everything one simulation produces: statistics, plus the optional event
 /// recording and final data-memory image the caller asked for.
@@ -194,6 +194,7 @@ impl Simulator {
             }
             st.stats.l1i = st.l1i.stats();
             st.stats.l1d = st.l1d.stats();
+            st.stats.mem = st.backend.stats();
             for l0 in &st.l0i {
                 st.stats.l0i.hits += l0.stats().hits;
                 st.stats.l0i.misses += l0.stats().misses;
@@ -241,6 +242,10 @@ struct SimState<'a, 'p> {
     l0i: Vec<Cache>,
     l1i: Cache,
     l1d: Cache,
+    /// Timing backend for L1D-miss traffic (fixed stub or L2+MSHR+DRAM).
+    /// Mutated only when a miss is issued, so quiescent stretches cannot
+    /// change in-flight completions — the fast-forward relies on this.
+    backend: Box<dyn MemoryBackend>,
     data: DataMemory,
     lsu: ServiceUnit<MemResp>,
     tex: ServiceUnit<MemResp>,
@@ -288,6 +293,7 @@ impl<'a, 'p> SimState<'a, 'p> {
             l0i: (0..sm.n_pbs).map(|_| Cache::new(sm.l0i)).collect(),
             l1i: Cache::new(sm.l1i),
             l1d: Cache::new(sm.l1d),
+            backend: sm.mem_backend.build(sm.miss_latency),
             data: DataMemory::new(wl.data_seed),
             lsu: ServiceUnit::new(),
             tex: ServiceUnit::new(),
@@ -417,6 +423,12 @@ impl<'a, 'p> SimState<'a, 'p> {
             clamp(t);
         }
         if let Some(t) = self.rt.next_ready() {
+            clamp(t);
+        }
+        // In-flight backend fills (store-allocated fills have no service-unit
+        // entry, so the backend's own event horizon is consulted too; the
+        // fixed stub reports none).
+        if let Some(t) = self.backend.next_event(executed) {
             clamp(t);
         }
         for w in self.slots.iter().flatten() {
@@ -736,15 +748,19 @@ impl<'a, 'p> SimState<'a, 'p> {
                 }
             }
             for (line, group) in line_groups {
-                let (latency, unit_is_tex) = match req.kind {
-                    MemKind::Shared => (self.sm.lds_latency, false),
+                // Hits complete after the fixed L1 pipeline latency; misses
+                // ask the memory backend for an absolute completion cycle
+                // (the fixed stub returns `cycle + miss_latency`; the
+                // hierarchical model charges L2 banks, MSHRs, and DRAM).
+                let (done, unit_is_tex) = match req.kind {
+                    MemKind::Shared => (cycle + self.sm.lds_latency, false),
                     MemKind::Global => match self.l1d.access(line) {
-                        AccessKind::Hit => (self.sm.lsu_hit_latency, false),
-                        AccessKind::Miss => (self.sm.miss_latency, false),
+                        AccessKind::Hit => (cycle + self.sm.lsu_hit_latency, false),
+                        AccessKind::Miss => (self.backend.miss(cycle, line), false),
                     },
                     MemKind::Texture => match self.l1d.access(line) {
-                        AccessKind::Hit => (self.sm.tex_hit_latency, true),
-                        AccessKind::Miss => (self.sm.miss_latency, true),
+                        AccessKind::Hit => (cycle + self.sm.tex_hit_latency, true),
+                        AccessKind::Miss => (self.backend.miss(cycle, line), true),
                     },
                 };
                 // Stores need no writeback; loads (dst or scoreboard) do.
@@ -756,9 +772,9 @@ impl<'a, 'p> SimState<'a, 'p> {
                         sb: req.sb,
                     };
                     if unit_is_tex {
-                        self.tex.push(cycle + latency, resp);
+                        self.tex.push(done, resp);
                     } else {
-                        self.lsu.push(cycle + latency, resp);
+                        self.lsu.push(done, resp);
                     }
                 }
             }
@@ -1125,6 +1141,7 @@ impl<'a, 'p> SimState<'a, 'p> {
                 l0i,
                 l1i: self.l1i.stats(),
                 l1d: self.l1d.stats(),
+                mem: self.backend.counters(self.cycle),
             };
             if let Some(p) = self.profiler.as_deref_mut() {
                 p.counters(&sample);

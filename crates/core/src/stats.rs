@@ -1,7 +1,7 @@
 //! Run statistics, including the paper's headline metric: *exposed
 //! load-to-use stalls*.
 
-use subwarp_mem::CacheStats;
+use subwarp_mem::{CacheStats, MemBackendStats};
 
 /// The single cause attributed to one simulated SM cycle.
 ///
@@ -144,6 +144,10 @@ pub struct RunStats {
     pub rt_traversals: u64,
     /// Peak warps resident at once.
     pub peak_resident_warps: usize,
+    /// Memory-backend counters: L2 hits/misses, MSHR merges and high-water,
+    /// DRAM row locality and per-channel busy cycles. For the fixed-latency
+    /// stub only the request/fill counters are populated.
+    pub mem: MemBackendStats,
 }
 
 impl RunStats {
@@ -216,6 +220,7 @@ impl RunStats {
         self.l1d.misses += sm.l1d.misses;
         self.rt_traversals += sm.rt_traversals;
         self.peak_resident_warps += sm.peak_resident_warps;
+        self.mem.merge(&sm.mem);
     }
 
     /// Fractional reduction of a counter relative to `baseline`

@@ -5,8 +5,8 @@
 //! whether the simulator steps every cycle or jumps over quiescent stretches.
 
 use subwarp_core::{
-    CycleCause, InitValue, SelectPolicy, SiConfig, SimError, Simulator, SmConfig, Workload,
-    DEADLOCK_WINDOW,
+    CycleCause, HierarchyConfig, InitValue, MemBackendConfig, SelectPolicy, SiConfig, SimError,
+    Simulator, SmConfig, Workload, DEADLOCK_WINDOW,
 };
 use subwarp_isa::{Barrier, CmpOp, Operand, Pred, ProgramBuilder, Reg, Scoreboard};
 
@@ -142,4 +142,56 @@ fn fast_forward_yields_bit_identical_run_stats() {
         assert_eq!(fast.causes_total(), fast.cycles, "{}", si.label());
         assert!(fast.cause(CycleCause::LoadStall) > 0, "{}", si.label());
     }
+}
+
+#[test]
+fn fast_forward_parity_holds_with_hierarchical_backend() {
+    // The hierarchical backend computes completions analytically at issue
+    // time and exposes its in-flight fills via `next_event()`, so the
+    // quiescence fast-forward must stay bit-for-bit invisible with it too —
+    // including the backend's own counters inside `RunStats`.
+    let wl = divergent_load_kernel();
+    for si in si_grid() {
+        let run = |ff: bool| {
+            let sm = SmConfig::turing_like()
+                .with_fast_forward(ff)
+                .with_mem_backend(MemBackendConfig::Hierarchical(
+                    HierarchyConfig::turing_like(),
+                ));
+            Simulator::new(sm, si).run(&wl).unwrap()
+        };
+        let serial = run(false);
+        let fast = run(true);
+        assert_eq!(
+            serial,
+            fast,
+            "{}: fast-forward changed the hierarchical-backend result",
+            si.label()
+        );
+        assert_eq!(fast.causes_total(), fast.cycles, "{}", si.label());
+        assert!(
+            fast.mem.requests > 0,
+            "{}: backend saw no traffic",
+            si.label()
+        );
+    }
+}
+
+#[test]
+fn hierarchical_deadlock_fires_on_the_same_cycle() {
+    // Watchdog parity with backend state in play: in-flight fills must not
+    // shift the deadlock horizon between serial and fast-forwarded runs.
+    let wl = cross_barrier_deadlock();
+    let fire_cycle = |ff: bool| {
+        let sm = SmConfig::turing_like()
+            .with_fast_forward(ff)
+            .with_mem_backend(MemBackendConfig::Hierarchical(
+                HierarchyConfig::turing_like(),
+            ));
+        match Simulator::new(sm, SiConfig::best()).run(&wl) {
+            Err(SimError::Deadlock { snapshot, .. }) => snapshot.cycle,
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+    };
+    assert_eq!(fire_cycle(false), fire_cycle(true));
 }

@@ -15,7 +15,9 @@
 //!    architectural result of the program.
 //! 3. Each kernel runs under the baseline SM and under every
 //!    [`SelectPolicy`] × [`DivergeOrder`] SI configuration (plus the
-//!    yield-enabled "Both" variants and a DWS-like forking scheme), via
+//!    yield-enabled "Both" variants, a DWS-like forking scheme, and the
+//!    hierarchical L2+MSHR+DRAM memory backend — timing models must never
+//!    change architectural values), via
 //!    [`Simulator::run_with_memory`]. The oracle asserts the executed
 //!    warp-instruction count and the final memory image are identical
 //!    across all of them, bit for bit.
@@ -26,8 +28,8 @@
 //! `cargo run -p subwarp-fuzz -- --seed <N> --iters 1`.
 
 use subwarp_core::{
-    DivergeOrder, InitValue, MemoryImage, RunStats, SelectPolicy, SiConfig, SimError, Simulator,
-    SmConfig, Workload,
+    DivergeOrder, HierarchyConfig, InitValue, MemBackendConfig, MemoryImage, RunStats,
+    SelectPolicy, SiConfig, SimError, Simulator, SmConfig, Workload,
 };
 use subwarp_isa::{Barrier, CmpOp, Operand, Pred, Program, ProgramBuilder, Reg, Scoreboard};
 use subwarp_prng::SmallRng;
@@ -300,6 +302,18 @@ pub fn config_grid() -> Vec<(String, SmConfig, SiConfig)> {
         SmConfig::turing_like(),
         SiConfig::dws_like(),
     ));
+    // Memory-backend parity: the hierarchical L2+MSHR+DRAM timing model
+    // reshuffles *when* fills land, so running it against the same baseline
+    // image oracle proves timing backends never change architectural state.
+    let hier = SmConfig::turing_like().with_mem_backend(MemBackendConfig::Hierarchical(
+        HierarchyConfig::turing_like(),
+    ));
+    grid.push((
+        "hier/baseline".to_string(),
+        hier.clone(),
+        SiConfig::disabled(),
+    ));
+    grid.push(("hier/best".to_string(), hier, SiConfig::best()));
     grid
 }
 
@@ -475,9 +489,11 @@ mod tests {
     #[test]
     fn grid_covers_every_policy_and_order() {
         let grid = config_grid();
-        // baseline + 3 policies × 4 orders × 2 flavours + tst2 + dws.
-        assert_eq!(grid.len(), 1 + 3 * 4 * 2 + 2);
+        // baseline + 3 policies × 4 orders × 2 flavours + tst2 + dws
+        // + 2 hierarchical-backend parity configs.
+        assert_eq!(grid.len(), 1 + 3 * 4 * 2 + 2 + 2);
         assert!(grid.iter().any(|(l, _, _)| l == "baseline"));
+        assert!(grid.iter().any(|(l, _, _)| l == "hier/best"));
         assert!(grid
             .iter()
             .any(|(l, _, _)| l.contains("AllStalled") && l.contains("Hinted")));

@@ -26,10 +26,15 @@
 //! assert_eq!(l1d.access(0x1010), AccessKind::Hit); // same 128B line
 //! ```
 
+mod backend;
 mod cache;
 mod data;
 mod service;
 
+pub use backend::{
+    DramConfig, FixedLatencyBackend, HierarchicalBackend, HierarchyConfig, MemBackendConfig,
+    MemBackendStats, MemCounters, MemoryBackend,
+};
 pub use cache::{AccessKind, Cache, CacheConfig, CacheStats};
 pub use data::DataMemory;
 pub use service::{Completion, ServiceUnit};

@@ -97,6 +97,10 @@ impl<T> ServiceUnit<T> {
 
     /// Pops every request whose completion cycle is `<= now`, in completion
     /// order.
+    ///
+    /// Allocates a `Vec` per call, so this is a **test-only convenience**:
+    /// hot per-cycle drain loops must use the allocation-free
+    /// [`pop_if_ready`](Self::pop_if_ready) instead.
     pub fn pop_ready(&mut self, now: u64) -> Vec<Completion<T>> {
         let mut out = Vec::new();
         while let Some(c) = self.pop_if_ready(now) {
