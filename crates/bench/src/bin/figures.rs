@@ -2,27 +2,89 @@
 //! (HPCA 2022) and prints them as aligned tables and ASCII bar charts.
 //!
 //! ```text
-//! figures [fig3|table3|fig10|fig12a|fig12b|fig13|fig14|fig15|icache|order|all|mem-sweep] [--csv DIR]
+//! figures [fig3|table3|fig10|fig12a|fig12b|fig13|fig14|fig15|icache|order|all|mem-sweep|chaos]
+//!         [--csv DIR] [--resume] [--journal PATH] [--deadline SECS] [--attempts N]
 //! ```
 //!
 //! `mem-sweep` (the hierarchical-memory-backend sensitivity study, beyond
 //! the paper) is not part of `all`, which regenerates exactly the paper's
 //! figures on the paper's fixed-latency model.
+//!
+//! ## Fault tolerance
+//!
+//! A failing figure no longer aborts the run: it prints a
+//! `FAILED(<figure>): <error>` marker, the remaining figures still render,
+//! and the process exits nonzero at the end. `--resume` (optionally with
+//! `--journal PATH`, default `results/figures_journal.jsonl`) checkpoints
+//! every completed sweep cell to a JSONL journal so an interrupted run can
+//! be relaunched and finish byte-identically without re-simulating
+//! completed cells. `--deadline SECS` bounds each sweep cell's wall-clock
+//! time and `--attempts N` retries failed cells. `chaos` runs a small
+//! sweep with deterministically injected panics, errors, delays, and
+//! dropped memory fills to smoke-test exactly this machinery.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
 use subwarp_bench as x;
+use subwarp_core::SimError;
 use subwarp_stats::{mean, BarChart, Table};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Vec<&str> = Vec::new();
     let mut csv_dir: Option<String> = None;
+    let mut resume = false;
+    let mut journal_path: Option<String> = None;
+    let mut deadline_secs: Option<u64> = None;
+    let mut attempts: u32 = 1;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--csv" => csv_dir = it.next().cloned().or(Some("results".into())),
+            "--resume" => resume = true,
+            "--journal" => journal_path = it.next().cloned(),
+            "--deadline" => {
+                deadline_secs = it.next().and_then(|s| s.parse().ok()).or_else(|| {
+                    eprintln!("--deadline needs a positive integer of seconds");
+                    std::process::exit(2);
+                })
+            }
+            "--attempts" => {
+                attempts = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--attempts needs a positive integer");
+                        std::process::exit(2);
+                    })
+            }
             other => which.push(other),
         }
+    }
+    if resume || journal_path.is_some() || deadline_secs.is_some() || attempts > 1 {
+        let mut policy = x::SweepPolicy {
+            deadline: deadline_secs.map(Duration::from_secs),
+            max_attempts: attempts,
+            ..x::SweepPolicy::default()
+        };
+        if resume || journal_path.is_some() {
+            let path = journal_path
+                .clone()
+                .unwrap_or_else(|| "results/figures_journal.jsonl".into());
+            match x::Journal::open(&path) {
+                Ok(j) => {
+                    eprintln!("journal: {path} ({} cells restored)", j.restored());
+                    policy.journal = Some(Arc::new(j));
+                }
+                Err(e) => {
+                    eprintln!("cannot open journal {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        x::install_global_policy(policy);
     }
     if which.is_empty() || which.contains(&"all") {
         which = vec![
@@ -31,8 +93,9 @@ fn main() {
         ];
     }
     let mut csvs: Vec<(String, String)> = Vec::new();
+    let mut failed: Vec<String> = Vec::new();
     for w in which {
-        match w {
+        let result = match w {
             "fig3" => fig3(&mut csvs),
             "table3" => table3(&mut csvs),
             "fig10" => fig10(),
@@ -46,10 +109,15 @@ fn main() {
             "dws" => dws(&mut csvs),
             "compute" => compute(&mut csvs),
             "mem-sweep" => mem_sweep(&mut csvs),
+            "chaos" => chaos(),
             other => {
                 eprintln!("unknown figure `{other}`");
                 std::process::exit(2);
             }
+        };
+        if let Err(e) = result {
+            println!("FAILED({w}): {e}");
+            failed.push(w.to_string());
         }
         println!();
     }
@@ -61,24 +129,64 @@ fn main() {
             eprintln!("wrote {path}");
         }
     }
+    if !failed.is_empty() {
+        eprintln!("{} figure(s) failed: {}", failed.len(), failed.join(", "));
+        std::process::exit(1);
+    }
 }
 
 fn banner(s: &str) {
     println!("==== {s} ====");
 }
 
-/// Unwraps an experiment result, printing the typed simulation error (with
-/// its machine-state snapshot) instead of a panic backtrace.
-fn ok<T>(r: Result<T, subwarp_core::SimError>) -> T {
-    r.unwrap_or_else(|e| {
-        eprintln!("simulation failed: {e}");
-        std::process::exit(1);
-    })
+/// Runs the chaos-smoke sweep: deterministically injected panics, errors,
+/// over-deadline delays, and dropped memory fills, each surfacing as a
+/// labeled `FAILED(<cell>)` hole while healthy cells complete. Fails (so
+/// the process exits nonzero) whenever the grid has holes — which, with
+/// these injected faults, is always.
+fn chaos() -> Result<(), SimError> {
+    banner("Chaos smoke: supervised sweep under injected faults");
+    let (sweep, policy) = x::chaos_sweep();
+    // The injected panics are expected: silence their backtraces so the
+    // smoke output stays readable. catch_unwind still captures payloads.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let grid = sweep.run_resilient(&policy);
+    std::panic::set_hook(default_hook);
+    let first_line = |s: String| s.lines().next().unwrap_or_default().to_owned();
+    let workloads: Vec<&str> = sweep.workload_names().collect();
+    let configs: Vec<&str> = sweep.config_labels().collect();
+    let mut t = Table::new(vec!["cell".into(), "outcome".into()]);
+    for (w, wname) in workloads.iter().enumerate() {
+        for (c, cname) in configs.iter().enumerate() {
+            let outcome = match grid.cell(w, c) {
+                Ok(stats) => format!("ok ({} cycles)", stats.cycles),
+                Err(e) => {
+                    let cause = first_line(e.cause.to_string());
+                    println!("FAILED({wname}/{cname}): {cause}");
+                    format!("FAILED: {cause}")
+                }
+            };
+            t.row(vec![format!("{wname}/{cname}"), outcome]);
+        }
+    }
+    println!("{t}");
+    let holes = grid.holes();
+    println!(
+        "{} of {} cells completed; {} labeled holes",
+        grid.completed(),
+        sweep.len(),
+        holes.len()
+    );
+    match holes.into_iter().next() {
+        None => Ok(()),
+        Some(first) => Err(x::job_error_to_sim(first.clone())),
+    }
 }
 
-fn fig3(csvs: &mut Vec<(String, String)>) {
+fn fig3(csvs: &mut Vec<(String, String)>) -> Result<(), SimError> {
     banner("Figure 3: exposed load-to-use stalls, normalized to kernel time (baseline)");
-    let rows = ok(x::fig3());
+    let rows = x::fig3()?;
     let mut t = Table::new(vec!["trace".into(), "total".into(), "divergent".into()]);
     let mut chart = BarChart::new(
         "stalls / kernel time",
@@ -98,11 +206,12 @@ fn fig3(csvs: &mut Vec<(String, String)>) {
     t.row(vec!["mean".into(), pct(mean(&tot)), pct(mean(&div))]);
     println!("{t}\n{chart}");
     csvs.push(("fig3".into(), t.to_csv()));
+    Ok(())
 }
 
-fn table3(csvs: &mut Vec<(String, String)>) {
+fn table3(csvs: &mut Vec<(String, String)>) -> Result<(), SimError> {
     banner("Table III: microbenchmark speedup vs divergence factor (600-cycle miss)");
-    let rows = ok(x::table3(16));
+    let rows = x::table3(16)?;
     let mut t = Table::new(vec![
         "SUBWARP_SIZE".into(),
         "divergence factor".into(),
@@ -120,11 +229,12 @@ fn table3(csvs: &mut Vec<(String, String)>) {
     println!("{t}");
     println!("(paper: 1.98 / 3.95 / 7.84 / 15.22 / 12.66 — near-linear, tapering at 32-way)");
     csvs.push(("table3".into(), t.to_csv()));
+    Ok(())
 }
 
-fn fig10() {
+fn fig10() -> Result<(), SimError> {
     banner("Figure 10: TST operation on the Figure 9 toy (two 1-thread subwarps)");
-    let ((sa, ra), (sb, rb)) = ok(x::fig10());
+    let ((sa, ra), (sb, rb)) = x::fig10()?;
     for (tag, stats, rec) in [
         ("10a (without yield)", sa, ra),
         ("10b (with yield)", sb, rb),
@@ -146,11 +256,12 @@ fn fig10() {
         }
         println!("{t}");
     }
+    Ok(())
 }
 
-fn fig12a(csvs: &mut Vec<(String, String)>) {
+fn fig12a(csvs: &mut Vec<(String, String)>) -> Result<(), SimError> {
     banner("Figure 12a: speedup over baseline at 600-cycle miss latency");
-    let rows = ok(x::fig12a());
+    let rows = x::fig12a()?;
     let labels: Vec<String> = rows[0].speedups.iter().map(|(l, _)| l.clone()).collect();
     let mut header = vec!["trace".to_string()];
     header.extend(labels.iter().cloned());
@@ -192,11 +303,12 @@ fn fig12a(csvs: &mut Vec<(String, String)>) {
     println!("{chart}");
     println!("(paper: best single setting Both,N>=0.5 averages 6.3%; BestOf mean 6.6%)");
     csvs.push(("fig12a".into(), t.to_csv()));
+    Ok(())
 }
 
-fn fig12b(csvs: &mut Vec<(String, String)>) {
+fn fig12b(csvs: &mut Vec<(String, String)>) -> Result<(), SimError> {
     banner("Figure 12b: reduction in exposed load-to-use stalls (Both,N>=0.5)");
-    let rows = ok(x::fig12b());
+    let rows = x::fig12b()?;
     let mut t = Table::new(vec![
         "trace".into(),
         "total reduction".into(),
@@ -216,11 +328,12 @@ fn fig12b(csvs: &mut Vec<(String, String)>) {
     println!("{t}");
     println!("(paper: divergent stalls drop 26.5% on average; total ~10.5%)");
     csvs.push(("fig12b".into(), t.to_csv()));
+    Ok(())
 }
 
-fn fig13(csvs: &mut Vec<(String, String)>) {
+fn fig13(csvs: &mut Vec<(String, String)>) -> Result<(), SimError> {
     banner("Figure 13: average speedup vs L1 miss latency");
-    let rows = ok(x::fig13());
+    let rows = x::fig13()?;
     let labels: Vec<String> = rows[0].means.iter().map(|(l, _)| l.clone()).collect();
     let mut header = vec!["latency".to_string()];
     header.extend(labels.iter().cloned());
@@ -237,11 +350,12 @@ fn fig13(csvs: &mut Vec<(String, String)>) {
     println!("{t}");
     println!("(paper BestOf: 4.2% / 6.6% / 7.6% at 300/600/900 cycles)");
     csvs.push(("fig13".into(), t.to_csv()));
+    Ok(())
 }
 
-fn fig14(csvs: &mut Vec<(String, String)>) {
+fn fig14(csvs: &mut Vec<(String, String)>) -> Result<(), SimError> {
     banner("Figure 14: sensitivity to warp slots (vs equally-throttled baselines)");
-    let rows = ok(x::fig14());
+    let rows = x::fig14()?;
     let mut header = vec!["trace".to_string()];
     for r in &rows {
         header.push(format!("{} warps", r.warp_slots));
@@ -263,11 +377,12 @@ fn fig14(csvs: &mut Vec<(String, String)>) {
     println!("{t}");
     println!("(paper means: 5.1% / 5.7% / 6.3% at 8/16/32 warp slots)");
     csvs.push(("fig14".into(), t.to_csv()));
+    Ok(())
 }
 
-fn fig15(csvs: &mut Vec<(String, String)>) {
+fn fig15(csvs: &mut Vec<(String, String)>) -> Result<(), SimError> {
     banner("Figure 15: sensitivity to subwarps per warp (32 peak warps)");
-    let rows = ok(x::fig15());
+    let rows = x::fig15()?;
     let mut header = vec!["trace".to_string()];
     for r in &rows {
         header.push(if r.max_subwarps == 32 {
@@ -293,11 +408,12 @@ fn fig15(csvs: &mut Vec<(String, String)>) {
     println!("{t}");
     println!("(paper: 2 subwarps capture 4.2%; 4 subwarps 5.2% = 82% of unlimited's 6.3%)");
     csvs.push(("fig15".into(), t.to_csv()));
+    Ok(())
 }
 
-fn icache(csvs: &mut Vec<(String, String)>) {
+fn icache(csvs: &mut Vec<(String, String)>) -> Result<(), SimError> {
     banner("Section V-C-4: instruction cache sizing");
-    let r = ok(x::icache());
+    let r = x::icache()?;
     let mut t = Table::new(vec!["configuration".into(), "mean speedup".into()]);
     t.row(vec![
         "16KB L0I / 64KB L1I (paper baseline)".into(),
@@ -323,11 +439,12 @@ fn icache(csvs: &mut Vec<(String, String)>) {
         let _ = writeln!(s, "small,{:.3}", r.small_mean);
         s
     }));
+    Ok(())
 }
 
-fn order(csvs: &mut Vec<(String, String)>) {
+fn order(csvs: &mut Vec<(String, String)>) -> Result<(), SimError> {
     banner("Ablation (paper §VI limiter #3): divergent-path execution order");
-    let r = ok(x::ablation_diverge_order());
+    let r = x::ablation_diverge_order()?;
     let mut t = Table::new(vec!["order".into(), "mean speedup".into()]);
     for (label, m) in &r.means {
         t.row(vec![label.clone(), format!("{m:.1}%")]);
@@ -336,11 +453,12 @@ fn order(csvs: &mut Vec<(String, String)>) {
     println!("(paper: execution order gates SI; randomization improves the odds of a");
     println!(" profitable dynamic subwarp schedule)");
     csvs.push(("order".into(), t.to_csv()));
+    Ok(())
 }
 
-fn dws(csvs: &mut Vec<(String, String)>) {
+fn dws(csvs: &mut Vec<(String, String)>) -> Result<(), SimError> {
     banner("Comparison (paper SVII-B): SI vs Dynamic-Warp-Subdivision-like forking");
-    let rows = ok(x::dws_comparison());
+    let rows = x::dws_comparison()?;
     let mut t = Table::new(vec![
         "warps resident (of 32 slots)".into(),
         "SI gain".into(),
@@ -357,11 +475,12 @@ fn dws(csvs: &mut Vec<(String, String)>) {
     println!("(paper SVII-B: DWS forks subwarps into unused warp slots, so it degrades");
     println!(" as occupancy rises; SI hosts subwarps in the TST and keeps working)");
     csvs.push(("dws".into(), t.to_csv()));
+    Ok(())
 }
 
-fn compute(csvs: &mut Vec<(String, String)>) {
+fn compute(csvs: &mut Vec<(String, String)>) -> Result<(), SimError> {
     banner("Negative result (paper SVI): SI on non-raytracing compute kernels");
-    let rows = ok(x::compute_negative_result());
+    let rows = x::compute_negative_result()?;
     let mut t = Table::new(vec![
         "kernel".into(),
         "SI gain".into(),
@@ -380,11 +499,12 @@ fn compute(csvs: &mut Vec<(String, String)>) {
     println!("(paper SVI: of 400+ compute kernels, only 11 had long stalls in divergent");
     println!(" code, and none benefited beyond the margin of noise from SI)");
     csvs.push(("compute".into(), t.to_csv()));
+    Ok(())
 }
 
-fn mem_sweep(csvs: &mut Vec<(String, String)>) {
+fn mem_sweep(csvs: &mut Vec<(String, String)>) -> Result<(), SimError> {
     banner("Memory-hierarchy sweep: SI gain vs measured miss latency and DRAM bandwidth");
-    let r = ok(x::mem_sweep());
+    let r = x::mem_sweep()?;
     let mut csv = String::new();
     let _ = writeln!(
         csv,
@@ -422,6 +542,7 @@ fn mem_sweep(csvs: &mut Vec<(String, String)>) {
     println!(" grows with the fill latency it hides; shrinking channel bandwidth");
     println!(" converts latency tolerance into bandwidth contention)");
     csvs.push(("mem_sweep".into(), csv));
+    Ok(())
 }
 
 fn pct(x: f64) -> String {

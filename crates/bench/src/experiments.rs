@@ -28,8 +28,8 @@ use subwarp_workloads::{built_suite, figure9_workload, microbenchmark_with, Micr
 /// exactly what the serial one (`SUBWARP_JOBS=1`) returns.
 #[derive(Default)]
 pub struct Sweep {
-    workloads: Vec<(String, Arc<Workload>)>,
-    configs: Vec<(String, SmConfig, SiConfig)>,
+    pub(crate) workloads: Vec<(String, Arc<Workload>)>,
+    pub(crate) configs: Vec<(String, SmConfig, SiConfig)>,
 }
 
 impl Sweep {
@@ -65,6 +65,11 @@ impl Sweep {
         self.workloads.iter().map(|(n, _)| n.as_str())
     }
 
+    /// Configuration labels in grid column order.
+    pub fn config_labels(&self) -> impl Iterator<Item = &str> {
+        self.configs.iter().map(|(l, _, _)| l.as_str())
+    }
+
     /// Number of cells (`workloads × configs`) the sweep will run.
     pub fn len(&self) -> usize {
         self.workloads.len() * self.configs.len()
@@ -85,7 +90,19 @@ impl Sweep {
 
     /// Runs the grid on exactly `workers` threads (the serial/parallel
     /// determinism A/B hook).
+    ///
+    /// When the `figures` binary has installed a process-global
+    /// [`SweepPolicy`](crate::SweepPolicy) (journal/deadline/fault
+    /// injection), the grid runs under supervision instead; a strict-mode
+    /// caller still sees the first hole as a `SimError`. Without an
+    /// installed policy this is the original unsupervised fast path,
+    /// byte-identical to pre-supervision behavior.
     pub fn run_with_jobs(&self, workers: usize) -> Result<Vec<Vec<RunStats>>, SimError> {
+        if let Some(policy) = crate::resilient::global_policy() {
+            let mut policy = policy.clone();
+            policy.workers = Some(workers);
+            return self.run_resilient(&policy).into_result();
+        }
         let nc = self.configs.len();
         let cells = subwarp_pool::run_with_jobs(workers, self.len(), |i| {
             let (_, wl) = &self.workloads[i / nc];

@@ -22,5 +22,10 @@
 //! criterion benches under `benches/` time representative slices.
 
 pub mod experiments;
+pub mod resilient;
 
 pub use experiments::*;
+pub use resilient::{
+    cell_fingerprint, chaos_sweep, global_policy, install_global_policy, job_error_to_sim,
+    run_resilient, workload_hash, Journal, PartialGrid, SweepPolicy,
+};

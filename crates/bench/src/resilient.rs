@@ -1,0 +1,577 @@
+//! Fault-tolerant sweep execution: supervised cells, labeled holes, and a
+//! checkpoint journal for `--resume`.
+//!
+//! [`Sweep::run`](crate::Sweep::run) dies with its first failing cell; this
+//! module adds [`run_resilient`], which runs the same grid under
+//! [`subwarp_pool::run_supervised`] — each cell isolated by `catch_unwind`,
+//! optionally bounded by a soft wall-clock deadline and retried on
+//! transient failures — and returns a [`PartialGrid`]: every cell is either
+//! its `RunStats` or a labeled [`JobError`] *hole*, never a lost sweep.
+//!
+//! ## The checkpoint journal
+//!
+//! A [`Journal`] is an append-only JSONL file mapping a **cell
+//! fingerprint** — an FNV-1a hash over the workload's `Debug` form, the
+//! configuration's `Debug` forms, and the cell label — to the cell's
+//! [`RunStats`]. Completed cells are appended (and flushed) as they finish,
+//! so a SIGKILLed sweep loses at most the in-flight cells. On resume,
+//! journaled cells are restored without re-simulating; because `RunStats`
+//! is all-integer, the restored values are *exactly* the originals and a
+//! resumed sweep's output is byte-identical to an uninterrupted one.
+//! Malformed or truncated lines (the tail of a killed run) are skipped on
+//! load. The journal keys on content fingerprints, not grid positions, so
+//! a stale journal from a different sweep is simply never consulted.
+//!
+//! ## Fault injection
+//!
+//! A [`SweepPolicy`] can carry a [`FaultPlan`] (see `subwarp_core::fault`),
+//! which deterministically sabotages cells by label before they run —
+//! the chaos path exercised by `figures chaos` and the CI `chaos-smoke`
+//! job.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use subwarp_core::{FaultPlan, RunStats, SiConfig, SimError, SmConfig, Workload};
+use subwarp_pool::{JobCause, JobError, Supervisor};
+
+use crate::experiments::Sweep;
+
+// ------------------------------------------------------------ fingerprints
+
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = if seed == 0 {
+        0xcbf2_9ce4_8422_2325
+    } else {
+        seed
+    };
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Content fingerprint of one sweep cell: the workload and both configs in
+/// their `Debug` forms, chained through FNV-1a with the cell label. Any
+/// change to the workload, the configuration, or the naming produces a new
+/// fingerprint, so journals can never resurrect stale results.
+pub fn cell_fingerprint(label: &str, workload_hash: u64, sm: &SmConfig, si: &SiConfig) -> u64 {
+    let mut h = fnv1a(workload_hash, label.as_bytes());
+    h = fnv1a(h, format!("{sm:?}").as_bytes());
+    h = fnv1a(h, format!("{si:?}").as_bytes());
+    h
+}
+
+/// FNV-1a hash of a workload's `Debug` form — precomputed once per sweep
+/// row so per-cell fingerprinting does not re-render large workloads.
+pub fn workload_hash(wl: &Workload) -> u64 {
+    fnv1a(0, format!("{wl:?}").as_bytes())
+}
+
+// ----------------------------------------------------------- stats codec
+
+/// Flattens `RunStats` into its 44 fixed-order integer fields, plus the
+/// variable-length per-channel busy-cycle vector. `RunStats` is all-integer
+/// by construction, so this codec is exact: `units_to_stats(stats_to_units)`
+/// is the identity, which is what makes resumed sweeps byte-identical.
+fn stats_to_units(s: &RunStats) -> (Vec<u64>, Vec<u64>) {
+    let mut u = Vec::with_capacity(44);
+    u.push(s.cycles);
+    u.push(s.sm_cycles_total);
+    u.push(s.instructions);
+    u.extend_from_slice(&s.issued_by_unit);
+    u.push(s.exposed_load_stalls);
+    u.push(s.exposed_load_stalls_divergent);
+    u.push(s.exposed_traversal_stalls);
+    u.push(s.exposed_fetch_stalls);
+    u.push(s.idle_cycles);
+    u.extend_from_slice(&s.cycle_causes);
+    u.push(s.subwarp_stalls);
+    u.push(s.subwarp_switches);
+    u.push(s.subwarp_yields);
+    u.push(s.divergences);
+    u.push(s.reconvergences);
+    u.push(s.l0i.hits);
+    u.push(s.l0i.misses);
+    u.push(s.l1i.hits);
+    u.push(s.l1i.misses);
+    u.push(s.l1d.hits);
+    u.push(s.l1d.misses);
+    u.push(s.rt_traversals);
+    u.push(s.peak_resident_warps as u64);
+    u.push(s.mem.l2.hits);
+    u.push(s.mem.l2.misses);
+    u.push(s.mem.mshr_merges);
+    u.push(s.mem.mshr_high_water as u64);
+    u.push(s.mem.row_hits);
+    u.push(s.mem.row_misses);
+    u.push(s.mem.fills);
+    u.push(s.mem.total_fill_latency);
+    u.push(s.mem.requests);
+    debug_assert_eq!(u.len(), 44);
+    (u, s.mem.channel_busy_cycles.clone())
+}
+
+fn units_to_stats(u: &[u64], ch: &[u64]) -> Option<RunStats> {
+    if u.len() != 44 {
+        return None;
+    }
+    let mut s = RunStats {
+        cycles: u[0],
+        sm_cycles_total: u[1],
+        instructions: u[2],
+        exposed_load_stalls: u[9],
+        exposed_load_stalls_divergent: u[10],
+        exposed_traversal_stalls: u[11],
+        exposed_fetch_stalls: u[12],
+        idle_cycles: u[13],
+        subwarp_stalls: u[22],
+        subwarp_switches: u[23],
+        subwarp_yields: u[24],
+        divergences: u[25],
+        reconvergences: u[26],
+        rt_traversals: u[33],
+        peak_resident_warps: u[34] as usize,
+        ..RunStats::default()
+    };
+    s.issued_by_unit.copy_from_slice(&u[3..9]);
+    s.cycle_causes.copy_from_slice(&u[14..22]);
+    s.l0i.hits = u[27];
+    s.l0i.misses = u[28];
+    s.l1i.hits = u[29];
+    s.l1i.misses = u[30];
+    s.l1d.hits = u[31];
+    s.l1d.misses = u[32];
+    s.mem.l2.hits = u[35];
+    s.mem.l2.misses = u[36];
+    s.mem.mshr_merges = u[37];
+    s.mem.mshr_high_water = u[38] as usize;
+    s.mem.row_hits = u[39];
+    s.mem.row_misses = u[40];
+    s.mem.fills = u[41];
+    s.mem.total_fill_latency = u[42];
+    s.mem.requests = u[43];
+    s.mem.channel_busy_cycles = ch.to_vec();
+    Some(s)
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Extracts the value of a `"key":[...]` integer array from one journal
+/// line. Minimal by design: journal lines are machine-written by this
+/// module, so anything that does not parse is treated as a truncated tail
+/// and skipped by the loader.
+fn parse_u64_array(line: &str, key: &str) -> Option<Vec<u64>> {
+    let pat = format!("\"{key}\":[");
+    let start = line.find(&pat)? + pat.len();
+    let end = start + line[start..].find(']')?;
+    let body = &line[start..end];
+    if body.trim().is_empty() {
+        return Some(Vec::new());
+    }
+    body.split(',').map(|t| t.trim().parse().ok()).collect()
+}
+
+fn parse_hex_field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let end = start + line[start..].find('"')?;
+    u64::from_str_radix(&line[start..end], 16).ok()
+}
+
+// ---------------------------------------------------------------- journal
+
+/// An append-only JSONL checkpoint journal of completed sweep cells.
+///
+/// One line per completed cell:
+///
+/// ```json
+/// {"v":1,"fp":"0123456789abcdef","label":"AV1/Both,N>=0.5","u":[..44 ints..],"ch":[..]}
+/// ```
+///
+/// `fp` is the [`cell_fingerprint`] in hex, `u` the 44 fixed-order integer
+/// fields of `RunStats`, `ch` the per-channel DRAM busy-cycle vector.
+/// Opening a journal loads every well-formed line (last write wins) and
+/// positions the file for appending; each [`record`](Journal::record) is
+/// flushed immediately so a killed sweep loses only in-flight cells.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    restored: usize,
+    completed: Mutex<HashMap<u64, RunStats>>,
+    file: Mutex<std::fs::File>,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path`, loading previously
+    /// completed cells. Malformed lines — e.g. the torn tail of a killed
+    /// run — are skipped.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Journal> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut completed = HashMap::new();
+        match std::fs::File::open(&path) {
+            Ok(f) => {
+                for line in std::io::BufReader::new(f).lines() {
+                    let line = line?;
+                    let parsed = (|| {
+                        let fp = parse_hex_field(&line, "fp")?;
+                        let u = parse_u64_array(&line, "u")?;
+                        let ch = parse_u64_array(&line, "ch")?;
+                        Some((fp, units_to_stats(&u, &ch)?))
+                    })();
+                    if let Some((fp, stats)) = parsed {
+                        completed.insert(fp, stats);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        Ok(Journal {
+            path,
+            restored: completed.len(),
+            completed: Mutex::new(completed),
+            file: Mutex::new(file),
+        })
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Cells restored from disk when the journal was opened.
+    pub fn restored(&self) -> usize {
+        self.restored
+    }
+
+    /// The journaled result for a fingerprint, if that cell completed in an
+    /// earlier (or concurrent) run.
+    pub fn lookup(&self, fp: u64) -> Option<RunStats> {
+        self.completed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&fp)
+            .cloned()
+    }
+
+    /// Records a completed cell: appends one line and flushes so the result
+    /// survives a SIGKILL arriving right after.
+    pub fn record(&self, fp: u64, label: &str, stats: &RunStats) {
+        let (u, ch) = stats_to_units(stats);
+        let fmt_ints = |v: &[u64]| {
+            v.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let line = format!(
+            "{{\"v\":1,\"fp\":\"{fp:016x}\",\"label\":\"{}\",\"u\":[{}],\"ch\":[{}]}}\n",
+            json_escape(label),
+            fmt_ints(&u),
+            fmt_ints(&ch)
+        );
+        {
+            let mut f = self.file.lock().unwrap_or_else(|e| e.into_inner());
+            // A failed append degrades resume granularity, never the sweep.
+            let _ = f.write_all(line.as_bytes());
+            let _ = f.flush();
+        }
+        self.completed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(fp, stats.clone());
+    }
+}
+
+// ----------------------------------------------------------------- policy
+
+/// How a resilient sweep is supervised.
+#[derive(Debug, Clone, Default)]
+pub struct SweepPolicy {
+    /// Worker threads; `None` uses [`subwarp_pool::default_jobs`].
+    pub workers: Option<usize>,
+    /// Per-cell soft wall-clock deadline; an overdue cell becomes a
+    /// [`SimError::Timeout`] hole.
+    pub deadline: Option<Duration>,
+    /// Attempts per cell (`0`/`1` = no retries). Retries apply to panics
+    /// and simulation errors — transient injected faults (see
+    /// `FaultPlan::clears_after`) succeed on a later attempt.
+    pub max_attempts: u32,
+    /// Deterministic fault injection, evaluated per cell label before the
+    /// simulation runs.
+    pub faults: Option<FaultPlan>,
+    /// Checkpoint journal: completed cells are restored from (and recorded
+    /// to) this journal.
+    pub journal: Option<Arc<Journal>>,
+}
+
+impl SweepPolicy {
+    fn supervisor(&self) -> Supervisor {
+        Supervisor {
+            workers: self.workers.unwrap_or_else(subwarp_pool::default_jobs),
+            deadline: self.deadline,
+            max_attempts: self.max_attempts.max(1),
+            retry_panics: self.max_attempts > 1,
+            retry_errors: self.max_attempts > 1,
+            ..Supervisor::default()
+        }
+    }
+}
+
+/// Process-global sweep policy, installed once by the `figures` binary when
+/// invoked with `--resume`/`--journal`/`--deadline`/`--attempts` so every
+/// figure's internal `Sweep::run` becomes resilient without threading the
+/// policy through each experiment's signature. Library users (and tests)
+/// pass a policy to [`run_resilient`] explicitly instead; nothing in this
+/// crate installs a global policy on its own.
+static GLOBAL_POLICY: OnceLock<SweepPolicy> = OnceLock::new();
+
+/// Installs the process-global policy. Returns `false` (and changes
+/// nothing) if one was already installed.
+pub fn install_global_policy(policy: SweepPolicy) -> bool {
+    GLOBAL_POLICY.set(policy).is_ok()
+}
+
+/// The installed process-global policy, if any.
+pub fn global_policy() -> Option<&'static SweepPolicy> {
+    GLOBAL_POLICY.get()
+}
+
+// ----------------------------------------------------------- partial grid
+
+/// A sweep result where every cell is either its `RunStats` or a labeled
+/// hole explaining the failure.
+#[derive(Debug)]
+pub struct PartialGrid {
+    n_configs: usize,
+    cells: Vec<Result<RunStats, JobError<SimError>>>,
+}
+
+impl PartialGrid {
+    /// Grid rows: `rows()[w][c]` is workload `w` under configuration `c`.
+    pub fn rows(&self) -> Vec<&[Result<RunStats, JobError<SimError>>]> {
+        if self.n_configs == 0 {
+            return Vec::new();
+        }
+        self.cells.chunks(self.n_configs).collect()
+    }
+
+    /// One cell.
+    pub fn cell(&self, workload: usize, config: usize) -> &Result<RunStats, JobError<SimError>> {
+        &self.cells[workload * self.n_configs + config]
+    }
+
+    /// Every failed cell, in grid order.
+    pub fn holes(&self) -> Vec<&JobError<SimError>> {
+        self.cells.iter().filter_map(|c| c.as_ref().err()).collect()
+    }
+
+    /// Cells that completed successfully.
+    pub fn completed(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_ok()).count()
+    }
+
+    /// Collapses into the strict all-or-nothing grid `Sweep::run` returns:
+    /// the first hole in grid order becomes the sweep's `SimError`.
+    pub fn into_result(self) -> Result<Vec<Vec<RunStats>>, SimError> {
+        let n_configs = self.n_configs;
+        let mut flat = Vec::with_capacity(self.cells.len());
+        for cell in self.cells {
+            flat.push(cell.map_err(job_error_to_sim)?);
+        }
+        Ok(if n_configs == 0 {
+            Vec::new()
+        } else {
+            flat.chunks(n_configs).map(<[RunStats]>::to_vec).collect()
+        })
+    }
+}
+
+/// Converts a supervision failure into the `SimError` vocabulary so strict
+/// callers keep their `Result<_, SimError>` signature.
+pub fn job_error_to_sim(e: JobError<SimError>) -> SimError {
+    match e.cause {
+        JobCause::Err(sim) => sim,
+        JobCause::Panic(message) => SimError::Panicked {
+            workload: e.label,
+            message,
+        },
+        JobCause::Timeout { deadline } => SimError::Timeout {
+            workload: e.label,
+            deadline_ms: deadline.as_millis() as u64,
+        },
+        JobCause::Cancelled => SimError::Cancelled { workload: e.label },
+    }
+}
+
+// ------------------------------------------------------------ run_resilient
+
+struct JobSpec {
+    label: String,
+    fp: u64,
+    wl: Arc<Workload>,
+    sm: SmConfig,
+    si: SiConfig,
+}
+
+/// Runs a sweep grid under supervision, returning a [`PartialGrid`] with
+/// one labeled outcome per cell.
+///
+/// Cells whose fingerprint is already in the policy's [`Journal`] are
+/// restored without re-simulating; freshly completed cells are journaled
+/// as they finish. Cell labels are `"<workload>/<config>"`. Determinism:
+/// for a fault-free (or deterministically-faulted) sweep, the `Ok`/`Err`
+/// pattern and every `Ok` payload are identical for serial and parallel
+/// runs, and for interrupted-then-resumed versus uninterrupted runs.
+// `JobError<SimError>` is only materialized once per *failed* cell; boxing
+// it would push the indirection into every PartialGrid accessor for no
+// hot-path benefit.
+#[allow(clippy::result_large_err)]
+pub fn run_resilient(sweep: &Sweep, policy: &SweepPolicy) -> PartialGrid {
+    let n_configs = sweep.configs.len();
+    let specs: Vec<JobSpec> = sweep
+        .workloads
+        .iter()
+        .flat_map(|(wname, wl)| {
+            let whash = workload_hash(wl);
+            sweep.configs.iter().map(move |(cname, sm, si)| {
+                let label = format!("{wname}/{cname}");
+                let fp = cell_fingerprint(&label, whash, sm, si);
+                JobSpec {
+                    label,
+                    fp,
+                    wl: Arc::clone(wl),
+                    sm: sm.clone(),
+                    si: *si,
+                }
+            })
+        })
+        .collect();
+
+    let mut cells: Vec<Option<Result<RunStats, JobError<SimError>>>> =
+        (0..specs.len()).map(|_| None).collect();
+    if let Some(journal) = &policy.journal {
+        for (i, spec) in specs.iter().enumerate() {
+            if let Some(stats) = journal.lookup(spec.fp) {
+                cells[i] = Some(Ok(stats));
+            }
+        }
+    }
+    let pending: Vec<usize> = (0..specs.len()).filter(|&i| cells[i].is_none()).collect();
+    if !pending.is_empty() {
+        let labels: Vec<String> = pending.iter().map(|&i| specs[i].label.clone()).collect();
+        let specs = Arc::new(specs);
+        let run_specs = Arc::clone(&specs);
+        let pending_for_job = pending.clone();
+        let faults = policy.faults.clone();
+        let journal = policy.journal.clone();
+        let outcomes =
+            subwarp_pool::run_supervised(&policy.supervisor(), &labels, move |k, attempt| {
+                let spec = &run_specs[pending_for_job[k]];
+                if let Some(plan) = &faults {
+                    plan.sabotage(&spec.label, attempt)?;
+                }
+                let stats = Simulator::new(spec.sm.clone(), spec.si).run(&spec.wl)?;
+                if let Some(j) = &journal {
+                    j.record(spec.fp, &spec.label, &stats);
+                }
+                Ok(stats)
+            });
+        for (k, outcome) in outcomes.into_iter().enumerate() {
+            // Re-anchor the supervised batch's job index to the grid index.
+            let i = pending[k];
+            cells[i] = Some(outcome.map_err(|e| JobError { index: i, ..e }));
+        }
+    }
+    PartialGrid {
+        n_configs,
+        cells: cells
+            .into_iter()
+            .map(|c| c.expect("every cell resolved"))
+            .collect(),
+    }
+}
+
+use subwarp_core::Simulator;
+
+impl Sweep {
+    /// Runs the grid under a supervision policy, returning a partial grid
+    /// with labeled holes instead of dying with the first failure. See
+    /// [`run_resilient`].
+    pub fn run_resilient(&self, policy: &SweepPolicy) -> PartialGrid {
+        run_resilient(self, policy)
+    }
+}
+
+// ------------------------------------------------------------- chaos sweep
+
+/// A small, fast sweep with deterministic injected faults, used by
+/// `figures chaos` and the CI `chaos-smoke` job to prove the supervision
+/// layer end to end: a panic hole, an injected-`SimError` hole, a
+/// deadline-timeout hole, and a dropped-fill column that must surface as a
+/// deadlock hole via the SM watchdog — while every healthy cell completes.
+pub fn chaos_sweep() -> (Sweep, SweepPolicy) {
+    use subwarp_core::{FaultKind, MemBackendConfig, MemFaultConfig};
+    use subwarp_workloads::{figure9_workload, microbenchmark};
+
+    let mut sm = SmConfig::turing_like();
+    // Keep the dropped-fill deadlock cheap: a short watchdog horizon is
+    // plenty for these tiny kernels.
+    sm.max_cycles = 10_000_000;
+    let mut faulty_sm = sm.clone();
+    faulty_sm.mem_backend = MemBackendConfig::Faulty {
+        fault: MemFaultConfig {
+            seed: 0xC405,
+            drop_per_mille: 1000,
+            ..MemFaultConfig::default()
+        },
+        inner: Box::new(MemBackendConfig::Fixed),
+    };
+
+    let sweep = Sweep::new()
+        .workload("toy", Arc::new(figure9_workload()))
+        .workload("micro", Arc::new(microbenchmark(8, 4)))
+        .config("base", sm.clone(), SiConfig::disabled())
+        .config("si", sm, SiConfig::best())
+        .config("dropped-fills", faulty_sm, SiConfig::disabled());
+
+    let faults = FaultPlan::none(0xC405)
+        .with_target("toy/si", FaultKind::Panic)
+        .with_target("micro/base", FaultKind::Error)
+        .with_target("micro/si", FaultKind::Delay { ms: 60_000 });
+    let policy = SweepPolicy {
+        deadline: Some(Duration::from_millis(1500)),
+        faults: Some(faults),
+        ..SweepPolicy::default()
+    };
+    (sweep, policy)
+}

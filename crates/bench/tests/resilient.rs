@@ -1,0 +1,253 @@
+//! Integration tests for the fault-tolerant sweep layer: journal exactness,
+//! resume equivalence, deterministic fault patterns, and deadline holes.
+//!
+//! None of these tests install the process-global policy — that is reserved
+//! for the `figures` binary — so they cannot interfere with each other or
+//! with other test binaries.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use subwarp_bench::{
+    cell_fingerprint, job_error_to_sim, run_resilient, workload_hash, Journal, Sweep, SweepPolicy,
+};
+use subwarp_core::{FaultKind, FaultPlan, SiConfig, SimError, SmConfig};
+use subwarp_workloads::{figure9_workload, microbenchmark};
+
+fn temp_journal(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("subwarp_bench_{tag}_{}.jsonl", std::process::id()))
+}
+
+/// A fast 2×2 grid (two small workloads, baseline + best-SI).
+fn tiny_sweep() -> Sweep {
+    let sm = SmConfig::turing_like();
+    Sweep::new()
+        .workload("toy", Arc::new(figure9_workload()))
+        .workload("micro", Arc::new(microbenchmark(8, 4)))
+        .config("base", sm.clone(), SiConfig::disabled())
+        .config("si", sm, SiConfig::best())
+}
+
+#[test]
+fn journal_roundtrip_restores_stats_exactly() {
+    let path = temp_journal("roundtrip");
+    let _ = std::fs::remove_file(&path);
+
+    // Real stats from a real run, so every counter field is exercised.
+    let grid = run_resilient(&tiny_sweep(), &SweepPolicy::default());
+    assert_eq!(grid.holes().len(), 0);
+    let stats = grid.cell(0, 1).as_ref().unwrap().clone();
+
+    {
+        let j = Journal::open(&path).unwrap();
+        j.record(0xDEAD_BEEF, "toy/si", &stats);
+    }
+    let j = Journal::open(&path).unwrap();
+    assert_eq!(j.restored(), 1);
+    // All-integer stats ⇒ the journaled copy is bit-for-bit the original.
+    assert_eq!(j.lookup(0xDEAD_BEEF).unwrap(), stats);
+    assert!(j.lookup(1).is_none());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resumed_sweep_equals_uninterrupted_sweep() {
+    let path = temp_journal("resume");
+    let _ = std::fs::remove_file(&path);
+    let sweep = tiny_sweep();
+
+    let reference = run_resilient(&sweep, &SweepPolicy::default())
+        .into_result()
+        .unwrap();
+
+    // "Interrupted" first leg: journal only part of the grid by running a
+    // one-workload slice of the same sweep (fingerprints are content-based,
+    // so they match the full sweep's first row).
+    let slice = {
+        let sm = SmConfig::turing_like();
+        Sweep::new()
+            .workload("toy", Arc::new(figure9_workload()))
+            .config("base", sm.clone(), SiConfig::disabled())
+            .config("si", sm, SiConfig::best())
+    };
+    let journal = Arc::new(Journal::open(&path).unwrap());
+    run_resilient(
+        &slice,
+        &SweepPolicy {
+            journal: Some(Arc::clone(&journal)),
+            ..SweepPolicy::default()
+        },
+    );
+
+    // Resume: reopen the journal and run the full sweep.
+    let journal = Arc::new(Journal::open(&path).unwrap());
+    assert_eq!(journal.restored(), 2);
+    let resumed = run_resilient(
+        &sweep,
+        &SweepPolicy {
+            journal: Some(journal),
+            ..SweepPolicy::default()
+        },
+    )
+    .into_result()
+    .unwrap();
+
+    assert_eq!(resumed, reference);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn journal_skips_corrupt_tail_and_stale_fingerprints() {
+    let path = temp_journal("corrupt");
+    let _ = std::fs::remove_file(&path);
+    let grid = run_resilient(&tiny_sweep(), &SweepPolicy::default());
+    let stats = grid.cell(0, 0).as_ref().unwrap().clone();
+    {
+        let j = Journal::open(&path).unwrap();
+        j.record(7, "toy/base", &stats);
+    }
+    // Torn tail from a killed run: must be skipped, not corrupt the load.
+    {
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"{\"v\":1,\"fp\":\"00000000000000ff\",\"u\":[1,2")
+            .unwrap();
+    }
+    let j = Journal::open(&path).unwrap();
+    assert_eq!(j.restored(), 1);
+    assert!(j.lookup(7).is_some());
+    assert!(j.lookup(0xff).is_none());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn fingerprints_change_with_label_workload_and_config() {
+    let wl = figure9_workload();
+    let wh = workload_hash(&wl);
+    let sm = SmConfig::turing_like();
+    let base = cell_fingerprint("toy/base", wh, &sm, &SiConfig::disabled());
+    assert_ne!(
+        base,
+        cell_fingerprint("toy/si", wh, &sm, &SiConfig::disabled())
+    );
+    assert_ne!(
+        base,
+        cell_fingerprint("toy/base", wh, &sm, &SiConfig::best())
+    );
+    assert_ne!(
+        base,
+        cell_fingerprint("toy/base", wh.wrapping_add(1), &sm, &SiConfig::disabled())
+    );
+    let mut sm2 = sm.clone();
+    sm2.max_cycles += 1;
+    assert_ne!(
+        base,
+        cell_fingerprint("toy/base", wh, &sm2, &SiConfig::disabled())
+    );
+}
+
+#[test]
+fn fault_plan_holes_are_identical_serial_and_parallel() {
+    let sweep = tiny_sweep();
+    let faults = FaultPlan::none(42)
+        .with_target("toy/si", FaultKind::Panic)
+        .with_target("micro/base", FaultKind::Error);
+    let run = |workers: usize| {
+        run_resilient(
+            &sweep,
+            &SweepPolicy {
+                workers: Some(workers),
+                faults: Some(faults.clone()),
+                ..SweepPolicy::default()
+            },
+        )
+    };
+    let serial = run(1);
+    let parallel = run(4);
+
+    let pattern = |g: &subwarp_bench::PartialGrid| {
+        g.rows()
+            .iter()
+            .flat_map(|row| row.iter().map(|c| c.is_ok()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(pattern(&serial), pattern(&parallel));
+    assert_eq!(serial.holes().len(), 2);
+    assert_eq!(serial.completed(), 2);
+
+    // The Ok payloads agree exactly.
+    for (s, p) in serial
+        .rows()
+        .into_iter()
+        .flatten()
+        .zip(parallel.rows().into_iter().flatten())
+    {
+        if let (Ok(a), Ok(b)) = (s, p) {
+            assert_eq!(a, b);
+        }
+    }
+
+    // Holes carry their labels through to the SimError vocabulary.
+    let hole_labels: Vec<String> = parallel.holes().iter().map(|h| h.label.clone()).collect();
+    assert!(hole_labels.contains(&"toy/si".to_string()));
+    assert!(hole_labels.contains(&"micro/base".to_string()));
+}
+
+#[test]
+fn transient_faults_clear_under_retry() {
+    let sweep = tiny_sweep();
+    // Rate-based (targeted overrides never clear): every cell's first
+    // attempt fails, every second attempt succeeds.
+    let faults = FaultPlan {
+        error_per_mille: 1000,
+        clears_after: Some(1),
+        ..FaultPlan::none(42)
+    };
+    let grid = run_resilient(
+        &sweep,
+        &SweepPolicy {
+            workers: Some(2),
+            max_attempts: 3,
+            faults: Some(faults),
+            ..SweepPolicy::default()
+        },
+    );
+    assert_eq!(
+        grid.holes().len(),
+        0,
+        "retry must clear the transient fault"
+    );
+}
+
+#[test]
+fn deadline_turns_hung_cells_into_timeout_holes() {
+    let sweep = tiny_sweep();
+    let faults = FaultPlan::none(42).with_target("micro/si", FaultKind::Delay { ms: 30_000 });
+    let grid = run_resilient(
+        &sweep,
+        &SweepPolicy {
+            workers: Some(2),
+            deadline: Some(Duration::from_millis(400)),
+            faults: Some(faults),
+            ..SweepPolicy::default()
+        },
+    );
+    let holes = grid.holes();
+    assert_eq!(holes.len(), 1);
+    assert_eq!(holes[0].label, "micro/si");
+    let e = job_error_to_sim(grid.cell(1, 1).as_ref().unwrap_err().clone());
+    match e {
+        SimError::Timeout {
+            workload,
+            deadline_ms,
+        } => {
+            assert_eq!(workload, "micro/si");
+            assert_eq!(deadline_ms, 400);
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+}

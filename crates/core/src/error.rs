@@ -212,6 +212,30 @@ pub enum SimError {
         /// Which input, and why.
         what: String,
     },
+    /// The run exceeded a supervisor-imposed wall-clock deadline and was
+    /// abandoned (see `subwarp_pool::run_supervised`). Raised by the sweep
+    /// supervision layer, not the simulator itself, so it carries no
+    /// machine snapshot.
+    Timeout {
+        /// Workload name.
+        workload: String,
+        /// The elapsed wall-clock deadline, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The run was cancelled by its supervisor before it started (e.g.
+    /// after an earlier job in the same sweep failed fatally).
+    Cancelled {
+        /// Workload name.
+        workload: String,
+    },
+    /// The run panicked; the payload was caught at the sweep supervision
+    /// boundary and converted into an error instead of aborting the sweep.
+    Panicked {
+        /// Workload name.
+        workload: String,
+        /// The panic payload, downcast to a string when possible.
+        message: String,
+    },
 }
 
 impl SimError {
@@ -221,7 +245,11 @@ impl SimError {
             SimError::Deadlock { snapshot, .. }
             | SimError::CycleCapExceeded { snapshot, .. }
             | SimError::InvariantViolation { snapshot, .. } => Some(snapshot),
-            SimError::InvalidConfig { .. } | SimError::InvalidWorkload { .. } => None,
+            SimError::InvalidConfig { .. }
+            | SimError::InvalidWorkload { .. }
+            | SimError::Timeout { .. }
+            | SimError::Cancelled { .. }
+            | SimError::Panicked { .. } => None,
         }
     }
 
@@ -231,7 +259,10 @@ impl SimError {
             SimError::Deadlock { workload, .. }
             | SimError::CycleCapExceeded { workload, .. }
             | SimError::InvariantViolation { workload, .. }
-            | SimError::InvalidWorkload { workload, .. } => Some(workload),
+            | SimError::InvalidWorkload { workload, .. }
+            | SimError::Timeout { workload, .. }
+            | SimError::Cancelled { workload }
+            | SimError::Panicked { workload, .. } => Some(workload),
             SimError::InvalidConfig { .. } => None,
         }
     }
@@ -272,6 +303,19 @@ impl fmt::Display for SimError {
             SimError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
             SimError::InvalidWorkload { workload, what } => {
                 write!(f, "invalid workload `{workload}`: {what}")
+            }
+            SimError::Timeout {
+                workload,
+                deadline_ms,
+            } => write!(
+                f,
+                "workload `{workload}` timed out after {deadline_ms} ms (supervisor deadline)"
+            ),
+            SimError::Cancelled { workload } => {
+                write!(f, "workload `{workload}` cancelled before running")
+            }
+            SimError::Panicked { workload, message } => {
+                write!(f, "workload `{workload}` panicked: {message}")
             }
         }
     }

@@ -58,6 +58,7 @@
 
 mod config;
 mod error;
+mod fault;
 mod image;
 mod profile;
 mod sm;
@@ -68,6 +69,7 @@ mod workload;
 
 pub use config::{DivergeOrder, SchedulerPolicy, SelectPolicy, SiConfig, SmConfig, WARP_SIZE};
 pub use error::{mask_lanes, InvariantLevel, SimError, StateSnapshot, WarpSnapshot};
+pub use fault::{FaultKind, FaultPlan};
 pub use image::MemoryImage;
 pub use profile::{ChromeTraceProfiler, CounterSample, Profiler};
 pub use sm::{Simulator, DEADLOCK_WINDOW, ICACHE_LINE};
@@ -78,5 +80,5 @@ pub use workload::{InitValue, RayResult, RegInit, RtTrace, Workload};
 // Memory-backend configuration and counters, re-exported so downstream
 // crates can select a backend without depending on `subwarp-mem` directly.
 pub use subwarp_mem::{
-    DramConfig, HierarchyConfig, MemBackendConfig, MemBackendStats, MemCounters,
+    DramConfig, HierarchyConfig, MemBackendConfig, MemBackendStats, MemCounters, MemFaultConfig,
 };

@@ -215,12 +215,28 @@ fn every_variant_renders_display_and_debug() {
             workload: "w".into(),
             what: "program is empty".into(),
         },
+        SimError::Timeout {
+            workload: "w".into(),
+            deadline_ms: 5000,
+        },
+        SimError::Cancelled {
+            workload: "w".into(),
+        },
+        SimError::Panicked {
+            workload: "w".into(),
+            message: "index out of bounds".into(),
+        },
     ];
-    for (err, needle) in
-        variants
-            .iter()
-            .zip(["deadlock", "cycle cap", "invariant", "config", "workload"])
-    {
+    for (err, needle) in variants.iter().zip([
+        "deadlock",
+        "cycle cap",
+        "invariant",
+        "config",
+        "workload",
+        "timed out",
+        "cancelled",
+        "panicked",
+    ]) {
         let shown = err.to_string();
         let debugged = format!("{err:?}");
         assert!(
@@ -234,6 +250,9 @@ fn every_variant_renders_display_and_debug() {
             SimError::InvariantViolation { .. } => "InvariantViolation",
             SimError::InvalidConfig { .. } => "InvalidConfig",
             SimError::InvalidWorkload { .. } => "InvalidWorkload",
+            SimError::Timeout { .. } => "Timeout",
+            SimError::Cancelled { .. } => "Cancelled",
+            SimError::Panicked { .. } => "Panicked",
         };
         assert!(debugged.contains(name), "{debugged}");
         // And the std::error::Error impl is usable.

@@ -475,6 +475,323 @@ pub fn run_fuzz_with_jobs(
     Ok(report)
 }
 
+// ------------------------------------------------- resilient campaigns
+
+/// One seed's completed differential check: its contribution to the
+/// campaign counters plus the divergence it exposed, if any.
+#[derive(Debug, Clone)]
+pub struct SeedOutcome {
+    /// The seed checked.
+    pub seed: u64,
+    /// Simulator runs performed for this seed.
+    pub runs: u64,
+    /// Warp instructions executed across those runs.
+    pub instructions: u64,
+    /// The first mismatch this seed exposed, or `None` if all
+    /// configurations agreed.
+    pub failure: Option<Divergence>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = (&mut chars).take(4).collect();
+                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(c) => out.push(c),
+            None => {}
+        }
+    }
+    out
+}
+
+fn parse_u64_field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn parse_string_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    // Find the closing quote, skipping escaped ones.
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '\\' if !escaped => escaped = true,
+            '"' if !escaped => return Some(json_unescape(&rest[..i])),
+            _ => escaped = false,
+        }
+    }
+    None
+}
+
+/// An append-only JSONL journal of per-seed fuzzing outcomes, enabling
+/// `--resume`: journaled seeds are skipped (their counters and failures
+/// restored exactly) so an interrupted campaign finishes with the same
+/// report and digest as an uninterrupted one.
+///
+/// One line per completed seed:
+///
+/// ```json
+/// {"kind":"ok","seed":7,"runs":29,"instructions":12345}
+/// {"kind":"fail","seed":8,"runs":3,"instructions":90,"config":"dws","what":"..."}
+/// ```
+///
+/// Seeds that panicked or timed out under supervision are *not* journaled:
+/// a resumed campaign retries them.
+#[derive(Debug)]
+pub struct FuzzJournal {
+    restored: usize,
+    completed: std::sync::Mutex<std::collections::HashMap<u64, SeedOutcome>>,
+    file: std::sync::Mutex<std::fs::File>,
+}
+
+impl FuzzJournal {
+    /// Opens (creating if absent) the journal at `path`, loading previously
+    /// completed seeds; malformed lines are skipped.
+    pub fn open(path: impl AsRef<std::path::Path>) -> std::io::Result<FuzzJournal> {
+        use std::io::BufRead;
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut completed = std::collections::HashMap::new();
+        match std::fs::File::open(path) {
+            Ok(f) => {
+                for line in std::io::BufReader::new(f).lines() {
+                    let line = line?;
+                    let parsed = (|| {
+                        let seed = parse_u64_field(&line, "seed")?;
+                        let runs = parse_u64_field(&line, "runs")?;
+                        let instructions = parse_u64_field(&line, "instructions")?;
+                        let failure = match parse_string_field(&line, "kind")?.as_str() {
+                            "ok" => None,
+                            "fail" => Some(Divergence {
+                                seed,
+                                config: parse_string_field(&line, "config")?,
+                                what: parse_string_field(&line, "what")?,
+                            }),
+                            _ => return None,
+                        };
+                        Some(SeedOutcome {
+                            seed,
+                            runs,
+                            instructions,
+                            failure,
+                        })
+                    })();
+                    if let Some(o) = parsed {
+                        completed.insert(o.seed, o);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(FuzzJournal {
+            restored: completed.len(),
+            completed: std::sync::Mutex::new(completed),
+            file: std::sync::Mutex::new(file),
+        })
+    }
+
+    /// Seeds restored from disk when the journal was opened.
+    pub fn restored(&self) -> usize {
+        self.restored
+    }
+
+    /// The journaled outcome for a seed, if it completed in an earlier run.
+    pub fn lookup(&self, seed: u64) -> Option<SeedOutcome> {
+        self.completed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&seed)
+            .cloned()
+    }
+
+    /// Records one completed seed (appended and flushed immediately).
+    pub fn record(&self, outcome: &SeedOutcome) {
+        use std::io::Write;
+        let line = match &outcome.failure {
+            None => format!(
+                "{{\"kind\":\"ok\",\"seed\":{},\"runs\":{},\"instructions\":{}}}\n",
+                outcome.seed, outcome.runs, outcome.instructions
+            ),
+            Some(d) => format!(
+                "{{\"kind\":\"fail\",\"seed\":{},\"runs\":{},\"instructions\":{},\
+                 \"config\":\"{}\",\"what\":\"{}\"}}\n",
+                outcome.seed,
+                outcome.runs,
+                outcome.instructions,
+                json_escape(&d.config),
+                json_escape(&d.what)
+            ),
+        };
+        {
+            let mut f = self.file.lock().unwrap_or_else(|e| e.into_inner());
+            let _ = f.write_all(line.as_bytes());
+            let _ = f.flush();
+        }
+        self.completed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(outcome.seed, outcome.clone());
+    }
+}
+
+/// A keep-going campaign's result: aggregate counters plus *every* failure
+/// found, not just the first.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// Aggregate campaign statistics (failed seeds contribute the runs
+    /// they completed before diverging).
+    pub report: FuzzReport,
+    /// All failures, in seed order — the end-of-run digest.
+    pub failures: Vec<Divergence>,
+    /// Seeds restored from the journal instead of re-checked.
+    pub restored: u64,
+}
+
+/// Runs a keep-going fuzzing campaign under supervision: a divergence (or
+/// a panic, or a seed exceeding `deadline`) is recorded and the campaign
+/// *continues* instead of stopping at the first failure.
+///
+/// Seeds found in `journal` are restored without re-checking; freshly
+/// completed seeds (ok or diverged) are journaled as they finish, so a
+/// killed campaign resumed with the same journal produces the same final
+/// report and failure digest as an uninterrupted one. Panicked/timed-out
+/// seeds become synthetic [`Divergence`]s labeled `<supervisor>` and are
+/// not journaled (a resume retries them).
+pub fn run_fuzz_resilient(
+    seed: u64,
+    iters: u64,
+    workers: usize,
+    deadline: Option<std::time::Duration>,
+    journal: Option<std::sync::Arc<FuzzJournal>>,
+) -> CampaignOutcome {
+    use subwarp_pool::Supervisor;
+
+    let mut outcomes: Vec<Option<SeedOutcome>> = (0..iters)
+        .map(|i| {
+            journal
+                .as_ref()
+                .and_then(|j| j.lookup(seed.wrapping_add(i)))
+        })
+        .collect();
+    let restored = outcomes.iter().filter(|o| o.is_some()).count() as u64;
+    let pending: Vec<u64> = (0..iters)
+        .filter(|&i| outcomes[i as usize].is_none())
+        .collect();
+    if !pending.is_empty() {
+        let labels: Vec<String> = pending
+            .iter()
+            .map(|&i| format!("seed {}", seed.wrapping_add(i)))
+            .collect();
+        let sup = Supervisor {
+            workers,
+            deadline,
+            ..Supervisor::default()
+        };
+        let job_pending = pending.clone();
+        let job_journal = journal.clone();
+        let checked = subwarp_pool::run_supervised::<SeedOutcome, String, _>(
+            &sup,
+            &labels,
+            move |k, _attempt| {
+                let s = seed.wrapping_add(job_pending[k]);
+                let mut r = FuzzReport::default();
+                let failure = check_seed_with_jobs(s, &mut r, 1).err();
+                let outcome = SeedOutcome {
+                    seed: s,
+                    runs: r.runs,
+                    instructions: r.instructions,
+                    failure,
+                };
+                if let Some(j) = &job_journal {
+                    j.record(&outcome);
+                }
+                Ok(outcome)
+            },
+        );
+        for (k, result) in checked.into_iter().enumerate() {
+            let s = seed.wrapping_add(pending[k]);
+            outcomes[pending[k] as usize] = Some(match result {
+                Ok(o) => o,
+                // Supervision failures (panic/timeout) synthesize a
+                // reproducible failure record of their own.
+                Err(e) => SeedOutcome {
+                    seed: s,
+                    runs: 0,
+                    instructions: 0,
+                    failure: Some(Divergence {
+                        seed: s,
+                        config: "<supervisor>".into(),
+                        what: e.cause.to_string(),
+                    }),
+                },
+            });
+        }
+    }
+    let mut report = FuzzReport::default();
+    let mut failures = Vec::new();
+    for o in outcomes
+        .into_iter()
+        .map(|o| o.expect("every seed resolved"))
+    {
+        report.programs += 1;
+        report.runs += o.runs;
+        report.instructions += o.instructions;
+        if let Some(d) = o.failure {
+            failures.push(d);
+        }
+    }
+    CampaignOutcome {
+        report,
+        failures,
+        restored,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -523,5 +840,110 @@ mod tests {
         };
         let s = d.to_string();
         assert!(s.contains("seed 7") && s.contains("--seed 7"), "{s}");
+    }
+
+    fn temp_journal_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("subwarp_fuzz_{tag}_{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn resilient_campaign_matches_legacy_on_clean_seeds() {
+        let legacy = run_fuzz_with_jobs(0xF00D, 4, 1).expect("schedules must agree");
+        let resilient = run_fuzz_resilient(0xF00D, 4, 2, None, None);
+        assert!(resilient.failures.is_empty());
+        assert_eq!(resilient.report, legacy);
+        assert_eq!(resilient.restored, 0);
+    }
+
+    #[test]
+    fn resilient_serial_and_parallel_agree() {
+        let a = run_fuzz_resilient(99, 6, 1, None, None);
+        let b = run_fuzz_resilient(99, 6, 4, None, None);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.failures.len(), b.failures.len());
+    }
+
+    #[test]
+    fn journal_roundtrips_ok_and_fail_outcomes() {
+        let path = temp_journal_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let j = FuzzJournal::open(&path).unwrap();
+            assert_eq!(j.restored(), 0);
+            j.record(&SeedOutcome {
+                seed: 3,
+                runs: 29,
+                instructions: 1234,
+                failure: None,
+            });
+            j.record(&SeedOutcome {
+                seed: 4,
+                runs: 2,
+                instructions: 55,
+                failure: Some(Divergence {
+                    seed: 4,
+                    config: "dws \"quoted\"".into(),
+                    what: "line1\nline2\tend".into(),
+                }),
+            });
+        }
+        let j = FuzzJournal::open(&path).unwrap();
+        assert_eq!(j.restored(), 2);
+        let ok = j.lookup(3).unwrap();
+        assert_eq!((ok.runs, ok.instructions), (29, 1234));
+        assert!(ok.failure.is_none());
+        let fail = j.lookup(4).unwrap();
+        let d = fail.failure.unwrap();
+        assert_eq!(d.config, "dws \"quoted\"");
+        assert_eq!(d.what, "line1\nline2\tend");
+        assert!(j.lookup(5).is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_skips_journaled_seeds_and_restores_counts() {
+        let path = temp_journal_path("resume");
+        let _ = std::fs::remove_file(&path);
+        // Uninterrupted reference campaign (no journal).
+        let full = run_fuzz_resilient(0xBEEF, 5, 2, None, None);
+        // First leg: only the first 3 seeds, journaled.
+        let j = std::sync::Arc::new(FuzzJournal::open(&path).unwrap());
+        run_fuzz_resilient(0xBEEF, 3, 2, None, Some(j));
+        // Second leg: full range with the same journal resumes the rest.
+        let j = std::sync::Arc::new(FuzzJournal::open(&path).unwrap());
+        assert_eq!(j.restored(), 3);
+        let resumed = run_fuzz_resilient(0xBEEF, 5, 2, None, Some(j));
+        assert_eq!(resumed.restored, 3);
+        assert_eq!(resumed.report, full.report);
+        assert_eq!(resumed.failures.len(), full.failures.len());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_tolerates_a_corrupt_tail_line() {
+        use std::io::Write;
+        let path = temp_journal_path("corrupt");
+        let _ = std::fs::remove_file(&path);
+        {
+            let j = FuzzJournal::open(&path).unwrap();
+            j.record(&SeedOutcome {
+                seed: 1,
+                runs: 10,
+                instructions: 100,
+                failure: None,
+            });
+        }
+        // Simulate a crash mid-append: a truncated, malformed final line.
+        {
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(b"{\"kind\":\"ok\",\"se").unwrap();
+        }
+        let j = FuzzJournal::open(&path).unwrap();
+        assert_eq!(j.restored(), 1);
+        assert!(j.lookup(1).is_some());
+        let _ = std::fs::remove_file(&path);
     }
 }

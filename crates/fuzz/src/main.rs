@@ -12,11 +12,32 @@
 //!
 //! `--dump` prints the generated program for `--seed` instead of fuzzing,
 //! for inspecting a reproduced divergence.
+//!
+//! Resilient campaign flags (any of them switches to the supervised
+//! keep-going path; without them the legacy stop-at-first-divergence
+//! behaviour and output are unchanged):
+//!
+//! * `--keep-going` — record every divergence and finish the campaign,
+//!   printing an end-of-run failure digest; exits non-zero if any seed
+//!   failed.
+//! * `--journal PATH` — checkpoint per-seed outcomes to a JSONL journal
+//!   (implies `--keep-going`).
+//! * `--resume` — skip seeds already present in the journal (default
+//!   path `results/fuzz_journal.jsonl` unless `--journal` is given).
+//! * `--deadline SECS` — per-seed wall-clock budget; a seed exceeding it
+//!   is abandoned and reported as a `<supervisor>` failure.
 
-use subwarp_fuzz::{config_grid, random_workload, run_fuzz};
+use std::sync::Arc;
+use std::time::Duration;
+use subwarp_fuzz::{config_grid, random_workload, run_fuzz, run_fuzz_resilient, FuzzJournal};
+
+const DEFAULT_JOURNAL: &str = "results/fuzz_journal.jsonl";
 
 fn usage() -> ! {
-    eprintln!("usage: subwarp-fuzz [--seed N] [--iters M] [--dump]");
+    eprintln!(
+        "usage: subwarp-fuzz [--seed N] [--iters M] [--dump] \
+         [--keep-going] [--resume] [--journal PATH] [--deadline SECS]"
+    );
     std::process::exit(2);
 }
 
@@ -25,6 +46,10 @@ fn main() {
     let mut seed = 0u64;
     let mut iters = 100u64;
     let mut dump = false;
+    let mut keep_going = false;
+    let mut resume = false;
+    let mut journal_path: Option<String> = None;
+    let mut deadline: Option<Duration> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut next = |flag: &str| -> u64 {
@@ -36,7 +61,16 @@ fn main() {
         match a.as_str() {
             "--seed" => seed = next("--seed"),
             "--iters" => iters = next("--iters"),
+            "--deadline" => deadline = Some(Duration::from_secs(next("--deadline"))),
             "--dump" => dump = true,
+            "--keep-going" => keep_going = true,
+            "--resume" => resume = true,
+            "--journal" => {
+                journal_path = Some(it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--journal needs a path");
+                    usage()
+                }))
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -58,23 +92,71 @@ fn main() {
         "# fuzzing {iters} programs from seed {seed} across {n_configs} configurations ({jobs} jobs)"
     );
     let t0 = std::time::Instant::now();
-    match run_fuzz(seed, iters) {
-        Ok(r) => {
-            let dt = t0.elapsed().as_secs_f64();
+
+    let resilient = keep_going || resume || journal_path.is_some() || deadline.is_some();
+    if resilient {
+        let journal = if resume || journal_path.is_some() {
+            let path = journal_path.as_deref().unwrap_or(DEFAULT_JOURNAL);
+            let j = FuzzJournal::open(path).unwrap_or_else(|e| {
+                eprintln!("cannot open journal `{path}`: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("# journal: {path} ({} seeds restored)", j.restored());
+            Some(Arc::new(j))
+        } else {
+            None
+        };
+        // A journal without --resume still checkpoints, but starts fresh
+        // semantically only when the file is new; restored seeds are
+        // always honoured so repeated runs converge.
+        let c = run_fuzz_resilient(seed, iters, jobs, deadline, journal);
+        let dt = t0.elapsed().as_secs_f64();
+        println!(
+            "checked: {} programs x {} configurations = {} runs, {} instructions ({} restored from journal)",
+            c.report.programs, n_configs, c.report.runs, c.report.instructions, c.restored
+        );
+        println!(
+            "{} programs in {:.3}s ({:.1} programs/s)",
+            c.report.programs,
+            dt,
+            c.report.programs as f64 / dt.max(1e-9)
+        );
+        if c.failures.is_empty() {
+            println!("all identical, no failures");
+        } else {
             println!(
-                "ok: {} programs x {} configurations = {} runs, {} instructions, all identical",
-                r.programs, n_configs, r.runs, r.instructions
+                "FAILURES: {} of {} seeds",
+                c.failures.len(),
+                c.report.programs
             );
-            println!(
-                "{} programs in {:.3}s ({:.1} programs/s)",
-                r.programs,
-                dt,
-                r.programs as f64 / dt.max(1e-9)
-            );
-        }
-        Err(d) => {
-            eprintln!("DIVERGENCE: {d}");
+            for d in &c.failures {
+                println!("  seed {} [{}]: {}", d.seed, d.config, first_line(&d.what));
+            }
             std::process::exit(1);
         }
+    } else {
+        match run_fuzz(seed, iters) {
+            Ok(r) => {
+                let dt = t0.elapsed().as_secs_f64();
+                println!(
+                    "ok: {} programs x {} configurations = {} runs, {} instructions, all identical",
+                    r.programs, n_configs, r.runs, r.instructions
+                );
+                println!(
+                    "{} programs in {:.3}s ({:.1} programs/s)",
+                    r.programs,
+                    dt,
+                    r.programs as f64 / dt.max(1e-9)
+                );
+            }
+            Err(d) => {
+                eprintln!("DIVERGENCE: {d}");
+                std::process::exit(1);
+            }
+        }
     }
+}
+
+fn first_line(s: &str) -> &str {
+    s.lines().next().unwrap_or(s)
 }

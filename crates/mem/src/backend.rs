@@ -143,6 +143,16 @@ pub enum MemBackendConfig {
     Fixed,
     /// Cycle-level banked L2 + per-SM MSHRs + GDDR6-like DRAM channels.
     Hierarchical(HierarchyConfig),
+    /// A fault-injecting wrapper around another backend (see
+    /// [`FaultyBackend`]): drops or delays fills deterministically to
+    /// exercise the deadlock watchdog and sweep-supervision deadline paths.
+    /// Chaos/test infrastructure only — never a model of real hardware.
+    Faulty {
+        /// Fault rates and seed.
+        fault: MemFaultConfig,
+        /// The wrapped backend's configuration.
+        inner: Box<MemBackendConfig>,
+    },
 }
 
 impl MemBackendConfig {
@@ -152,6 +162,10 @@ impl MemBackendConfig {
         match self {
             MemBackendConfig::Fixed => Box::new(FixedLatencyBackend::new(fixed_latency)),
             MemBackendConfig::Hierarchical(h) => Box::new(HierarchicalBackend::new(h.clone())),
+            MemBackendConfig::Faulty { fault, inner } => Box::new(FaultyBackend::new(
+                fault.clone(),
+                inner.build(fixed_latency),
+            )),
         }
     }
 
@@ -161,6 +175,10 @@ impl MemBackendConfig {
         match self {
             MemBackendConfig::Fixed => Ok(()),
             MemBackendConfig::Hierarchical(h) => h.validate(),
+            MemBackendConfig::Faulty { fault, inner } => {
+                fault.validate()?;
+                inner.validate()
+            }
         }
     }
 }
@@ -480,6 +498,138 @@ impl MemoryBackend for HierarchicalBackend {
     }
 }
 
+/// Deterministic fill-fault rates for a [`FaultyBackend`].
+///
+/// Rates are per-mille (0–1000) so the config stays `Eq`; decisions are a
+/// pure function of `(seed, fill index, line)`, making a faulty simulation
+/// exactly as reproducible as a healthy one.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MemFaultConfig {
+    /// Seed mixed into every per-fill decision.
+    pub seed: u64,
+    /// Per-mille probability that a fill is *dropped*: the completion is
+    /// pushed effectively to infinity, so the waiting warp never wakes and
+    /// the SM's deadlock watchdog must fire.
+    pub drop_per_mille: u16,
+    /// Per-mille probability that a fill is *delayed* by
+    /// [`delay_cycles`](Self::delay_cycles) on top of the wrapped backend's
+    /// completion time.
+    pub delay_per_mille: u16,
+    /// Added latency for delayed fills, in cycles.
+    pub delay_cycles: u64,
+}
+
+impl MemFaultConfig {
+    /// Validates the rates; returns a description of the first
+    /// inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.drop_per_mille > 1000 || self.delay_per_mille > 1000 {
+            return Err("fault rates are per-mille and must be <= 1000".into());
+        }
+        if self.delay_per_mille > 0 && self.delay_cycles == 0 {
+            return Err("delayed fills need a nonzero delay_cycles".into());
+        }
+        Ok(())
+    }
+}
+
+/// How far in the future a dropped fill "completes": far beyond any cycle
+/// cap, so the fill is never observed and the deadlock watchdog fires.
+const DROPPED_FILL_HORIZON: u64 = 1 << 40;
+
+/// A fault-injecting [`MemoryBackend`] wrapper: deterministically drops or
+/// delays fills issued to the wrapped backend.
+///
+/// Chaos/test infrastructure for the sweep supervision layer (see
+/// `subwarp_core::FaultPlan`), not a hardware model. A dropped fill never
+/// reaches the inner backend at all and is excluded from
+/// [`MemoryBackend::next_event`], so the SM sees an outstanding request
+/// with no completion on the horizon — exactly the shape that must trip the
+/// deadlock watchdog rather than hang the sweep.
+#[derive(Debug)]
+pub struct FaultyBackend {
+    cfg: MemFaultConfig,
+    inner: Box<dyn MemoryBackend>,
+    fills_seen: u64,
+    dropped: u64,
+    delayed: u64,
+}
+
+/// The same dependency-free splitmix64 mixer used elsewhere in this crate's
+/// deterministic address hashing.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultyBackend {
+    /// Wraps `inner` with the given fault rates.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`MemFaultConfig::validate`].
+    pub fn new(cfg: MemFaultConfig, inner: Box<dyn MemoryBackend>) -> FaultyBackend {
+        if let Err(what) = cfg.validate() {
+            panic!("invalid mem-fault config: {what}");
+        }
+        FaultyBackend {
+            cfg,
+            inner,
+            fills_seen: 0,
+            dropped: 0,
+            delayed: 0,
+        }
+    }
+
+    /// Fills dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Fills delayed so far.
+    pub fn delayed(&self) -> u64 {
+        self.delayed
+    }
+
+    fn draw(&self, line: u64) -> u64 {
+        mix64(self.cfg.seed ^ mix64(self.fills_seen) ^ line) % 1000
+    }
+}
+
+impl MemoryBackend for FaultyBackend {
+    fn miss(&mut self, now: u64, line: u64) -> u64 {
+        let draw = self.draw(line);
+        self.fills_seen += 1;
+        if (draw as u16) < self.cfg.drop_per_mille {
+            self.dropped += 1;
+            return now + DROPPED_FILL_HORIZON;
+        }
+        let done = self.inner.miss(now, line);
+        if ((draw as u16).wrapping_sub(self.cfg.drop_per_mille)) < self.cfg.delay_per_mille {
+            self.delayed += 1;
+            done + self.cfg.delay_cycles
+        } else {
+            done
+        }
+    }
+
+    fn next_event(&self, now: u64) -> Option<u64> {
+        // Dropped fills are deliberately invisible here: with no event on
+        // the horizon, the SM's quiescence fast-forward stays clamped to
+        // the deadlock window and the watchdog fires.
+        self.inner.next_event(now)
+    }
+
+    fn stats(&self) -> MemBackendStats {
+        self.inner.stats()
+    }
+
+    fn counters(&self, now: u64) -> Option<MemCounters> {
+        self.inner.counters(now)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -721,5 +871,115 @@ mod tests {
         let mut h = MemBackendConfig::Hierarchical(tiny()).build(600);
         let d = h.miss(0, 0);
         assert_eq!(h.next_event(0), Some(d));
+    }
+
+    #[test]
+    fn faulty_backend_is_deterministic() {
+        let cfg = MemFaultConfig {
+            seed: 99,
+            drop_per_mille: 200,
+            delay_per_mille: 300,
+            delay_cycles: 1000,
+        };
+        let run = || {
+            let mut b = FaultyBackend::new(cfg.clone(), Box::new(FixedLatencyBackend::new(600)));
+            let dones: Vec<u64> = (0..100u64).map(|i| b.miss(i, i * 128)).collect();
+            (dones, b.dropped(), b.delayed())
+        };
+        let (a, a_drop, a_delay) = run();
+        let (b, b_drop, b_delay) = run();
+        assert_eq!(a, b, "same seed, same fills, same faults");
+        assert_eq!((a_drop, a_delay), (b_drop, b_delay));
+        assert!(a_drop > 0, "a 20% drop rate over 100 fills must drop some");
+        assert!(
+            a_delay > 0,
+            "a 30% delay rate over 100 fills must delay some"
+        );
+        assert!(a_drop + a_delay < 100, "and most fills stay healthy");
+    }
+
+    #[test]
+    fn dropped_fills_vanish_from_next_event() {
+        let cfg = MemFaultConfig {
+            seed: 0,
+            drop_per_mille: 1000, // drop everything
+            ..MemFaultConfig::default()
+        };
+        let mut b = FaultyBackend::new(cfg, Box::new(HierarchicalBackend::new(tiny())));
+        let done = b.miss(0, 0x0);
+        assert!(
+            done >= DROPPED_FILL_HORIZON,
+            "dropped fill completes beyond any cycle cap: {done}"
+        );
+        assert_eq!(b.dropped(), 1);
+        assert_eq!(
+            b.next_event(0),
+            None,
+            "a dropped fill must not advertise a wakeup event"
+        );
+        assert_eq!(b.stats().requests, 0, "inner backend never saw the fill");
+    }
+
+    #[test]
+    fn delayed_fills_add_exactly_the_configured_latency() {
+        let delay = MemFaultConfig {
+            seed: 7,
+            delay_per_mille: 1000, // delay everything
+            delay_cycles: 12345,
+            ..MemFaultConfig::default()
+        };
+        let mut faulty = FaultyBackend::new(delay, Box::new(FixedLatencyBackend::new(600)));
+        let mut clean = FixedLatencyBackend::new(600);
+        for i in 0..10u64 {
+            let line = i * 128;
+            assert_eq!(faulty.miss(i, line), clean.miss(i, line) + 12345);
+        }
+        assert_eq!(faulty.delayed(), 10);
+    }
+
+    #[test]
+    fn zero_rate_faulty_backend_is_transparent() {
+        let none = MemFaultConfig {
+            seed: 1,
+            ..MemFaultConfig::default()
+        };
+        let mut faulty = FaultyBackend::new(none, Box::new(HierarchicalBackend::new(tiny())));
+        let mut clean = HierarchicalBackend::new(tiny());
+        for i in 0..50u64 {
+            let (now, line) = (i * 3, (i % 13) * 128);
+            assert_eq!(faulty.miss(now, line), clean.miss(now, line));
+            assert_eq!(faulty.next_event(now), clean.next_event(now));
+        }
+        assert_eq!(faulty.stats(), clean.stats());
+    }
+
+    #[test]
+    fn faulty_config_validates_and_builds() {
+        let fault = MemFaultConfig {
+            seed: 3,
+            drop_per_mille: 10,
+            ..MemFaultConfig::default()
+        };
+        let cfg = MemBackendConfig::Faulty {
+            fault: fault.clone(),
+            inner: Box::new(MemBackendConfig::Fixed),
+        };
+        assert!(cfg.validate().is_ok());
+        let mut b = cfg.build(600);
+        let _ = b.miss(0, 0);
+        let bad = MemBackendConfig::Faulty {
+            fault: MemFaultConfig {
+                drop_per_mille: 1001,
+                ..MemFaultConfig::default()
+            },
+            inner: Box::new(MemBackendConfig::Fixed),
+        };
+        assert!(bad.validate().is_err());
+        let bad_delay = MemFaultConfig {
+            delay_per_mille: 5,
+            delay_cycles: 0,
+            ..MemFaultConfig::default()
+        };
+        assert!(bad_delay.validate().is_err());
     }
 }

@@ -32,8 +32,8 @@ mod data;
 mod service;
 
 pub use backend::{
-    DramConfig, FixedLatencyBackend, HierarchicalBackend, HierarchyConfig, MemBackendConfig,
-    MemBackendStats, MemCounters, MemoryBackend,
+    DramConfig, FaultyBackend, FixedLatencyBackend, HierarchicalBackend, HierarchyConfig,
+    MemBackendConfig, MemBackendStats, MemCounters, MemFaultConfig, MemoryBackend,
 };
 pub use cache::{AccessKind, Cache, CacheConfig, CacheStats};
 pub use data::DataMemory;
