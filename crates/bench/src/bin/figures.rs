@@ -4,6 +4,7 @@
 //! ```text
 //! figures [fig3|table3|fig10|fig12a|fig12b|fig13|fig14|fig15|icache|order|all|mem-sweep|chaos]
 //!         [--csv DIR] [--resume] [--journal PATH] [--deadline SECS] [--attempts N]
+//!         [--max-holes N]
 //! ```
 //!
 //! `mem-sweep` (the hierarchical-memory-backend sensitivity study, beyond
@@ -22,6 +23,12 @@
 //! time and `--attempts N` retries failed cells. `chaos` runs a small
 //! sweep with deterministically injected panics, errors, delays, and
 //! dropped memory fills to smoke-test exactly this machinery.
+//!
+//! `--max-holes N` draws the line between degraded and broken: figure
+//! failures that are fully accounted for by labeled sweep holes are
+//! tolerated up to a budget of N holes total (exit 0); any failure *not*
+//! backed by holes — a logic error rather than a faulted cell — or a hole
+//! count above the budget still exits nonzero.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -38,12 +45,19 @@ fn main() {
     let mut journal_path: Option<String> = None;
     let mut deadline_secs: Option<u64> = None;
     let mut attempts: u32 = 1;
+    let mut max_holes: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--csv" => csv_dir = it.next().cloned().or(Some("results".into())),
             "--resume" => resume = true,
             "--journal" => journal_path = it.next().cloned(),
+            "--max-holes" => {
+                max_holes = it.next().and_then(|s| s.parse().ok()).or_else(|| {
+                    eprintln!("--max-holes needs a non-negative integer");
+                    std::process::exit(2);
+                })
+            }
             "--deadline" => {
                 deadline_secs = it.next().and_then(|s| s.parse().ok()).or_else(|| {
                     eprintln!("--deadline needs a positive integer of seconds");
@@ -93,8 +107,9 @@ fn main() {
         ];
     }
     let mut csvs: Vec<(String, String)> = Vec::new();
-    let mut failed: Vec<String> = Vec::new();
+    let mut failed: Vec<(String, usize)> = Vec::new();
     for w in which {
+        let holes_before = x::holes_observed();
         let result = match w {
             "fig3" => fig3(&mut csvs),
             "table3" => table3(&mut csvs),
@@ -117,7 +132,7 @@ fn main() {
         };
         if let Err(e) = result {
             println!("FAILED({w}): {e}");
-            failed.push(w.to_string());
+            failed.push((w.to_string(), x::holes_observed() - holes_before));
         }
         println!();
     }
@@ -130,8 +145,34 @@ fn main() {
         }
     }
     if !failed.is_empty() {
-        eprintln!("{} figure(s) failed: {}", failed.len(), failed.join(", "));
-        std::process::exit(1);
+        let names: Vec<&str> = failed.iter().map(|(w, _)| w.as_str()).collect();
+        eprintln!("{} figure(s) failed: {}", failed.len(), names.join(", "));
+        let Some(budget) = max_holes else {
+            std::process::exit(1);
+        };
+        // Graceful degradation has a precise meaning: a failure is
+        // tolerable only when it is fully explained by labeled sweep holes
+        // (faulted/timed-out cells), and only within the hole budget. A
+        // failure with *zero* new holes is a logic error wearing a fault's
+        // clothes — never tolerated.
+        let unbacked: Vec<&str> = failed
+            .iter()
+            .filter(|(_, holes)| *holes == 0)
+            .map(|(w, _)| w.as_str())
+            .collect();
+        if !unbacked.is_empty() {
+            eprintln!(
+                "failure(s) not backed by sweep holes ({}): refusing to tolerate",
+                unbacked.join(", ")
+            );
+            std::process::exit(1);
+        }
+        let total = x::holes_observed();
+        if total > budget {
+            eprintln!("{total} sweep hole(s) exceed --max-holes {budget}");
+            std::process::exit(1);
+        }
+        eprintln!("tolerating {total} sweep hole(s) within --max-holes {budget}; exiting 0");
     }
 }
 

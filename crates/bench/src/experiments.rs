@@ -12,111 +12,10 @@ use std::sync::Arc;
 
 use subwarp_core::{
     DivergeOrder, EventRecorder, HierarchyConfig, MemBackendConfig, RunStats, SelectPolicy,
-    SiConfig, SimError, Simulator, SmConfig, Workload,
+    SiConfig, SimError, Simulator, SmConfig,
 };
-use subwarp_workloads::{built_suite, figure9_workload, microbenchmark_with, MicroConfig};
-
-// ------------------------------------------------------------------- Sweep
-
-/// A declarative experiment sweep: the cartesian grid of shared workloads
-/// × named simulator configurations.
-///
-/// Every figure and table of the paper is some slice of this grid. The
-/// cells are completely independent `Simulator::run` calls, so
-/// [`Sweep::run`] fans them out across the [`subwarp_pool`] workers and
-/// reassembles the results in grid order — a parallel sweep returns
-/// exactly what the serial one (`SUBWARP_JOBS=1`) returns.
-#[derive(Default)]
-pub struct Sweep {
-    pub(crate) workloads: Vec<(String, Arc<Workload>)>,
-    pub(crate) configs: Vec<(String, SmConfig, SiConfig)>,
-}
-
-impl Sweep {
-    /// An empty sweep; add rows and columns with the builder methods.
-    pub fn new() -> Sweep {
-        Sweep::default()
-    }
-
-    /// A sweep over the shared, built-once Table II suite
-    /// ([`built_suite`]).
-    pub fn over_suite() -> Sweep {
-        let mut s = Sweep::new();
-        for (t, wl) in built_suite() {
-            s.workloads.push((t.name.to_owned(), Arc::clone(wl)));
-        }
-        s
-    }
-
-    /// Adds a (prebuilt, shared) workload row.
-    pub fn workload(mut self, name: impl Into<String>, wl: Arc<Workload>) -> Sweep {
-        self.workloads.push((name.into(), wl));
-        self
-    }
-
-    /// Adds a simulator-configuration column.
-    pub fn config(mut self, label: impl Into<String>, sm: SmConfig, si: SiConfig) -> Sweep {
-        self.configs.push((label.into(), sm, si));
-        self
-    }
-
-    /// Workload names in grid row order.
-    pub fn workload_names(&self) -> impl Iterator<Item = &str> {
-        self.workloads.iter().map(|(n, _)| n.as_str())
-    }
-
-    /// Configuration labels in grid column order.
-    pub fn config_labels(&self) -> impl Iterator<Item = &str> {
-        self.configs.iter().map(|(l, _, _)| l.as_str())
-    }
-
-    /// Number of cells (`workloads × configs`) the sweep will run.
-    pub fn len(&self) -> usize {
-        self.workloads.len() * self.configs.len()
-    }
-
-    /// True when the grid has no cells.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Runs the grid on the default worker count
-    /// ([`subwarp_pool::default_jobs`]). `grid[w][c]` holds workload `w`
-    /// under configuration `c`; on failure, the first error in grid order
-    /// is returned.
-    pub fn run(&self) -> Result<Vec<Vec<RunStats>>, SimError> {
-        self.run_with_jobs(subwarp_pool::default_jobs())
-    }
-
-    /// Runs the grid on exactly `workers` threads (the serial/parallel
-    /// determinism A/B hook).
-    ///
-    /// When the `figures` binary has installed a process-global
-    /// [`SweepPolicy`](crate::SweepPolicy) (journal/deadline/fault
-    /// injection), the grid runs under supervision instead; a strict-mode
-    /// caller still sees the first hole as a `SimError`. Without an
-    /// installed policy this is the original unsupervised fast path,
-    /// byte-identical to pre-supervision behavior.
-    pub fn run_with_jobs(&self, workers: usize) -> Result<Vec<Vec<RunStats>>, SimError> {
-        if let Some(policy) = crate::resilient::global_policy() {
-            let mut policy = policy.clone();
-            policy.workers = Some(workers);
-            return self.run_resilient(&policy).into_result();
-        }
-        let nc = self.configs.len();
-        let cells = subwarp_pool::run_with_jobs(workers, self.len(), |i| {
-            let (_, wl) = &self.workloads[i / nc];
-            let (_, sm, si) = &self.configs[i % nc];
-            Simulator::new(sm.clone(), *si).run(wl)
-        });
-        let mut it = cells.into_iter();
-        let mut grid = Vec::with_capacity(self.workloads.len());
-        for _ in 0..self.workloads.len() {
-            grid.push((&mut it).take(nc).collect::<Result<Vec<_>, _>>()?);
-        }
-        Ok(grid)
-    }
-}
+use subwarp_sweep::Sweep;
+use subwarp_workloads::{figure9_workload, microbenchmark_with, MicroConfig};
 
 /// The six SI settings of Figure 12a, in the paper's legend order.
 pub fn si_configs() -> Vec<(String, SiConfig)> {
@@ -750,32 +649,5 @@ mod tests {
             ..Default::default()
         };
         assert!((gain_pct(&si, &base) - 6.3).abs() < 0.01);
-    }
-
-    #[test]
-    fn sweep_grid_shape_and_order() {
-        let wl = Arc::new(figure9_workload());
-        let sweep = Sweep::new()
-            .workload("a", Arc::clone(&wl))
-            .workload("b", wl)
-            .config("base", SmConfig::turing_like(), SiConfig::disabled())
-            .config("si", SmConfig::turing_like(), SiConfig::best());
-        assert_eq!(sweep.len(), 4);
-        let grid = sweep.run().unwrap();
-        assert_eq!(grid.len(), 2);
-        assert_eq!(grid[0].len(), 2);
-        // Identical workload rows must produce identical cells.
-        assert_eq!(grid[0], grid[1]);
-    }
-
-    #[test]
-    fn sweep_parallel_matches_serial() {
-        let sweep = Sweep::new()
-            .workload("toy", Arc::new(figure9_workload()))
-            .config("base", SmConfig::turing_like(), SiConfig::disabled())
-            .config("si", SmConfig::turing_like(), SiConfig::best());
-        let serial = sweep.run_with_jobs(1).unwrap();
-        let parallel = sweep.run_with_jobs(4).unwrap();
-        assert_eq!(serial, parallel);
     }
 }

@@ -20,12 +20,26 @@
 //!
 //! The `figures` binary formats these as tables and ASCII charts; the
 //! criterion benches under `benches/` time representative slices.
+//!
+//! The sweep engine itself — [`Sweep`], [`run_resilient`], [`Journal`],
+//! fingerprints — lives in the `subwarp-sweep` crate (shared with the
+//! `subwarp-serve` daemon) and is re-exported here so existing callers
+//! keep compiling unchanged.
 
 pub mod experiments;
-pub mod resilient;
+
+/// Compatibility shim: the fault-tolerant sweep layer moved to the
+/// `subwarp-sweep` crate; `subwarp_bench::resilient::*` paths keep working.
+pub mod resilient {
+    pub use subwarp_sweep::{
+        cell_fingerprint, chaos_sweep, global_policy, holes_observed, install_global_policy,
+        job_error_to_sim, lock_path_for, run_resilient, workload_hash, Journal, PartialGrid,
+        SweepPolicy,
+    };
+}
 
 pub use experiments::*;
-pub use resilient::{
-    cell_fingerprint, chaos_sweep, global_policy, install_global_policy, job_error_to_sim,
-    run_resilient, workload_hash, Journal, PartialGrid, SweepPolicy,
+pub use subwarp_sweep::{
+    cell_fingerprint, chaos_sweep, global_policy, holes_observed, install_global_policy,
+    job_error_to_sim, run_resilient, workload_hash, Journal, PartialGrid, Sweep, SweepPolicy,
 };

@@ -198,7 +198,9 @@ pub enum JobCause<E> {
         deadline: Duration,
     },
     /// The job was never run: the supervisor cancelled remaining work after
-    /// an earlier failure ([`Supervisor::cancel_on_first_error`]).
+    /// an earlier failure ([`Supervisor::cancel_on_first_error`]) or an
+    /// external [`Supervisor::cancel`] flag was raised (e.g. a server
+    /// drain).
     Cancelled,
 }
 
@@ -268,6 +270,16 @@ pub struct Supervisor {
     /// yet started completes as [`JobCause::Cancelled`]. Jobs already
     /// running finish normally.
     pub cancel_on_first_error: bool,
+    /// Seed for the deterministic per-(job, attempt) jitter applied to
+    /// retry backoff, spreading simultaneous retries so they don't
+    /// stampede in lockstep. The jitter only scales the *sleep* — never
+    /// job results — so serial/parallel determinism is unaffected.
+    pub jitter_seed: u64,
+    /// External cancellation hook: when the flag is raised (e.g. by a
+    /// draining server), jobs not yet started complete as
+    /// [`JobCause::Cancelled`] and failed jobs stop retrying; jobs already
+    /// running finish normally.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Default for Supervisor {
@@ -281,6 +293,8 @@ impl Default for Supervisor {
             retry_panics: false,
             retry_errors: false,
             cancel_on_first_error: false,
+            jitter_seed: 0,
+            cancel: None,
         }
     }
 }
@@ -301,6 +315,34 @@ impl Supervisor {
         self.base_backoff
             .saturating_mul(factor)
             .min(self.max_backoff)
+    }
+
+    /// The backoff [`run_supervised`] actually sleeps before retry
+    /// `attempt` of job `index`: the capped exponential [`backoff`]
+    /// (never exceeded) scaled by a deterministic jitter factor in
+    /// `[0.5, 1.0)` derived from `(jitter_seed, index, attempt)`.
+    ///
+    /// When a whole batch fails at once (a flaky shared resource), the
+    /// un-jittered schedule wakes every worker in lockstep; the
+    /// per-job jitter spreads those wakeups while remaining a pure
+    /// function of the supervisor configuration, so any two runs — serial
+    /// or parallel — sleep identical amounts for identical (job, attempt)
+    /// pairs.
+    pub fn backoff_for(&self, index: usize, attempt: u32) -> Duration {
+        let capped = self.backoff(attempt);
+        // splitmix64 finalizer over the (seed, index, attempt) triple.
+        let mut z = self
+            .jitter_seed
+            .wrapping_add(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((index as u64) << 32)
+            .wrapping_add(attempt as u64);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        // Map to [0.5, 1.0): half the cap guarantees progress, the spread
+        // de-synchronizes the herd.
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+        capped.mul_f64(0.5 + unit / 2.0)
     }
 }
 
@@ -373,63 +415,73 @@ where
     let sup = sup.clone();
     let workers = sup.workers.clamp(1, n);
 
-    let spawn_worker = |shared: &Arc<Shared>, tx: &mpsc::Sender<DoneMsg<T, E>>| {
-        let shared = Arc::clone(shared);
-        let tx = tx.clone();
-        let f = Arc::clone(&f);
-        let sup = sup.clone();
-        std::thread::spawn(move || loop {
-            let i = shared.next.fetch_add(1, Ordering::Relaxed);
-            if i >= n {
-                break;
-            }
-            if shared.cancelled.load(Ordering::SeqCst) {
+    let spawn_worker =
+        |shared: &Arc<Shared>, tx: &mpsc::Sender<DoneMsg<T, E>>| -> std::thread::JoinHandle<()> {
+            let shared = Arc::clone(shared);
+            let tx = tx.clone();
+            let f = Arc::clone(&f);
+            let sup = sup.clone();
+            std::thread::spawn(move || loop {
+                let i = shared.next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let externally_cancelled = || {
+                    sup.cancel
+                        .as_ref()
+                        .is_some_and(|c| c.load(Ordering::SeqCst))
+                };
+                if shared.cancelled.load(Ordering::SeqCst) || externally_cancelled() {
+                    let _ = tx.send(DoneMsg {
+                        index: i,
+                        attempts: 0,
+                        outcome: Err(JobCause::Cancelled),
+                    });
+                    continue;
+                }
+                let mut attempt = 1u32;
+                let outcome = loop {
+                    shared.attempt_of[i].store(attempt, Ordering::SeqCst);
+                    shared.running_since[i]
+                        .store(epoch.elapsed().as_micros() as u64 + 1, Ordering::SeqCst);
+                    let result = catch_unwind(AssertUnwindSafe(|| f(i, attempt)));
+                    shared.running_since[i].store(0, Ordering::SeqCst);
+                    let cause = match result {
+                        Ok(Ok(t)) => break Ok(t),
+                        Ok(Err(e)) => JobCause::Err(e),
+                        Err(payload) => JobCause::Panic(panic_message(payload)),
+                    };
+                    let retryable = match &cause {
+                        JobCause::Panic(_) => sup.retry_panics,
+                        JobCause::Err(_) => sup.retry_errors,
+                        _ => false,
+                    };
+                    // A drain in progress turns remaining retries into a final
+                    // verdict: report the real failure now rather than sleeping
+                    // through the shutdown window.
+                    if attempt >= sup.max_attempts || !retryable || externally_cancelled() {
+                        break Err(cause);
+                    }
+                    attempt += 1;
+                    std::thread::sleep(sup.backoff_for(i, attempt));
+                };
+                // Flag cancellation here (not in the supervisor loop) so that
+                // with one worker the claim order sees it immediately and the
+                // serial Cancelled pattern is deterministic.
+                if outcome.is_err() && sup.cancel_on_first_error {
+                    shared.cancelled.store(true, Ordering::SeqCst);
+                }
                 let _ = tx.send(DoneMsg {
                     index: i,
-                    attempts: 0,
-                    outcome: Err(JobCause::Cancelled),
+                    attempts: attempt,
+                    outcome,
                 });
-                continue;
-            }
-            let mut attempt = 1u32;
-            let outcome = loop {
-                shared.attempt_of[i].store(attempt, Ordering::SeqCst);
-                shared.running_since[i]
-                    .store(epoch.elapsed().as_micros() as u64 + 1, Ordering::SeqCst);
-                let result = catch_unwind(AssertUnwindSafe(|| f(i, attempt)));
-                shared.running_since[i].store(0, Ordering::SeqCst);
-                let cause = match result {
-                    Ok(Ok(t)) => break Ok(t),
-                    Ok(Err(e)) => JobCause::Err(e),
-                    Err(payload) => JobCause::Panic(panic_message(payload)),
-                };
-                let retryable = match &cause {
-                    JobCause::Panic(_) => sup.retry_panics,
-                    JobCause::Err(_) => sup.retry_errors,
-                    _ => false,
-                };
-                if attempt >= sup.max_attempts || !retryable {
-                    break Err(cause);
-                }
-                attempt += 1;
-                std::thread::sleep(sup.backoff(attempt));
-            };
-            // Flag cancellation here (not in the supervisor loop) so that
-            // with one worker the claim order sees it immediately and the
-            // serial Cancelled pattern is deterministic.
-            if outcome.is_err() && sup.cancel_on_first_error {
-                shared.cancelled.store(true, Ordering::SeqCst);
-            }
-            let _ = tx.send(DoneMsg {
-                index: i,
-                attempts: attempt,
-                outcome,
-            });
-        });
-    };
+            })
+        };
 
+    let mut handles = Vec::with_capacity(workers);
     for _ in 0..workers {
-        spawn_worker(&shared, &tx);
+        handles.push(spawn_worker(&shared, &tx));
     }
 
     let mut out: Vec<Option<Result<T, JobError<E>>>> = (0..n).map(|_| None).collect();
@@ -493,9 +545,19 @@ where
                     }
                     // The stuck worker's thread is occupied indefinitely;
                     // restore pool capacity so the rest of the batch runs.
-                    spawn_worker(&shared, &tx);
+                    handles.push(spawn_worker(&shared, &tx));
                 }
             }
+        }
+    }
+    // With every result in hand, idle workers exit promptly — join them so
+    // resources owned by the closure (e.g. a journal's exclusive lock) are
+    // released before this returns. Skip when any job was abandoned: its
+    // stuck thread cannot be joined, and the replacement policy already
+    // restored capacity.
+    if !abandoned.iter().any(|&a| a) {
+        for h in handles {
+            let _ = h.join();
         }
     }
     out.into_iter()
@@ -752,6 +814,68 @@ mod tests {
         ));
         // With one worker, claims are in index order: everything after the
         // failing job is cancelled without running.
+        for r in &out[2..] {
+            assert!(
+                matches!(r.as_ref().unwrap_err().cause, JobCause::Cancelled),
+                "{r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_bounded_and_spread() {
+        let sup = Supervisor {
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            jitter_seed: 0xA5A5,
+            ..Supervisor::default()
+        };
+        let mut seen = Vec::new();
+        for index in 0..16 {
+            for attempt in 2..=8 {
+                let d = sup.backoff_for(index, attempt);
+                let cap = sup.backoff(attempt);
+                // Jitter scales within [0.5, 1.0) of the capped schedule:
+                // the cap stays strict, progress is guaranteed.
+                assert!(d <= cap, "jitter must never exceed the cap");
+                assert!(d >= cap.mul_f64(0.5), "jitter floor is half the cap");
+                // Pure function of (seed, index, attempt).
+                assert_eq!(d, sup.backoff_for(index, attempt));
+                seen.push(d);
+            }
+        }
+        // Different (index, attempt) pairs spread: not all identical.
+        seen.sort();
+        seen.dedup();
+        assert!(seen.len() > 16, "jitter must de-synchronize the herd");
+        // A different seed yields a different schedule.
+        let other = Supervisor {
+            jitter_seed: 0x5A5A,
+            ..sup.clone()
+        };
+        assert_ne!(sup.backoff_for(3, 2), other.backoff_for(3, 2));
+    }
+
+    #[test]
+    fn supervised_external_cancel_stops_unclaimed_jobs() {
+        let cancel = Arc::new(AtomicBool::new(false));
+        let sup = Supervisor {
+            workers: 1,
+            cancel: Some(Arc::clone(&cancel)),
+            ..Supervisor::default()
+        };
+        let c = Arc::clone(&cancel);
+        let out = run_supervised::<usize, (), _>(&sup, &labels(6), move |i, _| {
+            if i == 1 {
+                // Raise the drain flag mid-batch.
+                c.store(true, Ordering::SeqCst);
+            }
+            Ok(i)
+        });
+        assert!(out[0].is_ok());
+        assert!(out[1].is_ok(), "the in-flight job still finishes");
+        // With one worker, claims are in index order: everything after the
+        // cancellation point is reported Cancelled without running.
         for r in &out[2..] {
             assert!(
                 matches!(r.as_ref().unwrap_err().cause, JobCause::Cancelled),

@@ -1,0 +1,253 @@
+//! `subwarp-serve`: the simulation-as-a-service daemon.
+//!
+//! ```text
+//! subwarp-serve [--listen ADDR] [--store PATH] [--queue-cap N] [--quota N]
+//!               [--workers N] [--deadline-ms N] [--attempts N] [--batch N]
+//!               [--drain-grace-ms N] [--jitter-seed N]
+//!               [--fault-seed N] [--fault-panics PM] [--fault-errors PM]
+//!               [--fault-delays PM] [--fault-delay-ms N]
+//!               [--fault-clears-after N]
+//! ```
+//!
+//! Listens for NDJSON job requests, executes them under supervision, and
+//! memoizes results in a crash-safe journal (`--store`). SIGTERM or SIGINT
+//! triggers a graceful drain: stop accepting, finish and journal accepted
+//! work, exit 0. The `--fault-*` flags inject deterministic chaos for the
+//! robustness tests.
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use subwarp_core::FaultPlan;
+use subwarp_serve::server::Phase;
+use subwarp_serve::wire::serve_connection;
+use subwarp_serve::{MemoStore, Server, ServerConfig};
+
+/// Set by the signal handler; polled by the accept loop.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_term(_sig: i32) {
+    // Only async-signal-safe work here: flip the flag, nothing else.
+    TERM.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_term as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+struct Args {
+    listen: String,
+    store: Option<String>,
+    cfg: ServerConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut listen = "127.0.0.1:7077".to_owned();
+    let mut store = None;
+    let mut cfg = ServerConfig::default();
+    let mut faults = FaultPlan::none(0);
+    let mut chaos = false;
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let next = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        match flag {
+            "--listen" => listen = next(&mut i, flag)?,
+            "--store" => store = Some(next(&mut i, flag)?),
+            "--queue-cap" => cfg.queue_cap = parse(&next(&mut i, flag)?, flag)?,
+            "--quota" => cfg.client_quota = parse(&next(&mut i, flag)?, flag)?,
+            "--workers" => cfg.workers = parse(&next(&mut i, flag)?, flag)?,
+            "--deadline-ms" => {
+                let ms: u64 = parse(&next(&mut i, flag)?, flag)?;
+                cfg.deadline = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--attempts" => cfg.max_attempts = parse(&next(&mut i, flag)?, flag)?,
+            "--batch" => cfg.batch_max = parse(&next(&mut i, flag)?, flag)?,
+            "--drain-grace-ms" => {
+                cfg.drain_grace = Duration::from_millis(parse(&next(&mut i, flag)?, flag)?)
+            }
+            "--jitter-seed" => cfg.jitter_seed = parse(&next(&mut i, flag)?, flag)?,
+            "--fault-seed" => {
+                faults.seed = parse(&next(&mut i, flag)?, flag)?;
+                chaos = true;
+            }
+            "--fault-panics" => {
+                faults.panic_per_mille = parse(&next(&mut i, flag)?, flag)?;
+                chaos = true;
+            }
+            "--fault-errors" => {
+                faults.error_per_mille = parse(&next(&mut i, flag)?, flag)?;
+                chaos = true;
+            }
+            "--fault-delays" => {
+                faults.delay_per_mille = parse(&next(&mut i, flag)?, flag)?;
+                chaos = true;
+            }
+            "--fault-delay-ms" => {
+                faults.delay_ms = parse(&next(&mut i, flag)?, flag)?;
+                chaos = true;
+            }
+            "--fault-clears-after" => {
+                faults.clears_after = Some(parse(&next(&mut i, flag)?, flag)?);
+                chaos = true;
+            }
+            "--help" | "-h" => {
+                println!("{}", HELP);
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+        i += 1;
+    }
+    if chaos {
+        cfg.faults = Some(faults);
+    }
+    Ok(Args { listen, store, cfg })
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad value `{s}` for {flag}"))
+}
+
+const HELP: &str = "subwarp-serve: crash-safe simulation job daemon (NDJSON over TCP)
+
+  --listen ADDR          bind address (default 127.0.0.1:7077)
+  --store PATH           persistent memo journal (default: in-memory only)
+  --queue-cap N          max queued jobs before shedding (default 64)
+  --quota N              max outstanding jobs per client (default 16)
+  --workers N            worker threads per batch (default: SUBWARP_JOBS/cores)
+  --deadline-ms N        per-job soft deadline, 0 = none (default 30000)
+  --attempts N           attempts per job, >1 retries faults (default 2)
+  --batch N              max jobs per supervised batch (default 8)
+  --drain-grace-ms N     drain grace before cancelling (default 30000)
+  --jitter-seed N        retry-backoff jitter seed (default 0x5EED)
+  --fault-*              deterministic chaos injection (see DESIGN.md)
+
+SIGTERM/SIGINT drain gracefully: accepted work finishes and is journaled,
+then the process exits 0.";
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("subwarp-serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    install_signal_handlers();
+
+    let store = match &args.store {
+        Some(path) => match MemoStore::open(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("subwarp-serve: cannot open store `{path}`: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => MemoStore::in_memory(),
+    };
+    let restored = store.restored();
+    let server = Server::start(args.cfg, store);
+
+    let listener = match TcpListener::bind(&args.listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("subwarp-serve: cannot bind `{}`: {e}", args.listen);
+            std::process::exit(1);
+        }
+    };
+    let local = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| args.listen.clone());
+    listener
+        .set_nonblocking(true)
+        .expect("set_nonblocking on listener");
+
+    // Readiness line (CI and scripts wait for this exact prefix).
+    println!(
+        "subwarp-serve listening on {local} (store: {}, restored: {restored})",
+        args.store.as_deref().unwrap_or("in-memory")
+    );
+
+    let active = Arc::new(AtomicUsize::new(0));
+    let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+    let mut conn_id: u64 = 0;
+
+    while !TERM.load(Ordering::SeqCst) && server.phase() == Phase::Running {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let _ = stream.set_nodelay(true);
+                conn_id += 1;
+                let id = conn_id;
+                if let Ok(clone) = stream.try_clone() {
+                    conns
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .insert(id, clone);
+                }
+                active.fetch_add(1, Ordering::SeqCst);
+                let server = Arc::clone(&server);
+                let active = Arc::clone(&active);
+                let conns = Arc::clone(&conns);
+                std::thread::spawn(move || {
+                    let client = peer.to_string();
+                    if let Ok(reader) = stream.try_clone() {
+                        let _ = serve_connection(&server, &client, BufReader::new(reader), &stream);
+                    }
+                    conns.lock().unwrap_or_else(|e| e.into_inner()).remove(&id);
+                    active.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+
+    // Graceful drain: stop admitting, answer every accepted job (journaled
+    // before the reply), then stop the dispatcher.
+    eprintln!("subwarp-serve: draining...");
+    server.drain();
+    server.join();
+
+    // Wake connection threads idling in read: accepted work has already
+    // been answered, so cutting the read side loses nothing.
+    for (_, stream) in conns.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+        let _ = stream.shutdown(Shutdown::Read);
+    }
+    // Give reply writers a bounded window to finish flushing.
+    let mut waited = Duration::ZERO;
+    while active.load(Ordering::SeqCst) > 0 && waited < Duration::from_secs(5) {
+        std::thread::sleep(Duration::from_millis(10));
+        waited += Duration::from_millis(10);
+    }
+
+    println!("subwarp-serve drained: {}", server.stats_json());
+    std::process::exit(0);
+}

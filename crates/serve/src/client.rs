@@ -1,0 +1,58 @@
+//! A minimal blocking client for the NDJSON protocol, used by `loadgen`
+//! and the end-to-end tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use crate::json::{parse, Value};
+
+/// One connection to a running daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects over TCP (`host:port`).
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // Request/reply round trips: Nagle only adds latency here.
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one request line and returns the raw reply line. Blocks until
+    /// the daemon answers (for `run`, until the job reaches a definite
+    /// state).
+    pub fn request_raw(&mut self, line: &str) -> std::io::Result<String> {
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.writer.write_all(framed.as_bytes())?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(reply.trim_end().to_owned())
+    }
+
+    /// Sends one request line and parses the reply.
+    pub fn request(&mut self, line: &str) -> std::io::Result<Value> {
+        let raw = self.request_raw(line)?;
+        parse(&raw).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad reply `{raw}`: {e}"),
+            )
+        })
+    }
+}

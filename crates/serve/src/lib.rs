@@ -1,0 +1,42 @@
+//! Simulation-as-a-service: a crash-safe job daemon over the subwarp
+//! simulator.
+//!
+//! | Module | What it owns |
+//! |---|---|
+//! | [`json`] | std-only JSON parser (lossless 64-bit integers) |
+//! | [`spec`] | request → validated [`spec::JobSpec`] + content fingerprint |
+//! | [`store`] | fingerprint-keyed memo store over the locked sweep journal |
+//! | [`server`] | admission control, coalescing, supervised dispatch, drain |
+//! | [`wire`] | NDJSON request/reply protocol over any byte stream |
+//! | [`client`] | blocking client used by `loadgen` and the e2e tests |
+//!
+//! The binaries: `subwarp-serve` (the daemon: TCP listener, SIGTERM drain,
+//! persistent store) and `loadgen` (burst client reporting p50/p99 latency,
+//! cache hit rate, and shed counts).
+//!
+//! ## Guarantees
+//!
+//! - **Crash-safe**: every completed job is journaled (flushed) before the
+//!   client hears about it; `kill -9` loses at most in-flight jobs, and a
+//!   restarted daemon re-serves completed fingerprints byte-identically.
+//! - **Isolated**: simulations run under `subwarp_pool::run_supervised` —
+//!   a panicking, erroring, or hung job becomes a labeled failure reply,
+//!   never a dead daemon.
+//! - **Bounded**: a full queue or an over-quota client is shed with a
+//!   `retry_after_ms` hint instead of growing memory without limit.
+//! - **Graceful**: SIGTERM (or `{"cmd":"shutdown"}`) stops admission,
+//!   finishes and journals accepted work, then exits 0.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod server;
+pub mod spec;
+pub mod store;
+pub mod wire;
+
+pub use client::Client;
+pub use server::{Phase, Server, ServerConfig, Submitted};
+pub use spec::JobSpec;
+pub use store::MemoStore;

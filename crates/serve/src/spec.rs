@@ -1,0 +1,267 @@
+//! Job specifications: the wire form of "simulate this workload under this
+//! configuration", resolved to simulator inputs and a content fingerprint.
+//!
+//! The knob vocabulary deliberately mirrors the `simulate` binary so a
+//! command line translates 1:1 into a job object:
+//!
+//! ```json
+//! {"cmd":"run","workload":"trace:AV1","si":"both","policy":"half",
+//!  "latency":600,"slots":8,"sms":1,"subwarps":32,"order":"ft",
+//!  "small_icache":false,"mem":"fixed"}
+//! ```
+//!
+//! Two different requests that resolve to the same workload + configuration
+//! produce the same [`cell_fingerprint`], which is what lets the memo store
+//! and in-flight coalescing collapse duplicate work.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use subwarp_core::{
+    DivergeOrder, HierarchyConfig, MemBackendConfig, SelectPolicy, SiConfig, SmConfig, Workload,
+};
+use subwarp_sweep::{cell_fingerprint, workload_hash};
+use subwarp_workloads::{built_suite, figure9_workload, microbenchmark_with, MicroConfig};
+
+use crate::json::Value;
+
+/// A fully resolved simulation job: shared workload, validated configs, a
+/// canonical label, and the content fingerprint the memo store keys on.
+#[derive(Clone)]
+pub struct JobSpec {
+    /// Canonical `"<workload>/<config>"` label (journal + log vocabulary).
+    pub label: String,
+    /// Content fingerprint over workload + configs + label.
+    pub fp: u64,
+    /// The workload, shared via the process-wide cache.
+    pub wl: Arc<Workload>,
+    /// SM configuration.
+    pub sm: SmConfig,
+    /// Subwarp-interleaving configuration.
+    pub si: SiConfig,
+}
+
+/// Cache value: the shared workload plus its precomputed content hash.
+type CachedWorkload = (Arc<Workload>, u64);
+
+/// Process-wide workload cache: building a trace means re-tracing rays
+/// through a BVH (milliseconds), so each distinct workload key is built
+/// once and shared across every job and worker thread.
+fn workload_cache() -> &'static Mutex<HashMap<String, CachedWorkload>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, CachedWorkload>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Resolves a workload key (`toy`, `micro:SIZE[@ITERS]`, `trace:NAME`) to a
+/// shared workload and its precomputed content hash.
+fn resolve_workload(key: &str) -> Result<(Arc<Workload>, u64), String> {
+    if let Some(hit) = workload_cache()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(key)
+    {
+        return Ok(hit.clone());
+    }
+    let wl: Arc<Workload> = if key == "toy" {
+        Arc::new(figure9_workload())
+    } else if let Some(rest) = key.strip_prefix("micro:") {
+        let (size, iters) = match rest.split_once('@') {
+            Some((s, i)) => (s, i),
+            None => (rest, "4"),
+        };
+        let subwarp_size: usize = size
+            .parse()
+            .map_err(|_| format!("bad micro subwarp size `{size}`"))?;
+        let iterations: u32 = iters
+            .parse()
+            .map_err(|_| format!("bad micro iteration count `{iters}`"))?;
+        if !(1..=32).contains(&subwarp_size) || !subwarp_size.is_power_of_two() {
+            return Err(format!(
+                "micro subwarp size must be a power of two in 1..=32, got {subwarp_size}"
+            ));
+        }
+        if iterations == 0 || iterations > 64 {
+            return Err(format!(
+                "micro iterations must be in 1..=64, got {iterations}"
+            ));
+        }
+        Arc::new(microbenchmark_with(MicroConfig {
+            subwarp_size,
+            iterations,
+            ..MicroConfig::default()
+        }))
+    } else if let Some(name) = key.strip_prefix("trace:") {
+        // The Table II suite is already built once per process; share it.
+        let hit = built_suite()
+            .iter()
+            .find(|(t, _)| t.name.eq_ignore_ascii_case(name));
+        match hit {
+            Some((_, wl)) => Arc::clone(wl),
+            None => return Err(format!("unknown trace `{name}`")),
+        }
+    } else {
+        return Err(format!(
+            "unknown workload `{key}` (expected toy, micro:SIZE, or trace:NAME)"
+        ));
+    };
+    let hash = workload_hash(&wl);
+    workload_cache()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(key.to_owned(), (Arc::clone(&wl), hash));
+    Ok((wl, hash))
+}
+
+fn parse_order(s: &str) -> Result<DivergeOrder, String> {
+    Ok(match s {
+        "ft" => DivergeOrder::FallthroughFirst,
+        "taken" => DivergeOrder::TakenFirst,
+        "random" => DivergeOrder::Random,
+        "hinted" => DivergeOrder::Hinted,
+        other => return Err(format!("bad order `{other}` (ft|taken|random|hinted)")),
+    })
+}
+
+fn parse_policy(s: &str) -> Result<SelectPolicy, String> {
+    Ok(match s {
+        "any" => SelectPolicy::AnyStalled,
+        "half" => SelectPolicy::HalfStalled,
+        "all" => SelectPolicy::AllStalled,
+        other => return Err(format!("bad policy `{other}` (any|half|all)")),
+    })
+}
+
+impl JobSpec {
+    /// Builds a job from a parsed request object. Every knob is optional
+    /// except `workload`; defaults match the `simulate` binary. Rejects
+    /// unknown workloads, out-of-range knobs, and configurations that fail
+    /// `SmConfig::validate`/`SiConfig::validate` — a daemon must bounce bad
+    /// requests at the door, not panic a worker on them.
+    pub fn from_request(req: &Value) -> Result<JobSpec, String> {
+        let wl_key = req
+            .str_field("workload")
+            .ok_or_else(|| "missing `workload` field".to_owned())?;
+        let (wl, whash) = resolve_workload(wl_key)?;
+
+        let mut sm = SmConfig::turing_like();
+        if let Some(v) = req.get("latency") {
+            sm.miss_latency = v.as_u64().ok_or("bad `latency`")?;
+        }
+        if let Some(v) = req.get("slots") {
+            sm.warp_slots_per_pb = v.as_u64().ok_or("bad `slots`")? as usize;
+        }
+        if let Some(v) = req.get("sms") {
+            sm.n_sms = v.as_u64().ok_or("bad `sms`")? as usize;
+        }
+        if let Some(v) = req.get("order") {
+            sm.diverge_order = parse_order(v.as_str().ok_or("bad `order`")?)?;
+        }
+        if req.bool_field("small_icache").unwrap_or(false) {
+            sm = sm.with_small_icaches();
+        }
+        if let Some(v) = req.get("mem") {
+            sm.mem_backend = match v.as_str().ok_or("bad `mem`")? {
+                "fixed" => MemBackendConfig::Fixed,
+                "hier" => MemBackendConfig::Hierarchical(HierarchyConfig::turing_like()),
+                other => return Err(format!("bad mem backend `{other}` (fixed|hier)")),
+            };
+        }
+
+        let policy = match req.get("policy") {
+            Some(v) => parse_policy(v.as_str().ok_or("bad `policy`")?)?,
+            None => SelectPolicy::HalfStalled,
+        };
+        let si_kind = req.str_field("si").unwrap_or("off");
+        let mut si = match si_kind {
+            "off" => SiConfig::disabled(),
+            "sos" => SiConfig::sos(policy),
+            "both" => SiConfig::both(policy),
+            "dws" => {
+                let mut si = SiConfig::dws_like();
+                si.policy = policy;
+                si
+            }
+            other => return Err(format!("bad si mode `{other}` (off|sos|both|dws)")),
+        };
+        if let Some(v) = req.get("subwarps") {
+            si = si.with_max_subwarps(v.as_u64().ok_or("bad `subwarps`")? as usize);
+        }
+
+        sm.validate()?;
+        si.validate()?;
+
+        // Canonical label: the workload key plus the SI label and any
+        // non-default SM knobs, so journal lines and holes read like the
+        // figures' cell names.
+        let mut cfg = si.label();
+        if sm.miss_latency != SmConfig::turing_like().miss_latency {
+            cfg.push_str(&format!(",lat{}", sm.miss_latency));
+        }
+        let label = format!("{wl_key}/{cfg}");
+        let fp = cell_fingerprint(&label, whash, &sm, &si);
+        Ok(JobSpec {
+            label,
+            fp,
+            wl,
+            sm,
+            si,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn spec(line: &str) -> Result<JobSpec, String> {
+        JobSpec::from_request(&parse(line).unwrap())
+    }
+
+    #[test]
+    fn defaults_mirror_simulate_binary() {
+        let s = spec(r#"{"workload":"toy"}"#).unwrap();
+        assert!(!s.si.enabled);
+        assert_eq!(s.sm.miss_latency, SmConfig::turing_like().miss_latency);
+        assert_eq!(s.label, "toy/baseline");
+    }
+
+    #[test]
+    fn same_request_same_fingerprint_different_knob_different_fingerprint() {
+        let a = spec(r#"{"workload":"toy","si":"both"}"#).unwrap();
+        let b = spec(r#"{"workload":"toy","si":"both"}"#).unwrap();
+        let c = spec(r#"{"workload":"toy","si":"both","latency":900}"#).unwrap();
+        let d = spec(r#"{"workload":"toy","si":"sos"}"#).unwrap();
+        assert_eq!(a.fp, b.fp);
+        assert_ne!(a.fp, c.fp);
+        assert_ne!(a.fp, d.fp);
+    }
+
+    #[test]
+    fn workloads_are_cached_and_shared() {
+        let a = spec(r#"{"workload":"micro:8"}"#).unwrap();
+        let b = spec(r#"{"workload":"micro:8","si":"both"}"#).unwrap();
+        assert!(Arc::ptr_eq(&a.wl, &b.wl), "cache must share the build");
+        let c = spec(r#"{"workload":"micro:8@2"}"#).unwrap();
+        assert!(
+            !Arc::ptr_eq(&a.wl, &c.wl),
+            "different iters, different build"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_requests_cleanly() {
+        for bad in [
+            r#"{"si":"both"}"#,
+            r#"{"workload":"nope"}"#,
+            r#"{"workload":"trace:NOPE"}"#,
+            r#"{"workload":"micro:3"}"#,
+            r#"{"workload":"micro:8@999"}"#,
+            r#"{"workload":"toy","si":"warp"}"#,
+            r#"{"workload":"toy","order":"sideways"}"#,
+            r#"{"workload":"toy","slots":0}"#,
+        ] {
+            assert!(spec(bad).is_err(), "{bad} must be rejected");
+        }
+    }
+}

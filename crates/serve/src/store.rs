@@ -1,0 +1,173 @@
+//! The memoized result store: fingerprint → `RunStats`, with hit/miss
+//! accounting, optionally persisted through the locked sweep [`Journal`].
+//!
+//! Persistence inherits the journal's guarantees wholesale: every record
+//! is flushed before the submitting client hears about it, so a `kill -9`
+//! loses at most in-flight jobs; the codec is exact for the all-integer
+//! `RunStats`, so a restarted daemon re-serves completed fingerprints
+//! **byte-identically** without re-simulating; and the exclusive lock file
+//! means two daemons can never interleave writes to one store.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use subwarp_core::RunStats;
+use subwarp_sweep::Journal;
+
+/// Fingerprint-keyed memoized results with hit/miss counters.
+#[derive(Debug)]
+pub struct MemoStore {
+    /// Disk-backed store; `None` runs memo-only (results die with the
+    /// process).
+    journal: Option<Journal>,
+    /// In-memory map for the journal-less mode.
+    volatile: Mutex<HashMap<u64, RunStats>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MemoStore {
+    /// Opens a persistent store at `path` (taking the journal's exclusive
+    /// lock; fails fast naming the holder if another live daemon owns it).
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<MemoStore> {
+        Ok(MemoStore {
+            journal: Some(Journal::open(path)?),
+            volatile: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// An in-memory store: dedupe without persistence.
+    pub fn in_memory() -> MemoStore {
+        MemoStore {
+            journal: None,
+            volatile: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Entries restored from disk at open (0 for in-memory stores).
+    pub fn restored(&self) -> usize {
+        self.journal.as_ref().map_or(0, Journal::restored)
+    }
+
+    /// Looks up a fingerprint, counting the outcome as a hit or miss.
+    pub fn lookup(&self, fp: u64) -> Option<RunStats> {
+        let found = match &self.journal {
+            Some(j) => j.lookup(fp),
+            None => self
+                .volatile
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .get(&fp)
+                .cloned(),
+        };
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Peeks without touching the hit/miss counters (used when re-checking
+    /// after a simulation already counted its miss).
+    pub fn peek(&self, fp: u64) -> Option<RunStats> {
+        match &self.journal {
+            Some(j) => j.lookup(fp),
+            None => self
+                .volatile
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .get(&fp)
+                .cloned(),
+        }
+    }
+
+    /// Records a completed job; persistent stores flush before returning.
+    pub fn record(&self, fp: u64, label: &str, stats: &RunStats) {
+        match &self.journal {
+            Some(j) => j.record(fp, label, stats),
+            None => {
+                self.volatile
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(fp, stats.clone());
+            }
+        }
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        match &self.journal {
+            Some(j) => j.len(),
+            None => self
+                .volatile
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len(),
+        }
+    }
+
+    /// True when no results are memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_memory_store_counts_hits_and_misses() {
+        let store = MemoStore::in_memory();
+        let stats = RunStats {
+            cycles: 123,
+            ..RunStats::default()
+        };
+        assert!(store.lookup(1).is_none());
+        store.record(1, "toy/baseline", &stats);
+        assert_eq!(store.lookup(1).unwrap(), stats);
+        assert_eq!(store.counters(), (1, 1));
+        // peek leaves the counters alone.
+        assert!(store.peek(1).is_some());
+        assert_eq!(store.counters(), (1, 1));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn persistent_store_survives_reopen() {
+        let path =
+            std::env::temp_dir().join(format!("subwarp_store_reopen_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let stats = RunStats {
+            cycles: 99,
+            instructions: 7,
+            ..RunStats::default()
+        };
+        {
+            let store = MemoStore::open(&path).unwrap();
+            assert_eq!(store.restored(), 0);
+            store.record(42, "toy/baseline", &stats);
+        }
+        let store = MemoStore::open(&path).unwrap();
+        assert_eq!(store.restored(), 1);
+        assert_eq!(store.lookup(42).unwrap(), stats);
+        drop(store);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(subwarp_sweep::lock_path_for(&path));
+    }
+}

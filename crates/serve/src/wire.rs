@@ -1,0 +1,144 @@
+//! The NDJSON wire protocol: one JSON object per line, one reply line per
+//! request line, over any byte stream (TCP, unix socket, or an in-memory
+//! pipe in tests).
+//!
+//! Requests (`cmd` defaults to `"run"` when a `workload` field is present):
+//!
+//! ```json
+//! {"cmd":"run","workload":"trace:AV1","si":"both"}
+//! {"cmd":"stats"}
+//! {"cmd":"ping"}
+//! {"cmd":"shutdown"}
+//! ```
+//!
+//! Replies are `{"ok":true,...}` or `{"ok":false,"kind":...}` where `kind`
+//! is one of `bad-request`, `shed`, `panic`, `error`, `timeout`,
+//! `cancelled`. Successful runs carry the journal's exact integer codec
+//! (`u`, `ch`), so a result served from the memo store after a restart is
+//! **byte-identical** to the line the original simulation produced.
+
+use std::io::{BufRead, Write};
+
+use subwarp_core::RunStats;
+use subwarp_sweep::{json_escape, stats_to_units};
+
+use crate::json::{parse, Value};
+use crate::server::{Server, Submitted};
+use crate::spec::JobSpec;
+
+/// Formats a successful run reply.
+pub fn ok_line(fp: u64, label: &str, cached: bool, stats: &RunStats) -> String {
+    let (u, ch) = stats_to_units(stats);
+    let fmt = |v: &[u64]| {
+        v.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    format!(
+        "{{\"ok\":true,\"fp\":\"{fp:016x}\",\"label\":\"{}\",\"cached\":{cached},\
+         \"cycles\":{},\"instructions\":{},\"u\":[{}],\"ch\":[{}]}}",
+        json_escape(label),
+        stats.cycles,
+        stats.instructions,
+        fmt(&u),
+        fmt(&ch)
+    )
+}
+
+/// Formats a failure reply; `retry_after_ms` marks retryable sheds.
+pub fn err_line(kind: &str, message: &str, retry_after_ms: Option<u64>) -> String {
+    match retry_after_ms {
+        Some(ms) => format!(
+            "{{\"ok\":false,\"kind\":\"{kind}\",\"retry_after_ms\":{ms},\"message\":\"{}\"}}",
+            json_escape(message)
+        ),
+        None => format!(
+            "{{\"ok\":false,\"kind\":\"{kind}\",\"message\":\"{}\"}}",
+            json_escape(message)
+        ),
+    }
+}
+
+/// Answers one parsed request. Returns `(reply, shutdown_requested)`.
+pub fn handle_request(server: &Server, client: &str, req: &Value) -> (String, bool) {
+    let cmd = req
+        .str_field("cmd")
+        .unwrap_or(if req.get("workload").is_some() {
+            "run"
+        } else {
+            ""
+        });
+    match cmd {
+        "ping" => (
+            format!(
+                "{{\"ok\":true,\"pong\":true,\"phase\":\"{}\"}}",
+                server.phase().name()
+            ),
+            false,
+        ),
+        "stats" => (server.stats_json(), false),
+        "shutdown" => {
+            server.drain();
+            ("{\"ok\":true,\"draining\":true}".to_owned(), true)
+        }
+        "run" => {
+            let spec = match JobSpec::from_request(req) {
+                Ok(s) => s,
+                Err(e) => return (err_line("bad-request", &e, None), false),
+            };
+            let (fp, label) = (spec.fp, spec.label.clone());
+            match server.submit(client, spec) {
+                Submitted::Cached(stats) => (ok_line(fp, &label, true, &stats), false),
+                Submitted::Shed {
+                    reason,
+                    retry_after_ms,
+                } => (err_line("shed", reason, Some(retry_after_ms)), false),
+                Submitted::Queued(rx) => match rx.recv() {
+                    Ok(Ok((stats, cached))) => (ok_line(fp, &label, cached, &stats), false),
+                    Ok(Err(failure)) => (err_line(failure.kind, &failure.message, None), false),
+                    // The dispatcher dropped the sender without replying;
+                    // only possible if it is torn down mid-job.
+                    Err(_) => (err_line("cancelled", "server stopped", None), false),
+                },
+            }
+        }
+        other => (
+            err_line("bad-request", &format!("unknown cmd `{other}`"), None),
+            false,
+        ),
+    }
+}
+
+/// Serves one client connection until EOF or a shutdown request: reads
+/// NDJSON lines from `reader`, writes one reply line each to `writer`.
+/// Malformed lines get a `bad-request` reply and the connection lives on —
+/// a confused client must not take the daemon with it. Returns `true` when
+/// the client asked for shutdown.
+pub fn serve_connection<R: BufRead, W: Write>(
+    server: &Server,
+    client: &str,
+    reader: R,
+    mut writer: W,
+) -> std::io::Result<bool> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (mut reply, shutdown) = match parse(&line) {
+            Ok(req) => handle_request(server, client, &req),
+            Err(e) => (err_line("bad-request", &e.to_string(), None), false),
+        };
+        // One write per reply: splitting the newline into a second write
+        // trips Nagle + delayed-ACK and turns sub-ms cached replies into
+        // ~40-200 ms ones.
+        reply.push('\n');
+        writer.write_all(reply.as_bytes())?;
+        writer.flush()?;
+        if shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}

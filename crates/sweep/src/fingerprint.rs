@@ -1,0 +1,42 @@
+//! Content fingerprints for sweep cells and simulation jobs.
+//!
+//! A fingerprint is an FNV-1a hash chained over the workload's `Debug`
+//! form, both configuration `Debug` forms, and the cell label. Any change
+//! to the workload, the configuration, or the naming produces a new
+//! fingerprint, so journals and memo stores can never resurrect stale
+//! results.
+
+use subwarp_core::{SiConfig, SmConfig, Workload};
+
+/// FNV-1a over `bytes`, chained from `seed` (`0` selects the standard
+/// offset basis).
+pub fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = if seed == 0 {
+        0xcbf2_9ce4_8422_2325
+    } else {
+        seed
+    };
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Content fingerprint of one sweep cell: the workload and both configs in
+/// their `Debug` forms, chained through FNV-1a with the cell label. Any
+/// change to the workload, the configuration, or the naming produces a new
+/// fingerprint, so journals can never resurrect stale results.
+pub fn cell_fingerprint(label: &str, workload_hash: u64, sm: &SmConfig, si: &SiConfig) -> u64 {
+    let mut h = fnv1a(workload_hash, label.as_bytes());
+    h = fnv1a(h, format!("{sm:?}").as_bytes());
+    h = fnv1a(h, format!("{si:?}").as_bytes());
+    h
+}
+
+/// FNV-1a hash of a workload's `Debug` form — precomputed once per sweep
+/// row (or once per cached service workload) so per-cell fingerprinting
+/// does not re-render large workloads.
+pub fn workload_hash(wl: &Workload) -> u64 {
+    fnv1a(0, format!("{wl:?}").as_bytes())
+}

@@ -1,0 +1,373 @@
+//! The JSONL checkpoint journal, its exclusive lock, and the exact
+//! all-integer `RunStats` codec it is built on.
+
+use std::collections::HashMap;
+use std::io::{BufRead, ErrorKind, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use subwarp_core::RunStats;
+
+// ----------------------------------------------------------- stats codec
+
+/// Flattens `RunStats` into its 44 fixed-order integer fields, plus the
+/// variable-length per-channel busy-cycle vector. `RunStats` is all-integer
+/// by construction, so this codec is exact: `units_to_stats(stats_to_units)`
+/// is the identity, which is what makes resumed sweeps (and memoized
+/// service results) byte-identical.
+pub fn stats_to_units(s: &RunStats) -> (Vec<u64>, Vec<u64>) {
+    let mut u = Vec::with_capacity(44);
+    u.push(s.cycles);
+    u.push(s.sm_cycles_total);
+    u.push(s.instructions);
+    u.extend_from_slice(&s.issued_by_unit);
+    u.push(s.exposed_load_stalls);
+    u.push(s.exposed_load_stalls_divergent);
+    u.push(s.exposed_traversal_stalls);
+    u.push(s.exposed_fetch_stalls);
+    u.push(s.idle_cycles);
+    u.extend_from_slice(&s.cycle_causes);
+    u.push(s.subwarp_stalls);
+    u.push(s.subwarp_switches);
+    u.push(s.subwarp_yields);
+    u.push(s.divergences);
+    u.push(s.reconvergences);
+    u.push(s.l0i.hits);
+    u.push(s.l0i.misses);
+    u.push(s.l1i.hits);
+    u.push(s.l1i.misses);
+    u.push(s.l1d.hits);
+    u.push(s.l1d.misses);
+    u.push(s.rt_traversals);
+    u.push(s.peak_resident_warps as u64);
+    u.push(s.mem.l2.hits);
+    u.push(s.mem.l2.misses);
+    u.push(s.mem.mshr_merges);
+    u.push(s.mem.mshr_high_water as u64);
+    u.push(s.mem.row_hits);
+    u.push(s.mem.row_misses);
+    u.push(s.mem.fills);
+    u.push(s.mem.total_fill_latency);
+    u.push(s.mem.requests);
+    debug_assert_eq!(u.len(), 44);
+    (u, s.mem.channel_busy_cycles.clone())
+}
+
+/// Inverse of [`stats_to_units`]. Returns `None` when the fixed-field
+/// vector has the wrong arity (a torn or foreign journal line).
+pub fn units_to_stats(u: &[u64], ch: &[u64]) -> Option<RunStats> {
+    if u.len() != 44 {
+        return None;
+    }
+    let mut s = RunStats {
+        cycles: u[0],
+        sm_cycles_total: u[1],
+        instructions: u[2],
+        exposed_load_stalls: u[9],
+        exposed_load_stalls_divergent: u[10],
+        exposed_traversal_stalls: u[11],
+        exposed_fetch_stalls: u[12],
+        idle_cycles: u[13],
+        subwarp_stalls: u[22],
+        subwarp_switches: u[23],
+        subwarp_yields: u[24],
+        divergences: u[25],
+        reconvergences: u[26],
+        rt_traversals: u[33],
+        peak_resident_warps: u[34] as usize,
+        ..RunStats::default()
+    };
+    s.issued_by_unit.copy_from_slice(&u[3..9]);
+    s.cycle_causes.copy_from_slice(&u[14..22]);
+    s.l0i.hits = u[27];
+    s.l0i.misses = u[28];
+    s.l1i.hits = u[29];
+    s.l1i.misses = u[30];
+    s.l1d.hits = u[31];
+    s.l1d.misses = u[32];
+    s.mem.l2.hits = u[35];
+    s.mem.l2.misses = u[36];
+    s.mem.mshr_merges = u[37];
+    s.mem.mshr_high_water = u[38] as usize;
+    s.mem.row_hits = u[39];
+    s.mem.row_misses = u[40];
+    s.mem.fills = u[41];
+    s.mem.total_fill_latency = u[42];
+    s.mem.requests = u[43];
+    s.mem.channel_busy_cycles = ch.to_vec();
+    Some(s)
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Extracts the value of a `"key":[...]` integer array from one journal
+/// line. Minimal by design: journal lines are machine-written by this
+/// module, so anything that does not parse is treated as a truncated tail
+/// and skipped by the loader.
+fn parse_u64_array(line: &str, key: &str) -> Option<Vec<u64>> {
+    let pat = format!("\"{key}\":[");
+    let start = line.find(&pat)? + pat.len();
+    let end = start + line[start..].find(']')?;
+    let body = &line[start..end];
+    if body.trim().is_empty() {
+        return Some(Vec::new());
+    }
+    body.split(',').map(|t| t.trim().parse().ok()).collect()
+}
+
+fn parse_hex_field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let end = start + line[start..].find('"')?;
+    u64::from_str_radix(&line[start..end], 16).ok()
+}
+
+// ------------------------------------------------------------------- lock
+
+/// Exclusive journal lock: a `create_new` sentinel beside the journal
+/// holding the writer's PID. Removed on drop; survives `kill -9` as a
+/// *stale* lock, which the next opener detects (the recorded PID no longer
+/// exists) and steals.
+#[derive(Debug)]
+struct LockGuard {
+    path: PathBuf,
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Whether a PID currently names a live process. Uses `kill(pid, 0)`:
+/// success or `EPERM` means alive; `ESRCH` means gone. On non-unix targets
+/// liveness cannot be probed, so locks are conservatively treated as held.
+fn pid_alive(pid: u32) -> bool {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn kill(pid: i32, sig: i32) -> i32;
+        }
+        if unsafe { kill(pid as i32, 0) } == 0 {
+            return true;
+        }
+        // ESRCH (3) = no such process; anything else (EPERM, ...) means the
+        // process exists but is not ours.
+        std::io::Error::last_os_error().raw_os_error() != Some(3)
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = pid;
+        true
+    }
+}
+
+/// The sentinel path guarding `journal_path`.
+pub fn lock_path_for(journal_path: &Path) -> PathBuf {
+    let mut p = journal_path.as_os_str().to_owned();
+    p.push(".lock");
+    PathBuf::from(p)
+}
+
+fn acquire_lock(journal_path: &Path) -> std::io::Result<LockGuard> {
+    let lock_path = lock_path_for(journal_path);
+    // Two iterations: one to detect a stale lock, one to (re)claim it. A
+    // second AlreadyExists after a steal means we lost the race to another
+    // live process — fail fast like any other contention.
+    for stole in [false, true] {
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&lock_path)
+        {
+            Ok(mut f) => {
+                let _ = writeln!(f, "{}", std::process::id());
+                let _ = f.flush();
+                return Ok(LockGuard { path: lock_path });
+            }
+            Err(e) if e.kind() == ErrorKind::AlreadyExists => {
+                let holder = std::fs::read_to_string(&lock_path).unwrap_or_default();
+                let holder_pid: Option<u32> = holder.trim().parse().ok();
+                let stale = matches!(holder_pid, Some(p) if !pid_alive(p));
+                if stale && !stole {
+                    // Left behind by a SIGKILLed writer: steal and retry.
+                    let _ = std::fs::remove_file(&lock_path);
+                    continue;
+                }
+                let holder = if holder.trim().is_empty() {
+                    "<unknown>".to_owned()
+                } else {
+                    format!("process {}", holder.trim())
+                };
+                return Err(std::io::Error::new(
+                    ErrorKind::WouldBlock,
+                    format!(
+                        "journal {} is locked by {holder} (lock file {}); two writers \
+                         appending the same journal would interleave — wait for the \
+                         holder or remove the lock file if it is truly gone",
+                        journal_path.display(),
+                        lock_path.display()
+                    ),
+                ));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    unreachable!("lock loop always returns")
+}
+
+// ---------------------------------------------------------------- journal
+
+/// An append-only JSONL checkpoint journal of completed simulation results,
+/// keyed by content fingerprint.
+///
+/// One line per completed cell:
+///
+/// ```json
+/// {"v":1,"fp":"0123456789abcdef","label":"AV1/Both,N>=0.5","u":[..44 ints..],"ch":[..]}
+/// ```
+///
+/// `fp` is the [`cell_fingerprint`](crate::cell_fingerprint) in hex, `u`
+/// the 44 fixed-order integer fields of `RunStats`, `ch` the per-channel
+/// DRAM busy-cycle vector. Opening a journal loads every well-formed line
+/// (last write wins) and positions the file for appending; each
+/// [`record`](Journal::record) is flushed immediately so a killed writer
+/// loses only in-flight cells.
+///
+/// Opening takes an **exclusive lock** (a `<path>.lock` sentinel recording
+/// the holder's PID): a second simultaneous writer fails fast with an error
+/// naming the holder instead of silently interleaving appends. A lock left
+/// behind by a `kill -9` is detected as stale (its PID is gone) and stolen.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    restored: usize,
+    completed: Mutex<HashMap<u64, RunStats>>,
+    file: Mutex<std::fs::File>,
+    // Held for the journal's lifetime; releases (removes) the sentinel on
+    // drop.
+    _lock: LockGuard,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path`, taking the
+    /// exclusive lock and loading previously completed cells. Malformed
+    /// lines — e.g. the torn tail of a killed run — are skipped. Fails with
+    /// [`ErrorKind::WouldBlock`] naming the holder when another live
+    /// process holds the lock.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Journal> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let lock = acquire_lock(&path)?;
+        let mut completed = HashMap::new();
+        match std::fs::File::open(&path) {
+            Ok(f) => {
+                for line in std::io::BufReader::new(f).lines() {
+                    let line = line?;
+                    let parsed = (|| {
+                        let fp = parse_hex_field(&line, "fp")?;
+                        let u = parse_u64_array(&line, "u")?;
+                        let ch = parse_u64_array(&line, "ch")?;
+                        Some((fp, units_to_stats(&u, &ch)?))
+                    })();
+                    if let Some((fp, stats)) = parsed {
+                        completed.insert(fp, stats);
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        Ok(Journal {
+            path,
+            restored: completed.len(),
+            completed: Mutex::new(completed),
+            file: Mutex::new(file),
+            _lock: lock,
+        })
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Cells restored from disk when the journal was opened.
+    pub fn restored(&self) -> usize {
+        self.restored
+    }
+
+    /// Entries currently held (restored plus recorded this run).
+    pub fn len(&self) -> usize {
+        self.completed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// True when the journal holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The journaled result for a fingerprint, if that cell completed in an
+    /// earlier (or concurrent) run.
+    pub fn lookup(&self, fp: u64) -> Option<RunStats> {
+        self.completed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&fp)
+            .cloned()
+    }
+
+    /// Records a completed cell: appends one line and flushes so the result
+    /// survives a SIGKILL arriving right after.
+    pub fn record(&self, fp: u64, label: &str, stats: &RunStats) {
+        let (u, ch) = stats_to_units(stats);
+        let fmt_ints = |v: &[u64]| {
+            v.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let line = format!(
+            "{{\"v\":1,\"fp\":\"{fp:016x}\",\"label\":\"{}\",\"u\":[{}],\"ch\":[{}]}}\n",
+            json_escape(label),
+            fmt_ints(&u),
+            fmt_ints(&ch)
+        );
+        {
+            let mut f = self.file.lock().unwrap_or_else(|e| e.into_inner());
+            // A failed append degrades resume granularity, never the sweep.
+            let _ = f.write_all(line.as_bytes());
+            let _ = f.flush();
+        }
+        self.completed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(fp, stats.clone());
+    }
+}

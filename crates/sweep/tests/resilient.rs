@@ -1,5 +1,6 @@
 //! Integration tests for the fault-tolerant sweep layer: journal exactness,
-//! resume equivalence, deterministic fault patterns, and deadline holes.
+//! the exclusive journal lock, resume equivalence, deterministic fault
+//! patterns, and deadline holes.
 //!
 //! None of these tests install the process-global policy — that is reserved
 //! for the `figures` binary — so they cannot interfere with each other or
@@ -10,14 +11,20 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
-use subwarp_bench::{
-    cell_fingerprint, job_error_to_sim, run_resilient, workload_hash, Journal, Sweep, SweepPolicy,
-};
 use subwarp_core::{FaultKind, FaultPlan, SiConfig, SimError, SmConfig};
+use subwarp_sweep::{
+    cell_fingerprint, job_error_to_sim, lock_path_for, run_resilient, workload_hash, Journal,
+    Sweep, SweepPolicy,
+};
 use subwarp_workloads::{figure9_workload, microbenchmark};
 
 fn temp_journal(tag: &str) -> PathBuf {
-    std::env::temp_dir().join(format!("subwarp_bench_{tag}_{}.jsonl", std::process::id()))
+    std::env::temp_dir().join(format!("subwarp_sweep_{tag}_{}.jsonl", std::process::id()))
+}
+
+fn cleanup(path: &PathBuf) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(lock_path_for(path));
 }
 
 /// A fast 2×2 grid (two small workloads, baseline + best-SI).
@@ -31,9 +38,36 @@ fn tiny_sweep() -> Sweep {
 }
 
 #[test]
+fn sweep_grid_shape_and_order() {
+    let wl = Arc::new(figure9_workload());
+    let sweep = Sweep::new()
+        .workload("a", Arc::clone(&wl))
+        .workload("b", wl)
+        .config("base", SmConfig::turing_like(), SiConfig::disabled())
+        .config("si", SmConfig::turing_like(), SiConfig::best());
+    assert_eq!(sweep.len(), 4);
+    let grid = sweep.run().unwrap();
+    assert_eq!(grid.len(), 2);
+    assert_eq!(grid[0].len(), 2);
+    // Identical workload rows must produce identical cells.
+    assert_eq!(grid[0], grid[1]);
+}
+
+#[test]
+fn sweep_parallel_matches_serial() {
+    let sweep = Sweep::new()
+        .workload("toy", Arc::new(figure9_workload()))
+        .config("base", SmConfig::turing_like(), SiConfig::disabled())
+        .config("si", SmConfig::turing_like(), SiConfig::best());
+    let serial = sweep.run_with_jobs(1).unwrap();
+    let parallel = sweep.run_with_jobs(4).unwrap();
+    assert_eq!(serial, parallel);
+}
+
+#[test]
 fn journal_roundtrip_restores_stats_exactly() {
     let path = temp_journal("roundtrip");
-    let _ = std::fs::remove_file(&path);
+    cleanup(&path);
 
     // Real stats from a real run, so every counter field is exercised.
     let grid = run_resilient(&tiny_sweep(), &SweepPolicy::default());
@@ -49,13 +83,56 @@ fn journal_roundtrip_restores_stats_exactly() {
     // All-integer stats ⇒ the journaled copy is bit-for-bit the original.
     assert_eq!(j.lookup(0xDEAD_BEEF).unwrap(), stats);
     assert!(j.lookup(1).is_none());
-    let _ = std::fs::remove_file(&path);
+    drop(j);
+    cleanup(&path);
+}
+
+#[test]
+fn journal_lock_rejects_second_writer_naming_holder() {
+    let path = temp_journal("lock");
+    cleanup(&path);
+
+    let first = Journal::open(&path).unwrap();
+    let err = Journal::open(&path).expect_err("second open must fail while locked");
+    assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+    let msg = err.to_string();
+    // The error names the holder (this process) and the lock file.
+    assert!(
+        msg.contains(&std::process::id().to_string()),
+        "error must name the holder pid: {msg}"
+    );
+    assert!(
+        msg.contains(".lock"),
+        "error must name the lock file: {msg}"
+    );
+
+    // Releasing the first journal releases the lock.
+    drop(first);
+    assert!(
+        !lock_path_for(&path).exists(),
+        "lock sentinel must be removed on drop"
+    );
+    let reopened = Journal::open(&path).unwrap();
+    drop(reopened);
+    cleanup(&path);
+}
+
+#[test]
+fn journal_lock_steals_stale_lock_from_dead_pid() {
+    let path = temp_journal("stale");
+    cleanup(&path);
+
+    // A lock left behind by a SIGKILLed writer: a PID that cannot exist.
+    std::fs::write(lock_path_for(&path), "999999999\n").unwrap();
+    let j = Journal::open(&path).expect("stale lock must be stolen");
+    drop(j);
+    cleanup(&path);
 }
 
 #[test]
 fn resumed_sweep_equals_uninterrupted_sweep() {
     let path = temp_journal("resume");
-    let _ = std::fs::remove_file(&path);
+    cleanup(&path);
     let sweep = tiny_sweep();
 
     let reference = run_resilient(&sweep, &SweepPolicy::default())
@@ -64,22 +141,25 @@ fn resumed_sweep_equals_uninterrupted_sweep() {
 
     // "Interrupted" first leg: journal only part of the grid by running a
     // one-workload slice of the same sweep (fingerprints are content-based,
-    // so they match the full sweep's first row).
-    let slice = {
-        let sm = SmConfig::turing_like();
-        Sweep::new()
-            .workload("toy", Arc::new(figure9_workload()))
-            .config("base", sm.clone(), SiConfig::disabled())
-            .config("si", sm, SiConfig::best())
-    };
-    let journal = Arc::new(Journal::open(&path).unwrap());
-    run_resilient(
-        &slice,
-        &SweepPolicy {
-            journal: Some(Arc::clone(&journal)),
-            ..SweepPolicy::default()
-        },
-    );
+    // so they match the full sweep's first row). Scoped so the journal —
+    // and with it the exclusive lock — is released before the resume leg.
+    {
+        let slice = {
+            let sm = SmConfig::turing_like();
+            Sweep::new()
+                .workload("toy", Arc::new(figure9_workload()))
+                .config("base", sm.clone(), SiConfig::disabled())
+                .config("si", sm, SiConfig::best())
+        };
+        let journal = Arc::new(Journal::open(&path).unwrap());
+        run_resilient(
+            &slice,
+            &SweepPolicy {
+                journal: Some(Arc::clone(&journal)),
+                ..SweepPolicy::default()
+            },
+        );
+    }
 
     // Resume: reopen the journal and run the full sweep.
     let journal = Arc::new(Journal::open(&path).unwrap());
@@ -95,13 +175,13 @@ fn resumed_sweep_equals_uninterrupted_sweep() {
     .unwrap();
 
     assert_eq!(resumed, reference);
-    let _ = std::fs::remove_file(&path);
+    cleanup(&path);
 }
 
 #[test]
 fn journal_skips_corrupt_tail_and_stale_fingerprints() {
     let path = temp_journal("corrupt");
-    let _ = std::fs::remove_file(&path);
+    cleanup(&path);
     let grid = run_resilient(&tiny_sweep(), &SweepPolicy::default());
     let stats = grid.cell(0, 0).as_ref().unwrap().clone();
     {
@@ -121,7 +201,8 @@ fn journal_skips_corrupt_tail_and_stale_fingerprints() {
     assert_eq!(j.restored(), 1);
     assert!(j.lookup(7).is_some());
     assert!(j.lookup(0xff).is_none());
-    let _ = std::fs::remove_file(&path);
+    drop(j);
+    cleanup(&path);
 }
 
 #[test]
@@ -169,7 +250,7 @@ fn fault_plan_holes_are_identical_serial_and_parallel() {
     let serial = run(1);
     let parallel = run(4);
 
-    let pattern = |g: &subwarp_bench::PartialGrid| {
+    let pattern = |g: &subwarp_sweep::PartialGrid| {
         g.rows()
             .iter()
             .flat_map(|row| row.iter().map(|c| c.is_ok()))
