@@ -4,22 +4,68 @@
 //! in the hot loop show up as numbers rather than anecdotes.
 //!
 //! ```text
-//! perf [--jobs N] [--out PATH]
+//! perf [--jobs N] [--out PATH] [--gate PCT]
 //! ```
 //!
 //! Writes a small JSON report (default `BENCH_sim.json` in the current
 //! directory, i.e. the repo root under `cargo run`). The JSON is
 //! hand-rolled: the workspace is offline and keeps zero external
 //! dependencies.
+//!
+//! Two extras beyond the headline number:
+//!
+//! - **Per-phase breakdown** — a second, instrumented pass with
+//!   [`SmConfig::profile_phases`] reports where simulator wall time goes
+//!   (issue / execute / memory / fast-forward / other). The headline pass
+//!   stays uninstrumented so the number CI gates on is the real one.
+//! - **History** — `history_cycles_per_second` carries the previous
+//!   reports' headline values forward (newest last, capped at 12), so each
+//!   regeneration extends the perf trajectory instead of overwriting it.
+//!
+//! `--gate PCT` exits non-zero when the fresh `cycles_per_second` is more
+//! than `PCT`% below the previous report's — the CI perf-regression gate.
 
 use std::time::Instant;
-use subwarp_bench::fig12a_sweep;
+use subwarp_bench::{fig12a_sweep, Sweep};
+use subwarp_core::{N_PHASES, PHASE_NAMES};
 use subwarp_workloads::built_suite;
+
+/// Extracts the number following `"key":` from hand-rolled JSON (no nested
+/// objects share key names in our report, so plain string search is enough).
+fn json_number(src: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = src.find(&pat)? + pat.len();
+    let rest = src[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the numeric array following `"key":` from hand-rolled JSON.
+fn json_number_array(src: &str, key: &str) -> Vec<f64> {
+    let pat = format!("\"{key}\":");
+    let Some(at) = src.find(&pat) else {
+        return Vec::new();
+    };
+    let rest = &src[at + pat.len()..];
+    let Some(open) = rest.find('[') else {
+        return Vec::new();
+    };
+    let Some(close) = rest[open..].find(']') else {
+        return Vec::new();
+    };
+    rest[open + 1..open + close]
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out = String::from("BENCH_sim.json");
     let mut jobs = subwarp_pool::default_jobs();
+    let mut gate_pct: Option<f64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -31,11 +77,38 @@ fn main() {
                     .filter(|&n| n >= 1)
                     .unwrap_or(jobs)
             }
+            "--gate" => {
+                gate_pct = it.next().and_then(|v| v.parse().ok());
+                if gate_pct.is_none() {
+                    eprintln!("--gate needs a percentage, e.g. --gate 15");
+                    std::process::exit(2);
+                }
+            }
             other => {
-                eprintln!("usage: perf [--jobs N] [--out PATH] (unknown arg {other:?})");
+                eprintln!(
+                    "usage: perf [--jobs N] [--out PATH] [--gate PCT] (unknown arg {other:?})"
+                );
                 std::process::exit(2);
             }
         }
+    }
+
+    // The previous report (if any) supplies the regression-gate reference
+    // and the history the new report extends.
+    let previous = std::fs::read_to_string(&out).ok();
+    let prev_cps = previous
+        .as_deref()
+        .and_then(|s| json_number(s, "cycles_per_second"));
+    let mut history: Vec<f64> = previous
+        .as_deref()
+        .map(|s| json_number_array(s, "history_cycles_per_second"))
+        .unwrap_or_default();
+    if let Some(p) = prev_cps {
+        history.push(p);
+    }
+    const HISTORY_CAP: usize = 12;
+    if history.len() > HISTORY_CAP {
+        history.drain(..history.len() - HISTORY_CAP);
     }
 
     // Workload construction (BVH build + ray tracing), timed separately so
@@ -61,6 +134,48 @@ fn main() {
     let cycles_per_second = sim_cycles as f64 / wall_s;
     let runs_per_second = n_runs as f64 / wall_s;
 
+    // Instrumented second pass: same grid with per-phase wall-time clocks
+    // enabled. Run separately so the clock reads never tax the headline.
+    let mut instrumented = Sweep::new();
+    for (name, wl) in sweep.workload_rows() {
+        instrumented = instrumented.workload(name.clone(), std::sync::Arc::clone(wl));
+    }
+    for (label, sm, si) in sweep.config_cols() {
+        instrumented =
+            instrumented.config(label.clone(), sm.clone().with_profile_phases(true), *si);
+    }
+    let phased = instrumented
+        .run_with_jobs(jobs)
+        .expect("instrumented sweep failed");
+    let mut phase_nanos = [0u64; N_PHASES];
+    for row in &phased {
+        for s in row {
+            for (acc, n) in phase_nanos.iter_mut().zip(s.phase_nanos.iter()) {
+                *acc += n;
+            }
+        }
+    }
+    let phase_total: u64 = phase_nanos.iter().sum();
+
+    let history_json = history
+        .iter()
+        .map(|v| format!("{v:.0}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let phases_json = PHASE_NAMES
+        .iter()
+        .zip(phase_nanos.iter())
+        .map(|(name, n)| {
+            let share = if phase_total == 0 {
+                0.0
+            } else {
+                *n as f64 / phase_total as f64
+            };
+            format!("    \"{name}\": {{ \"nanos\": {n}, \"share\": {share:.3} }}")
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     // `baseline` pins the pre-overhaul numbers (serial HashMap-backed
     // simulator, per-figure workload rebuilds) measured on the single-core
     // reference container, so the report always shows the trajectory.
@@ -71,6 +186,8 @@ fn main() {
          \"sim_cycles\": {sim_cycles},\n  \"instructions\": {instructions},\n  \
          \"cycles_per_second\": {cycles_per_second:.0},\n  \
          \"runs_per_second\": {runs_per_second:.2},\n  \
+         \"history_cycles_per_second\": [{history_json}],\n  \
+         \"phase_wall_time\": {{\n{phases_json}\n  }},\n  \
          \"baseline\": {{\n    \"label\": \"pre-overhaul main (serial, per-figure rebuilds)\",\n    \
          \"fig12a_wall_s\": 5.628,\n    \"figures_all_wall_s\": 54.132\n  }}\n}}\n"
     );
@@ -80,5 +197,38 @@ fn main() {
          ({cycles_per_second:.0} cycles/s, {runs_per_second:.1} runs/s, {jobs} jobs)"
     );
     println!("workload build: {n_workloads} traces in {build_s:.3}s");
+    for (name, n) in PHASE_NAMES.iter().zip(phase_nanos.iter()) {
+        let share = if phase_total == 0 {
+            0.0
+        } else {
+            100.0 * *n as f64 / phase_total as f64
+        };
+        println!(
+            "phase {name:<13} {:>9.3} ms ({share:>5.1}%)",
+            *n as f64 / 1e6
+        );
+    }
     println!("report: {out}");
+
+    // CI perf-regression gate: fail when the fresh headline regresses more
+    // than the allowed percentage versus the previous (checked-in) report.
+    if let Some(pct) = gate_pct {
+        match prev_cps {
+            Some(prev) if prev > 0.0 => {
+                let floor = prev * (1.0 - pct / 100.0);
+                if cycles_per_second < floor {
+                    eprintln!(
+                        "PERF GATE FAILED: {cycles_per_second:.0} cycles/s is more than \
+                         {pct}% below the checked-in {prev:.0} (floor {floor:.0})"
+                    );
+                    std::process::exit(1);
+                }
+                println!(
+                    "perf gate ok: {cycles_per_second:.0} >= {floor:.0} \
+                     ({pct}% tolerance vs checked-in {prev:.0})"
+                );
+            }
+            _ => println!("perf gate skipped: no previous report at {out}"),
+        }
+    }
 }

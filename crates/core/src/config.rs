@@ -102,6 +102,11 @@ pub struct SmConfig {
     /// DRAM-channel hierarchy. Timing-only — data values always come from
     /// the functional [`DataMemory`](subwarp_mem::DataMemory).
     pub mem_backend: MemBackendConfig,
+    /// Collect per-phase wall-time (issue/execute/memory/fast-forward) into
+    /// [`RunStats::phase_nanos`](crate::RunStats::phase_nanos). Off by
+    /// default: the clock reads cost real throughput, and simulated results
+    /// are unaffected either way.
+    pub profile_phases: bool,
 }
 
 impl Default for SmConfig {
@@ -138,7 +143,15 @@ impl SmConfig {
             invariants: InvariantLevel::Cheap,
             fast_forward: true,
             mem_backend: MemBackendConfig::Fixed,
+            profile_phases: false,
         }
+    }
+
+    /// Enables per-phase wall-time collection (see
+    /// [`profile_phases`](Self::profile_phases)).
+    pub fn with_profile_phases(mut self, enabled: bool) -> SmConfig {
+        self.profile_phases = enabled;
+        self
     }
 
     /// Sets the per-cycle invariant-checking level.
@@ -168,6 +181,11 @@ impl SmConfig {
         }
         if self.warp_slots_per_pb == 0 {
             return Err("warp_slots_per_pb must be at least 1".into());
+        }
+        if self.warp_slots_per_pb > 64 {
+            // The issue/stall schedulers track per-PB slot state in u64
+            // bitmasks; real SMs have 8-16 slots per scheduler anyway.
+            return Err("warp_slots_per_pb must be at most 64".into());
         }
         if self.max_cycles == 0 {
             return Err("max_cycles must be non-zero".into());

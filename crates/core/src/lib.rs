@@ -73,7 +73,7 @@ pub use fault::{FaultKind, FaultPlan};
 pub use image::MemoryImage;
 pub use profile::{ChromeTraceProfiler, CounterSample, Profiler};
 pub use sm::{Simulator, DEADLOCK_WINDOW, ICACHE_LINE};
-pub use stats::{CycleCause, RunStats};
+pub use stats::{CycleCause, RunStats, N_PHASES, PHASE_NAMES};
 pub use trace::{EventKind, EventRecorder, TraceEvent};
 pub use workload::{InitValue, RayResult, RegInit, RtTrace, Workload};
 

@@ -7,7 +7,7 @@ use crate::image::MemoryImage;
 use crate::profile::{CounterSample, Profiler};
 use crate::stats::{CycleCause, RunStats};
 use crate::trace::{EventKind, EventRecorder, TraceEvent};
-use crate::warp::{lanes, MemKind, RtJob, WarpSim, WarpStatus};
+use crate::warp::{lanes, IssueResult, MemKind, RtJob, WarpSim, WarpStatus};
 use crate::workload::Workload;
 use subwarp_isa::{Program, Reg, Scoreboard};
 use subwarp_mem::{AccessKind, Cache, DataMemory, MemoryBackend, ServiceUnit};
@@ -192,6 +192,7 @@ impl Simulator {
                     snapshot: st.snapshot(),
                 });
             }
+            st.stats.phase_nanos = st.phase_nanos;
             st.stats.l1i = st.l1i.stats();
             st.stats.l1d = st.l1d.stats();
             st.stats.mem = st.backend.stats();
@@ -230,6 +231,9 @@ struct SimState<'a, 'p> {
     si: &'a SiConfig,
     wl: &'a Workload,
     program: &'a Program,
+    /// Register-file depth for this workload ([`Workload::n_regs`]),
+    /// computed once per run and passed to every warp launch/reset.
+    wl_n_regs: usize,
     cycle: u64,
     /// Warp slots; `slots[i]` belongs to processing block
     /// `i / warp_slots_per_pb`.
@@ -267,6 +271,118 @@ struct SimState<'a, 'p> {
     /// Scratch: which PBs issued this cycle (per-PB cause attribution for
     /// the profiler).
     pb_issued: Vec<bool>,
+    /// Warp-state pool: retired `WarpSim`s parked for reuse. The next launch
+    /// resets one in place ([`WarpSim::reset`]) instead of allocating, so
+    /// steady-state retire→launch churn performs zero heap traffic.
+    pool: Vec<WarpSim>,
+    /// Reused issue side-effect buffers ([`IssueResult::clear`] keeps their
+    /// capacity): the per-issue path allocates nothing.
+    issue_res: IssueResult,
+    /// Scratch for coalescing a request's lanes into cache-line groups.
+    line_groups: Vec<(u64, Vec<(usize, u64)>)>,
+    /// Lane vectors recycled through in-flight [`MemResp`]s: popped at issue
+    /// time, pushed back when the response's writeback is applied.
+    lane_vec_pool: Vec<Vec<(usize, u64)>>,
+    /// Per-slot cycle of the last state mutation (writeback, wakeup, fetch,
+    /// selection, issue, launch, retire). Change-driven phases skip slots
+    /// whose state provably did not change since they last ran.
+    last_mutated: Vec<u64>,
+    /// Per-slot cycle at which `statuses[slot]` was last computed.
+    status_at: Vec<u64>,
+    /// Per-slot earliest future cycle at which the cached status could
+    /// change *without* a mutation (switch-penalty expiry, short-dep
+    /// readiness) — `u64::MAX` when only a mutation can change it. Also the
+    /// fast-forward's per-warp event horizon.
+    recheck_at: Vec<u64>,
+    /// Bitmask words over slots mutated this cycle (`dirty_now`) and the
+    /// previous cycle (`dirty_prev`). The change-driven phases iterate set
+    /// bits of their union instead of scanning every slot; `step` rolls the
+    /// window each cycle. Mirrors `last_mutated ∈ {cycle, cycle-1}`.
+    dirty_now: Vec<u64>,
+    dirty_prev: Vec<u64>,
+    /// Lower bound on `min(recheck_at)`. `compute_statuses` full-scans (and
+    /// re-tightens the bound) only when the clock reaches it; may be
+    /// stale-low after a status write, never stale-high.
+    min_recheck: u64,
+    /// Lower bound on the earliest in-flight instruction-fill completion
+    /// (same lazy contract); `fetch_completions` is a single compare until
+    /// the clock reaches it.
+    min_fetch_ready: u64,
+    /// Per-PB bitmask of slots (bit `slot - pb*warp_slots_per_pb`) whose
+    /// cached status is `Issuable` — the scheduler's candidate set, updated
+    /// wherever `statuses` is written.
+    issuable_pb: Vec<u64>,
+    /// Per-PB bitmask of slots whose cached status is a `MemStall` — the
+    /// stall-driven selection's fast-path gate.
+    memstall_pb: Vec<u64>,
+    /// Bumped on every cached-status write (and thus on every warp mutation
+    /// by the next status pass); tags `idle_cache`.
+    statuses_version: u64,
+    /// Memoized idle-cycle attribution: between status changes every
+    /// non-issue cycle classifies identically, so the per-slot scan runs
+    /// once per `statuses_version` instead of once per cycle.
+    idle_cache: IdleClass,
+    idle_cache_version: u64,
+    /// Occupied warp slots (maintained by launch/retire; `finished` and the
+    /// idle classifier read it instead of scanning).
+    resident: usize,
+    /// Wall-time phase breakdown, collected only when
+    /// [`SmConfig::profile_phases`] is set (`timed`).
+    timed: bool,
+    phase_nanos: [u64; crate::stats::N_PHASES],
+    phase_t: std::time::Instant,
+}
+
+/// Indices into [`SimState::phase_nanos`] / [`RunStats::phase_nanos`],
+/// matching [`crate::stats::PHASE_NAMES`].
+const PHASE_ISSUE: usize = 0;
+const PHASE_EXECUTE: usize = 1;
+const PHASE_MEMORY: usize = 2;
+const PHASE_FAST_FORWARD: usize = 3;
+const PHASE_OTHER: usize = 4;
+
+/// One memoized idle-cycle classification (see [`SimState::account_idle`]):
+/// the exposure flags and the single attributed cause, valid for as long as
+/// no cached status changes.
+#[derive(Debug, Clone, Copy)]
+struct IdleClass {
+    any_live: bool,
+    load_stall: bool,
+    load_stall_divergent: bool,
+    traversal_stall: bool,
+    fetch_wait: bool,
+    cause: CycleCause,
+}
+
+impl Default for IdleClass {
+    fn default() -> Self {
+        IdleClass {
+            any_live: false,
+            load_stall: false,
+            load_stall_divergent: false,
+            traversal_stall: false,
+            fetch_wait: false,
+            cause: CycleCause::Idle,
+        }
+    }
+}
+
+/// Runs `$body` for every slot whose bit is set in the union of the two
+/// dirty windows (mutated this cycle or the previous one) — the candidate
+/// set for every change-driven phase. Words are snapshotted, so `touch`es
+/// made inside the body don't extend the current pass; set bits are visited
+/// in ascending slot order, matching the full scans this replaces.
+macro_rules! for_dirty_slots {
+    ($self:ident, $slot:ident, $body:block) => {
+        for __w in 0..$self.dirty_now.len() {
+            let mut __m = $self.dirty_now[__w] | $self.dirty_prev[__w];
+            while __m != 0 {
+                let $slot = (__w << 6) + __m.trailing_zeros() as usize;
+                __m &= __m - 1;
+                $body
+            }
+        }
+    };
 }
 
 impl<'a, 'p> SimState<'a, 'p> {
@@ -286,6 +402,7 @@ impl<'a, 'p> SimState<'a, 'p> {
             si,
             wl,
             program: &wl.program,
+            wl_n_regs: wl.n_regs(),
             cycle: 0,
             slots: (0..n_slots).map(|_| None).collect(),
             sm_id,
@@ -306,9 +423,50 @@ impl<'a, 'p> SimState<'a, 'p> {
             mem_image: capture_memory.then(Vec::new),
             profiler,
             pb_issued: vec![false; sm.n_pbs],
+            pool: Vec::new(),
+            issue_res: IssueResult::default(),
+            line_groups: Vec::new(),
+            lane_vec_pool: Vec::new(),
+            last_mutated: vec![0; n_slots],
+            status_at: vec![0; n_slots],
+            recheck_at: vec![u64::MAX; n_slots],
+            dirty_now: vec![0; n_slots.div_ceil(64)],
+            dirty_prev: vec![0; n_slots.div_ceil(64)],
+            min_recheck: u64::MAX,
+            min_fetch_ready: u64::MAX,
+            issuable_pb: vec![0; sm.n_pbs],
+            memstall_pb: vec![0; sm.n_pbs],
+            statuses_version: 0,
+            idle_cache: IdleClass::default(),
+            idle_cache_version: u64::MAX,
+            resident: 0,
+            timed: sm.profile_phases,
+            phase_nanos: [0; crate::stats::N_PHASES],
+            phase_t: std::time::Instant::now(),
         };
         st.launch_pending();
         st
+    }
+
+    /// Marks `slot`'s warp state as mutated this cycle, re-arming the
+    /// change-driven phases (status recompute, frontend scans, invariant
+    /// and retirement checks) for it.
+    #[inline]
+    fn touch(&mut self, slot: usize) {
+        self.last_mutated[slot] = self.cycle;
+        self.dirty_now[slot >> 6] |= 1 << (slot & 63);
+    }
+
+    /// Attributes the wall time since the previous lap to `phase`.
+    /// A branch-and-return when phase profiling is off.
+    #[inline]
+    fn lap(&mut self, phase: usize) {
+        if !self.timed {
+            return;
+        }
+        let now = std::time::Instant::now();
+        self.phase_nanos[phase] += now.duration_since(self.phase_t).as_nanos() as u64;
+        self.phase_t = now;
     }
 
     fn pb_of(&self, slot: usize) -> usize {
@@ -321,7 +479,7 @@ impl<'a, 'p> SimState<'a, 'p> {
     }
 
     fn finished(&self) -> bool {
-        self.next_warp_id().is_none() && self.slots.iter().all(|s| s.is_none())
+        self.next_warp_id().is_none() && self.resident == 0
     }
 
     fn record(&mut self, warp: usize, kind: EventKind, mask: u32, pc: usize) {
@@ -353,33 +511,61 @@ impl<'a, 'p> SimState<'a, 'p> {
             let slot = (i % self.sm.n_pbs) * per_pb + i / self.sm.n_pbs;
             if self.slots[slot].is_none() {
                 let Some(id) = self.next_warp_id() else { break };
-                self.slots[slot] = Some(WarpSim::launch(id, self.wl));
+                let w = match self.pool.pop() {
+                    Some(mut w) => {
+                        w.reset(id, self.wl, self.wl_n_regs);
+                        w
+                    }
+                    None => WarpSim::launch(id, self.wl, self.wl_n_regs),
+                };
+                self.slots[slot] = Some(w);
+                self.touch(slot);
+                self.resident += 1;
                 self.next_seq += 1;
             }
         }
-        let resident = self.slots.iter().filter(|s| s.is_some()).count();
-        self.stats.peak_resident_warps = self.stats.peak_resident_warps.max(resident);
+        self.stats.peak_resident_warps = self.stats.peak_resident_warps.max(self.resident);
     }
 
     /// One simulated cycle.
     fn step(&mut self) -> Result<(), SimError> {
+        if self.timed {
+            self.phase_t = std::time::Instant::now();
+        }
         self.drain_writebacks();
-        self.wakeups();
+        if self.si.enabled {
+            // The TST is populated only through stall-driven demotion, which
+            // is SI-gated, so baseline runs have nothing to wake.
+            self.wakeups();
+        }
+        self.lap(PHASE_MEMORY);
         self.fetch_completions();
         self.resume_selection();
         self.fetch_initiation();
         self.compute_statuses();
+        self.lap(PHASE_OTHER);
         let issued = self.issue_stage();
         if self.si.enabled {
             self.stall_driven_selection();
         }
+        self.lap(PHASE_ISSUE);
         self.account_cycle(issued);
         self.check_invariants()?;
         self.retire_and_launch();
         self.cycle += 1;
         self.watchdog(issued)?;
+        self.lap(PHASE_OTHER);
         if self.sm.fast_forward {
             self.fast_forward(issued);
+        }
+        self.lap(PHASE_FAST_FORWARD);
+        // Roll the dirty-slot window: this cycle's mutations stay visible to
+        // the next cycle's change-driven phases, older ones age out. (A
+        // fast-forward jump lands on a quiescent stretch, so the window is
+        // consistent across it too.)
+        for i in 0..self.dirty_now.len() {
+            self.dirty_prev[i] = self.dirty_now[i];
+            self.dirty_now[i] = 0;
         }
         Ok(())
     }
@@ -401,14 +587,10 @@ impl<'a, 'p> SimState<'a, 'p> {
         if issued || self.last_progress + 1 == self.cycle {
             return; // something happened this cycle — no quiescence
         }
-        // Time-dependent classifications expire on cycles only the warp's
-        // ready-timestamps know; don't skip while one is visible.
-        // (`Issuable` cannot appear here — an issuable warp issues — but
-        // the guard is cheap insurance.)
-        for st in self.statuses.iter().flatten() {
-            if matches!(st, WarpStatus::Issuable | WarpStatus::ShortDep) {
-                return;
-            }
+        // `Issuable` cannot appear in a quiescent cycle — an issuable warp
+        // issues — but the guard is cheap insurance.
+        if self.issuable_pb.iter().any(|&m| m != 0) {
+            return;
         }
         let executed = self.cycle - 1;
         // Next scheduled event, starting from the watchdog horizons (both
@@ -431,13 +613,16 @@ impl<'a, 'p> SimState<'a, 'p> {
         if let Some(t) = self.backend.next_event(executed) {
             clamp(t);
         }
-        for w in self.slots.iter().flatten() {
-            if let Some((t, _)) = w.fetch_pending {
-                clamp(t);
-            }
-            if w.switch_ready > executed {
-                clamp(w.switch_ready);
-            }
+        // In-flight instruction fills, and the per-warp status expiries
+        // (`recheck_at`): stall windows are discrete events like any other.
+        // Both horizons are maintained lower bounds — a stale-low bound only
+        // makes the jump land early (the next quiescent cycle re-tightens it
+        // and jumps again), never late, so results are unchanged.
+        if self.min_fetch_ready != u64::MAX {
+            clamp(self.min_fetch_ready);
+        }
+        if self.min_recheck != u64::MAX {
+            clamp(self.min_recheck);
         }
         let skipped = wake.saturating_sub(self.cycle);
         if skipped == 0 {
@@ -463,18 +648,40 @@ impl<'a, 'p> SimState<'a, 'p> {
             InvariantLevel::Cheap => false,
             InvariantLevel::Full => true,
         };
-        for slot in 0..self.slots.len() {
-            let violated = match self.slots[slot].as_mut() {
-                Some(w) => w.check_invariants(full).err(),
-                None => None,
-            };
-            if let Some(what) = violated {
-                return Err(SimError::InvariantViolation {
-                    workload: self.wl.name.clone(),
-                    what,
-                    snapshot: self.snapshot(),
-                });
+        if full {
+            for slot in 0..self.slots.len() {
+                self.check_slot_invariants(slot, true)?;
             }
+        } else {
+            // A warp's state machine (and any recorded fault) can only have
+            // changed through a mutation, so at the Cheap level only slots
+            // touched this cycle — this cycle's dirty word bits — are
+            // audited; Full keeps the exhaustive scan.
+            for word in 0..self.dirty_now.len() {
+                let mut m = self.dirty_now[word];
+                while m != 0 {
+                    let slot = (word << 6) + m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    if self.last_mutated[slot] == self.cycle {
+                        self.check_slot_invariants(slot, false)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_slot_invariants(&mut self, slot: usize, full: bool) -> Result<(), SimError> {
+        let violated = match self.slots[slot].as_mut() {
+            Some(w) => w.check_invariants(full).err(),
+            None => None,
+        };
+        if let Some(what) = violated {
+            return Err(SimError::InvariantViolation {
+                workload: self.wl.name.clone(),
+                what,
+                snapshot: self.snapshot(),
+            });
         }
         Ok(())
     }
@@ -514,6 +721,7 @@ impl<'a, 'p> SimState<'a, 'p> {
             if let Some(w) = self.slots[r.slot].as_mut() {
                 w.writeback(r.lane, r.dst, r.shader as u64, Some(r.sb), self.cycle);
             }
+            self.touch(r.slot);
             self.stats.rt_traversals += 1;
         }
         if progressed {
@@ -526,60 +734,98 @@ impl<'a, 'p> SimState<'a, 'p> {
         // Values come from functional data memory at the lane's address.
         let data = &self.data;
         if let Some(w) = self.slots[resp.slot].as_mut() {
+            // Per-lane values first (each lane reads its own address), then
+            // the ready-marking and scoreboard decrement once over the whole
+            // line's mask — state-identical to per-lane `writeback` calls.
+            let mut mask = 0u32;
             for &(lane, addr) in &resp.lanes {
-                w.writeback(lane, resp.dst, data.read(addr), resp.sb, cycle);
+                w.rf.write_reg(lane, resp.dst, data.read(addr));
+                mask |= 1 << lane;
             }
+            w.complete_writeback(mask, resp.dst, resp.sb, cycle);
         }
+        self.touch(resp.slot);
+        // The response's lane vector goes back to the pool for the next
+        // coalesced request.
+        self.lane_vec_pool.push(resp.lanes);
     }
 
     /// Step 2: `subwarp-wakeup` — TST entries whose scoreboards cleared.
+    /// Change-driven: a wakeup needs a scoreboard to have cleared (a
+    /// writeback — a mutation), so unmutated warps cannot wake.
     fn wakeups(&mut self) {
-        for slot in 0..self.slots.len() {
+        for_dirty_slots!(self, slot, {
             let woken = match self.slots[slot].as_mut() {
                 Some(w) if !w.tst.is_empty() => w.wakeup(),
                 _ => continue,
             };
+            if !woken.is_empty() {
+                self.touch(slot);
+            }
             for (mask, pc) in woken {
                 self.record(slot, EventKind::Wakeup, mask, pc);
                 self.last_progress = self.cycle;
             }
-        }
+        });
     }
 
-    /// Step 3: install completed instruction-line fills.
+    /// Step 3: install completed instruction-line fills. Fill completions
+    /// are timed events: a single compare against the earliest outstanding
+    /// completion skips the phase entirely until one is due, and the scan
+    /// that installs it re-derives the next horizon exactly.
     fn fetch_completions(&mut self) {
-        for w in self.slots.iter_mut().flatten() {
+        if self.cycle < self.min_fetch_ready {
+            return;
+        }
+        let mut min = u64::MAX;
+        for slot in 0..self.slots.len() {
+            let Some(w) = self.slots[slot].as_mut() else {
+                continue;
+            };
             if let Some((ready, line)) = w.fetch_pending {
                 if ready <= self.cycle {
                     w.ib_line = Some(line);
                     w.fetch_pending = None;
                     self.last_progress = self.cycle;
+                    self.touch(slot);
+                } else {
+                    min = min.min(ready);
                 }
             }
         }
+        self.min_fetch_ready = min;
     }
 
     /// Step 4: warps with no active subwarp but a READY one resume
     /// (convergence- or wakeup-driven selection).
     fn resume_selection(&mut self) {
         let latency = self.select_latency();
-        for slot in 0..self.slots.len() {
-            let selected = {
+        // Absorption and selection depend only on warp-local state (ready
+        // groups, active pc): if the warp was not mutated since the last
+        // time this phase saw it, re-running it is a no-op — so only the
+        // dirty window's slots are visited.
+        for_dirty_slots!(self, slot, {
+            let (selected, absorbed) = {
                 let Some(w) = self.slots[slot].as_mut() else {
                     continue;
                 };
                 if w.done() || w.active_mask() != 0 {
-                    w.absorb_ready_at_active_pc();
-                    continue;
+                    let absorbed = w.absorb_ready_at_active_pc();
+                    (None, absorbed)
+                } else {
+                    (w.select(self.cycle, latency), 0)
                 }
-                w.select(self.cycle, latency)
             };
+            if absorbed != 0 {
+                self.touch(slot);
+            }
             if let Some((pc, mask)) = selected {
+                self.touch(slot);
                 self.stats.subwarp_switches += 1;
                 self.record(slot, EventKind::Select, mask, pc);
                 self.last_progress = self.cycle;
             }
-        }
+        });
     }
 
     fn select_latency(&self) -> u64 {
@@ -594,7 +840,11 @@ impl<'a, 'p> SimState<'a, 'p> {
     /// not cover their active pc. An L0I hit installs the line immediately;
     /// misses go to the L1I and then the fixed-latency stub.
     fn fetch_initiation(&mut self) {
-        for slot in 0..self.slots.len() {
+        // A warp needs a fetch only when its pc or buffer changed — a
+        // mutation. After this phase runs once post-mutation, the warp is
+        // covered, fetch-pending, or has no active pc; all stable until the
+        // next mutation — so only the dirty window's slots are visited.
+        for_dirty_slots!(self, slot, {
             let pb = self.pb_of(slot);
             let Some(w) = self.slots[slot].as_mut() else {
                 continue;
@@ -622,53 +872,131 @@ impl<'a, 'p> SimState<'a, 'p> {
                         AccessKind::Hit => self.sm.ifetch_l1_latency,
                         AccessKind::Miss => self.sm.ifetch_miss_latency,
                     };
-                    w.fetch_pending = Some((self.cycle + lat, line));
+                    let ready = self.cycle + lat;
+                    w.fetch_pending = Some((ready, line));
+                    self.min_fetch_ready = self.min_fetch_ready.min(ready);
                 }
             }
-        }
+            self.touch(slot);
+        });
     }
 
     /// Step 6: classify each resident warp's readiness.
+    ///
+    /// Change-driven: a slot is reclassified only when its warp mutated
+    /// since the cached status was computed, or the status's own timed
+    /// expiry (`recheck_at`) arrived. Every mutation costs at most two
+    /// recomputes (the mutation cycle and the one after); stable warps —
+    /// the overwhelming majority each cycle — cost nothing.
     fn compute_statuses(&mut self) {
-        let warp_wide = !self.si.enabled;
-        for slot in 0..self.slots.len() {
-            self.statuses[slot] = self.slots[slot]
-                .as_ref()
-                .map(|w| w.status(self.program, self.cycle, warp_wide));
+        let cycle = self.cycle;
+        if cycle >= self.min_recheck {
+            // A timed expiry is due somewhere: full scan (the expired slot
+            // need not be in the dirty window), re-deriving the exact next
+            // horizon from the final per-slot values.
+            let mut min = u64::MAX;
+            for slot in 0..self.slots.len() {
+                if self.last_mutated[slot] >= self.status_at[slot] || cycle >= self.recheck_at[slot]
+                {
+                    self.recompute_status(slot);
+                }
+                min = min.min(self.recheck_at[slot]);
+            }
+            self.min_recheck = min;
+        } else {
+            // No expiry due: only mutated slots can have changed class.
+            for_dirty_slots!(self, slot, {
+                if self.last_mutated[slot] >= self.status_at[slot] {
+                    self.recompute_status(slot);
+                }
+            });
         }
     }
 
-    /// Step 7: per-PB issue (one instruction per PB per cycle).
+    /// Reclassifies one slot, maintaining every structure derived from the
+    /// cached status: the per-PB issuable/mem-stall candidate masks, the
+    /// recheck horizon, and the version that tags the idle-cause memo.
+    fn recompute_status(&mut self, slot: usize) {
+        let warp_wide = !self.si.enabled;
+        let (status, recheck) = match self.slots[slot].as_ref() {
+            Some(w) => {
+                let (s, r) = w.status_with_recheck(self.program, self.cycle, warp_wide);
+                (Some(s), r)
+            }
+            None => (None, u64::MAX),
+        };
+        self.statuses[slot] = status;
+        self.recheck_at[slot] = recheck;
+        self.status_at[slot] = self.cycle;
+        self.min_recheck = self.min_recheck.min(recheck);
+        // Conservative: bump even when the class is unchanged — the warp
+        // state behind it (e.g. which scoreboards a TST entry watches) may
+        // still have changed, and the idle classifier reads that state.
+        self.statuses_version += 1;
+        let pb = self.pb_of(slot);
+        let bit = 1u64 << (slot - pb * self.sm.warp_slots_per_pb);
+        if status == Some(WarpStatus::Issuable) {
+            self.issuable_pb[pb] |= bit;
+        } else {
+            self.issuable_pb[pb] &= !bit;
+        }
+        if matches!(status, Some(WarpStatus::MemStall { .. })) {
+            self.memstall_pb[pb] |= bit;
+        } else {
+            self.memstall_pb[pb] &= !bit;
+        }
+    }
+
+    /// Step 7: per-PB issue (one instruction per PB per cycle). The
+    /// candidate set is the maintained per-PB issuable bitmask, so a PB with
+    /// nothing ready costs one compare.
     fn issue_stage(&mut self) -> bool {
         let mut any = false;
         self.pb_issued.fill(false);
         for pb in 0..self.sm.n_pbs {
+            let mask = self.issuable_pb[pb];
+            if mask == 0 {
+                continue;
+            }
             let lo = pb * self.sm.warp_slots_per_pb;
-            let hi = lo + self.sm.warp_slots_per_pb;
-            let issuable = |s: usize| self.statuses[s] == Some(WarpStatus::Issuable);
             let chosen = match self.sm.scheduler {
                 SchedulerPolicy::Gto => {
                     // Greedy: stick with the last issued warp if still ready;
                     // otherwise the oldest (smallest warp id).
                     match self.last_issued[pb] {
-                        Some(last) if issuable(last) => Some(last),
-                        _ => (lo..hi).filter(|&s| issuable(s)).min_by_key(|&s| {
-                            self.slots[s]
-                                .as_ref()
-                                .map(|w| w.warp_id)
-                                .unwrap_or(usize::MAX)
-                        }),
+                        Some(last) if mask & (1 << (last - lo)) != 0 => last,
+                        _ => {
+                            let mut best = usize::MAX;
+                            let mut best_id = usize::MAX;
+                            let mut m = mask;
+                            while m != 0 {
+                                let s = lo + m.trailing_zeros() as usize;
+                                m &= m - 1;
+                                let id = self.slots[s]
+                                    .as_ref()
+                                    .map(|w| w.warp_id)
+                                    .unwrap_or(usize::MAX);
+                                if id < best_id {
+                                    best_id = id;
+                                    best = s;
+                                }
+                            }
+                            best
+                        }
                     }
                 }
                 SchedulerPolicy::Lrr => {
-                    // Round robin after the last issued slot.
-                    let start = self.last_issued[pb].map(|s| s + 1).unwrap_or(lo);
-                    (start..hi)
-                        .find(|&s| issuable(s))
-                        .or_else(|| (lo..hi).find(|&s| issuable(s)))
+                    // Round robin after the last issued slot, wrapping.
+                    let start = self.last_issued[pb].map(|s| s + 1 - lo).unwrap_or(0);
+                    let ge_start = if start >= 64 {
+                        0
+                    } else {
+                        mask & !((1u64 << start) - 1)
+                    };
+                    let first = if ge_start != 0 { ge_start } else { mask };
+                    lo + first.trailing_zeros() as usize
                 }
             };
-            let Some(chosen) = chosen else { continue };
             self.last_issued[pb] = Some(chosen);
             self.issue_warp(chosen);
             self.pb_issued[pb] = true;
@@ -699,7 +1027,11 @@ impl<'a, 'p> SimState<'a, 'p> {
             };
             self.stats.issued_by_unit[idx] += 1;
         }
-        let res = {
+        self.touch(slot);
+        self.lap(PHASE_ISSUE);
+        // Reuse the per-run IssueResult: `issue` clears it, capacities stay.
+        let mut res = std::mem::take(&mut self.issue_res);
+        {
             let w = self.slots[slot]
                 .as_mut()
                 .expect("issuable slot is occupied");
@@ -713,8 +1045,10 @@ impl<'a, 'p> SimState<'a, 'p> {
                     lds: self.sm.lds_latency,
                 },
                 self.sm.diverge_order,
-            )
-        };
+                &mut res,
+            );
+        }
+        self.lap(PHASE_EXECUTE);
         self.stats.instructions += 1;
 
         // Record state-machine events and counters.
@@ -737,17 +1071,26 @@ impl<'a, 'p> SimState<'a, 'p> {
             }
         }
 
-        // Memory requests: coalesce lanes into cache lines.
+        // Memory requests: coalesce lanes into cache lines. The grouping
+        // scratch and per-line lane Vecs are recycled across issues
+        // (`line_groups` / `lane_vec_pool`) so steady-state issue does not
+        // allocate.
         if let Some(req) = res.mem {
-            let mut line_groups: Vec<(u64, Vec<(usize, u64)>)> = Vec::new();
-            for (lane, addr) in req.lanes {
+            let mut groups = std::mem::take(&mut self.line_groups);
+            groups.clear();
+            for &(lane, addr) in &res.mem_lanes {
                 let line = self.l1d.line_of(addr);
-                match line_groups.iter_mut().find(|(l, _)| *l == line) {
+                match groups.iter_mut().find(|(l, _)| *l == line) {
                     Some((_, v)) => v.push((lane, addr)),
-                    None => line_groups.push((line, vec![(lane, addr)])),
+                    None => {
+                        let mut v = self.lane_vec_pool.pop().unwrap_or_default();
+                        v.clear();
+                        v.push((lane, addr));
+                        groups.push((line, v));
+                    }
                 }
             }
-            for (line, group) in line_groups {
+            for (line, group) in groups.drain(..) {
                 // Hits complete after the fixed L1 pipeline latency; misses
                 // ask the memory backend for an absolute completion cycle
                 // (the fixed stub returns `cycle + miss_latency`; the
@@ -776,17 +1119,20 @@ impl<'a, 'p> SimState<'a, 'p> {
                     } else {
                         self.lsu.push(done, resp);
                     }
+                } else {
+                    self.lane_vec_pool.push(group);
                 }
             }
+            self.line_groups = groups;
         }
 
         // RT-core jobs: latency from the pre-traced node count.
-        for RtJob {
+        for &RtJob {
             lane,
             ray_id,
             dst,
             sb,
-        } in res.rt_jobs
+        } in &res.rt_jobs
         {
             let ray = self.wl.rt_trace.get(ray_id);
             let latency = self.sm.rt.latency(ray.nodes);
@@ -801,6 +1147,7 @@ impl<'a, 'p> SimState<'a, 'p> {
                 },
             );
         }
+        self.lap(PHASE_MEMORY);
 
         // Convergence-driven selection (BSYNC block / exit) and yields.
         let select_latency = self.select_latency();
@@ -832,6 +1179,9 @@ impl<'a, 'p> SimState<'a, 'p> {
                 self.apply_yield(slot);
             }
         }
+
+        // Hand the (cleared-on-next-issue) result buffer back for reuse.
+        self.issue_res = res;
     }
 
     /// Demotes the active subwarp to READY and selects another
@@ -850,6 +1200,7 @@ impl<'a, 'p> SimState<'a, 'p> {
             let sel = w.select(cycle, latency);
             (mask, sel)
         };
+        self.touch(slot);
         self.stats.subwarp_yields += 1;
         let pc = self.slots[slot]
             .as_ref()
@@ -867,6 +1218,12 @@ impl<'a, 'p> SimState<'a, 'p> {
     fn stall_driven_selection(&mut self) {
         let cycle = self.cycle;
         for pb in 0..self.sm.n_pbs {
+            // Only MemStall-classified warps can be demoted below, so a PB
+            // with none (the common case) can be skipped before the trigger
+            // arithmetic — the trigger could at most fire and find nothing.
+            if self.memstall_pb[pb] == 0 {
+                continue;
+            }
             let lo = pb * self.sm.warp_slots_per_pb;
             let hi = lo + self.sm.warp_slots_per_pb;
             let mut live = 0;
@@ -926,6 +1283,7 @@ impl<'a, 'p> SimState<'a, 'p> {
                     }
                 };
                 let Some((mask, pc)) = demoted else { continue };
+                self.touch(s);
                 self.stats.subwarp_stalls += 1;
                 self.record(s, EventKind::Stall, mask, pc);
                 let selected = {
@@ -980,15 +1338,40 @@ impl<'a, 'p> SimState<'a, 'p> {
     /// Attributes `n` consecutive idle cycles with the current statuses.
     /// `n > 1` only during [`fast_forward`](Self::fast_forward), where the
     /// statuses are provably constant across the whole stretch.
+    ///
+    /// The classification is memoized on `statuses_version`: between status
+    /// changes every non-issue cycle classifies identically (the flags
+    /// depend only on cached statuses and status-stable warp state), so the
+    /// per-slot scan runs once per change, not once per cycle.
     fn account_idle(&mut self, n: u64) {
-        let any_live = self.slots.iter().flatten().any(|w| !w.done());
-        if !any_live {
+        if self.idle_cache_version != self.statuses_version {
+            self.idle_cache = self.classify_idle();
+            self.idle_cache_version = self.statuses_version;
+        }
+        let c = self.idle_cache;
+        if !c.any_live {
             // Launch/drain slack: no resident warp can make progress or is
             // waiting on anything — pure idle time.
             self.tally_cause(CycleCause::Idle, n);
             return;
         }
         self.stats.idle_cycles += n;
+        if c.load_stall {
+            self.stats.exposed_load_stalls += n;
+            if c.load_stall_divergent {
+                self.stats.exposed_load_stalls_divergent += n;
+            }
+        } else if c.traversal_stall {
+            self.stats.exposed_traversal_stalls += n;
+        } else if c.fetch_wait {
+            self.stats.exposed_fetch_stalls += n;
+        }
+        self.tally_cause(c.cause, n);
+    }
+
+    /// The full idle-cycle scan behind [`account_idle`](Self::account_idle).
+    fn classify_idle(&self) -> IdleClass {
+        let any_live = self.slots.iter().flatten().any(|w| !w.done());
         let mut load_stall = false;
         let mut load_stall_divergent = false;
         let mut traversal_stall = false;
@@ -1033,18 +1416,8 @@ impl<'a, 'p> SimState<'a, 'p> {
                 _ => {}
             }
         }
-        if load_stall {
-            self.stats.exposed_load_stalls += n;
-            if load_stall_divergent {
-                self.stats.exposed_load_stalls_divergent += n;
-            }
-        } else if traversal_stall {
-            self.stats.exposed_traversal_stalls += n;
-        } else if fetch_wait {
-            self.stats.exposed_fetch_stalls += n;
-        }
         // Exhaustive single-cause attribution, extending the exposure
-        // priority above (load > traversal > fetch) over the causes the
+        // priority (load > traversal > fetch) over the causes the
         // historical counters leave unclassified.
         let cause = if load_stall {
             CycleCause::LoadStall
@@ -1063,7 +1436,14 @@ impl<'a, 'p> SimState<'a, 'p> {
             // only `Done` warps awaiting retirement alongside empty slots.
             CycleCause::Idle
         };
-        self.tally_cause(cause, n);
+        IdleClass {
+            any_live,
+            load_stall,
+            load_stall_divergent,
+            traversal_stall,
+            fetch_wait,
+            cause,
+        }
     }
 
     /// Classifies one processing block's cycle when it did not issue, using
@@ -1152,10 +1532,26 @@ impl<'a, 'p> SimState<'a, 'p> {
     /// Step 10: retire finished warps and launch pending ones.
     fn retire_and_launch(&mut self) {
         let mut freed = false;
-        for slot in 0..self.slots.len() {
-            if self.slots[slot].as_ref().is_some_and(|w| w.done()) {
-                self.slots[slot] = None;
-                freed = true;
+        // A warp only becomes done by issuing EXIT, which touches its slot
+        // this cycle — so only this cycle's dirty word bits can retire.
+        for word in 0..self.dirty_now.len() {
+            let mut m = self.dirty_now[word];
+            while m != 0 {
+                let slot = (word << 6) + m.trailing_zeros() as usize;
+                m &= m - 1;
+                if self.last_mutated[slot] != self.cycle {
+                    continue;
+                }
+                if self.slots[slot].as_ref().is_some_and(|w| w.done()) {
+                    // Retired warps go back to the pool; the next launch
+                    // resets one in place instead of allocating contexts
+                    // from scratch.
+                    if let Some(w) = self.slots[slot].take() {
+                        self.pool.push(w);
+                    }
+                    self.resident -= 1;
+                    freed = true;
+                }
             }
         }
         if freed {

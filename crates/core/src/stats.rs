@@ -78,6 +78,12 @@ impl CycleCause {
     }
 }
 
+/// Number of wall-time phases in [`RunStats::phase_nanos`].
+pub const N_PHASES: usize = 5;
+
+/// Labels for [`RunStats::phase_nanos`], index-aligned.
+pub const PHASE_NAMES: [&str; N_PHASES] = ["issue", "execute", "memory", "fast_forward", "other"];
+
 /// Counters collected over one simulation run.
 ///
 /// The paper's key metric (§I): "we define exposed long-latency or
@@ -148,6 +154,12 @@ pub struct RunStats {
     /// DRAM row locality and per-channel busy cycles. For the fixed-latency
     /// stub only the request/fill counters are populated.
     pub mem: MemBackendStats,
+    /// Host wall-time spent per simulator phase, in nanoseconds, indexed by
+    /// [`PHASE_NAMES`]. All zero unless the run was configured with
+    /// [`SmConfig::profile_phases`](crate::SmConfig::profile_phases) — the
+    /// clock reads are skipped entirely otherwise, so ordinary runs (and the
+    /// determinism tests that compare whole `RunStats` values) see zeros.
+    pub phase_nanos: [u64; N_PHASES],
 }
 
 impl RunStats {
@@ -221,6 +233,9 @@ impl RunStats {
         self.rt_traversals += sm.rt_traversals;
         self.peak_resident_warps += sm.peak_resident_warps;
         self.mem.merge(&sm.mem);
+        for (a, b) in self.phase_nanos.iter_mut().zip(sm.phase_nanos.iter()) {
+            *a += b;
+        }
     }
 
     /// Fractional reduction of a counter relative to `baseline`

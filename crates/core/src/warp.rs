@@ -6,8 +6,7 @@ use crate::config::{DivergeOrder, WARP_SIZE};
 use crate::trace::EventKind;
 use crate::workload::Workload;
 use subwarp_isa::{
-    Effect, Instruction, Op, Program, Reg, SbMask, Scoreboard, ThreadCtx, N_BARRIER, N_PRED, N_REG,
-    N_SB,
+    Effect, Instruction, Op, Program, Reg, RegFile, SbMask, Scoreboard, N_BARRIER, N_PRED, N_SB,
 };
 
 /// Sentinel "not ready until writeback" value for long-latency destinations.
@@ -66,9 +65,10 @@ pub enum MemKind {
     Texture,
 }
 
-/// A warp-level memory request: per-lane addresses that the SM coalesces
-/// into line requests.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A warp-level memory request. The participating `(lane, effective address)`
+/// pairs live in [`IssueResult::mem_lanes`], a buffer the SM reuses across
+/// issues, so producing a request allocates nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemRequest {
     /// Data path.
     pub kind: MemKind,
@@ -76,8 +76,6 @@ pub struct MemRequest {
     pub sb: Option<Scoreboard>,
     /// Destination register (ignored for stores).
     pub dst: Reg,
-    /// `(lane, effective address)` pairs for participating lanes.
-    pub lanes: Vec<(usize, u64)>,
 }
 
 /// A per-lane RT-core traversal job.
@@ -94,10 +92,17 @@ pub struct RtJob {
 }
 
 /// Side effects of issuing one warp instruction, consumed by the SM.
+///
+/// The SM owns one `IssueResult` for the whole run and passes it to every
+/// [`WarpSim::issue`] call: [`clear`](Self::clear) resets the lengths while
+/// the vectors keep their capacity, so steady-state issue performs zero heap
+/// allocations.
 #[derive(Debug, Default)]
 pub struct IssueResult {
     /// Coalescable memory request, if the instruction was a load/fetch.
     pub mem: Option<MemRequest>,
+    /// `(lane, effective address)` pairs for the request in `mem`.
+    pub mem_lanes: Vec<(usize, u64)>,
     /// Stores to apply to data memory.
     pub stores: Vec<(u64, u64)>,
     /// RT-core jobs, one per lane.
@@ -109,6 +114,19 @@ pub struct IssueResult {
     pub needs_select: bool,
     /// The issued instruction was long-latency (feeds the yield policy).
     pub long_latency: bool,
+}
+
+impl IssueResult {
+    /// Empties the result for reuse, retaining vector capacities.
+    pub fn clear(&mut self) {
+        self.mem = None;
+        self.mem_lanes.clear();
+        self.stores.clear();
+        self.rt_jobs.clear();
+        self.events.clear();
+        self.needs_select = false;
+        self.long_latency = false;
+    }
 }
 
 /// Issue-readiness classification for one warp in one cycle, used both for
@@ -175,8 +193,11 @@ pub struct IssueLatencies {
 pub struct WarpSim {
     /// Global warp id (drives register init and ray ids).
     pub warp_id: usize,
-    /// Per-thread architectural state.
-    pub ctx: Vec<ThreadCtx>,
+    /// Architectural registers and predicates for all lanes, in
+    /// register-major (SoA) layout and sized to the workload's actual
+    /// register usage ([`Workload::n_regs`]) — one short contiguous row per
+    /// operand instead of 32 private 2 KiB thread contexts.
+    pub rf: RegFile,
     /// Per-thread scheduler state as per-state lane bitmasks — the
     /// scheduler's hot queries (active mask, "any ready?", live mask) become
     /// single word reads instead of 32-lane scans. A lane in none of the
@@ -194,8 +215,11 @@ pub struct WarpSim {
     pub participating: u32,
     /// Convergence-barrier participation masks.
     barrier: [u32; N_BARRIER],
-    /// Per-thread counted scoreboards.
-    sb_cnt: [[u16; N_SB]; WARP_SIZE],
+    /// Per-thread counted scoreboards in *scoreboard-major* order
+    /// (`sb_cnt[sb][lane]`): increments, decrements, and scans all touch one
+    /// scoreboard across many lanes, so a scoreboard's counters occupy a
+    /// single 64-byte row instead of being strided across per-lane arrays.
+    sb_cnt: [[u16; WARP_SIZE]; N_SB],
     /// Per-scoreboard mask of lanes with a nonzero counter — the
     /// scheduler's per-cycle "is anything pending?" probes reduce to mask
     /// intersections instead of lane-by-lane counter scans.
@@ -203,10 +227,44 @@ pub struct WarpSim {
     /// What kind of operation last armed each scoreboard.
     sb_producer: [SbProducer; N_SB],
     /// Per-thread, per-register ready cycle, flattened to one contiguous
-    /// `WARP_SIZE * N_REG` block (indexed `lane * N_REG + reg`).
-    reg_ready: Box<[u64]>,
-    /// Per-thread, per-predicate ready cycle.
-    pred_ready: [[u64; N_PRED]; WARP_SIZE],
+    /// `n_regs * WARP_SIZE` block in *register-major* order (indexed
+    /// `reg * WARP_SIZE + lane`): the issue-readiness probe and the
+    /// uniform-latency result marking both touch one register across all
+    /// lanes, so a register's row is a single contiguous (vectorizable)
+    /// 32-word scan or fill. Sized like the register file — to the
+    /// workload's used registers, not the architectural maximum.
+    reg_ready: Vec<u64>,
+    /// Per-register summaries of the `reg_ready` rows, maintained at write
+    /// time so the issue-readiness probe can classify a source register
+    /// without scanning its row:
+    /// - `row_bound[reg]` — an upper bound on the row's maximum ready
+    ///   cycle (`NEVER` sentinels excluded), exact when the row is uniform;
+    /// - `row_never[reg]` — an upper bound on the number of `NEVER`
+    ///   sentinels in the row (drifts high, never low);
+    /// - `row_uniform[reg]` — every lane of the row equals `row_bound[reg]`
+    ///   (set by full-warp result marking, cleared by partial writes).
+    ///
+    /// A uniform row with no sentinels answers the probe in two loads; only
+    /// divergent or in-flight-load rows pay the per-lane walk.
+    row_bound: Vec<u64>,
+    row_never: Vec<u16>,
+    row_uniform: Vec<bool>,
+    /// Per-thread, per-predicate ready cycle, flattened predicate-major
+    /// (`pred * WARP_SIZE + lane`) like `reg_ready` and heap-allocated: the
+    /// 2 KiB table is touched only by guarded instructions, so moving it out
+    /// of line keeps the hot scheduler fields of resident warps dense in
+    /// cache.
+    pred_ready: Box<[u64]>,
+    /// Latest short-latency ready cycle ever marked in `reg_ready` or
+    /// `pred_ready` (the `NEVER` sentinel excluded) — a monotone upper
+    /// bound. Once it passes and no sentinel is outstanding, every operand
+    /// is ready and the issue-readiness probe skips its per-operand scans.
+    dep_horizon: u64,
+    /// Number of `reg_ready` slots currently holding the `NEVER` sentinel.
+    /// May drift high (never low) when a uniform-latency result overwrites
+    /// an in-flight load's destination; a high count merely disables the
+    /// fast path, preserving exactness.
+    never_outstanding: u32,
     /// Instruction-buffer line currently held (line-aligned byte address).
     pub ib_line: Option<u64>,
     /// Outstanding fetch: (completion cycle, line address).
@@ -231,10 +289,14 @@ pub struct WarpSim {
 impl WarpSim {
     /// Launches a warp: initializes registers per the workload and marks
     /// the first `threads_per_warp` lanes ACTIVE at pc 0.
-    pub fn launch(warp_id: usize, wl: &Workload) -> WarpSim {
+    ///
+    /// `n_regs` is the workload's register-file depth
+    /// ([`Workload::n_regs`]); the caller computes it once per run rather
+    /// than re-scanning the program on every launch.
+    pub fn launch(warp_id: usize, wl: &Workload, n_regs: usize) -> WarpSim {
         let mut w = WarpSim {
             warp_id,
-            ctx: vec![ThreadCtx::new(); WARP_SIZE],
+            rf: RegFile::new(WARP_SIZE, n_regs),
             active: 0,
             ready: 0,
             blocked: 0,
@@ -243,29 +305,77 @@ impl WarpSim {
             blocked_bar: [0; WARP_SIZE],
             participating: 0,
             barrier: [0; N_BARRIER],
-            sb_cnt: [[0; N_SB]; WARP_SIZE],
+            sb_cnt: [[0; WARP_SIZE]; N_SB],
             sb_nonzero: [0; N_SB],
             sb_producer: [SbProducer::None; N_SB],
-            reg_ready: vec![0; WARP_SIZE * N_REG].into_boxed_slice(),
-            pred_ready: [[0; N_PRED]; WARP_SIZE],
+            reg_ready: vec![0; n_regs * WARP_SIZE],
+            row_bound: vec![0; n_regs],
+            row_never: vec![0; n_regs],
+            row_uniform: vec![true; n_regs],
+            pred_ready: vec![0; N_PRED * WARP_SIZE].into_boxed_slice(),
+            dep_horizon: 0,
+            never_outstanding: 0,
             ib_line: None,
             fetch_pending: None,
             tst: Vec::new(),
             switch_ready: 0,
             ll_issued: 0,
             last_selected_pc: 0,
-            rng: 0x9e37_79b9_7f4a_7c15 ^ (warp_id as u64).wrapping_mul(0xff51_afd7_ed55_8ccd),
+            rng: 0,
             fault: None,
         };
+        w.reset(warp_id, wl, n_regs);
+        w
+    }
+
+    /// Re-launches this warp in place for `warp_id`, reusing the existing
+    /// allocations (the register file, the flattened `reg_ready` block, the
+    /// TST's capacity). This is the warp-pool path: a retired `WarpSim` is
+    /// reset instead of freed, so steady-state launch costs zero allocations.
+    ///
+    /// Equivalent to `*self = WarpSim::launch(warp_id, wl, n_regs)` — kept
+    /// bit-exact by resetting every field `launch` initializes.
+    pub fn reset(&mut self, warp_id: usize, wl: &Workload, n_regs: usize) {
+        self.warp_id = warp_id;
+        self.rf.reset(n_regs);
+        self.active = 0;
+        self.ready = 0;
+        self.blocked = 0;
+        self.stalled = 0;
+        self.pc = [0; WARP_SIZE];
+        self.blocked_bar = [0; WARP_SIZE];
+        self.participating = 0;
+        self.barrier = [0; N_BARRIER];
+        self.sb_cnt = [[0; WARP_SIZE]; N_SB];
+        self.sb_nonzero = [0; N_SB];
+        self.sb_producer = [SbProducer::None; N_SB];
+        self.reg_ready.clear();
+        self.reg_ready.resize(n_regs * WARP_SIZE, 0);
+        self.row_bound.clear();
+        self.row_bound.resize(n_regs, 0);
+        self.row_never.clear();
+        self.row_never.resize(n_regs, 0);
+        self.row_uniform.clear();
+        self.row_uniform.resize(n_regs, true);
+        self.pred_ready.fill(0);
+        self.dep_horizon = 0;
+        self.never_outstanding = 0;
+        self.ib_line = None;
+        self.fetch_pending = None;
+        self.tst.clear();
+        self.switch_ready = 0;
+        self.ll_issued = 0;
+        self.last_selected_pc = 0;
+        self.rng = 0x9e37_79b9_7f4a_7c15 ^ (warp_id as u64).wrapping_mul(0xff51_afd7_ed55_8ccd);
+        self.fault = None;
         for lane in 0..wl.threads_per_warp {
-            w.active |= 1 << lane;
-            w.participating |= 1 << lane;
+            self.active |= 1 << lane;
+            self.participating |= 1 << lane;
             for init in &wl.init {
                 let v = wl.init_value(&init.value, warp_id, lane);
-                w.ctx[lane].write_reg(init.reg, v);
+                self.rf.write_reg(lane, init.reg, v);
             }
         }
-        w
     }
 
     // ---- masks and groups ----
@@ -342,6 +452,10 @@ impl WarpSim {
     }
 
     /// READY threads grouped into maximal same-pc subwarps, sorted by pc.
+    ///
+    /// Intentionally per-lane: grouping keys on each lane's private pc, and
+    /// the scan only runs on subwarp-select events (divergence points), not
+    /// every cycle.
     pub fn ready_groups(&self) -> Vec<(usize, u32)> {
         let mut groups: Vec<(usize, u32)> = Vec::new();
         for lane in lanes(self.ready) {
@@ -372,9 +486,10 @@ impl WarpSim {
     /// Maximum counter value over `lanes_mask` for every scoreboard in `sbs`.
     pub fn sb_max(&self, lanes_mask: u32, sbs: SbMask) -> u16 {
         let mut max = 0;
-        for lane in lanes(lanes_mask) {
-            for sb in sbs.iter() {
-                max = max.max(self.sb_cnt[lane][sb.0 as usize]);
+        for sb in sbs.iter() {
+            let row = &self.sb_cnt[sb.0 as usize];
+            for lane in lanes(lanes_mask) {
+                max = max.max(row[lane]);
             }
         }
         max
@@ -382,8 +497,9 @@ impl WarpSim {
 
     /// Increments `sb` for each lane in `mask` (operation issued).
     pub fn sb_inc(&mut self, mask: u32, sb: Scoreboard, producer: SbProducer) {
+        let row = &mut self.sb_cnt[sb.0 as usize];
         for lane in lanes(mask) {
-            self.sb_cnt[lane][sb.0 as usize] += 1;
+            row[lane] += 1;
         }
         self.sb_nonzero[sb.0 as usize] |= mask;
         self.sb_producer[sb.0 as usize] = producer;
@@ -392,14 +508,14 @@ impl WarpSim {
     /// Decrements `sb` for each lane in `mask` (writeback).
     pub fn sb_dec(&mut self, mask: u32, sb: Scoreboard) {
         for lane in lanes(mask) {
-            if self.sb_cnt[lane][sb.0 as usize] == 0 {
+            if self.sb_cnt[sb.0 as usize][lane] == 0 {
                 self.record_fault(format!(
                     "scoreboard sb{} underflow: writeback without a matching issue \
                      on warp {} lane {lane}",
                     sb.0, self.warp_id
                 ));
             }
-            let c = &mut self.sb_cnt[lane][sb.0 as usize];
+            let c = &mut self.sb_cnt[sb.0 as usize][lane];
             *c = c.saturating_sub(1);
             if *c == 0 {
                 self.sb_nonzero[sb.0 as usize] &= !(1 << lane);
@@ -440,12 +556,74 @@ impl WarpSim {
 
     #[inline]
     fn reg_ready_at(&self, lane: usize, reg: usize) -> u64 {
-        self.reg_ready[lane * N_REG + reg]
+        self.reg_ready[reg * WARP_SIZE + lane]
     }
 
     #[inline]
     fn set_reg_ready(&mut self, lane: usize, reg: usize, cycle: u64) {
-        self.reg_ready[lane * N_REG + reg] = cycle;
+        let slot = &mut self.reg_ready[reg * WARP_SIZE + lane];
+        let old = *slot;
+        *slot = cycle;
+        if old == NEVER {
+            self.never_outstanding -= 1;
+            self.row_never[reg] -= 1;
+        }
+        if cycle == NEVER {
+            self.never_outstanding += 1;
+            self.row_never[reg] += 1;
+        } else {
+            if cycle > self.dep_horizon {
+                self.dep_horizon = cycle;
+            }
+            if cycle > self.row_bound[reg] {
+                self.row_bound[reg] = cycle;
+            }
+        }
+        // A single-lane write leaves the row mixed unless it rewrites the
+        // value a uniform row already held everywhere.
+        self.row_uniform[reg] = self.row_uniform[reg] && old == cycle;
+    }
+
+    /// Latest ready cycle over *all* lanes for `reg` — an upper bound for
+    /// any lane subset, computed as one contiguous row reduction.
+    #[inline]
+    fn reg_row_max(&self, reg: usize) -> u64 {
+        self.reg_ready[reg * WARP_SIZE..(reg + 1) * WARP_SIZE]
+            .iter()
+            .copied()
+            .fold(0, u64::max)
+    }
+
+    /// Marks `reg` ready at `cycle` for every lane in `mask`; a full warp
+    /// (the common, non-divergent case) is one contiguous row fill. `cycle`
+    /// is a real (non-`NEVER`) ready cycle here — uniform-latency results
+    /// only. An overwritten `NEVER` sentinel (an in-flight load's
+    /// destination clobbered by an ALU result) is deliberately not
+    /// re-counted: `never_outstanding` drifts high, which only disables the
+    /// probe's fast path.
+    #[inline]
+    fn set_reg_ready_masked(&mut self, reg: usize, mask: u32, cycle: u64) {
+        if mask == u32::MAX {
+            // A full-warp fill makes the row exactly uniform: the bound is
+            // exact and any sentinel the fill overwrote is gone (the global
+            // `never_outstanding` deliberately keeps its conservative
+            // over-count; the per-row count is re-derived exactly here).
+            self.reg_ready[reg * WARP_SIZE..(reg + 1) * WARP_SIZE].fill(cycle);
+            self.row_bound[reg] = cycle;
+            self.row_never[reg] = 0;
+            self.row_uniform[reg] = true;
+        } else {
+            for lane in lanes(mask) {
+                self.reg_ready[reg * WARP_SIZE + lane] = cycle;
+            }
+            if cycle > self.row_bound[reg] {
+                self.row_bound[reg] = cycle;
+            }
+            self.row_uniform[reg] = false;
+        }
+        if cycle > self.dep_horizon {
+            self.dep_horizon = cycle;
+        }
     }
 
     /// Applies a long-latency writeback: stores `value` into `dst` for
@@ -458,12 +636,29 @@ impl WarpSim {
         sb: Option<Scoreboard>,
         cycle: u64,
     ) {
-        self.ctx[lane].write_reg(dst, value);
+        self.rf.write_reg(lane, dst, value);
         if !dst.is_zero() {
             self.set_reg_ready(lane, dst.0 as usize, cycle);
         }
         if let Some(sb) = sb {
             self.sb_dec(1 << lane, sb);
+        }
+    }
+
+    /// Bulk bookkeeping for one coalesced line's writeback: marks `dst`
+    /// ready for every lane in `mask` and decrements `sb` once over the
+    /// whole mask. The per-lane values themselves are written by the caller
+    /// (they differ per lane) straight into [`rf`](Self::rf); this is
+    /// state-identical to per-lane [`writeback`](Self::writeback) calls but
+    /// pays the scoreboard-row walk and mask maintenance once per line.
+    pub fn complete_writeback(&mut self, mask: u32, dst: Reg, sb: Option<Scoreboard>, cycle: u64) {
+        if !dst.is_zero() {
+            for lane in lanes(mask) {
+                self.set_reg_ready(lane, dst.0 as usize, cycle);
+            }
+        }
+        if let Some(sb) = sb {
+            self.sb_dec(mask, sb);
         }
     }
 
@@ -525,17 +720,22 @@ impl WarpSim {
             ));
         }
         // All active lanes must agree on a pc (the SIMT invariant behind
-        // `active_pc`).
+        // `active_pc`). Accumulate a branchless mismatch mask over the whole
+        // contiguous pc array; only an actual violation pays for messaging.
         let active = self.active_mask();
         if let Some(first) = lanes(active).next() {
-            for lane in lanes(active) {
-                if self.pc[lane] != self.pc[first] {
-                    return Err(format!(
-                        "warp {wid}: active subwarp pc mismatch (lane {first} at {}, \
-                         lane {lane} at {})",
-                        self.pc[first], self.pc[lane]
-                    ));
-                }
+            let want = self.pc[first];
+            let mut diff = 0u32;
+            for (lane, &p) in self.pc.iter().enumerate() {
+                diff |= ((p != want) as u32) << lane;
+            }
+            if diff & active != 0 {
+                let lane = (diff & active).trailing_zeros() as usize;
+                return Err(format!(
+                    "warp {wid}: active subwarp pc mismatch (lane {first} at {want}, \
+                     lane {lane} at {})",
+                    self.pc[lane]
+                ));
             }
         }
         if !full {
@@ -570,22 +770,27 @@ impl WarpSim {
         }
         // Counted scoreboards bounded by the deepest plausible issue window;
         // a runaway counter means increments are leaking.
-        for lane in lanes(self.participating) {
-            for sb in 0..N_SB {
-                if self.sb_cnt[lane][sb] > 0x4000 {
+        for sb in 0..N_SB {
+            for lane in lanes(self.participating) {
+                if self.sb_cnt[sb][lane] > 0x4000 {
                     return Err(format!(
                         "warp {wid}: scoreboard sb{sb} on lane {lane} reached {} — \
                          runaway increments",
-                        self.sb_cnt[lane][sb]
+                        self.sb_cnt[sb][lane]
                     ));
                 }
             }
         }
-        // The nonzero-lane masks must agree with the counters they summarize.
+        // The nonzero-lane masks must agree with the counters they
+        // summarize. Bit-iterate the union of the summary mask and the
+        // launched lanes rather than range-scanning all of WARP_SIZE: a
+        // counter can only be armed through `sb_inc`, whose masks derive
+        // from active/pass masks contained in `participating` (checked
+        // above), so lanes outside both sets are vacuously clean.
         for sb in 0..N_SB {
             let mut expect = 0u32;
-            for lane in 0..WARP_SIZE {
-                if self.sb_cnt[lane][sb] > 0 {
+            for lane in lanes(self.sb_nonzero[sb] | self.participating) {
+                if self.sb_cnt[sb][lane] > 0 {
                     expect |= 1 << lane;
                 }
             }
@@ -605,8 +810,8 @@ impl WarpSim {
         let mut scoreboards = Vec::new();
         for lane in lanes(self.participating) {
             for sb in 0..N_SB {
-                if self.sb_cnt[lane][sb] > 0 {
-                    scoreboards.push((lane, sb as u8, self.sb_cnt[lane][sb]));
+                if self.sb_cnt[sb][lane] > 0 {
+                    scoreboards.push((lane, sb as u8, self.sb_cnt[sb][lane]));
                 }
             }
         }
@@ -712,20 +917,25 @@ impl WarpSim {
 
     /// Absorbs READY threads standing at the active subwarp's pc into the
     /// active subwarp (they are by definition the same maximal-pc group).
-    pub fn absorb_ready_at_active_pc(&mut self) {
+    /// Returns the absorbed mask (0 when nothing moved). Per-lane by
+    /// necessity — each lane's private pc is compared — and runs only on
+    /// reconvergence edges.
+    pub fn absorb_ready_at_active_pc(&mut self) -> u32 {
         if self.ready == 0 {
-            return;
+            return 0;
         }
-        if let Some(apc) = self.active_pc() {
-            let mut absorbed = 0u32;
-            for lane in lanes(self.ready) {
-                if self.pc[lane] == apc {
-                    absorbed |= 1 << lane;
-                }
+        let Some(apc) = self.active_pc() else {
+            return 0;
+        };
+        let mut absorbed = 0u32;
+        for lane in lanes(self.ready) {
+            if self.pc[lane] == apc {
+                absorbed |= 1 << lane;
             }
-            self.ready &= !absorbed;
-            self.active |= absorbed;
         }
+        self.ready &= !absorbed;
+        self.active |= absorbed;
+        absorbed
     }
 
     // ---- issue-readiness ----
@@ -736,26 +946,47 @@ impl WarpSim {
     /// (consumers wait on all lanes' counters); SI replicates counters per
     /// subwarp and checks only the active lanes (paper §III-C).
     pub fn status(&self, program: &Program, cycle: u64, warp_wide_sb: bool) -> WarpStatus {
+        self.status_with_recheck(program, cycle, warp_wide_sb).0
+    }
+
+    /// [`status`](Self::status) plus the earliest future cycle at which the
+    /// classification could change *without any further mutation* to the
+    /// warp — `u64::MAX` when it can only change through an external event
+    /// (writeback, wakeup, fetch completion, selection, issue).
+    ///
+    /// Purely time-driven statuses report their expiry exactly:
+    /// `SwitchWait` ends at `switch_ready`, `ShortDep` at the latest blocking
+    /// ready-cycle. This lets the SM's fast-forward treat stall windows as
+    /// discrete events and jump them, while the status cache stays valid over
+    /// the jump.
+    pub fn status_with_recheck(
+        &self,
+        program: &Program,
+        cycle: u64,
+        warp_wide_sb: bool,
+    ) -> (WarpStatus, u64) {
         if self.done() {
-            return WarpStatus::Done;
+            return (WarpStatus::Done, u64::MAX);
         }
         let active = self.active;
         if active == 0 {
-            return WarpStatus::NoActive {
+            let status = WarpStatus::NoActive {
                 any_ready: self.ready != 0,
                 mem_stalled: !self.tst.is_empty(),
                 divergent: self.is_divergent(),
             };
+            return (status, u64::MAX);
         }
         if self.switch_ready > cycle {
-            return WarpStatus::SwitchWait;
+            return (WarpStatus::SwitchWait, self.switch_ready);
         }
         let pc = self.active_pc().expect("active subwarp exists");
         if !self.ib_covers(pc, program) {
-            return WarpStatus::FetchWait;
+            return (WarpStatus::FetchWait, u64::MAX);
         }
         let inst = &program[pc];
-        // Counted-scoreboard wait (the load-to-use stall point).
+        // Counted-scoreboard wait (the load-to-use stall point). Cleared by
+        // writeback, a mutation — no timed expiry.
         if !inst.req_sb.is_empty() {
             let scope = if warp_wide_sb {
                 self.live_mask() | active
@@ -764,40 +995,77 @@ impl WarpSim {
             };
             if self.sb_pending(scope, inst.req_sb) {
                 let traversal = self.pending_producer(scope, inst.req_sb) == SbProducer::Traversal;
-                return WarpStatus::MemStall {
+                let status = WarpStatus::MemStall {
                     divergent: self.is_divergent(),
                     traversal,
                 };
+                return (status, u64::MAX);
             }
         }
-        // Short-latency register/predicate dependences.
-        if let Some((p, _)) = inst.guard {
-            if !p.is_true() {
+        // Short-latency register/predicate dependences: the blocking window
+        // ends at the latest ready-cycle among all blocking sources.
+        // Warp-wide bound first: `dep_horizon` is the latest real ready
+        // cycle ever marked and `never_outstanding` counts (an upper bound
+        // on) live `NEVER` sentinels, so once the horizon has passed with no
+        // sentinel outstanding every operand of every lane is ready and the
+        // per-operand scans are skipped — the steady state of a warp whose
+        // in-flight results have all landed.
+        let mut dep_until = 0u64;
+        if self.never_outstanding != 0 || self.dep_horizon > cycle {
+            if let Some((p, _)) = inst.guard {
+                if !p.is_true() {
+                    let row = p.0 as usize * WARP_SIZE;
+                    for lane in lanes(active) {
+                        dep_until = dep_until.max(self.pred_ready[row + lane]);
+                    }
+                }
+            }
+            let (srcs, n_srcs) = inst.op.src_regs_fixed();
+            for r in &srcs[..n_srcs] {
+                let reg = r.0 as usize;
+                // Per-row summary next: a row with no sentinel answers from
+                // its maintained bound — ready when the bound has passed,
+                // and when the row is uniform the bound is the exact ready
+                // cycle of every lane, so either way the row walk is
+                // skipped. Only mixed rows or rows with in-flight loads
+                // fall through to the scans.
+                if self.row_never[reg] == 0 {
+                    let bound = self.row_bound[reg];
+                    if bound <= cycle {
+                        continue;
+                    }
+                    if self.row_uniform[reg] {
+                        dep_until = dep_until.max(bound);
+                        continue;
+                    }
+                }
+                // Whole-row reduction before the masked walk: the max ready
+                // cycle over all lanes bounds every active-lane subset from
+                // above.
+                if self.reg_row_max(reg) <= cycle {
+                    continue;
+                }
                 for lane in lanes(active) {
-                    if self.pred_ready[lane][p.0 as usize] > cycle {
-                        return WarpStatus::ShortDep;
+                    let ready = self.reg_ready_at(lane, r.0 as usize);
+                    if ready > cycle {
+                        // A NEVER-ready source without a req_sb annotation
+                        // is a workload bug (missing &req=): surface it
+                        // loudly.
+                        assert!(
+                            ready != NEVER,
+                            "warp {} lane {lane} reads {r} at pc {pc} before its \
+                             long-latency producer wrote back — missing &req= annotation?",
+                            self.warp_id
+                        );
+                        dep_until = dep_until.max(ready);
                     }
                 }
             }
         }
-        let (srcs, n_srcs) = inst.op.src_regs_fixed();
-        for r in &srcs[..n_srcs] {
-            for lane in lanes(active) {
-                let ready = self.reg_ready_at(lane, r.0 as usize);
-                if ready > cycle {
-                    // A NEVER-ready source without a req_sb annotation is a
-                    // workload bug (missing &req=): surface it loudly.
-                    assert!(
-                        ready != NEVER,
-                        "warp {} lane {lane} reads {r} at pc {pc} before its \
-                         long-latency producer wrote back — missing &req= annotation?",
-                        self.warp_id
-                    );
-                    return WarpStatus::ShortDep;
-                }
-            }
+        if dep_until > cycle {
+            return (WarpStatus::ShortDep, dep_until);
         }
-        WarpStatus::Issuable
+        (WarpStatus::Issuable, u64::MAX)
     }
 
     /// True when the warp's instruction buffer holds the line containing
@@ -815,8 +1083,9 @@ impl WarpSim {
     // ---- issue ----
 
     /// Issues the instruction at the active pc, applying value semantics and
-    /// the thread-state machine. The SM must have verified
-    /// [`status`](Self::status) is `Issuable`.
+    /// the thread-state machine, writing side effects into `res` (cleared
+    /// first; capacities are retained so a reused `res` never allocates).
+    /// The SM must have verified [`status`](Self::status) is `Issuable`.
     pub fn issue(
         &mut self,
         program: &Program,
@@ -824,7 +1093,8 @@ impl WarpSim {
         cycle: u64,
         lat: IssueLatencies,
         diverge_order: DivergeOrder,
-    ) -> IssueResult {
+        res: &mut IssueResult,
+    ) {
         let IssueLatencies {
             alu: alu_latency,
             mufu: mufu_latency,
@@ -833,15 +1103,21 @@ impl WarpSim {
         let pc = self.active_pc().expect("issue requires an active subwarp");
         let inst: &Instruction = &program[pc];
         let active = self.active_mask();
-        let mut res = IssueResult::default();
+        res.clear();
 
-        // Guard evaluation per lane.
-        let mut pass = 0u32;
-        for lane in lanes(active) {
-            if self.ctx[lane].guard_passes(inst) {
-                pass |= 1 << lane;
+        // Guard evaluation per lane; unguarded instructions (the common
+        // case) skip the lane scan entirely.
+        let pass = if inst.guard.is_none() {
+            active
+        } else {
+            let mut pass = 0u32;
+            for lane in lanes(active) {
+                if self.rf.guard_passes(lane, inst) {
+                    pass |= 1 << lane;
+                }
             }
-        }
+            pass
+        };
         let fail = active & !pass;
 
         match &inst.op {
@@ -941,7 +1217,7 @@ impl WarpSim {
                 // Exits may passively satisfy barriers other participants
                 // are blocked on; re-arm those threads so they re-attempt
                 // their BSYNC.
-                self.release_satisfied_barriers(&mut res);
+                self.release_satisfied_barriers(res);
                 if self.active_mask() == 0 && !self.done() {
                     res.needs_select = true;
                 }
@@ -956,60 +1232,92 @@ impl WarpSim {
             Op::Nop => self.set_pc(active, pc + 1),
             // Data-path operations.
             _ => {
-                let mut mem_lanes: Vec<(usize, u64)> = Vec::new();
-                for lane in lanes(pass) {
-                    let effect = self.ctx[lane].step(inst, &wl.consts);
-                    match effect {
-                        Effect::None => {
-                            if let Some(dst) = inst.op.dst_reg() {
-                                let lat = if matches!(inst.op, Op::Mufu { .. }) {
-                                    mufu_latency
-                                } else {
-                                    alu_latency
-                                };
-                                self.set_reg_ready(lane, dst.0 as usize, cycle + lat);
-                            }
-                            if let Some(p) = inst.op.dst_pred() {
-                                self.pred_ready[lane][p.0 as usize] = cycle + alu_latency;
-                            }
+                // Mask-vectorized fast path: the ALU/MUFU family touches only
+                // registers and predicates, so value semantics run with one
+                // opcode dispatch over the packed pass mask, and the result
+                // latencies are uniform across lanes.
+                if subwarp_isa::step_alu_masked(&mut self.rf, pass, inst, &wl.consts) {
+                    if let Some(dst) = inst.op.dst_reg() {
+                        let lat = if matches!(inst.op, Op::Mufu { .. }) {
+                            mufu_latency
+                        } else {
+                            alu_latency
+                        };
+                        self.set_reg_ready_masked(dst.0 as usize, pass, cycle + lat);
+                    }
+                    if let Some(p) = inst.op.dst_pred() {
+                        let at = cycle + alu_latency;
+                        let row = p.0 as usize * WARP_SIZE;
+                        for lane in lanes(pass) {
+                            self.pred_ready[row + lane] = at;
                         }
-                        Effect::Load { dst, addr } | Effect::TexFetch { dst, addr } => {
-                            if !dst.is_zero() {
-                                // Scoreboard-guarded (long-latency) loads
-                                // become ready at writeback; un-guarded
-                                // short loads (LDS) have a known fixed
-                                // latency.
-                                let at = if inst.wr_sb.is_some() {
-                                    NEVER
-                                } else {
-                                    cycle + lds_latency
-                                };
-                                self.set_reg_ready(lane, dst.0 as usize, at);
+                        if at > self.dep_horizon {
+                            self.dep_horizon = at;
+                        }
+                    }
+                } else {
+                    // Scalar fallback — intentionally per-lane: memory ops
+                    // produce a per-lane effective address, stores a per-lane
+                    // value, and RT traversals a per-lane job, so each lane's
+                    // Effect must be consumed individually.
+                    for lane in lanes(pass) {
+                        let effect = self.rf.step(lane, inst, &wl.consts);
+                        match effect {
+                            Effect::None => {
+                                if let Some(dst) = inst.op.dst_reg() {
+                                    let lat = if matches!(inst.op, Op::Mufu { .. }) {
+                                        mufu_latency
+                                    } else {
+                                        alu_latency
+                                    };
+                                    self.set_reg_ready(lane, dst.0 as usize, cycle + lat);
+                                }
+                                if let Some(p) = inst.op.dst_pred() {
+                                    let at = cycle + alu_latency;
+                                    self.pred_ready[p.0 as usize * WARP_SIZE + lane] = at;
+                                    if at > self.dep_horizon {
+                                        self.dep_horizon = at;
+                                    }
+                                }
                             }
-                            mem_lanes.push((lane, addr));
-                        }
-                        Effect::Store { addr, value } => {
-                            res.stores.push((addr, value));
-                            mem_lanes.push((lane, addr));
-                        }
-                        Effect::TraceRay { dst, ray_id } => {
-                            if !dst.is_zero() {
-                                self.set_reg_ready(lane, dst.0 as usize, NEVER);
+                            Effect::Load { dst, addr } | Effect::TexFetch { dst, addr } => {
+                                if !dst.is_zero() {
+                                    // Scoreboard-guarded (long-latency) loads
+                                    // become ready at writeback; un-guarded
+                                    // short loads (LDS) have a known fixed
+                                    // latency.
+                                    let at = if inst.wr_sb.is_some() {
+                                        NEVER
+                                    } else {
+                                        cycle + lds_latency
+                                    };
+                                    self.set_reg_ready(lane, dst.0 as usize, at);
+                                }
+                                res.mem_lanes.push((lane, addr));
                             }
-                            let sb = inst
-                                .wr_sb
-                                .expect("validated programs guard TraceRay with &wr=");
-                            res.rt_jobs.push(RtJob {
-                                lane,
-                                ray_id,
-                                dst,
-                                sb,
-                            });
+                            Effect::Store { addr, value } => {
+                                res.stores.push((addr, value));
+                                res.mem_lanes.push((lane, addr));
+                            }
+                            Effect::TraceRay { dst, ray_id } => {
+                                if !dst.is_zero() {
+                                    self.set_reg_ready(lane, dst.0 as usize, NEVER);
+                                }
+                                let sb = inst
+                                    .wr_sb
+                                    .expect("validated programs guard TraceRay with &wr=");
+                                res.rt_jobs.push(RtJob {
+                                    lane,
+                                    ray_id,
+                                    dst,
+                                    sb,
+                                });
+                            }
+                            _ => unreachable!("control effect from data-path op"),
                         }
-                        _ => unreachable!("control effect from data-path op"),
                     }
                 }
-                if inst.op.is_memory() && !mem_lanes.is_empty() {
+                if inst.op.is_memory() && !res.mem_lanes.is_empty() {
                     let kind = match inst.op {
                         Op::Ldg { .. } | Op::Stg { .. } => MemKind::Global,
                         Op::Lds { .. } => MemKind::Shared,
@@ -1020,7 +1328,6 @@ impl WarpSim {
                         kind,
                         sb: inst.wr_sb,
                         dst: inst.op.dst_reg().unwrap_or(Reg::RZ),
-                        lanes: mem_lanes,
                     });
                 }
                 // Arm scoreboards per lane for long-latency producers.
@@ -1039,15 +1346,36 @@ impl WarpSim {
                 self.set_pc(active, pc + 1);
             }
         }
+    }
+
+    /// Allocating convenience wrapper around [`issue`](Self::issue) for
+    /// tests and one-off callers; the simulator's hot path reuses a single
+    /// `IssueResult` instead.
+    pub fn issue_new(
+        &mut self,
+        program: &Program,
+        wl: &Workload,
+        cycle: u64,
+        lat: IssueLatencies,
+        diverge_order: DivergeOrder,
+    ) -> IssueResult {
+        let mut res = IssueResult::default();
+        self.issue(program, wl, cycle, lat, diverge_order, &mut res);
         res
     }
 
     fn set_pc(&mut self, mask: u32, pc: usize) {
-        for lane in lanes(mask) {
-            self.pc[lane] = pc;
+        if mask == u32::MAX {
+            self.pc.fill(pc);
+        } else {
+            for lane in lanes(mask) {
+                self.pc[lane] = pc;
+            }
         }
     }
 
+    // Intentionally per-lane: `blocked_bar` is a per-lane barrier id and
+    // this only runs when a BSYNC executes or an invariant audit fires.
     fn blocked_mask_on(&self, barrier: u8) -> u32 {
         let mut m = 0;
         for lane in lanes(self.blocked) {
@@ -1138,7 +1466,7 @@ mod tests {
             w.absorb_ready_at_active_pc();
             w.ib_line = Some(Program::byte_addr(w.active_pc().unwrap()) & !63);
             cycle += 100; // ample time for ALU deps
-            let _ = w.issue(program, wl, cycle, LAT, DivergeOrder::FallthroughFirst);
+            let _ = w.issue_new(program, wl, cycle, LAT, DivergeOrder::FallthroughFirst);
         }
         cycle
     }
@@ -1147,10 +1475,10 @@ mod tests {
     fn launch_initializes_lanes() {
         let p = if_else_program();
         let wl = wl_with(p.clone(), 4);
-        let w = WarpSim::launch(0, &wl);
+        let w = WarpSim::launch(0, &wl, wl.n_regs());
         assert_eq!(w.participating, 0b1111);
         assert_eq!(w.active_mask(), 0b1111);
-        assert_eq!(w.ctx[3].reg(Reg(0)), 3);
+        assert_eq!(w.rf.reg(3, Reg(0)), 3);
         assert!(!w.done());
     }
 
@@ -1158,24 +1486,24 @@ mod tests {
     fn divergent_if_else_reconverges_with_correct_values() {
         let p = if_else_program();
         let wl = wl_with(p.clone(), 4);
-        let mut w = WarpSim::launch(0, &wl);
+        let mut w = WarpSim::launch(0, &wl, wl.n_regs());
         issue_until_done(&mut w, &p, &wl);
         // Lanes 0,1 took the then side (+100); lanes 2,3 the else (+200).
-        assert_eq!(w.ctx[0].reg(Reg(1)), 100);
-        assert_eq!(w.ctx[1].reg(Reg(1)), 101);
-        assert_eq!(w.ctx[2].reg(Reg(1)), 202);
-        assert_eq!(w.ctx[3].reg(Reg(1)), 203);
+        assert_eq!(w.rf.reg(0, Reg(1)), 100);
+        assert_eq!(w.rf.reg(1, Reg(1)), 101);
+        assert_eq!(w.rf.reg(2, Reg(1)), 202);
+        assert_eq!(w.rf.reg(3, Reg(1)), 203);
     }
 
     #[test]
     fn divergence_marks_loser_ready_and_fallthrough_stays() {
         let p = if_else_program();
         let wl = wl_with(p.clone(), 4);
-        let mut w = WarpSim::launch(0, &wl);
+        let mut w = WarpSim::launch(0, &wl, wl.n_regs());
         w.ib_line = Some(0);
         // BSSY, ISETP, then the divergent BRA.
         for cycle in [0, 10, 20] {
-            let _ = w.issue(&p, &wl, cycle, LAT, DivergeOrder::FallthroughFirst);
+            let _ = w.issue_new(&p, &wl, cycle, LAT, DivergeOrder::FallthroughFirst);
         }
         // Fall-through lanes (0,1) remain active at pc 3; lanes 2,3 READY at
         // the else block (pc 5).
@@ -1189,10 +1517,10 @@ mod tests {
     fn taken_first_order_flips_the_active_side() {
         let p = if_else_program();
         let wl = wl_with(p.clone(), 4);
-        let mut w = WarpSim::launch(0, &wl);
+        let mut w = WarpSim::launch(0, &wl, wl.n_regs());
         w.ib_line = Some(0);
         for cycle in [0, 10, 20] {
-            let _ = w.issue(&p, &wl, cycle, LAT, DivergeOrder::TakenFirst);
+            let _ = w.issue_new(&p, &wl, cycle, LAT, DivergeOrder::TakenFirst);
         }
         assert_eq!(w.active_mask(), 0b1100);
         assert_eq!(w.active_pc(), Some(5));
@@ -1203,7 +1531,7 @@ mod tests {
     fn bsync_blocks_until_all_participants_arrive() {
         let p = if_else_program();
         let wl = wl_with(p.clone(), 4);
-        let mut w = WarpSim::launch(0, &wl);
+        let mut w = WarpSim::launch(0, &wl, wl.n_regs());
         w.ib_line = Some(0);
         let mut cycle = 0;
         // Run the active (then) side to its BSYNC: BSSY, ISETP, BRA, IADD,
@@ -1211,7 +1539,7 @@ mod tests {
         let mut blocked = false;
         for _ in 0..6 {
             cycle += 100;
-            let r = w.issue(&p, &wl, cycle, LAT, DivergeOrder::FallthroughFirst);
+            let r = w.issue_new(&p, &wl, cycle, LAT, DivergeOrder::FallthroughFirst);
             if r.events.iter().any(|(k, _, _)| *k == EventKind::Block) {
                 blocked = true;
                 assert!(r.needs_select);
@@ -1225,7 +1553,7 @@ mod tests {
         let mut reconverged = false;
         for _ in 0..4 {
             cycle += 100;
-            let r = w.issue(&p, &wl, cycle, LAT, DivergeOrder::FallthroughFirst);
+            let r = w.issue_new(&p, &wl, cycle, LAT, DivergeOrder::FallthroughFirst);
             if r.events.iter().any(|(k, _, _)| *k == EventKind::Reconverge) {
                 reconverged = true;
                 break;
@@ -1245,12 +1573,12 @@ mod tests {
         b.exit();
         let p = b.build().unwrap();
         let wl = wl_with(p.clone(), 2);
-        let mut w = WarpSim::launch(0, &wl);
+        let mut w = WarpSim::launch(0, &wl, wl.n_regs());
         w.ib_line = Some(0);
-        let r = w.issue(&p, &wl, 0, LAT, DivergeOrder::FallthroughFirst);
+        let r = w.issue_new(&p, &wl, 0, LAT, DivergeOrder::FallthroughFirst);
         let mem = r.mem.expect("load produced a request");
         assert_eq!(mem.kind, MemKind::Global);
-        assert_eq!(mem.lanes.len(), 2);
+        assert_eq!(r.mem_lanes.len(), 2);
         assert!(r.long_latency);
         // Consumer must now report a (non-traversal) memory stall.
         assert!(
@@ -1267,7 +1595,7 @@ mod tests {
         // Writeback lane 0 only: warp-wide check still stalls; active-lane
         // (SI) check for a hypothetical 1-lane subwarp would pass.
         w.writeback(0, Reg(2), 42, Some(Scoreboard(1)), 50);
-        assert_eq!(w.ctx[0].reg(Reg(2)), 42);
+        assert_eq!(w.rf.reg(0, Reg(2)), 42);
         assert!(matches!(
             w.status(&p, 60, true),
             WarpStatus::MemStall { .. }
@@ -1280,7 +1608,7 @@ mod tests {
     fn demote_and_wakeup_roundtrip() {
         let p = if_else_program();
         let wl = wl_with(p.clone(), 4);
-        let mut w = WarpSim::launch(0, &wl);
+        let mut w = WarpSim::launch(0, &wl, wl.n_regs());
         // Pretend the active subwarp waits on sb3.
         w.sb_inc(0b1111, Scoreboard(3), SbProducer::Load);
         let mask = w
@@ -1303,7 +1631,7 @@ mod tests {
     fn tst_capacity_limits_demotion() {
         let p = if_else_program();
         let wl = wl_with(p.clone(), 4);
-        let mut w = WarpSim::launch(0, &wl);
+        let mut w = WarpSim::launch(0, &wl, wl.n_regs());
         w.sb_inc(0b1111, Scoreboard(0), SbProducer::Load);
         assert!(w.demote_stalled(SbMask::one(Scoreboard(0)), 1).is_some());
         // Re-activate two lanes manually and try to demote again: table full.
@@ -1317,7 +1645,7 @@ mod tests {
     fn select_round_robin_cycles_through_groups() {
         let p = if_else_program();
         let wl = wl_with(p.clone(), 4);
-        let mut w = WarpSim::launch(0, &wl);
+        let mut w = WarpSim::launch(0, &wl, wl.n_regs());
         // Hand-craft three ready groups at pcs 3, 5, 7.
         for lane in 0..4 {
             w.set_state(lane, ThreadState::Ready);
@@ -1357,7 +1685,7 @@ mod tests {
         b.exit();
         let p = b.build().unwrap();
         let wl = wl_with(p.clone(), 2);
-        let mut w = WarpSim::launch(0, &wl);
+        let mut w = WarpSim::launch(0, &wl, wl.n_regs());
         w.ib_line = Some(0);
         let mut cycle = 0;
         let mut guard = 0;
@@ -1370,7 +1698,7 @@ mod tests {
             }
             w.absorb_ready_at_active_pc();
             cycle += 100;
-            let _ = w.issue(&p, &wl, cycle, LAT, DivergeOrder::FallthroughFirst);
+            let _ = w.issue_new(&p, &wl, cycle, LAT, DivergeOrder::FallthroughFirst);
         }
     }
 
@@ -1379,10 +1707,10 @@ mod tests {
         let p = if_else_program();
         let wl = wl_with(p.clone(), 4);
         let run = |warp_id: usize| {
-            let mut w = WarpSim::launch(warp_id, &wl);
+            let mut w = WarpSim::launch(warp_id, &wl, wl.n_regs());
             w.ib_line = Some(0);
             for cycle in [0, 10, 20] {
-                let _ = w.issue(&p, &wl, cycle, LAT, DivergeOrder::Random);
+                let _ = w.issue_new(&p, &wl, cycle, LAT, DivergeOrder::Random);
             }
             w.active_mask()
         };

@@ -163,6 +163,32 @@ impl Workload {
         self.n_warps * self.threads_per_warp
     }
 
+    /// One past the highest architectural register this workload can touch:
+    /// every destination and source register named by the program (`RZ`
+    /// excluded — it is never stored) plus every initialized register. This
+    /// bounds the per-warp register file and ready-cycle tracking, so warps
+    /// carry state proportional to what the program uses instead of the
+    /// 256-register architectural maximum. The simulator computes it once
+    /// per run, not per warp launch.
+    pub fn n_regs(&self) -> usize {
+        let mut n = 0usize;
+        for inst in self.program.iter() {
+            if let Some(r) = inst.op.dst_reg() {
+                n = n.max(r.0 as usize + 1);
+            }
+            let (srcs, n_srcs) = inst.op.src_regs_fixed();
+            for r in &srcs[..n_srcs] {
+                n = n.max(r.0 as usize + 1);
+            }
+        }
+        for init in &self.init {
+            if !init.reg.is_zero() {
+                n = n.max(init.reg.0 as usize + 1);
+            }
+        }
+        n
+    }
+
     /// Checks the workload can actually be launched, returning a
     /// description of the first problem.
     /// [`Simulator::run`](crate::Simulator::run) calls this before the

@@ -4,13 +4,14 @@
 //! this module owns *what it computes*: register updates, predicate updates,
 //! branch decisions, and effective addresses. Long-latency destinations
 //! (loads, texture fetches, traversal results) are written later by the
-//! simulator at writeback time via [`ThreadCtx::write_reg`].
+//! simulator at writeback time via [`RegFile::write_reg`].
 
 use crate::inst::Instruction;
 use crate::op::{CmpOp, MufuFunc, Op, Operand};
 use crate::reg::{Barrier, Pred, Reg};
 
-/// Architectural registers per thread.
+/// Architectural registers per thread (the encodable maximum; actual register
+/// files are sized to what the program uses — see [`RegFile`]).
 pub const N_REG: usize = 256;
 
 /// Predicate registers per thread.
@@ -46,100 +47,141 @@ pub enum Effect {
     Yield,
 }
 
-/// Per-thread architectural state: 256 registers and 8 predicates.
+/// A warp's architectural register state in register-major (SoA) layout.
+///
+/// One register's values across all lanes are contiguous
+/// (`regs[reg * n_lanes + lane]`), so executing one instruction over a warp
+/// streams through a handful of adjacent cache lines — one short row per
+/// operand — instead of gathering a word from each lane's private context.
+/// The file is also sized to the registers the workload can actually touch
+/// (`n_regs`), not the architectural maximum [`N_REG`]: a program that names
+/// 12 registers carries a 3 KiB file instead of 64 KiB, which keeps warp
+/// reset and the per-instruction operand walk cache-resident.
 ///
 /// Register values are 64-bit so that generated workloads can hold full
 /// addresses; float operations use the low 32 bits (`f32`) as on real
-/// hardware.
+/// hardware. `RZ` reads as 0 and discards writes; `PT` reads as true and
+/// discards writes. Reading or writing a (non-`RZ`) register at or beyond
+/// `n_regs` panics — by construction the timing model only passes registers
+/// named by the program or its init directives, which bound `n_regs`.
 #[derive(Debug, Clone, PartialEq)]
-pub struct ThreadCtx {
-    // Inline array rather than a Vec: the register file is read on every
-    // executed instruction, and keeping it flat in the warp's thread array
-    // avoids a pointer chase per operand.
-    regs: [u64; N_REG],
-    preds: [bool; N_PRED],
+pub struct RegFile {
+    n_lanes: usize,
+    n_regs: usize,
+    /// `[reg * n_lanes + lane]`, register-major.
+    regs: Vec<u64>,
+    /// `[pred * n_lanes + lane]`, predicate-major.
+    preds: Vec<bool>,
 }
 
-impl Default for ThreadCtx {
-    fn default() -> Self {
-        ThreadCtx {
-            regs: [0; N_REG],
-            preds: [false; N_PRED],
+impl RegFile {
+    /// A zero-initialized register file for `n_lanes` lanes and `n_regs`
+    /// registers (predicates are always [`N_PRED`] deep).
+    pub fn new(n_lanes: usize, n_regs: usize) -> RegFile {
+        RegFile {
+            n_lanes,
+            n_regs,
+            regs: vec![0; n_regs * n_lanes],
+            preds: vec![false; N_PRED * n_lanes],
         }
     }
-}
 
-impl ThreadCtx {
-    /// A zero-initialized thread context.
-    pub fn new() -> ThreadCtx {
-        ThreadCtx::default()
+    /// Lanes in this file.
+    #[inline]
+    pub fn n_lanes(&self) -> usize {
+        self.n_lanes
     }
 
-    /// Reads a register (`RZ` reads as 0).
-    pub fn reg(&self, r: Reg) -> u64 {
+    /// Registers per lane in this file.
+    #[inline]
+    pub fn n_regs(&self) -> usize {
+        self.n_regs
+    }
+
+    /// Resets every register and predicate to the launch state (zero),
+    /// resizing to `n_regs` registers. Reuses the existing allocations when
+    /// capacity suffices — the warp-pool relaunch path.
+    pub fn reset(&mut self, n_regs: usize) {
+        self.n_regs = n_regs;
+        self.regs.clear();
+        self.regs.resize(n_regs * self.n_lanes, 0);
+        self.preds.clear();
+        self.preds.resize(N_PRED * self.n_lanes, false);
+    }
+
+    /// Reads a register for `lane` (`RZ` reads as 0).
+    #[inline]
+    pub fn reg(&self, lane: usize, r: Reg) -> u64 {
         if r.is_zero() {
             0
         } else {
-            self.regs[r.0 as usize]
+            self.regs[r.0 as usize * self.n_lanes + lane]
         }
     }
 
-    /// Writes a register (writes to `RZ` are discarded).
-    pub fn write_reg(&mut self, r: Reg, v: u64) {
+    /// Writes a register for `lane` (writes to `RZ` are discarded).
+    #[inline]
+    pub fn write_reg(&mut self, lane: usize, r: Reg, v: u64) {
         if !r.is_zero() {
-            self.regs[r.0 as usize] = v;
+            self.regs[r.0 as usize * self.n_lanes + lane] = v;
         }
     }
 
-    /// Reads a predicate (`PT` reads as true).
-    pub fn pred(&self, p: Pred) -> bool {
+    /// Reads a predicate for `lane` (`PT` reads as true).
+    #[inline]
+    pub fn pred(&self, lane: usize, p: Pred) -> bool {
         if p.is_true() {
             true
         } else {
-            self.preds[p.0 as usize]
+            self.preds[p.0 as usize * self.n_lanes + lane]
         }
     }
 
-    /// Writes a predicate (writes to `PT` are discarded).
-    pub fn write_pred(&mut self, p: Pred, v: bool) {
+    /// Writes a predicate for `lane` (writes to `PT` are discarded).
+    #[inline]
+    pub fn write_pred(&mut self, lane: usize, p: Pred, v: bool) {
         if !p.is_true() {
-            self.preds[p.0 as usize] = v;
+            self.preds[p.0 as usize * self.n_lanes + lane] = v;
         }
     }
 
-    /// Evaluates an instruction's guard for this thread.
-    pub fn guard_passes(&self, inst: &Instruction) -> bool {
+    /// Evaluates an instruction's guard for `lane`.
+    #[inline]
+    pub fn guard_passes(&self, lane: usize, inst: &Instruction) -> bool {
         match inst.guard {
             None => true,
-            Some((p, negated)) => self.pred(p) != negated,
+            Some((p, negated)) => self.pred(lane, p) != negated,
         }
     }
 
-    fn operand(&self, o: &Operand, consts: &ConstMem) -> u64 {
+    #[inline]
+    fn operand(&self, lane: usize, o: &Operand, consts: &ConstMem) -> u64 {
         match *o {
-            Operand::Reg(r) => self.reg(r),
+            Operand::Reg(r) => self.reg(lane, r),
             Operand::Imm(v) => v as u64,
             Operand::FImm(v) => v.to_bits() as u64,
             Operand::CBank { bank, offset } => consts.get(bank, offset),
         }
     }
 
-    fn operand_f32(&self, o: &Operand, consts: &ConstMem) -> f32 {
-        f32::from_bits(self.operand(o, consts) as u32)
+    #[inline]
+    fn operand_f32(&self, lane: usize, o: &Operand, consts: &ConstMem) -> f32 {
+        f32::from_bits(self.operand(lane, o, consts) as u32)
     }
 
-    fn reg_f32(&self, r: Reg) -> f32 {
-        f32::from_bits(self.reg(r) as u32)
+    #[inline]
+    fn reg_f32(&self, lane: usize, r: Reg) -> f32 {
+        f32::from_bits(self.reg(lane, r) as u32)
     }
 
-    /// Applies one instruction's value semantics to this thread, assuming the
+    /// Applies one instruction's value semantics to `lane`, assuming the
     /// guard already passed, and returns the pipeline-visible [`Effect`].
     ///
     /// ALU and MUFU results are written immediately (the timing model
     /// separately enforces their latency); long-latency destinations are left
     /// untouched until the simulator performs writeback.
-    pub fn step(&mut self, inst: &Instruction, consts: &ConstMem) -> Effect {
-        debug_assert!(self.guard_passes(inst));
+    pub fn step(&mut self, lane: usize, inst: &Instruction, consts: &ConstMem) -> Effect {
+        debug_assert!(self.guard_passes(lane, inst));
         match &inst.op {
             Op::Bssy { barrier, target } => Effect::Bssy {
                 barrier: *barrier,
@@ -151,76 +193,79 @@ impl ThreadCtx {
             Op::Yield => Effect::Yield,
             Op::Nop => Effect::None,
             Op::Mov { dst, src } => {
-                let v = self.operand(src, consts);
-                self.write_reg(*dst, v);
+                let v = self.operand(lane, src, consts);
+                self.write_reg(lane, *dst, v);
                 Effect::None
             }
             Op::IAdd { dst, a, b } => {
-                let v = self.reg(*a).wrapping_add(self.operand(b, consts));
-                self.write_reg(*dst, v);
+                let v = self
+                    .reg(lane, *a)
+                    .wrapping_add(self.operand(lane, b, consts));
+                self.write_reg(lane, *dst, v);
                 Effect::None
             }
             Op::IMad { dst, a, b, c } => {
                 let v = self
-                    .reg(*a)
-                    .wrapping_mul(self.operand(b, consts))
-                    .wrapping_add(self.operand(c, consts));
-                self.write_reg(*dst, v);
+                    .reg(lane, *a)
+                    .wrapping_mul(self.operand(lane, b, consts))
+                    .wrapping_add(self.operand(lane, c, consts));
+                self.write_reg(lane, *dst, v);
                 Effect::None
             }
             Op::Shl { dst, a, b } => {
-                let sh = self.operand(b, consts) & 63;
-                let v = self.reg(*a) << sh;
-                self.write_reg(*dst, v);
+                let sh = self.operand(lane, b, consts) & 63;
+                let v = self.reg(lane, *a) << sh;
+                self.write_reg(lane, *dst, v);
                 Effect::None
             }
             Op::Shr { dst, a, b } => {
-                let sh = self.operand(b, consts) & 63;
-                let v = self.reg(*a) >> sh;
-                self.write_reg(*dst, v);
+                let sh = self.operand(lane, b, consts) & 63;
+                let v = self.reg(lane, *a) >> sh;
+                self.write_reg(lane, *dst, v);
                 Effect::None
             }
             Op::And { dst, a, b } => {
-                let v = self.reg(*a) & self.operand(b, consts);
-                self.write_reg(*dst, v);
+                let v = self.reg(lane, *a) & self.operand(lane, b, consts);
+                self.write_reg(lane, *dst, v);
                 Effect::None
             }
             Op::Xor { dst, a, b } => {
-                let v = self.reg(*a) ^ self.operand(b, consts);
-                self.write_reg(*dst, v);
+                let v = self.reg(lane, *a) ^ self.operand(lane, b, consts);
+                self.write_reg(lane, *dst, v);
                 Effect::None
             }
             Op::FAdd { dst, a, b } => {
-                let v = self.reg_f32(*a) + self.operand_f32(b, consts);
-                self.write_reg(*dst, v.to_bits() as u64);
+                let v = self.reg_f32(lane, *a) + self.operand_f32(lane, b, consts);
+                self.write_reg(lane, *dst, v.to_bits() as u64);
                 Effect::None
             }
             Op::FMul { dst, a, b } => {
-                let v = self.reg_f32(*a) * self.operand_f32(b, consts);
-                self.write_reg(*dst, v.to_bits() as u64);
+                let v = self.reg_f32(lane, *a) * self.operand_f32(lane, b, consts);
+                self.write_reg(lane, *dst, v.to_bits() as u64);
                 Effect::None
             }
             Op::FFma { dst, a, b, c } => {
-                let v = self
-                    .reg_f32(*a)
-                    .mul_add(self.operand_f32(b, consts), self.operand_f32(c, consts));
-                self.write_reg(*dst, v.to_bits() as u64);
+                let v = self.reg_f32(lane, *a).mul_add(
+                    self.operand_f32(lane, b, consts),
+                    self.operand_f32(lane, c, consts),
+                );
+                self.write_reg(lane, *dst, v.to_bits() as u64);
                 Effect::None
             }
             Op::ISetp { dst, a, b, cmp } => {
-                let a = self.reg(*a) as i64;
-                let b = self.operand(b, consts) as i64;
-                self.write_pred(*dst, compare_i64(a, b, *cmp));
+                let a = self.reg(lane, *a) as i64;
+                let b = self.operand(lane, b, consts) as i64;
+                self.write_pred(lane, *dst, compare_i64(a, b, *cmp));
                 Effect::None
             }
             Op::FSetp { dst, a, b, cmp } => {
-                let a = self.reg_f32(*a);
-                let b = self.operand_f32(b, consts);
-                self.write_pred(*dst, compare_f32(a, b, *cmp));
+                let a = self.reg_f32(lane, *a);
+                let b = self.operand_f32(lane, b, consts);
+                self.write_pred(lane, *dst, compare_f32(a, b, *cmp));
                 Effect::None
             }
             Op::Mufu { dst, a, func } => {
-                let x = self.reg_f32(*a);
+                let x = self.reg_f32(lane, *a);
                 let v = match func {
                     MufuFunc::Rcp => 1.0 / x,
                     MufuFunc::Rsq => 1.0 / x.sqrt(),
@@ -229,34 +274,281 @@ impl ThreadCtx {
                     MufuFunc::Sin => x.sin(),
                     MufuFunc::Cos => x.cos(),
                 };
-                self.write_reg(*dst, v.to_bits() as u64);
+                self.write_reg(lane, *dst, v.to_bits() as u64);
                 Effect::None
             }
             Op::Ldg { dst, addr, offset } | Op::Lds { dst, addr, offset } => {
-                let a = self.reg(*addr).wrapping_add(*offset as u64);
+                let a = self.reg(lane, *addr).wrapping_add(*offset as u64);
                 Effect::Load { dst: *dst, addr: a }
             }
             Op::Stg { src, addr, offset } => {
-                let a = self.reg(*addr).wrapping_add(*offset as u64);
+                let a = self.reg(lane, *addr).wrapping_add(*offset as u64);
                 Effect::Store {
                     addr: a,
-                    value: self.reg(*src),
+                    value: self.reg(lane, *src),
                 }
             }
             Op::Tld { dst, addr, offset } => {
-                let a = self.reg(*addr).wrapping_add(*offset as u64);
+                let a = self.reg(lane, *addr).wrapping_add(*offset as u64);
                 Effect::TexFetch { dst: *dst, addr: a }
             }
             Op::Tex { dst, coord } => Effect::TexFetch {
                 dst: *dst,
-                addr: self.reg(*coord),
+                addr: self.reg(lane, *coord),
             },
             Op::TraceRay { dst, ray } => Effect::TraceRay {
                 dst: *dst,
-                ray_id: self.reg(*ray),
+                ray_id: self.reg(lane, *ray),
             },
         }
     }
+}
+
+/// Per-thread architectural state: one lane's view of a [`RegFile`], sized
+/// at the architectural maximum of [`N_REG`] registers and [`N_PRED`]
+/// predicates.
+///
+/// This is the standalone single-thread harness (unit tests, functional
+/// spot-checks). The warp-level timing model holds one shared [`RegFile`]
+/// instead of 32 of these, for cache locality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadCtx {
+    rf: RegFile,
+}
+
+impl Default for ThreadCtx {
+    fn default() -> Self {
+        ThreadCtx {
+            rf: RegFile::new(1, N_REG),
+        }
+    }
+}
+
+impl ThreadCtx {
+    /// A zero-initialized thread context.
+    pub fn new() -> ThreadCtx {
+        ThreadCtx::default()
+    }
+
+    /// Resets this context to the launch state (all registers and predicates
+    /// zero) without reallocating.
+    pub fn reset(&mut self) {
+        self.rf.reset(N_REG);
+    }
+
+    /// Reads a register (`RZ` reads as 0).
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.rf.reg(0, r)
+    }
+
+    /// Writes a register (writes to `RZ` are discarded).
+    pub fn write_reg(&mut self, r: Reg, v: u64) {
+        self.rf.write_reg(0, r, v);
+    }
+
+    /// Reads a predicate (`PT` reads as true).
+    pub fn pred(&self, p: Pred) -> bool {
+        self.rf.pred(0, p)
+    }
+
+    /// Writes a predicate (writes to `PT` are discarded).
+    pub fn write_pred(&mut self, p: Pred, v: bool) {
+        self.rf.write_pred(0, p, v);
+    }
+
+    /// Evaluates an instruction's guard for this thread.
+    pub fn guard_passes(&self, inst: &Instruction) -> bool {
+        self.rf.guard_passes(0, inst)
+    }
+
+    /// Applies one instruction's value semantics to this thread; see
+    /// [`RegFile::step`].
+    pub fn step(&mut self, inst: &Instruction, consts: &ConstMem) -> Effect {
+        self.rf.step(0, inst, consts)
+    }
+}
+
+/// A source operand resolved once per instruction rather than once per lane.
+///
+/// Immediates and constant-bank reads are lane-invariant, so the vectorized
+/// execution path hoists them out of the lane loop; only register sources pay
+/// a per-lane read.
+#[derive(Clone, Copy)]
+enum HoistedSrc {
+    Scalar(u64),
+    Reg(Reg),
+}
+
+impl HoistedSrc {
+    #[inline]
+    fn hoist(o: &Operand, consts: &ConstMem) -> HoistedSrc {
+        match *o {
+            Operand::Reg(r) => HoistedSrc::Reg(r),
+            Operand::Imm(v) => HoistedSrc::Scalar(v as u64),
+            Operand::FImm(v) => HoistedSrc::Scalar(v.to_bits() as u64),
+            Operand::CBank { bank, offset } => HoistedSrc::Scalar(consts.get(bank, offset)),
+        }
+    }
+
+    #[inline(always)]
+    fn read(self, rf: &RegFile, lane: usize) -> u64 {
+        match self {
+            HoistedSrc::Scalar(v) => v,
+            HoistedSrc::Reg(r) => rf.reg(lane, r),
+        }
+    }
+
+    #[inline(always)]
+    fn read_f32(self, rf: &RegFile, lane: usize) -> f32 {
+        f32::from_bits(self.read(rf, lane) as u32)
+    }
+}
+
+/// Applies one ALU-family instruction to every lane set in `mask` with a
+/// single opcode dispatch, instead of re-matching the opcode per lane.
+///
+/// `mask` must already account for lane activity *and* the instruction guard:
+/// it is exactly the set of lanes whose value semantics should run. Returns
+/// `true` when the op was handled. Returns `false` — without touching any
+/// state — for ops outside the vectorizable family (control flow, memory,
+/// texture, RT traversal), which the caller must execute through the scalar
+/// [`RegFile::step`] path; those ops produce per-lane [`Effect`]s that the
+/// timing model consumes individually, so there is nothing to vectorize.
+///
+/// Results are bit-identical to calling [`RegFile::step`] on each masked
+/// lane: every kernel below is the same arithmetic expression as the matching
+/// `step` arm, with only the resolution of lane-invariant sources
+/// (immediates, constant banks) hoisted out of the lane loop. With the
+/// register-major [`RegFile`] layout, each operand's per-lane reads walk one
+/// contiguous row. The parity property tests in `tests/alu_parity.rs` enforce
+/// bit-for-bit agreement over randomized masks and operands.
+pub fn step_alu_masked(rf: &mut RegFile, mask: u32, inst: &Instruction, consts: &ConstMem) -> bool {
+    // Tight trailing_zeros iteration over the packed mask; `$lane` binds the
+    // lane index inside each kernel.
+    macro_rules! for_lanes {
+        (|$lane:ident| $body:expr) => {{
+            let mut m = mask;
+            while m != 0 {
+                let $lane = m.trailing_zeros() as usize;
+                m &= m - 1;
+                $body
+            }
+        }};
+    }
+
+    match &inst.op {
+        Op::Mov { dst, src } => {
+            let s = HoistedSrc::hoist(src, consts);
+            for_lanes!(|lane| {
+                let v = s.read(rf, lane);
+                rf.write_reg(lane, *dst, v);
+            });
+        }
+        Op::IAdd { dst, a, b } => {
+            let b = HoistedSrc::hoist(b, consts);
+            for_lanes!(|lane| {
+                let v = rf.reg(lane, *a).wrapping_add(b.read(rf, lane));
+                rf.write_reg(lane, *dst, v);
+            });
+        }
+        Op::IMad { dst, a, b, c } => {
+            let b = HoistedSrc::hoist(b, consts);
+            let c = HoistedSrc::hoist(c, consts);
+            for_lanes!(|lane| {
+                let v = rf
+                    .reg(lane, *a)
+                    .wrapping_mul(b.read(rf, lane))
+                    .wrapping_add(c.read(rf, lane));
+                rf.write_reg(lane, *dst, v);
+            });
+        }
+        Op::Shl { dst, a, b } => {
+            let b = HoistedSrc::hoist(b, consts);
+            for_lanes!(|lane| {
+                let sh = b.read(rf, lane) & 63;
+                let v = rf.reg(lane, *a) << sh;
+                rf.write_reg(lane, *dst, v);
+            });
+        }
+        Op::Shr { dst, a, b } => {
+            let b = HoistedSrc::hoist(b, consts);
+            for_lanes!(|lane| {
+                let sh = b.read(rf, lane) & 63;
+                let v = rf.reg(lane, *a) >> sh;
+                rf.write_reg(lane, *dst, v);
+            });
+        }
+        Op::And { dst, a, b } => {
+            let b = HoistedSrc::hoist(b, consts);
+            for_lanes!(|lane| {
+                let v = rf.reg(lane, *a) & b.read(rf, lane);
+                rf.write_reg(lane, *dst, v);
+            });
+        }
+        Op::Xor { dst, a, b } => {
+            let b = HoistedSrc::hoist(b, consts);
+            for_lanes!(|lane| {
+                let v = rf.reg(lane, *a) ^ b.read(rf, lane);
+                rf.write_reg(lane, *dst, v);
+            });
+        }
+        Op::FAdd { dst, a, b } => {
+            let b = HoistedSrc::hoist(b, consts);
+            for_lanes!(|lane| {
+                let v = rf.reg_f32(lane, *a) + b.read_f32(rf, lane);
+                rf.write_reg(lane, *dst, v.to_bits() as u64);
+            });
+        }
+        Op::FMul { dst, a, b } => {
+            let b = HoistedSrc::hoist(b, consts);
+            for_lanes!(|lane| {
+                let v = rf.reg_f32(lane, *a) * b.read_f32(rf, lane);
+                rf.write_reg(lane, *dst, v.to_bits() as u64);
+            });
+        }
+        Op::FFma { dst, a, b, c } => {
+            let b = HoistedSrc::hoist(b, consts);
+            let c = HoistedSrc::hoist(c, consts);
+            for_lanes!(|lane| {
+                let v = rf
+                    .reg_f32(lane, *a)
+                    .mul_add(b.read_f32(rf, lane), c.read_f32(rf, lane));
+                rf.write_reg(lane, *dst, v.to_bits() as u64);
+            });
+        }
+        Op::ISetp { dst, a, b, cmp } => {
+            let b = HoistedSrc::hoist(b, consts);
+            for_lanes!(|lane| {
+                let av = rf.reg(lane, *a) as i64;
+                let bv = b.read(rf, lane) as i64;
+                rf.write_pred(lane, *dst, compare_i64(av, bv, *cmp));
+            });
+        }
+        Op::FSetp { dst, a, b, cmp } => {
+            let b = HoistedSrc::hoist(b, consts);
+            for_lanes!(|lane| {
+                let av = rf.reg_f32(lane, *a);
+                let bv = b.read_f32(rf, lane);
+                rf.write_pred(lane, *dst, compare_f32(av, bv, *cmp));
+            });
+        }
+        Op::Mufu { dst, a, func } => {
+            for_lanes!(|lane| {
+                let x = rf.reg_f32(lane, *a);
+                let v = match func {
+                    MufuFunc::Rcp => 1.0 / x,
+                    MufuFunc::Rsq => 1.0 / x.sqrt(),
+                    MufuFunc::Lg2 => x.log2(),
+                    MufuFunc::Ex2 => x.exp2(),
+                    MufuFunc::Sin => x.sin(),
+                    MufuFunc::Cos => x.cos(),
+                };
+                rf.write_reg(lane, *dst, v.to_bits() as u64);
+            });
+        }
+        _ => return false,
+    }
+    true
 }
 
 fn compare_i64(a: i64, b: i64, cmp: CmpOp) -> bool {
@@ -370,6 +662,24 @@ mod tests {
         let (mut t, _) = ctx();
         t.write_pred(Pred::PT, false);
         assert!(t.pred(Pred::PT));
+    }
+
+    #[test]
+    fn regfile_rows_are_independent_per_lane() {
+        let mut rf = RegFile::new(4, 8);
+        for lane in 0..4 {
+            rf.write_reg(lane, Reg(3), 100 + lane as u64);
+        }
+        for lane in 0..4 {
+            assert_eq!(rf.reg(lane, Reg(3)), 100 + lane as u64);
+            assert_eq!(rf.reg(lane, Reg(4)), 0);
+        }
+        rf.write_reg(2, Reg::RZ, 7);
+        assert_eq!(rf.reg(2, Reg::RZ), 0);
+        rf.reset(8);
+        for lane in 0..4 {
+            assert_eq!(rf.reg(lane, Reg(3)), 0);
+        }
     }
 
     #[test]

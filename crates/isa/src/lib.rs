@@ -50,7 +50,7 @@ mod op;
 mod program;
 mod reg;
 
-pub use exec::{ConstMem, Effect, ThreadCtx, N_PRED, N_REG};
+pub use exec::{step_alu_masked, ConstMem, Effect, RegFile, ThreadCtx, N_PRED, N_REG};
 pub use inst::{Instruction, StallHint};
 pub use op::{CmpOp, ExecUnit, MufuFunc, Op, Operand};
 pub use program::{InstRef, Label, Program, ProgramBuilder, ProgramError};
