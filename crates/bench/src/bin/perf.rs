@@ -18,12 +18,16 @@
 //!   [`SmConfig::profile_phases`] reports where simulator wall time goes
 //!   (issue / execute / memory / fast-forward / other). The headline pass
 //!   stays uninstrumented so the number CI gates on is the real one.
-//! - **History** — `history_cycles_per_second` carries the previous
-//!   reports' headline values forward (newest last, capped at 12), so each
-//!   regeneration extends the perf trajectory instead of overwriting it.
+//! - **History** — `history_cycles_per_second` carries the reports'
+//!   headline values forward (newest last, capped at 12, the fresh sample
+//!   included), so each regeneration extends the perf trajectory instead
+//!   of overwriting it.
 //!
 //! `--gate PCT` exits non-zero when the fresh `cycles_per_second` is more
-//! than `PCT`% below the previous report's — the CI perf-regression gate.
+//! than `PCT`% below the **median** of the recorded history — the CI
+//! perf-regression gate. Gating on the median rather than the single
+//! previous sample means one noisy CI machine can neither fail the gate
+//! spuriously nor silently ratchet the reference down for later runs.
 
 use std::time::Instant;
 use subwarp_bench::{fig12a_sweep, Sweep};
@@ -59,6 +63,21 @@ fn json_number_array(src: &str, key: &str) -> Vec<f64> {
         .split(',')
         .filter_map(|s| s.trim().parse().ok())
         .collect()
+}
+
+/// Median of a sample set; `None` when empty.
+fn median(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    let mid = v.len() / 2;
+    Some(if v.len().is_multiple_of(2) {
+        (v[mid - 1] + v[mid]) / 2.0
+    } else {
+        v[mid]
+    })
 }
 
 fn main() {
@@ -103,13 +122,17 @@ fn main() {
         .as_deref()
         .map(|s| json_number_array(s, "history_cycles_per_second"))
         .unwrap_or_default();
+    // Reports record their own headline into the history they write; only a
+    // legacy report (whose history lacks its headline) needs it appended
+    // here. The equality check keeps regeneration from duplicating it.
     if let Some(p) = prev_cps {
-        history.push(p);
+        if history.last().copied() != Some(p) {
+            history.push(p);
+        }
     }
-    const HISTORY_CAP: usize = 12;
-    if history.len() > HISTORY_CAP {
-        history.drain(..history.len() - HISTORY_CAP);
-    }
+    // The gate reference is fixed before this run's sample joins the
+    // history: the median of the recorded trajectory.
+    let gate_median = median(&history);
 
     // Workload construction (BVH build + ray tracing), timed separately so
     // the sweep numbers measure the simulator alone.
@@ -156,6 +179,14 @@ fn main() {
         }
     }
     let phase_total: u64 = phase_nanos.iter().sum();
+
+    // Record the fresh sample as the newest history entry, so the next
+    // run's gate median already includes it.
+    history.push(cycles_per_second);
+    const HISTORY_CAP: usize = 12;
+    if history.len() > HISTORY_CAP {
+        history.drain(..history.len() - HISTORY_CAP);
+    }
 
     let history_json = history
         .iter()
@@ -211,24 +242,25 @@ fn main() {
     println!("report: {out}");
 
     // CI perf-regression gate: fail when the fresh headline regresses more
-    // than the allowed percentage versus the previous (checked-in) report.
+    // than the allowed percentage versus the median of the checked-in
+    // history — robust to any single noisy sample in the trajectory.
     if let Some(pct) = gate_pct {
-        match prev_cps {
-            Some(prev) if prev > 0.0 => {
-                let floor = prev * (1.0 - pct / 100.0);
+        match gate_median {
+            Some(reference) if reference > 0.0 => {
+                let floor = reference * (1.0 - pct / 100.0);
                 if cycles_per_second < floor {
                     eprintln!(
                         "PERF GATE FAILED: {cycles_per_second:.0} cycles/s is more than \
-                         {pct}% below the checked-in {prev:.0} (floor {floor:.0})"
+                         {pct}% below the history median {reference:.0} (floor {floor:.0})"
                     );
                     std::process::exit(1);
                 }
                 println!(
                     "perf gate ok: {cycles_per_second:.0} >= {floor:.0} \
-                     ({pct}% tolerance vs checked-in {prev:.0})"
+                     ({pct}% tolerance vs history median {reference:.0})"
                 );
             }
-            _ => println!("perf gate skipped: no previous report at {out}"),
+            _ => println!("perf gate skipped: no perf history at {out}"),
         }
     }
 }

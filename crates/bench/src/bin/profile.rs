@@ -14,6 +14,7 @@
 //!   --policy <any|half|all>   stall trigger (N>0/≥0.5/1) [default: half]
 //!   --latency <cycles>        L1 miss latency            [default: 600]
 //!   --mem <fixed|hier>        memory backend             [default: fixed]
+//!   --sms <n>                 streaming multiprocessors  [default: 1]
 //!   --out <path>              trace output file          [default: subwarp_profile.json]
 //!   --compare                 also profile-free run the baseline and
 //!                             print its breakdown column
@@ -37,7 +38,7 @@ use subwarp_workloads::{figure9_workload, microbenchmark, trace_by_name};
 fn usage() -> ! {
     eprintln!(
         "usage: profile [--si off|sos|both|dws] [--policy any|half|all] \
-         [--latency N] [--mem fixed|hier] [--out PATH] [--compare] \
+         [--latency N] [--mem fixed|hier] [--sms N] [--out PATH] [--compare] \
          <trace:NAME|micro:SIZE|toy>"
     );
     std::process::exit(2);
@@ -79,6 +80,7 @@ fn main() {
                     _ => usage(),
                 }
             }
+            "--sms" => sm.n_sms = next("--sms").parse().unwrap_or_else(|_| usage()),
             "--out" => out = next("--out"),
             "--compare" => compare = true,
             "--help" | "-h" => usage(),

@@ -16,6 +16,7 @@
 //!   --mem <fixed|hier>        memory backend             [default: fixed]
 //!   --slots <per-pb>          warp slots per PB          [default: 8]
 //!   --sms <n>                 streaming multiprocessors  [default: 1]
+//!   --private-mem             per-SM private partitions (no chip sharing)
 //!   --subwarps <n>            TST entries per warp       [default: 32]
 //!   --order <ft|taken|random|hinted>  divergence order   [default: ft]
 //!   --small-icache            4x smaller L0/L1I
@@ -32,9 +33,9 @@ use subwarp_workloads::{figure9_workload, microbenchmark, trace_by_name};
 fn usage() -> ! {
     eprintln!(
         "usage: simulate [--si off|sos|both|dws] [--policy any|half|all] \
-         [--latency N] [--mem fixed|hier] [--slots N] [--sms N] [--subwarps N] \
-         [--order ft|taken|random|hinted] [--small-icache] [--compare] [--events] \
-         <trace:NAME|micro:SIZE|toy>"
+         [--latency N] [--mem fixed|hier] [--slots N] [--sms N] [--private-mem] \
+         [--subwarps N] [--order ft|taken|random|hinted] [--small-icache] \
+         [--compare] [--events] <trace:NAME|micro:SIZE|toy>"
     );
     std::process::exit(2);
 }
@@ -78,6 +79,7 @@ fn main() {
             }
             "--slots" => sm.warp_slots_per_pb = next("--slots").parse().unwrap_or_else(|_| usage()),
             "--sms" => sm.n_sms = next("--sms").parse().unwrap_or_else(|_| usage()),
+            "--private-mem" => sm.shared_partitions = false,
             "--subwarps" => max_subwarps = next("--subwarps").parse().unwrap_or_else(|_| usage()),
             "--order" => {
                 sm.diverge_order = match next("--order").as_str() {
@@ -212,6 +214,19 @@ fn main() {
             mem.row_misses,
             util.join(" ")
         );
+    }
+
+    if !stats.per_sm.is_empty() {
+        println!("\nper-SM breakdown:");
+        for (i, s) in stats.per_sm.iter().enumerate() {
+            println!(
+                "  SM {i:>2}  cycles {:>10}  instructions {:>10}  ipc {:>5.2}  mem reqs {:>8}",
+                s.cycles,
+                s.instructions,
+                s.ipc(),
+                s.mem.requests
+            );
+        }
     }
 
     if compare {

@@ -625,6 +625,71 @@ pub fn mem_sweep() -> Result<MemSweepResult, SimError> {
     Ok(MemSweepResult { latency, bandwidth })
 }
 
+// --------------------------------------------------------------- chip sweep
+
+/// One point of `figures chip-sweep`: a chip size, how saturated the shared
+/// memory partitions ran, and the SI gain that survived the contention.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipSweepRow {
+    /// SM count sharing one set of L2/DRAM partitions.
+    pub n_sms: usize,
+    /// Baseline (SI disabled) chip cycles.
+    pub base_cycles: u64,
+    /// SI (`Both,N>=0.5`) speedup % over the baseline at this chip size.
+    pub gain_pct: f64,
+    /// Chip-aggregate L2 hit rate of the baseline run.
+    pub l2_hit_rate: f64,
+    /// Mean DRAM channel busy fraction of the baseline run (busy cycles
+    /// over channels × chip cycles) — the saturation axis.
+    pub channel_utilization: f64,
+    /// Mean fill latency the baseline's loads actually saw, inflated by
+    /// cross-SM bank/channel queueing as the chip grows.
+    pub mean_fill_latency: f64,
+}
+
+/// `figures chip-sweep`: the paper's Sec. VI limiter trend, reproduced at
+/// chip scale. Work scales *weakly* — every SM runs the same per-SM slice
+/// of the divergent microbenchmark (disjoint address regions, so DRAM
+/// traffic grows with the chip) — while the shared partitions stay fixed at
+/// the TU102-like configuration. As SM count drives the shared channels
+/// toward saturation, the extra memory-level parallelism SI generates has
+/// nowhere to go: the gain it shows at small chips erodes.
+pub fn chip_sweep() -> Result<Vec<ChipSweepRow>, SimError> {
+    const WARPS_PER_SM: usize = 8;
+    let mut rows = Vec::new();
+    for n_sms in [1usize, 2, 4, 9, 18, 36] {
+        let wl = microbenchmark_with(MicroConfig {
+            n_warps: WARPS_PER_SM * n_sms,
+            ..MicroConfig::default()
+        });
+        let mut sm = SmConfig::turing_like().with_mem_backend(MemBackendConfig::Hierarchical(
+            HierarchyConfig::turing_like(),
+        ));
+        sm.n_sms = n_sms;
+        let base = Simulator::new(sm.clone(), SiConfig::disabled()).run(&wl)?;
+        let si = Simulator::new(sm, SiConfig::best()).run(&wl)?;
+        let busy: u64 = base.mem.channel_busy_cycles.iter().sum();
+        let chans = base.mem.channel_busy_cycles.len() as u64;
+        rows.push(ChipSweepRow {
+            n_sms,
+            base_cycles: base.cycles,
+            gain_pct: gain_pct(&si, &base),
+            l2_hit_rate: 1.0 - base.mem.l2.miss_ratio(),
+            channel_utilization: if chans == 0 || base.cycles == 0 {
+                0.0
+            } else {
+                busy as f64 / (chans * base.cycles) as f64
+            },
+            mean_fill_latency: if base.mem.fills == 0 {
+                0.0
+            } else {
+                base.mem.total_fill_latency as f64 / base.mem.fills as f64
+            },
+        });
+    }
+    Ok(rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -43,11 +43,19 @@ pub enum DivergeOrder {
 /// SM hardware parameters (paper Table I).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SmConfig {
-    /// Streaming multiprocessors (Table I: 2). SMs share nothing in the
-    /// bare-metal model (misses go to the fixed-latency stub, §IV-A), so
-    /// warps are distributed round-robin and each SM simulates
-    /// independently; reported cycles are the slowest SM's.
+    /// Streaming multiprocessors (Table I: 2; a full TU102 has 72). Warps
+    /// are distributed round-robin across SMs. With the fixed-latency stub
+    /// (§IV-A) SMs share nothing and each simulates independently; with the
+    /// hierarchical backend and [`shared_partitions`](Self::shared_partitions)
+    /// the SMs contend for one chip-wide L2/DRAM partition. Reported cycles
+    /// are the slowest SM's.
     pub n_sms: usize,
+    /// Share the memory partition (L2 banks, DRAM rows and channels) across
+    /// all SMs of a multi-SM run (default: true). Only meaningful for
+    /// backends with shared state (the hierarchical model); shareless
+    /// backends behave identically either way. `false` restores the
+    /// pre-chip model of one private hierarchy per SM.
+    pub shared_partitions: bool,
     /// Processing blocks per SM (Table I: 4).
     pub n_pbs: usize,
     /// Warp slots per processing block (Table I sweeps {2, 4, 8}).
@@ -122,6 +130,7 @@ impl SmConfig {
     pub fn turing_like() -> SmConfig {
         SmConfig {
             n_sms: 1,
+            shared_partitions: true,
             n_pbs: 4,
             warp_slots_per_pb: 8,
             miss_latency: 600,
@@ -215,6 +224,13 @@ impl SmConfig {
     pub fn with_n_sms(mut self, n: usize) -> SmConfig {
         assert!(n >= 1);
         self.n_sms = n;
+        self
+    }
+
+    /// Enables or disables chip-wide sharing of the memory partition (see
+    /// [`shared_partitions`](Self::shared_partitions)).
+    pub fn with_shared_partitions(mut self, shared: bool) -> SmConfig {
+        self.shared_partitions = shared;
         self
     }
 

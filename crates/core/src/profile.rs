@@ -83,6 +83,60 @@ pub trait Profiler {
     fn counters(&mut self, _sample: &CounterSample) {}
 }
 
+/// One buffered [`Profiler`] callback, replayed verbatim later.
+#[derive(Debug, Clone)]
+pub(crate) enum BufferedCall {
+    SmCycles(u64, u64, CycleCause),
+    PbCycles(usize, u64, u64, CycleCause),
+    Event(TraceEvent),
+    Counters(CounterSample),
+}
+
+/// A [`Profiler`] that records its callback stream for later replay.
+///
+/// The chip scheduler interleaves SM stepping in global-cycle order, but
+/// profilers expect each SM's stream contiguous between `begin_sm` /
+/// `end_sm`. Each SM therefore profiles into one of these during the run,
+/// and the chip replays the buffers SM by SM afterwards. `begin_sm` /
+/// `end_sm` are not buffered — the chip emits them itself around
+/// [`replay`](Self::replay).
+#[derive(Debug, Default)]
+pub(crate) struct BufferingProfiler {
+    calls: Vec<BufferedCall>,
+}
+
+impl BufferingProfiler {
+    /// Replays the buffered stream into `p`, in recorded order.
+    pub(crate) fn replay(self, p: &mut dyn Profiler) {
+        for call in self.calls {
+            match call {
+                BufferedCall::SmCycles(start, n, cause) => p.sm_cycles(start, n, cause),
+                BufferedCall::PbCycles(pb, start, n, cause) => p.pb_cycles(pb, start, n, cause),
+                BufferedCall::Event(ev) => p.event(&ev),
+                BufferedCall::Counters(sample) => p.counters(&sample),
+            }
+        }
+    }
+}
+
+impl Profiler for BufferingProfiler {
+    fn sm_cycles(&mut self, start: u64, n: u64, cause: CycleCause) {
+        self.calls.push(BufferedCall::SmCycles(start, n, cause));
+    }
+
+    fn pb_cycles(&mut self, pb: usize, start: u64, n: u64, cause: CycleCause) {
+        self.calls.push(BufferedCall::PbCycles(pb, start, n, cause));
+    }
+
+    fn event(&mut self, ev: &TraceEvent) {
+        self.calls.push(BufferedCall::Event(ev.clone()));
+    }
+
+    fn counters(&mut self, sample: &CounterSample) {
+        self.calls.push(BufferedCall::Counters(*sample));
+    }
+}
+
 /// Trace-track ids: the SM-level attribution track, then one per PB,
 /// then warp tracks at their own ids. Warp ids are small (≤ thousands), so
 /// a high base keeps the synthetic tracks clear of them.

@@ -149,8 +149,17 @@ impl Simulator {
             workload: wl.name.clone(),
             what,
         })?;
-        // SMs share nothing beyond the fixed-latency stub (paper SIV-A), so
-        // each simulates independently over its round-robin share of warps.
+        // Chip dispatch: when more than one SM runs against a backend with
+        // shareable state (the hierarchical L2/DRAM partitions) and sharing
+        // is enabled, the SMs contend for it and must be co-scheduled in
+        // global-cycle order. Otherwise — one SM, the fixed-latency stub, or
+        // sharing explicitly disabled — SMs share nothing, and each
+        // simulates independently over its round-robin share of warps.
+        let shared_chip =
+            self.sm.n_sms > 1 && self.sm.shared_partitions && !self.sm.mem_backend.is_shareless();
+        if shared_chip {
+            return self.run_chip(wl, recorder, capture_memory, profiler);
+        }
         let mut total = RunStats::default();
         let mut merged_events: Vec<crate::trace::TraceEvent> = Vec::new();
         // Stores from every SM are concatenated in SM order; finalization's
@@ -173,6 +182,7 @@ impl Simulator {
                 sm_id,
                 capture_memory,
                 profiler.take(),
+                None,
             );
             while !st.finished() {
                 st.step()?;
@@ -200,6 +210,9 @@ impl Simulator {
                 st.stats.l0i.hits += l0.stats().hits;
                 st.stats.l0i.misses += l0.stats().misses;
             }
+            if self.sm.n_sms > 1 {
+                total.per_sm.push(st.stats.clone());
+            }
             total.accumulate_sm(&st.stats);
             let final_cycle = st.stats.cycles;
             profiler = st.profiler.take();
@@ -211,6 +224,132 @@ impl Simulator {
             }
             if let Some(p) = profiler.as_deref_mut() {
                 p.end_sm(final_cycle);
+            }
+        }
+        let recorder = recorder.map(|_| {
+            merged_events.sort_by_key(|e| (e.cycle, e.warp));
+            let mut r = EventRecorder::new();
+            for e in merged_events {
+                r.record(e);
+            }
+            r
+        });
+        Ok((total, recorder, store_log.map(MemoryImage::from_log)))
+    }
+
+    /// Full-chip run: N SMs contending for one shared set of memory
+    /// partitions (banked L2, DRAM channels/rows — paper Sec. VI).
+    ///
+    /// Stepping is event-driven over a global min-heap keyed by each SM's
+    /// local clock: the unfinished SM with the smallest `cycle` (ties broken
+    /// by SM id) steps next. Two properties follow:
+    ///
+    /// - **Determinism.** The interleaving is a pure function of the per-SM
+    ///   clocks, so every shared-backend `miss()` happens in a fixed order
+    ///   regardless of host thread count (`SUBWARP_JOBS` never enters —
+    ///   chip stepping is serial within one run).
+    /// - **Fast-forward soundness.** The heap keeps the global minimum
+    ///   nondecreasing, so `miss(now, ..)` calls arrive in nondecreasing
+    ///   `now` order chip-wide — the backend's analytic-at-issue contract
+    ///   holds exactly as in the single-SM case. An SM fast-forwards only
+    ///   through stretches where *it* issues nothing; other SMs' concurrent
+    ///   misses mutate shared state but cannot retroactively change this
+    ///   SM's already-computed completion times, so skipping remains safe.
+    ///
+    /// Each SM profiles into a [`BufferingProfiler`] during the interleaved
+    /// run; the buffers are replayed SM-by-SM afterwards so attached
+    /// profilers still see contiguous `begin_sm`/`end_sm` streams.
+    fn run_chip(
+        &self,
+        wl: &Workload,
+        recorder: Option<EventRecorder>,
+        capture_memory: bool,
+        profiler: Option<&mut dyn Profiler>,
+    ) -> Result<RunOutputs, SimError> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let n_sms = self.sm.n_sms;
+        let mut backends = self
+            .sm
+            .mem_backend
+            .build_chip(self.sm.miss_latency, n_sms)
+            .into_iter();
+        let mut buffers: Vec<crate::profile::BufferingProfiler> = if profiler.is_some() {
+            (0..n_sms).map(|_| Default::default()).collect()
+        } else {
+            Vec::new()
+        };
+        let mut bufs = buffers.iter_mut();
+        let mut states: Vec<SimState> = (0..n_sms)
+            .map(|sm_id| {
+                SimState::new(
+                    &self.sm,
+                    &self.si,
+                    wl,
+                    recorder.as_ref().map(|_| EventRecorder::new()),
+                    sm_id,
+                    capture_memory,
+                    bufs.next().map(|b| b as &mut dyn Profiler),
+                    backends.next(),
+                )
+            })
+            .collect();
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = states
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| !st.finished())
+            .map(|(i, st)| Reverse((st.cycle, i)))
+            .collect();
+        while let Some(Reverse((_, i))) = heap.pop() {
+            let st = &mut states[i];
+            st.step()?;
+            if !st.finished() {
+                heap.push(Reverse((st.cycle, i)));
+            }
+        }
+        // Finalize in SM-id order — identical bookkeeping to the serial
+        // path, so per-SM stats, event merge order, and the store log's
+        // later-SM-wins concatenation all match it.
+        let mut total = RunStats::default();
+        let mut merged_events: Vec<crate::trace::TraceEvent> = Vec::new();
+        let mut store_log = capture_memory.then(Vec::new);
+        let mut final_cycles = Vec::with_capacity(n_sms);
+        for (sm_id, mut st) in states.into_iter().enumerate() {
+            let attributed = st.stats.causes_total();
+            if attributed != st.stats.cycles {
+                return Err(SimError::InvariantViolation {
+                    workload: wl.name.clone(),
+                    what: format!(
+                        "cycle-attribution conservation violated on SM {sm_id}: \
+                         per-cause sum {attributed} != cycles {}",
+                        st.stats.cycles
+                    ),
+                    snapshot: st.snapshot(),
+                });
+            }
+            st.stats.phase_nanos = st.phase_nanos;
+            st.stats.l1i = st.l1i.stats();
+            st.stats.l1d = st.l1d.stats();
+            st.stats.mem = st.backend.stats();
+            for l0 in &st.l0i {
+                st.stats.l0i.hits += l0.stats().hits;
+                st.stats.l0i.misses += l0.stats().misses;
+            }
+            total.per_sm.push(st.stats.clone());
+            total.accumulate_sm(&st.stats);
+            final_cycles.push(st.stats.cycles);
+            if let Some(r) = st.recorder {
+                merged_events.extend(r.events().iter().cloned());
+            }
+            if let (Some(all), Some(sm)) = (store_log.as_mut(), st.mem_image) {
+                all.extend(sm);
+            }
+        }
+        if let Some(p) = profiler {
+            for (sm_id, buf) in buffers.into_iter().enumerate() {
+                p.begin_sm(sm_id);
+                buf.replay(p);
+                p.end_sm(final_cycles[sm_id]);
             }
         }
         let recorder = recorder.map(|_| {
@@ -275,6 +414,10 @@ struct SimState<'a, 'p> {
     /// resets one in place ([`WarpSim::reset`]) instead of allocating, so
     /// steady-state retire→launch churn performs zero heap traffic.
     pool: Vec<WarpSim>,
+    /// Test hook: when `false`, retired warps are dropped instead of pooled,
+    /// so every launch allocates fresh. Pooled reuse must be observationally
+    /// identical to this (see the pool-parity regression test).
+    pool_enabled: bool,
     /// Reused issue side-effect buffers ([`IssueResult::clear`] keeps their
     /// capacity): the per-issue path allocates nothing.
     issue_res: IssueResult,
@@ -395,6 +538,7 @@ impl<'a, 'p> SimState<'a, 'p> {
         sm_id: usize,
         capture_memory: bool,
         profiler: Option<&'p mut dyn Profiler>,
+        backend: Option<Box<dyn MemoryBackend>>,
     ) -> SimState<'a, 'p> {
         let n_slots = sm.total_warp_slots();
         let mut st = SimState {
@@ -410,7 +554,7 @@ impl<'a, 'p> SimState<'a, 'p> {
             l0i: (0..sm.n_pbs).map(|_| Cache::new(sm.l0i)).collect(),
             l1i: Cache::new(sm.l1i),
             l1d: Cache::new(sm.l1d),
-            backend: sm.mem_backend.build(sm.miss_latency),
+            backend: backend.unwrap_or_else(|| sm.mem_backend.build(sm.miss_latency)),
             data: DataMemory::new(wl.data_seed),
             lsu: ServiceUnit::new(),
             tex: ServiceUnit::new(),
@@ -424,6 +568,7 @@ impl<'a, 'p> SimState<'a, 'p> {
             profiler,
             pb_issued: vec![false; sm.n_pbs],
             pool: Vec::new(),
+            pool_enabled: true,
             issue_res: IssueResult::default(),
             line_groups: Vec::new(),
             lane_vec_pool: Vec::new(),
@@ -1547,7 +1692,9 @@ impl<'a, 'p> SimState<'a, 'p> {
                     // resets one in place instead of allocating contexts
                     // from scratch.
                     if let Some(w) = self.slots[slot].take() {
-                        self.pool.push(w);
+                        if self.pool_enabled {
+                            self.pool.push(w);
+                        }
                     }
                     self.resident -= 1;
                     freed = true;
@@ -1577,5 +1724,64 @@ impl<'a, 'p> SimState<'a, 'p> {
             });
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SiConfig, SmConfig};
+    use crate::workload::InitValue;
+    use subwarp_isa::{Barrier, CmpOp, Operand, Pred, ProgramBuilder, Reg, Scoreboard};
+
+    /// A divergent load/store workload with far more warps than the SM has
+    /// slots, so finishing it requires sustained retire→launch churn through
+    /// the warp pool.
+    fn churn_workload() -> Workload {
+        let mut b = ProgramBuilder::new();
+        let else_ = b.label("else");
+        let sync = b.label("sync");
+        b.imad(Reg(2), Reg(3), Operand::imm(8), Operand::imm(1 << 20));
+        b.ldg(Reg(4), Reg(2), 0).wr_sb(Scoreboard(0));
+        b.bssy(Barrier(0), sync);
+        b.isetp(Pred(0), Reg(0), Operand::imm(16), CmpOp::Ge);
+        b.bra(else_).pred(Pred(0), false);
+        b.iadd(Reg(5), Reg(4), Operand::imm(100))
+            .req_sb(Scoreboard(0));
+        b.bra(sync);
+        b.place(else_);
+        b.iadd(Reg(5), Reg(4), Operand::imm(200))
+            .req_sb(Scoreboard(0));
+        b.bra(sync);
+        b.place(sync);
+        b.bsync(Barrier(0));
+        b.stg(Reg(5), Reg(2), 0);
+        b.exit();
+        Workload::new("churn", b.build().unwrap(), 96)
+            .with_init(Reg(0), InitValue::LaneId)
+            .with_init(Reg(3), InitValue::GlobalTid)
+    }
+
+    fn run_churn(pool_enabled: bool) -> RunStats {
+        let sm = SmConfig::turing_like();
+        let si = SiConfig::best();
+        let wl = churn_workload();
+        let mut st = SimState::new(&sm, &si, &wl, None, 0, false, None, None);
+        st.pool_enabled = pool_enabled;
+        while !st.finished() {
+            st.step().unwrap();
+        }
+        st.stats
+    }
+
+    /// Pool-reuse regression: an SM whose warps are recycled through the
+    /// pool ([`WarpSim::reset`] in place) must produce statistics identical
+    /// to one that drops retired warps and allocates every launch fresh.
+    #[test]
+    fn pooled_warp_reuse_matches_fresh_allocation() {
+        let pooled = run_churn(true);
+        let fresh = run_churn(false);
+        assert!(pooled.cycles > 0 && pooled.instructions > 0);
+        assert_eq!(pooled, fresh);
     }
 }

@@ -160,6 +160,12 @@ pub struct RunStats {
     /// clock reads are skipped entirely otherwise, so ordinary runs (and the
     /// determinism tests that compare whole `RunStats` values) see zeros.
     pub phase_nanos: [u64; N_PHASES],
+    /// Per-SM statistics, indexed by SM id, for multi-SM runs (empty for a
+    /// single SM, where the aggregate *is* the SM). Each entry is that SM's
+    /// own counters — `cycles` is its local finish time, `mem` its share of
+    /// the (possibly chip-shared) memory partition's traffic — and the
+    /// nested `per_sm` vectors are always empty.
+    pub per_sm: Vec<RunStats>,
 }
 
 impl RunStats {

@@ -1483,6 +1483,28 @@ mod tests {
     }
 
     #[test]
+    fn pooled_reset_is_indistinguishable_from_fresh_launch() {
+        // Pool-reuse regression: run a divergent warp to completion so every
+        // launch-initialized field is dirtied (subwarp table, convergence
+        // barriers, scoreboards, register file, row summaries), then reset
+        // it in place and compare the full state against a fresh launch.
+        // `WarpSim` derives `Debug` over all fields, so Debug-string
+        // equality is a field-by-field equality check.
+        let p = if_else_program();
+        let wl = wl_with(p.clone(), 4);
+        let mut reused = WarpSim::launch(7, &wl, wl.n_regs());
+        issue_until_done(&mut reused, &p, &wl);
+        assert!(reused.done());
+        reused.reset(3, &wl, wl.n_regs());
+        let fresh = WarpSim::launch(3, &wl, wl.n_regs());
+        assert_eq!(
+            format!("{reused:?}"),
+            format!("{fresh:?}"),
+            "reset-in-place left stale state behind"
+        );
+    }
+
+    #[test]
     fn divergent_if_else_reconverges_with_correct_values() {
         let p = if_else_program();
         let wl = wl_with(p.clone(), 4);

@@ -313,7 +313,17 @@ pub fn config_grid() -> Vec<(String, SmConfig, SiConfig)> {
         hier.clone(),
         SiConfig::disabled(),
     ));
-    grid.push(("hier/best".to_string(), hier, SiConfig::best()));
+    grid.push(("hier/best".to_string(), hier.clone(), SiConfig::best()));
+    // Multi-SM parity: distributing the same warps across several SMs —
+    // with the fixed-latency stub and with chip-shared L2/DRAM partitions —
+    // reshuffles execution order and memory timing chip-wide, but the final
+    // memory image must still match the single-SM baseline exactly.
+    let mut multi_fixed = SmConfig::turing_like();
+    multi_fixed.n_sms = 4;
+    grid.push(("4sm/best".to_string(), multi_fixed, SiConfig::best()));
+    let mut multi_hier = hier;
+    multi_hier.n_sms = 4;
+    grid.push(("4sm/hier/best".to_string(), multi_hier, SiConfig::best()));
     grid
 }
 
@@ -807,10 +817,11 @@ mod tests {
     fn grid_covers_every_policy_and_order() {
         let grid = config_grid();
         // baseline + 3 policies × 4 orders × 2 flavours + tst2 + dws
-        // + 2 hierarchical-backend parity configs.
-        assert_eq!(grid.len(), 1 + 3 * 4 * 2 + 2 + 2);
+        // + 2 hierarchical-backend parity configs + 2 multi-SM configs.
+        assert_eq!(grid.len(), 1 + 3 * 4 * 2 + 2 + 2 + 2);
         assert!(grid.iter().any(|(l, _, _)| l == "baseline"));
         assert!(grid.iter().any(|(l, _, _)| l == "hier/best"));
+        assert!(grid.iter().any(|(l, _, _)| l == "4sm/hier/best"));
         assert!(grid
             .iter()
             .any(|(l, _, _)| l.contains("AllStalled") && l.contains("Hinted")));

@@ -20,6 +20,7 @@
 //! [`MemoryBackend::next_event`].
 
 use crate::cache::{AccessKind, Cache, CacheConfig, CacheStats};
+use std::sync::{Arc, Mutex};
 
 /// Timing model for memory traffic that misses the SM-local L1.
 ///
@@ -166,6 +167,39 @@ impl MemBackendConfig {
                 fault.clone(),
                 inner.build(fixed_latency),
             )),
+        }
+    }
+
+    /// Instantiates one backend per SM of an `n_sms`-SM chip. For
+    /// [`MemBackendConfig::Hierarchical`] the returned handles *share* one
+    /// memory partition — L2 content, bank occupancy, DRAM row state, and
+    /// channel bandwidth are contended across all SMs — while each handle
+    /// keeps its own per-SM MSHR file and counters. Shareless backends (the
+    /// fixed stub) come back as `n_sms` independent instances.
+    pub fn build_chip(&self, fixed_latency: u64, n_sms: usize) -> Vec<Box<dyn MemoryBackend>> {
+        match self {
+            MemBackendConfig::Hierarchical(h) => HierarchicalBackend::new_shared(h.clone(), n_sms)
+                .into_iter()
+                .map(|b| Box::new(b) as Box<dyn MemoryBackend>)
+                .collect(),
+            MemBackendConfig::Faulty { fault, inner } => inner
+                .build_chip(fixed_latency, n_sms)
+                .into_iter()
+                .map(|b| Box::new(FaultyBackend::new(fault.clone(), b)) as Box<dyn MemoryBackend>)
+                .collect(),
+            MemBackendConfig::Fixed => (0..n_sms).map(|_| self.build(fixed_latency)).collect(),
+        }
+    }
+
+    /// True when this backend has no cross-SM shared state: per-SM instances
+    /// behave identically whether built via [`MemBackendConfig::build`] or
+    /// [`MemBackendConfig::build_chip`], so a multi-SM run can keep the
+    /// plain serial per-SM loop.
+    pub fn is_shareless(&self) -> bool {
+        match self {
+            MemBackendConfig::Fixed => true,
+            MemBackendConfig::Hierarchical(_) => false,
+            MemBackendConfig::Faulty { inner, .. } => inner.is_shareless(),
         }
     }
 
@@ -347,15 +381,13 @@ struct MshrEntry {
     done: u64,
 }
 
-/// Cycle-level L2 + MSHR + DRAM-channel timing model.
-///
-/// Completion times are computed analytically when the miss is issued (see
-/// the module docs), which keeps the model a few hundred lines while still
-/// capturing the load-dependent effects that matter to Subwarp Interleaving:
-/// bank conflicts, MSHR pressure, row locality, and channel bandwidth.
+/// Chip-shared memory-partition state: everything downstream of the per-SM
+/// MSHR files. One instance exists per chip (or per backend in single-SM
+/// use), and every SM's [`HierarchicalBackend`] handle contends for it —
+/// bank occupancy, L2 content, DRAM row state, and channel bandwidth are
+/// all globally visible side effects of each fill.
 #[derive(Debug)]
-pub struct HierarchicalBackend {
-    cfg: HierarchyConfig,
+struct PartitionCore {
     l2: Cache,
     /// Cycle each L2 bank is next free.
     bank_free: Vec<u64>,
@@ -363,34 +395,83 @@ pub struct HierarchicalBackend {
     chan_free: Vec<u64>,
     /// Open row per DRAM channel.
     open_row: Vec<Option<u64>>,
+}
+
+impl PartitionCore {
+    fn new(cfg: &HierarchyConfig) -> PartitionCore {
+        let channels = cfg.dram.channels;
+        PartitionCore {
+            l2: Cache::new(cfg.l2),
+            bank_free: vec![0; cfg.l2_banks],
+            chan_free: vec![0; channels],
+            open_row: vec![None; channels],
+        }
+    }
+}
+
+/// Cycle-level L2 + MSHR + DRAM-channel timing model.
+///
+/// Completion times are computed analytically when the miss is issued (see
+/// the module docs), which keeps the model a few hundred lines while still
+/// capturing the load-dependent effects that matter to Subwarp Interleaving:
+/// bank conflicts, MSHR pressure, row locality, and channel bandwidth.
+///
+/// Each instance is one SM's *handle* onto a [`PartitionCore`]: the MSHR
+/// file and all counters are per-SM (per the paper's per-SM MSHR model),
+/// while the partition behind them may be shared chip-wide via
+/// [`HierarchicalBackend::new_shared`]. Same-line requests from *different*
+/// SMs do not MSHR-merge — the second SM sees an L2 hit instead, because the
+/// first SM's access already allocated the line.
+///
+/// The mutex is uncontended by construction: the chip scheduler steps SMs
+/// serially in global-time order, so it only buys `Send` handles and
+/// aliasing-free shared state, not parallelism.
+#[derive(Debug)]
+pub struct HierarchicalBackend {
+    cfg: HierarchyConfig,
+    core: Arc<Mutex<PartitionCore>>,
+    /// This client's share of the shared L2's hit/miss traffic.
+    l2_stats: CacheStats,
     /// Outstanding L2-miss fills, pruned lazily as time advances.
     mshrs: Vec<MshrEntry>,
     stats: MemBackendStats,
 }
 
 impl HierarchicalBackend {
-    /// Creates an empty hierarchy (cold L2, closed rows, idle channels).
+    /// Creates an empty hierarchy (cold L2, closed rows, idle channels)
+    /// with a private partition — the single-SM configuration.
     ///
     /// # Panics
     /// Panics if the configuration fails [`HierarchyConfig::validate`].
     pub fn new(cfg: HierarchyConfig) -> HierarchicalBackend {
+        let mut v = HierarchicalBackend::new_shared(cfg, 1);
+        v.pop().expect("new_shared(cfg, 1) yields one backend")
+    }
+
+    /// Creates `n` backend handles sharing one empty memory partition: each
+    /// SM gets its own MSHR file and counters, but bank occupancy, L2
+    /// content, row state, and channel bandwidth are contended chip-wide.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`HierarchyConfig::validate`].
+    pub fn new_shared(cfg: HierarchyConfig, n: usize) -> Vec<HierarchicalBackend> {
         if let Err(what) = cfg.validate() {
             panic!("invalid hierarchy config: {what}");
         }
-        let l2 = Cache::new(cfg.l2);
+        let core = Arc::new(Mutex::new(PartitionCore::new(&cfg)));
         let channels = cfg.dram.channels;
-        HierarchicalBackend {
-            bank_free: vec![0; cfg.l2_banks],
-            chan_free: vec![0; channels],
-            open_row: vec![None; channels],
-            mshrs: Vec::with_capacity(cfg.mshrs),
-            stats: MemBackendStats {
-                channel_busy_cycles: vec![0; channels],
-                ..MemBackendStats::default()
-            },
-            l2,
-            cfg,
-        }
+        (0..n)
+            .map(|_| HierarchicalBackend {
+                cfg: cfg.clone(),
+                core: Arc::clone(&core),
+                l2_stats: CacheStats::default(),
+                mshrs: Vec::with_capacity(cfg.mshrs),
+                stats: MemBackendStats {
+                    channel_busy_cycles: vec![0; channels],
+                    ..MemBackendStats::default()
+                },
+            })
+            .collect()
     }
 
     /// The configuration this backend was built from.
@@ -421,23 +502,29 @@ impl MemoryBackend for HierarchicalBackend {
 
         // MSHR same-line merge: a second miss to an in-flight line rides the
         // existing fill — no L2 access (the line is already allocated and a
-        // merge must not refresh its LRU), no DRAM traffic.
+        // merge must not refresh its LRU), no DRAM traffic. The MSHR file is
+        // per-SM, so merges are client-local.
         if let Some(e) = self.mshrs.iter().find(|e| e.line == line) {
             self.stats.mshr_merges += 1;
             return e.done;
         }
 
-        // L2 bank: accesses to the same bank serialize on its occupancy.
-        let bank = self.bank_of(line);
-        let start = now.max(self.bank_free[bank]);
-        self.bank_free[bank] = start + self.cfg.l2_bank_occupancy;
+        let mut core = self.core.lock().expect("partition core lock");
 
-        if self.l2.access(line) == AccessKind::Hit {
+        // L2 bank: accesses to the same bank serialize on its occupancy —
+        // across every SM sharing the partition.
+        let bank = self.bank_of(line);
+        let start = now.max(core.bank_free[bank]);
+        core.bank_free[bank] = start + self.cfg.l2_bank_occupancy;
+
+        if core.l2.access(line) == AccessKind::Hit {
+            self.l2_stats.hits += 1;
             let done = start + self.cfg.l2_hit_latency;
             self.stats.fills += 1;
             self.stats.total_fill_latency += done - now;
             return done;
         }
+        self.l2_stats.misses += 1;
 
         // L2 miss: the request needs an MSHR for the DRAM round trip. A full
         // file stalls the fill until the earliest outstanding one retires —
@@ -455,21 +542,23 @@ impl MemoryBackend for HierarchicalBackend {
         }
 
         // DRAM: one burst in flight per channel bounds bandwidth; the open
-        // row decides hit vs. activate latency.
+        // row decides hit vs. activate latency. Busy cycles are charged to
+        // the issuing SM, so the chip aggregate (summed across clients)
+        // still accounts every burst exactly once.
         let chan = self.channel_of(line);
         let row = self.row_of(line);
         let dram = &self.cfg.dram;
-        let dram_start = t.max(self.chan_free[chan]);
-        self.chan_free[chan] = dram_start + dram.burst_cycles;
+        let dram_start = t.max(core.chan_free[chan]);
+        core.chan_free[chan] = dram_start + dram.burst_cycles;
         self.stats.channel_busy_cycles[chan] += dram.burst_cycles;
-        let lat = if self.open_row[chan] == Some(row) {
+        let lat = if core.open_row[chan] == Some(row) {
             self.stats.row_hits += 1;
             dram.row_hit_latency
         } else {
             self.stats.row_misses += 1;
             dram.row_miss_latency
         };
-        self.open_row[chan] = Some(row);
+        core.open_row[chan] = Some(row);
         let done = dram_start + lat;
 
         self.mshrs.push(MshrEntry { line, done });
@@ -480,20 +569,23 @@ impl MemoryBackend for HierarchicalBackend {
     }
 
     fn next_event(&self, now: u64) -> Option<u64> {
+        // Per-client horizon: only this SM's own fills wake its warps, so
+        // other SMs' in-flight traffic never clamps this SM's fast-forward.
         self.mshrs.iter().map(|e| e.done).filter(|&d| d > now).min()
     }
 
     fn stats(&self) -> MemBackendStats {
         let mut s = self.stats.clone();
-        s.l2 = self.l2.stats();
+        s.l2 = self.l2_stats;
         s
     }
 
     fn counters(&self, now: u64) -> Option<MemCounters> {
+        let core = self.core.lock().expect("partition core lock");
         Some(MemCounters {
-            l2: self.l2.stats(),
+            l2: self.l2_stats,
             mshr_in_flight: self.mshrs.iter().filter(|e| e.done > now).count(),
-            busy_channels: self.chan_free.iter().filter(|&&f| f > now).count(),
+            busy_channels: core.chan_free.iter().filter(|&&f| f > now).count(),
         })
     }
 }
@@ -871,6 +963,134 @@ mod tests {
         let mut h = MemBackendConfig::Hierarchical(tiny()).build(600);
         let d = h.miss(0, 0);
         assert_eq!(h.next_event(0), Some(d));
+    }
+
+    #[test]
+    fn single_shared_client_is_bit_identical_to_private_backend() {
+        // A 1-SM chip handle must reproduce the private backend exactly:
+        // the `--sms 1` byte-identity guarantee rests on this.
+        let mut private = HierarchicalBackend::new(tiny());
+        let mut shared = HierarchicalBackend::new_shared(tiny(), 1)
+            .pop()
+            .expect("one handle");
+        let mut now = 0;
+        for i in 0..300u64 {
+            let line = ((i * 7) % 41) * 128;
+            assert_eq!(private.miss(now, line), shared.miss(now, line), "at {i}");
+            assert_eq!(private.next_event(now), shared.next_event(now));
+            assert_eq!(private.counters(now), shared.counters(now));
+            now += i % 4;
+        }
+        assert_eq!(private.stats(), shared.stats());
+    }
+
+    #[test]
+    fn shared_clients_contend_for_banks_and_channels() {
+        let cfg = tiny();
+        let mut v = HierarchicalBackend::new_shared(cfg.clone(), 2);
+        let (mut b1, mut b0) = (v.pop().unwrap(), v.pop().unwrap());
+        // Warm the same bank-0 lines in both clients' reach via client 0.
+        let line_a = 0x0;
+        let line_b = (cfg.l2_banks as u64) * cfg.l2.line_bytes; // also bank 0
+        let mut t = 0;
+        for &l in &[line_a, line_b] {
+            t = b0.miss(t, l).max(t) + 1;
+        }
+        let now = t + 1000;
+        // SM0 then SM1 hit the same bank at the same cycle: SM1 waits out
+        // the occupancy SM0 charged to the *shared* bank.
+        let first = b0.miss(now, line_a);
+        let second = b1.miss(now, line_b);
+        assert_eq!(first, now + cfg.l2_hit_latency);
+        assert_eq!(second, now + cfg.l2_bank_occupancy + cfg.l2_hit_latency);
+    }
+
+    #[test]
+    fn shared_channel_bandwidth_serializes_cross_sm_bursts() {
+        let mut cfg = tiny();
+        cfg.dram.burst_cycles = 100; // starve bandwidth
+        cfg.dram.row_miss_latency = cfg.dram.row_hit_latency;
+        cfg.mshrs = 64;
+        let mut v = HierarchicalBackend::new_shared(cfg.clone(), 4);
+        // One distinct line per SM, all on channel 0, all at cycle 0: the
+        // shared data bus serializes the bursts across SMs.
+        let stride = 256 * cfg.dram.channels as u64;
+        let mut dones: Vec<u64> = v
+            .iter_mut()
+            .enumerate()
+            .map(|(i, b)| b.miss(0, 8 * stride + i as u64 * stride))
+            .collect();
+        dones.sort_unstable();
+        for w in dones.windows(2) {
+            assert!(
+                w[1] >= w[0] + cfg.dram.burst_cycles,
+                "cross-SM bursts on one channel must serialize: {dones:?}"
+            );
+        }
+        // Every burst is charged to exactly one SM's counters.
+        let total: u64 = v
+            .iter()
+            .map(|b| b.stats().channel_busy_cycles.iter().sum::<u64>())
+            .sum();
+        assert_eq!(total, 4 * cfg.dram.burst_cycles);
+    }
+
+    #[test]
+    fn shared_l2_content_and_row_state_are_chip_visible() {
+        let cfg = tiny();
+        let mut v = HierarchicalBackend::new_shared(cfg.clone(), 2);
+        let (mut b1, mut b0) = (v.pop().unwrap(), v.pop().unwrap());
+        // SM0 fills a line; once landed, SM1's access to it is an L2 hit —
+        // no merge (MSHRs are per-SM), no second DRAM trip.
+        let done = b0.miss(0, 0x0);
+        let after = b1.miss(done + 1, 0x0);
+        assert_eq!(b1.stats().l2.hits, 1, "SM1 hits the line SM0 brought in");
+        assert_eq!(b1.stats().mshr_merges, 0, "cross-SM requests never merge");
+        assert_eq!(b1.stats().row_hits + b1.stats().row_misses, 0);
+        assert!(after < done + 1 + cfg.dram.row_hit_latency);
+        // Row state is shared too: SM0 opened the row, SM1's *miss* to a
+        // different line in the same row is a row hit.
+        let done2 = b1.miss(0, 0x080); // same 1024B row, channel 0, new line
+        assert_eq!(b1.stats().row_hits, 1, "SM1 reuses SM0's open row");
+        assert!(done2 > 0);
+        // Per-client attribution sums to the shared cache's totals.
+        let (s0, s1) = (b0.stats(), b1.stats());
+        assert_eq!(s0.l2.hits + s0.l2.misses + s1.l2.hits + s1.l2.misses, 3);
+    }
+
+    #[test]
+    fn build_chip_shares_hierarchical_and_isolates_fixed() {
+        // Hierarchical chip handles share a partition: SM1 sees SM0's line.
+        let mut chip = MemBackendConfig::Hierarchical(tiny()).build_chip(600, 2);
+        let done = chip[0].miss(0, 0x0);
+        let _ = chip[1].miss(done + 1, 0x0);
+        assert_eq!(chip[1].stats().l2.hits, 1);
+        // Fixed handles are independent stubs.
+        let mut fixed = MemBackendConfig::Fixed.build_chip(600, 2);
+        assert_eq!(fixed[0].miss(0, 0x0), 600);
+        assert_eq!(fixed[1].miss(0, 0x0), 600);
+        assert_eq!(fixed[1].stats().requests, 1);
+        // Faulty wraps each handle around the (possibly shared) inner.
+        let faulty = MemBackendConfig::Faulty {
+            fault: MemFaultConfig {
+                seed: 1,
+                ..MemFaultConfig::default()
+            },
+            inner: Box::new(MemBackendConfig::Hierarchical(tiny())),
+        };
+        assert_eq!(faulty.build_chip(600, 3).len(), 3);
+    }
+
+    #[test]
+    fn shareless_classification_matches_backend_kind() {
+        assert!(MemBackendConfig::Fixed.is_shareless());
+        assert!(!MemBackendConfig::Hierarchical(tiny()).is_shareless());
+        let wrap = |inner: MemBackendConfig| MemBackendConfig::Faulty {
+            fault: MemFaultConfig::default(),
+            inner: Box::new(inner),
+        };
+        assert!(wrap(MemBackendConfig::Fixed).is_shareless());
+        assert!(!wrap(MemBackendConfig::Hierarchical(tiny())).is_shareless());
     }
 
     #[test]

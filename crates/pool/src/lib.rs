@@ -552,12 +552,29 @@ where
     }
     // With every result in hand, idle workers exit promptly — join them so
     // resources owned by the closure (e.g. a journal's exclusive lock) are
-    // released before this returns. Skip when any job was abandoned: its
-    // stuck thread cannot be joined, and the replacement policy already
-    // restored capacity.
+    // released before this returns. When a job was abandoned its stuck
+    // thread cannot be joined, but every *other* worker still can and must
+    // be: replacement workers would otherwise accumulate as leaked threads
+    // for the process lifetime in a long-lived server. Reap whatever
+    // finishes within a short grace window and leave only the genuinely
+    // stuck threads behind.
     if !abandoned.iter().any(|&a| a) {
         for h in handles {
             let _ = h.join();
+        }
+    } else {
+        let grace = Instant::now();
+        while !handles.is_empty() && grace.elapsed() < Duration::from_secs(1) {
+            let (done, pending): (Vec<_>, Vec<_>) =
+                handles.into_iter().partition(|h| h.is_finished());
+            for h in done {
+                let _ = h.join();
+            }
+            handles = pending;
+            if handles.is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
         }
     }
     out.into_iter()
@@ -790,6 +807,64 @@ mod tests {
         assert!(
             elapsed < Duration::from_secs(20),
             "watchdog must abandon the hung job long before it returns: {elapsed:?}"
+        );
+    }
+
+    /// Live threads of this process, from `/proc/self/status`.
+    #[cfg(target_os = "linux")]
+    fn live_threads() -> usize {
+        std::fs::read_to_string("/proc/self/status")
+            .ok()
+            .and_then(|s| {
+                s.lines()
+                    .find(|l| l.starts_with("Threads:"))
+                    .and_then(|l| l.split_whitespace().nth(1))
+                    .and_then(|v| v.parse().ok())
+            })
+            .expect("/proc/self/status has a Threads: line")
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn supervised_abandonment_does_not_leak_worker_threads() {
+        let baseline = live_threads();
+        let deadline = Duration::from_millis(100);
+        let sup = Supervisor {
+            workers: 2,
+            deadline: Some(deadline),
+            ..Supervisor::default()
+        };
+        let out = run_supervised::<usize, (), _>(&sup, &labels(6), |i, _| {
+            if i == 1 {
+                // Hung job: outlives the sweep, finishes during the test.
+                std::thread::sleep(Duration::from_millis(1500));
+            }
+            Ok(i)
+        });
+        assert!(
+            matches!(out[1].as_ref().unwrap_err().cause, JobCause::Timeout { .. }),
+            "job 1 must be abandoned"
+        );
+        // At return, every joinable worker — the idle originals and the
+        // replacement spawned on abandonment — has been reaped. Only the
+        // genuinely stuck thread may still be alive.
+        let after = live_threads();
+        assert!(
+            after <= baseline + 1,
+            "joinable worker threads leaked past run_supervised: \
+             {baseline} threads before, {after} after"
+        );
+        // Once the stuck job's sleep elapses its thread exits too: nothing
+        // from the sweep survives for the process lifetime.
+        let t0 = Instant::now();
+        let mut settled = live_threads();
+        while settled > baseline && t0.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(25));
+            settled = live_threads();
+        }
+        assert!(
+            settled <= baseline,
+            "stuck worker never exited: {baseline} threads before, {settled} after"
         );
     }
 

@@ -6,8 +6,8 @@
 //!
 //! ```json
 //! {"cmd":"run","workload":"trace:AV1","si":"both","policy":"half",
-//!  "latency":600,"slots":8,"sms":1,"subwarps":32,"order":"ft",
-//!  "small_icache":false,"mem":"fixed"}
+//!  "latency":600,"slots":8,"sms":1,"shared_mem":true,"subwarps":32,
+//!  "order":"ft","small_icache":false,"mem":"fixed"}
 //! ```
 //!
 //! Two different requests that resolve to the same workload + configuration
@@ -153,6 +153,9 @@ impl JobSpec {
         if let Some(v) = req.get("sms") {
             sm.n_sms = v.as_u64().ok_or("bad `sms`")? as usize;
         }
+        if let Some(v) = req.get("shared_mem") {
+            sm.shared_partitions = v.as_bool().ok_or("bad `shared_mem`")?;
+        }
         if let Some(v) = req.get("order") {
             sm.diverge_order = parse_order(v.as_str().ok_or("bad `order`")?)?;
         }
@@ -216,6 +219,19 @@ mod tests {
 
     fn spec(line: &str) -> Result<JobSpec, String> {
         JobSpec::from_request(&parse(line).unwrap())
+    }
+
+    #[test]
+    fn chip_shape_changes_the_fingerprint() {
+        // Memoization soundness: SM count and partition sharing are part
+        // of the simulated machine, so they must key the memo store.
+        let one = spec(r#"{"workload":"toy","mem":"hier"}"#).unwrap();
+        let four = spec(r#"{"workload":"toy","mem":"hier","sms":4}"#).unwrap();
+        let four_private =
+            spec(r#"{"workload":"toy","mem":"hier","sms":4,"shared_mem":false}"#).unwrap();
+        assert_ne!(one.fp, four.fp);
+        assert_ne!(four.fp, four_private.fp);
+        assert_ne!(one.fp, four_private.fp);
     }
 
     #[test]

@@ -297,7 +297,8 @@ fn predicated_branch_kernels_terminate_under_all_policies() {
 
 /// Tentpole invariant, checked from the outside: every simulated cycle is
 /// attributed to exactly one `CycleCause`, so the per-cause counts must sum
-/// to `cycles` for *every* suite workload under the baseline and all 26
+/// to the total simulated SM-cycles (`== cycles` on one SM, summed per-SM
+/// clocks on a chip) for *every* suite workload under the baseline and the
 /// fuzzer SI configurations (every `SelectPolicy` × `DivergeOrder` combo in
 /// switch-on-stall and yield flavours, a capacity-limited TST, and the
 /// DWS-like scheme). The simulator also self-checks this conservation at the
@@ -320,10 +321,23 @@ fn cycle_attribution_conserves_over_suite_and_fuzzer_grid() {
             let ctx = format!("{} / {}", names[w], grid[c].0);
             let total: u64 = CycleCause::ALL.iter().map(|&x| stats.cause(x)).sum();
             assert_eq!(total, stats.causes_total(), "{ctx}");
-            assert_eq!(total, stats.cycles, "{ctx}: attribution leak");
+            // Conservation is per SM clock: on a multi-SM chip the causes
+            // sum over every SM's cycles, while `cycles` is the slowest
+            // SM's clock. Single-SM runs have sm_cycles_total == cycles.
+            assert_eq!(total, stats.sm_cycles_total, "{ctx}: attribution leak");
+            for (i, per) in stats.per_sm.iter().enumerate() {
+                assert_eq!(
+                    per.causes_total(),
+                    per.cycles,
+                    "{ctx}: SM {i} attribution leak"
+                );
+            }
             // Productive work exists and is correctly tagged on every trace.
             assert!(stats.cause(CycleCause::Issued) > 0, "{ctx}");
-            assert!(stats.cause(CycleCause::Issued) <= stats.cycles, "{ctx}");
+            assert!(
+                stats.cause(CycleCause::Issued) <= stats.sm_cycles_total,
+                "{ctx}"
+            );
         }
     }
 }
