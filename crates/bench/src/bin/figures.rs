@@ -4,8 +4,15 @@
 //! ```text
 //! figures [fig3|table3|fig10|fig12a|fig12b|fig13|fig14|fig15|icache|order|all|mem-sweep|chip-sweep|chaos]
 //!         [--csv DIR] [--resume] [--journal PATH] [--deadline SECS] [--attempts N]
-//!         [--max-holes N]
+//!         [--max-holes N] [--trace FILE]...
 //! ```
+//!
+//! `--trace FILE` (repeatable) loads serialized `subwarp-trace` workloads
+//! and renders the Figure 12a-style speedup report over *those* files
+//! instead of the built-in suite (selected as the `trace` figure, which is
+//! the default when only `--trace` flags are given). Cells are journaled
+//! under the trace content fingerprint, so `--resume` works across
+//! processes as long as the file bytes are unchanged.
 //!
 //! `mem-sweep` (the hierarchical-memory-backend sensitivity study) and
 //! `chip-sweep` (SI gain vs SM count on shared L2/DRAM partitions, the
@@ -48,10 +55,18 @@ fn main() {
     let mut deadline_secs: Option<u64> = None;
     let mut attempts: u32 = 1;
     let mut max_holes: Option<usize> = None;
+    let mut trace_files: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--csv" => csv_dir = it.next().cloned().or(Some("results".into())),
+            "--trace" => match it.next() {
+                Some(f) => trace_files.push(f.clone()),
+                None => {
+                    eprintln!("--trace needs a file path");
+                    std::process::exit(2);
+                }
+            },
             "--resume" => resume = true,
             "--journal" => journal_path = it.next().cloned(),
             "--max-holes" => {
@@ -102,11 +117,17 @@ fn main() {
         }
         x::install_global_policy(policy);
     }
-    if which.is_empty() || which.contains(&"all") {
+    if which.is_empty() && !trace_files.is_empty() {
+        which = vec!["trace"];
+    } else if which.is_empty() || which.contains(&"all") {
         which = vec![
             "fig3", "table3", "fig10", "fig12a", "fig12b", "fig13", "fig14", "fig15", "icache",
             "order", "dws", "compute",
         ];
+    }
+    if which.contains(&"trace") && trace_files.is_empty() {
+        eprintln!("the `trace` figure needs at least one --trace FILE");
+        std::process::exit(2);
     }
     let mut csvs: Vec<(String, String)> = Vec::new();
     let mut failed: Vec<(String, usize)> = Vec::new();
@@ -128,6 +149,7 @@ fn main() {
             "mem-sweep" => mem_sweep(&mut csvs),
             "chip-sweep" => chip_sweep(&mut csvs),
             "chaos" => chaos(),
+            "trace" => trace_figure(&trace_files, &mut csvs),
             other => {
                 eprintln!("unknown figure `{other}`");
                 std::process::exit(2);
@@ -181,6 +203,39 @@ fn main() {
 
 fn banner(s: &str) {
     println!("==== {s} ====");
+}
+
+/// Figure 12a-style speedup report over `--trace` files.
+fn trace_figure(files: &[String], csvs: &mut Vec<(String, String)>) -> Result<(), SimError> {
+    banner("Trace files: speedup over baseline at 600-cycle miss latency");
+    let loaded: Result<Vec<x::LoadedTrace>, SimError> =
+        files.iter().map(|f| x::load_trace_file(f)).collect();
+    let loaded = loaded?;
+    for (name, wl, fp) in &loaded {
+        eprintln!(
+            "# {name}: `{}`, {} instructions, {} warps, fingerprint {fp:#018x}",
+            wl.name,
+            wl.program.len(),
+            wl.n_warps
+        );
+    }
+    let rows = x::trace_report(&loaded)?;
+    let labels: Vec<String> = rows[0].speedups.iter().map(|(l, _)| l.clone()).collect();
+    let mut header = vec!["trace".to_string()];
+    header.extend(labels.iter().cloned());
+    header.push("BestOf".into());
+    let mut t = Table::new(header);
+    for r in &rows {
+        let mut cells = vec![r.name.clone()];
+        for (_, g) in &r.speedups {
+            cells.push(format!("{g:.1}%"));
+        }
+        cells.push(format!("{:.1}%", r.best_of));
+        t.row(cells);
+    }
+    println!("{t}");
+    csvs.push(("trace_report".into(), t.to_csv()));
+    Ok(())
 }
 
 /// Runs the chaos-smoke sweep: deterministically injected panics, errors,

@@ -10,6 +10,8 @@
 //!   toy                   the Figure 9 two-subwarp toy
 //!
 //! options:
+//!   --trace <FILE>            load the workload from a serialized
+//!                             subwarp-trace file instead of a built-in
 //!   --si <off|sos|both|dws>   interleaving mode          [default: off]
 //!   --policy <any|half|all>   stall trigger (N>0/≥0.5/1) [default: half]
 //!   --latency <cycles>        L1 miss latency            [default: 600]
@@ -35,7 +37,7 @@ fn usage() -> ! {
         "usage: simulate [--si off|sos|both|dws] [--policy any|half|all] \
          [--latency N] [--mem fixed|hier] [--slots N] [--sms N] [--private-mem] \
          [--subwarps N] [--order ft|taken|random|hinted] [--small-icache] \
-         [--compare] [--events] <trace:NAME|micro:SIZE|toy>"
+         [--compare] [--events] <trace:NAME|micro:SIZE|toy|--trace FILE>"
     );
     std::process::exit(2);
 }
@@ -50,6 +52,7 @@ fn main() {
     let mut compare = false;
     let mut events = false;
     let mut target: Option<String> = None;
+    let mut trace_file: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -91,6 +94,7 @@ fn main() {
                 }
             }
             "--small-icache" => sm = sm.with_small_icaches(),
+            "--trace" => trace_file = Some(next("--trace")),
             "--compare" => compare = true,
             "--events" => events = true,
             "--help" | "-h" => usage(),
@@ -110,24 +114,48 @@ fn main() {
     }
     si = si.with_max_subwarps(max_subwarps);
 
-    let Some(target) = target else { usage() };
-    let wl: Workload = if let Some(name) = target.strip_prefix("trace:") {
-        match trace_by_name(name) {
-            Some(t) => {
-                eprintln!("# {}: {}", t.name, t.description);
-                t.build()
+    let wl: Workload = if let Some(path) = trace_file {
+        if target.is_some() {
+            eprintln!("--trace replaces the workload argument; give one or the other");
+            std::process::exit(2);
+        }
+        let bytes = std::fs::read(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read trace file `{path}`: {e}");
+            std::process::exit(2);
+        });
+        match subwarp_trace::decode_workload(&bytes) {
+            Ok(wl) => {
+                eprintln!(
+                    "# trace file {path}: fingerprint {:#018x}",
+                    subwarp_trace::trace_fingerprint(&bytes)
+                );
+                wl
             }
-            None => {
-                eprintln!("unknown trace `{name}`");
+            Err(e) => {
+                eprintln!("cannot load trace `{path}`: {e}");
                 std::process::exit(2);
             }
         }
-    } else if let Some(size) = target.strip_prefix("micro:") {
-        microbenchmark(size.parse().unwrap_or_else(|_| usage()), 16)
-    } else if target == "toy" {
-        figure9_workload()
     } else {
-        usage()
+        let Some(target) = target else { usage() };
+        if let Some(name) = target.strip_prefix("trace:") {
+            match trace_by_name(name) {
+                Some(t) => {
+                    eprintln!("# {}: {}", t.name, t.description);
+                    t.build()
+                }
+                None => {
+                    eprintln!("unknown trace `{name}`");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(size) = target.strip_prefix("micro:") {
+            microbenchmark(size.parse().unwrap_or_else(|_| usage()), 16)
+        } else if target == "toy" {
+            figure9_workload()
+        } else {
+            usage()
+        }
     };
 
     eprintln!(

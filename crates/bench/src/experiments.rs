@@ -690,6 +690,70 @@ pub fn chip_sweep() -> Result<Vec<ChipSweepRow>, SimError> {
     Ok(rows)
 }
 
+// ----------------------------------------------------------- trace files
+
+/// A workload loaded from a serialized `subwarp-trace` file: display name,
+/// shared workload, and the trace content fingerprint that keys its sweep
+/// cells.
+pub type LoadedTrace = (String, Arc<subwarp_core::Workload>, u64);
+
+/// Loads a binary trace file into a sweep-ready workload row.
+///
+/// The row name is the file stem (so `tests/corpus/toy.swt` renders as
+/// `toy`), and the returned fingerprint is
+/// [`subwarp_trace::trace_fingerprint`] over the raw bytes — the identity
+/// journals and memo stores key on.
+pub fn load_trace_file(path: &str) -> Result<LoadedTrace, SimError> {
+    let bytes = std::fs::read(path).map_err(|e| SimError::InvalidWorkload {
+        workload: path.to_owned(),
+        what: format!("cannot read trace file: {e}"),
+    })?;
+    let wl = subwarp_trace::decode_workload(&bytes).map_err(SimError::from)?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_owned());
+    Ok((name, Arc::new(wl), subwarp_trace::trace_fingerprint(&bytes)))
+}
+
+/// Figure 12a-style report over trace files instead of the built-in
+/// suite: each file is a row (keyed by trace content fingerprint, so
+/// `--resume` journals survive across processes), the columns are the
+/// baseline plus the six SI settings.
+pub fn trace_report(files: &[LoadedTrace]) -> Result<Vec<Fig12aRow>, SimError> {
+    let configs = si_configs();
+    let mut sweep = Sweep::new();
+    for (name, wl, fp) in files {
+        sweep = sweep.workload_hashed(name.clone(), Arc::clone(wl), *fp);
+    }
+    sweep = sweep.config("base", SmConfig::turing_like(), SiConfig::disabled());
+    for (label, si) in &configs {
+        sweep = sweep.config(label.clone(), SmConfig::turing_like(), *si);
+    }
+    let grid = sweep.run()?;
+    Ok(sweep
+        .workload_names()
+        .zip(&grid)
+        .map(|(name, row)| {
+            let base = &row[0];
+            let speedups: Vec<(String, f64)> = configs
+                .iter()
+                .zip(&row[1..])
+                .map(|((label, _), s)| (label.clone(), gain_pct(s, base)))
+                .collect();
+            let best_of = speedups
+                .iter()
+                .map(|(_, g)| *g)
+                .fold(f64::NEG_INFINITY, f64::max);
+            Fig12aRow {
+                name: name.to_owned(),
+                speedups,
+                best_of,
+            }
+        })
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -485,6 +485,106 @@ pub fn run_fuzz_with_jobs(
     Ok(report)
 }
 
+// ------------------------------------------------- trace cross-validation
+
+/// Cross-validates the trace frontend against direct execution for one
+/// seed: the generated workload is serialized with
+/// [`subwarp_trace::encode_workload`], decoded back, re-encoded (the bytes
+/// must be identical), and then both the original and the replayed
+/// workload run under every grid configuration — the [`RunStats`] and
+/// final memory images must match bit for bit.
+///
+/// This closes the loop the differential oracle alone cannot: it proves
+/// the *serialized* form preserves exactly the architecture-visible
+/// behaviour of the in-memory form, for arbitrarily generated kernels.
+pub fn check_seed_trace_parity(
+    seed: u64,
+    report: &mut FuzzReport,
+    workers: usize,
+) -> Result<(), Divergence> {
+    let fail = |config: &str, what: String| Divergence {
+        seed,
+        config: config.into(),
+        what,
+    };
+
+    let wl = random_workload(seed);
+    let bytes = subwarp_trace::encode_workload(&wl);
+    let replayed = subwarp_trace::decode_workload(&bytes)
+        .map_err(|e| fail("<trace>", format!("decode failed: {e}")))?;
+    if replayed != wl {
+        return Err(fail(
+            "<trace>",
+            "decoded workload differs from the original".into(),
+        ));
+    }
+    let reencoded = subwarp_trace::encode_workload(&replayed);
+    if reencoded != bytes {
+        return Err(fail(
+            "<trace>",
+            format!(
+                "re-encoding is not byte-identical ({} vs {} bytes)",
+                reencoded.len(),
+                bytes.len()
+            ),
+        ));
+    }
+
+    // One (stats, image) observation per side of the comparison.
+    type RunPair = ((RunStats, MemoryImage), (RunStats, MemoryImage));
+    let grid = config_grid();
+    let pairs: Vec<Result<RunPair, SimError>> =
+        subwarp_pool::run_with_jobs(workers, grid.len(), |i| {
+            let (_, sm, si) = &grid[i];
+            let direct = Simulator::new(sm.clone(), *si).run_with_memory(&wl)?;
+            let replay = Simulator::new(sm.clone(), *si).run_with_memory(&replayed)?;
+            Ok((direct, replay))
+        });
+    report.programs += 1;
+    for ((label, _, _), pair) in grid.iter().zip(pairs) {
+        let ((stats, image), (rstats, rimage)) =
+            pair.map_err(|e| fail(label, format!("simulation error: {e}")))?;
+        report.runs += 2;
+        report.instructions += stats.instructions + rstats.instructions;
+        if rstats != stats {
+            return Err(fail(
+                label,
+                format!(
+                    "replayed stats differ (direct {} instructions / {} cycles, \
+                     replay {} / {})",
+                    stats.instructions, stats.cycles, rstats.instructions, rstats.cycles
+                ),
+            ));
+        }
+        if let Some(what) = diff_images(&image, &rimage) {
+            return Err(fail(label, format!("replayed image differs: {what}")));
+        }
+    }
+    Ok(())
+}
+
+/// Runs `iters` trace-parity checks starting from `seed` (seeds are the
+/// parallel axis, as in [`run_fuzz_with_jobs`]). Returns campaign
+/// statistics, or the first divergence in seed order.
+pub fn run_trace_parity(
+    seed: u64,
+    iters: u64,
+    workers: usize,
+) -> Result<FuzzReport, Box<Divergence>> {
+    let per_seed = subwarp_pool::run_with_jobs(workers, iters as usize, |i| {
+        let mut r = FuzzReport::default();
+        check_seed_trace_parity(seed.wrapping_add(i as u64), &mut r, 1).map(|()| r)
+    });
+    let mut report = FuzzReport::default();
+    for result in per_seed {
+        let r = result.map_err(Box::new)?;
+        report.programs += r.programs;
+        report.runs += r.runs;
+        report.instructions += r.instructions;
+    }
+    Ok(report)
+}
+
 // ------------------------------------------------- resilient campaigns
 
 /// One seed's completed differential check: its contribution to the

@@ -13,6 +13,12 @@
 //! `--dump` prints the generated program for `--seed` instead of fuzzing,
 //! for inspecting a reproduced divergence.
 //!
+//! `--trace-parity` switches the oracle: instead of comparing SI
+//! configurations against the baseline, each generated kernel is exported
+//! to the binary trace format (`subwarp-trace`), decoded back, and the
+//! replayed workload's stats and memory image are checked bit-identical to
+//! the direct run under every grid configuration.
+//!
 //! Resilient campaign flags (any of them switches to the supervised
 //! keep-going path; without them the legacy stop-at-first-divergence
 //! behaviour and output are unchanged):
@@ -29,13 +35,15 @@
 
 use std::sync::Arc;
 use std::time::Duration;
-use subwarp_fuzz::{config_grid, random_workload, run_fuzz, run_fuzz_resilient, FuzzJournal};
+use subwarp_fuzz::{
+    config_grid, random_workload, run_fuzz, run_fuzz_resilient, run_trace_parity, FuzzJournal,
+};
 
 const DEFAULT_JOURNAL: &str = "results/fuzz_journal.jsonl";
 
 fn usage() -> ! {
     eprintln!(
-        "usage: subwarp-fuzz [--seed N] [--iters M] [--dump] \
+        "usage: subwarp-fuzz [--seed N] [--iters M] [--dump] [--trace-parity] \
          [--keep-going] [--resume] [--journal PATH] [--deadline SECS]"
     );
     std::process::exit(2);
@@ -46,6 +54,7 @@ fn main() {
     let mut seed = 0u64;
     let mut iters = 100u64;
     let mut dump = false;
+    let mut trace_parity = false;
     let mut keep_going = false;
     let mut resume = false;
     let mut journal_path: Option<String> = None;
@@ -63,6 +72,7 @@ fn main() {
             "--iters" => iters = next("--iters"),
             "--deadline" => deadline = Some(Duration::from_secs(next("--deadline"))),
             "--dump" => dump = true,
+            "--trace-parity" => trace_parity = true,
             "--keep-going" => keep_going = true,
             "--resume" => resume = true,
             "--journal" => {
@@ -88,6 +98,36 @@ fn main() {
 
     let n_configs = config_grid().len();
     let jobs = subwarp_pool::default_jobs();
+
+    if trace_parity {
+        eprintln!(
+            "# trace-parity: {iters} programs from seed {seed}, export/replay across \
+             {n_configs} configurations ({jobs} jobs)"
+        );
+        let t0 = std::time::Instant::now();
+        match run_trace_parity(seed, iters, jobs) {
+            Ok(r) => {
+                let dt = t0.elapsed().as_secs_f64();
+                println!(
+                    "ok: {} programs x {} configurations x 2 (direct + replay) = {} runs, \
+                     {} instructions, all identical",
+                    r.programs, n_configs, r.runs, r.instructions
+                );
+                println!(
+                    "{} programs in {:.3}s ({:.1} programs/s)",
+                    r.programs,
+                    dt,
+                    r.programs as f64 / dt.max(1e-9)
+                );
+                return;
+            }
+            Err(d) => {
+                eprintln!("TRACE PARITY DIVERGENCE: {d}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     eprintln!(
         "# fuzzing {iters} programs from seed {seed} across {n_configs} configurations ({jobs} jobs)"
     );

@@ -1,0 +1,30 @@
+//! Export/replay parity over fuzzer-generated kernels: for each seed the
+//! generated workload must encode, decode bit-identically, and replay with
+//! the same `RunStats` and final memory image as the direct build under
+//! every configuration in the differential grid — serially and on the
+//! worker pool.
+
+use subwarp_fuzz::{check_seed_trace_parity, FuzzReport};
+
+const SEEDS: u64 = 20;
+
+fn run(workers: usize) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    for seed in 0..SEEDS {
+        if let Err(d) = check_seed_trace_parity(seed, &mut report, workers) {
+            panic!("seed {} diverged under {}: {}", d.seed, d.config, d.what);
+        }
+    }
+    report
+}
+
+#[test]
+fn twenty_seeds_replay_bit_identically_serial_and_parallel() {
+    let serial = run(1);
+    assert_eq!(serial.programs, SEEDS);
+    assert!(serial.runs > 0 && serial.instructions > 0);
+
+    let parallel = run(4);
+    // The report itself must be deterministic across worker counts.
+    assert_eq!(serial, parallel, "fuzz report depends on worker count");
+}

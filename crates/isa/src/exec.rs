@@ -619,6 +619,21 @@ impl ConstMem {
             None => CONST_DEFAULT,
         }
     }
+
+    /// Iterates every slot whose value differs from the unset default, as
+    /// `(bank, offset, value)` in (bank, offset) order. Replaying these
+    /// through [`ConstMem::set`] reconstructs a constant memory equal to
+    /// this one (slots explicitly set *to* the default read identically
+    /// either way) — the serialization contract the trace format relies on.
+    pub fn entries(&self) -> impl Iterator<Item = (u8, u16, u64)> + '_ {
+        self.banks.iter().enumerate().flat_map(|(bank, slots)| {
+            slots
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v != CONST_DEFAULT)
+                .map(move |(offset, &v)| (bank as u8, offset as u16, v))
+        })
+    }
 }
 
 impl PartialEq for ConstMem {

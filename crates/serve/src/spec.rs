@@ -52,9 +52,33 @@ fn workload_cache() -> &'static Mutex<HashMap<String, CachedWorkload>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-/// Resolves a workload key (`toy`, `micro:SIZE[@ITERS]`, `trace:NAME`) to a
-/// shared workload and its precomputed content hash.
+/// Resolves a workload key (`toy`, `micro:SIZE[@ITERS]`, `trace:NAME`, or
+/// `file:PATH` naming a serialized `subwarp-trace` file) to a shared
+/// workload and its precomputed content hash.
 fn resolve_workload(key: &str) -> Result<(Arc<Workload>, u64), String> {
+    if let Some(path) = key.strip_prefix("file:") {
+        // File-backed workloads are keyed by trace *content*, not path:
+        // the fingerprint folds in the format version and every byte, so
+        // an edited file is a new identity (the memo store stays sound)
+        // while a re-request of unchanged bytes shares the decoded build.
+        let bytes =
+            std::fs::read(path).map_err(|e| format!("cannot read trace file `{path}`: {e}"))?;
+        let hash = subwarp_trace::trace_fingerprint(&bytes);
+        let cache_key = format!("file-fp:{hash:#018x}");
+        if let Some(hit) = workload_cache()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&cache_key)
+        {
+            return Ok(hit.clone());
+        }
+        let wl = Arc::new(subwarp_trace::decode_workload(&bytes).map_err(|e| e.to_string())?);
+        workload_cache()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(cache_key, (Arc::clone(&wl), hash));
+        return Ok((wl, hash));
+    }
     if let Some(hit) = workload_cache()
         .lock()
         .unwrap_or_else(|e| e.into_inner())
@@ -101,7 +125,7 @@ fn resolve_workload(key: &str) -> Result<(Arc<Workload>, u64), String> {
         }
     } else {
         return Err(format!(
-            "unknown workload `{key}` (expected toy, micro:SIZE, or trace:NAME)"
+            "unknown workload `{key}` (expected toy, micro:SIZE, trace:NAME, or file:PATH)"
         ));
     };
     let hash = workload_hash(&wl);
@@ -263,6 +287,30 @@ mod tests {
             !Arc::ptr_eq(&a.wl, &c.wl),
             "different iters, different build"
         );
+    }
+
+    #[test]
+    fn file_keys_resolve_by_trace_content() {
+        let wl = figure9_workload();
+        let bytes = subwarp_trace::encode_workload(&wl);
+        let path = std::env::temp_dir().join("subwarp-serve-spec-file-key.swt");
+        std::fs::write(&path, &bytes).unwrap();
+        let req = format!(r#"{{"workload":"file:{}"}}"#, path.display());
+        let s = spec(&req).unwrap();
+        assert_eq!(s.wl.name, wl.name);
+        // The fingerprint is keyed by trace content, so an identical
+        // in-memory workload served under the `toy` key shares no cell
+        // fingerprint with the file-backed one (different identities)...
+        let toy = spec(r#"{"workload":"toy"}"#).unwrap();
+        assert_ne!(s.fp, toy.fp);
+        // ...while re-requesting the same file shares the decoded build.
+        let again = spec(&req).unwrap();
+        assert!(Arc::ptr_eq(&s.wl, &again.wl));
+        std::fs::remove_file(&path).ok();
+
+        let missing = spec(r#"{"workload":"file:/nonexistent/nope.swt"}"#);
+        let err = missing.err().expect("missing file must be rejected");
+        assert!(err.contains("cannot read trace file"));
     }
 
     #[test]

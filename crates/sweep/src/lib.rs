@@ -49,6 +49,11 @@ pub use journal::{json_escape, lock_path_for, stats_to_units, units_to_stats, Jo
 #[derive(Default)]
 pub struct Sweep {
     workloads: Vec<(String, Arc<Workload>)>,
+    // Per-row fingerprint override, parallel to `workloads`. `None` rows
+    // are keyed by the structural `workload_hash`; `Some` rows (workloads
+    // loaded from trace files) are keyed by the trace content fingerprint,
+    // which survives across processes and format-compatible re-encodes.
+    hashes: Vec<Option<u64>>,
     configs: Vec<(String, SmConfig, SiConfig)>,
 }
 
@@ -64,6 +69,7 @@ impl Sweep {
         let mut s = Sweep::new();
         for (t, wl) in built_suite() {
             s.workloads.push((t.name.to_owned(), Arc::clone(wl)));
+            s.hashes.push(None);
         }
         s
     }
@@ -71,6 +77,26 @@ impl Sweep {
     /// Adds a (prebuilt, shared) workload row.
     pub fn workload(mut self, name: impl Into<String>, wl: Arc<Workload>) -> Sweep {
         self.workloads.push((name.into(), wl));
+        self.hashes.push(None);
+        self
+    }
+
+    /// Adds a workload row whose memo/journal identity is `hash` instead
+    /// of the structural [`workload_hash`].
+    ///
+    /// Trace-sourced rows use this with
+    /// `subwarp_trace::trace_fingerprint(&bytes)`: the cell fingerprint is
+    /// then keyed by the trace *content* (format version + bytes), so a
+    /// journal written against a trace file stays valid exactly as long
+    /// as the file's fingerprint does.
+    pub fn workload_hashed(
+        mut self,
+        name: impl Into<String>,
+        wl: Arc<Workload>,
+        hash: u64,
+    ) -> Sweep {
+        self.workloads.push((name.into(), wl));
+        self.hashes.push(Some(hash));
         self
     }
 
@@ -315,8 +341,14 @@ pub fn run_resilient(sweep: &Sweep, policy: &SweepPolicy) -> PartialGrid {
     let specs: Vec<JobSpec> = sweep
         .workloads
         .iter()
-        .flat_map(|(wname, wl)| {
-            let whash = workload_hash(wl);
+        .enumerate()
+        .flat_map(|(wi, (wname, wl))| {
+            let whash = sweep
+                .hashes
+                .get(wi)
+                .copied()
+                .flatten()
+                .unwrap_or_else(|| workload_hash(wl));
             sweep.configs.iter().map(move |(cname, sm, si)| {
                 let label = format!("{wname}/{cname}");
                 let fp = cell_fingerprint(&label, whash, sm, si);

@@ -1,0 +1,193 @@
+//! Typed trace errors.
+//!
+//! Every failure mode of the binary loader and the text importer is a
+//! [`TraceError`] variant, never a panic. Loader variants carry the byte
+//! offset at which decoding failed (so a corrupt file can be inspected with
+//! a hex editor at exactly that position); importer variants carry the
+//! 1-based source line.
+
+use std::fmt;
+use subwarp_core::SimError;
+
+/// Every way loading or importing a trace can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The file does not start with the trace magic.
+    BadMagic {
+        /// Offset of the first mismatching magic byte.
+        offset: u64,
+        /// The eight bytes actually found.
+        found: [u8; 8],
+    },
+    /// The format version is not one this build can decode.
+    UnsupportedVersion {
+        /// Offset of the version field.
+        offset: u64,
+        /// Version stored in the file.
+        found: u32,
+        /// Highest version this build supports.
+        supported: u32,
+    },
+    /// The file ends before a field that the format requires.
+    Truncated {
+        /// Offset at which the read was attempted.
+        offset: u64,
+        /// Bytes the field needed.
+        needed: u64,
+        /// Total length of the file.
+        len: u64,
+    },
+    /// A structurally invalid field (bad section table, impossible count,
+    /// out-of-range id, …).
+    Corrupt {
+        /// Offset of the offending field.
+        offset: u64,
+        /// What was wrong.
+        what: String,
+    },
+    /// The trailing whole-file checksum does not match the contents.
+    Checksum {
+        /// Offset of the stored checksum.
+        offset: u64,
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum computed over the preceding bytes.
+        computed: u64,
+    },
+    /// A required section is absent from the section table.
+    MissingSection {
+        /// Four-character tag of the missing section.
+        tag: &'static str,
+    },
+    /// The decoded instruction stream fails program validation (dangling
+    /// branch target, missing `&wr=` scoreboard, no `EXIT`, …).
+    InvalidProgram {
+        /// Offset of the program section the instructions came from.
+        offset: u64,
+        /// The validator's message.
+        what: String,
+    },
+    /// The importer could not parse a source line.
+    Parse {
+        /// 1-based line number in the text trace.
+        line: usize,
+        /// What was wrong.
+        what: String,
+    },
+    /// Strict-mode import hit an opcode (or addressing form) outside the
+    /// supported subset. Lossy mode records these in the
+    /// [`ImportReport`](crate::ImportReport) instead.
+    Unsupported {
+        /// 1-based line number in the text trace.
+        line: usize,
+        /// The offending opcode or construct.
+        what: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadMagic { offset, found } => {
+                write!(
+                    f,
+                    "not a subwarp trace: bad magic {found:02x?} at offset {offset}"
+                )
+            }
+            TraceError::UnsupportedVersion {
+                offset,
+                found,
+                supported,
+            } => write!(
+                f,
+                "unsupported trace format version {found} at offset {offset} \
+                 (this build reads up to version {supported})"
+            ),
+            TraceError::Truncated {
+                offset,
+                needed,
+                len,
+            } => write!(
+                f,
+                "truncated trace: needed {needed} byte(s) at offset {offset} \
+                 but the file is {len} bytes long"
+            ),
+            TraceError::Corrupt { offset, what } => {
+                write!(f, "corrupt trace at offset {offset}: {what}")
+            }
+            TraceError::Checksum {
+                offset,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "trace checksum mismatch at offset {offset}: stored {stored:#018x}, \
+                 computed {computed:#018x}"
+            ),
+            TraceError::MissingSection { tag } => {
+                write!(f, "trace is missing required section `{tag}`")
+            }
+            TraceError::InvalidProgram { offset, what } => {
+                write!(
+                    f,
+                    "trace program section at offset {offset} is invalid: {what}"
+                )
+            }
+            TraceError::Parse { line, what } => write!(f, "trace text line {line}: {what}"),
+            TraceError::Unsupported { line, what } => {
+                write!(
+                    f,
+                    "trace text line {line}: unsupported in strict mode: {what}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<TraceError> for SimError {
+    /// Maps a trace failure onto the simulator's input-validation error so
+    /// callers that speak `SimError` (the service, the sweep engine) report
+    /// trace problems through their existing channels.
+    fn from(e: TraceError) -> SimError {
+        SimError::InvalidWorkload {
+            workload: "<trace>".into(),
+            what: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_offsets() {
+        let e = TraceError::Truncated {
+            offset: 40,
+            needed: 8,
+            len: 44,
+        };
+        let s = e.to_string();
+        assert!(s.contains("offset 40"));
+        assert!(s.contains("8 byte(s)"));
+        assert!(s.contains("44 bytes long"));
+
+        let e = TraceError::UnsupportedVersion {
+            offset: 8,
+            found: 99,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("version 99"));
+    }
+
+    #[test]
+    fn converts_into_sim_error() {
+        let e: SimError = TraceError::MissingSection { tag: "PROG" }.into();
+        match e {
+            SimError::InvalidWorkload { what, .. } => assert!(what.contains("PROG")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,1203 @@
+//! Accel-Sim-style text-trace importer.
+//!
+//! Parses the documented subset of the Accel-Sim kernel-trace shape — a
+//! kernel header followed by per-warp instruction streams with opcodes,
+//! register operands, and per-lane memory addresses — into the same
+//! [`Workload`] representation the binary format carries, so third-party
+//! traces and hand-written kernels can drive the simulator directly.
+//!
+//! ## Accepted grammar
+//!
+//! Blank lines and `#` comments are ignored. Header directives:
+//!
+//! ```text
+//! -kernel name = <string>
+//! -warps = <n>                  # optional; defaults to the warp blocks present
+//! -threads per warp = <1..32>   # optional; default 32
+//! -data seed = <u64>            # optional; default 0
+//! -init R<r> = gtid|lane|warp|<imm>|table:<v0,v1,...>    # repeatable
+//! -const c[<bank>][<offset>] = <imm>                     # repeatable
+//! ```
+//!
+//! Then one block per warp, in the Accel-Sim per-warp stream shape:
+//!
+//! ```text
+//! warp = 0
+//! insts = 4                     # optional; checked when present
+//! 0000 ffffffff 1 R2 MOV 1 0x7
+//! 0010 ffffffff 1 R3 LDG.E 1 R2 4 0x100 0x104 0x108 0x10c ...
+//! 0020 ffffffff 0 STG.E 2 R3 R2 4 0x200 ...
+//! 0030 ffffffff 0 EXIT 0
+//! ```
+//!
+//! Each instruction line is `PC MASK NDST [DSTS] [@P<n>] OPCODE NSRC [SRCS]
+//! [WIDTH ADDR...] [&wr=sbN] [&req=sbN,...]`:
+//!
+//! - `PC` is a hex byte address; the subset is a *static listing*, so PCs
+//!   must advance by 16 from 0 (one slot per SASS instruction).
+//! - `MASK` is the hex active mask; only the full participation mask is in
+//!   the subset (per-instruction partial masks are predication the importer
+//!   does not reconstruct — strict mode rejects them, lossy mode widens and
+//!   reports).
+//! - Branch targets (`BRA`, `BSSY`) are immediate hex byte addresses.
+//! - `WIDTH ADDR...` on `LDG`/`STG`/`LDS`/`TLD` carries per-lane addresses
+//!   (either one uniform address or one per lane). The importer packs them
+//!   into a per-thread [`InitValue::Table`] register and rewrites the
+//!   instruction to address through it; every warp block contributes its
+//!   own lanes' addresses for the same static instruction.
+//! - `&wr=`/`&req=` scoreboard annotations are accepted for hand-written
+//!   kernels; absent annotations on long-latency operations are
+//!   synthesized (round-robin allocation, consumers inferred by a linear
+//!   def-use scan — conservative across loops).
+//!
+//! All warp blocks must carry the *same* instruction stream (only the
+//! per-lane addresses may differ); the warps of one kernel share one
+//! program, exactly as in the simulator.
+
+use crate::error::TraceError;
+use std::collections::BTreeMap;
+use subwarp_core::{InitValue, RegInit, Workload, WARP_SIZE};
+use subwarp_isa::{
+    Barrier, CmpOp, Instruction, MufuFunc, Op, Operand, Pred, ProgramBuilder, Reg, Scoreboard,
+    N_PRED, N_SB,
+};
+
+/// How the importer treats constructs outside the supported subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImportMode {
+    /// Any unsupported opcode, mask, or addressing form is a hard
+    /// [`TraceError::Unsupported`] naming the source line.
+    Strict,
+    /// Unsupported opcodes are replaced by `NOP` and partial masks are
+    /// widened; every such decision is recorded in the
+    /// [`ImportReport`].
+    Lossy,
+}
+
+/// What the importer did: counts, synthesized state, and (in lossy mode)
+/// everything it had to drop or widen.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ImportReport {
+    /// Kernel name from the header (or the default).
+    pub kernel: String,
+    /// Warps in the imported workload.
+    pub warps: usize,
+    /// Static instructions imported.
+    pub insts: usize,
+    /// Lossy-mode drops: `(line, what)` for every opcode replaced by `NOP`
+    /// or construct ignored.
+    pub skipped: Vec<(usize, String)>,
+    /// Informational notes (widened masks, replicated warps, …).
+    pub notes: Vec<String>,
+    /// `&wr=` scoreboards synthesized on long-latency operations.
+    pub synthesized_wr_sb: usize,
+    /// Address-table registers synthesized from per-lane address lists.
+    pub address_tables: usize,
+}
+
+impl ImportReport {
+    /// True when the import was fully within the subset (nothing dropped).
+    pub fn is_exact(&self) -> bool {
+        self.skipped.is_empty()
+    }
+}
+
+/// A successfully imported workload plus the report of how it was built.
+#[derive(Debug, Clone)]
+pub struct Imported {
+    /// The runnable workload.
+    pub workload: Workload,
+    /// What the importer did to produce it.
+    pub report: ImportReport,
+}
+
+/// Parses an Accel-Sim-subset text trace into a [`Workload`].
+///
+/// Never panics: every malformed or out-of-subset line yields a typed
+/// [`TraceError`] carrying its 1-based line number.
+pub fn import_text(text: &str, mode: ImportMode) -> Result<Imported, TraceError> {
+    Importer::new(mode).run(text)
+}
+
+struct Header {
+    kernel: String,
+    warps: Option<usize>,
+    threads_per_warp: usize,
+    data_seed: u64,
+    init: Vec<RegInit>,
+    consts: Vec<(u8, u16, u64)>,
+}
+
+impl Default for Header {
+    fn default() -> Header {
+        Header {
+            kernel: "imported".into(),
+            warps: None,
+            threads_per_warp: WARP_SIZE,
+            data_seed: 0,
+            init: Vec::new(),
+            consts: Vec::new(),
+        }
+    }
+}
+
+/// One parsed instruction line: the instruction itself plus any per-lane
+/// address list (kept aside so warp blocks can be compared stream-wise).
+struct ParsedInst {
+    line: usize,
+    inst: Instruction,
+    addrs: Option<Vec<u64>>,
+}
+
+struct Importer {
+    mode: ImportMode,
+    report: ImportReport,
+}
+
+fn parse_err(line: usize, what: impl Into<String>) -> TraceError {
+    TraceError::Parse {
+        line,
+        what: what.into(),
+    }
+}
+
+impl Importer {
+    fn new(mode: ImportMode) -> Importer {
+        Importer {
+            mode,
+            report: ImportReport::default(),
+        }
+    }
+
+    fn unsupported(&mut self, line: usize, what: String) -> Result<(), TraceError> {
+        match self.mode {
+            ImportMode::Strict => Err(TraceError::Unsupported { line, what }),
+            ImportMode::Lossy => {
+                self.report.skipped.push((line, what));
+                Ok(())
+            }
+        }
+    }
+
+    fn run(mut self, text: &str) -> Result<Imported, TraceError> {
+        let mut header = Header::default();
+        // warp id -> per-instruction parse results
+        let mut blocks: BTreeMap<usize, Vec<ParsedInst>> = BTreeMap::new();
+        let mut current: Option<usize> = None;
+        let mut declared_insts: Option<(usize, usize)> = None; // (line, count)
+
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('-') {
+                self.header_line(lineno, rest.trim(), &mut header)?;
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("warp") {
+                let rest = rest.trim();
+                if let Some(v) = rest.strip_prefix('=') {
+                    if let Some((dl, dc)) = declared_insts.take() {
+                        self.check_declared(dl, dc, current, &blocks)?;
+                    }
+                    let id: usize = v
+                        .trim()
+                        .parse()
+                        .map_err(|_| parse_err(lineno, format!("bad warp id `{}`", v.trim())))?;
+                    if blocks.contains_key(&id) {
+                        return Err(parse_err(lineno, format!("duplicate warp block {id}")));
+                    }
+                    blocks.insert(id, Vec::new());
+                    current = Some(id);
+                    continue;
+                }
+            }
+            if let Some(rest) = line.strip_prefix("insts") {
+                if let Some(v) = rest.trim().strip_prefix('=') {
+                    let n: usize = v.trim().parse().map_err(|_| {
+                        parse_err(lineno, format!("bad instruction count `{}`", v.trim()))
+                    })?;
+                    declared_insts = Some((lineno, n));
+                    continue;
+                }
+            }
+            let Some(warp) = current else {
+                return Err(parse_err(
+                    lineno,
+                    "instruction line before any `warp = N` block",
+                ));
+            };
+            let idx = blocks[&warp].len();
+            if let Some(parsed) = self.inst_line(lineno, line, idx, header.threads_per_warp)? {
+                blocks.get_mut(&warp).unwrap().push(parsed);
+            }
+        }
+        if let Some((dl, dc)) = declared_insts.take() {
+            self.check_declared(dl, dc, current, &blocks)?;
+        }
+
+        if blocks.is_empty() {
+            return Err(parse_err(0, "trace contains no warp blocks"));
+        }
+
+        self.assemble(header, blocks)
+    }
+
+    fn check_declared(
+        &self,
+        line: usize,
+        declared: usize,
+        current: Option<usize>,
+        blocks: &BTreeMap<usize, Vec<ParsedInst>>,
+    ) -> Result<(), TraceError> {
+        let Some(warp) = current else {
+            return Err(parse_err(line, "`insts =` before any `warp = N` block"));
+        };
+        let got = blocks[&warp].len();
+        if got != declared {
+            return Err(parse_err(
+                line,
+                format!("warp {warp} declares {declared} instruction(s) but has {got}"),
+            ));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------- header
+
+    fn header_line(
+        &mut self,
+        lineno: usize,
+        rest: &str,
+        header: &mut Header,
+    ) -> Result<(), TraceError> {
+        let (key, value) = rest
+            .split_once('=')
+            .ok_or_else(|| parse_err(lineno, format!("header directive `-{rest}` lacks `=`")))?;
+        let key = key.trim();
+        let value = value.trim();
+        match key {
+            "kernel name" => header.kernel = value.to_owned(),
+            "warps" => {
+                header.warps = Some(
+                    value
+                        .parse()
+                        .map_err(|_| parse_err(lineno, format!("bad warp count `{value}`")))?,
+                )
+            }
+            "threads per warp" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| parse_err(lineno, format!("bad thread count `{value}`")))?;
+                if !(1..=WARP_SIZE).contains(&n) {
+                    return Err(parse_err(
+                        lineno,
+                        format!("threads per warp must be 1..={WARP_SIZE}, got {n}"),
+                    ));
+                }
+                header.threads_per_warp = n;
+            }
+            "data seed" => {
+                header.data_seed = parse_imm_u64(value)
+                    .ok_or_else(|| parse_err(lineno, format!("bad data seed `{value}`")))?
+            }
+            _ if key.starts_with("init ") => {
+                let reg = parse_reg(key.trim_start_matches("init ").trim())
+                    .ok_or_else(|| parse_err(lineno, format!("bad init register in `{key}`")))?;
+                let value = match value {
+                    "gtid" => InitValue::GlobalTid,
+                    "lane" => InitValue::LaneId,
+                    "warp" => InitValue::WarpId,
+                    v if v.starts_with("table:") => {
+                        let items: Result<Vec<u64>, _> = v["table:".len()..]
+                            .split(',')
+                            .map(|s| {
+                                parse_imm_u64(s.trim()).ok_or_else(|| {
+                                    parse_err(lineno, format!("bad table value `{}`", s.trim()))
+                                })
+                            })
+                            .collect();
+                        InitValue::Table(items?)
+                    }
+                    v => InitValue::Const(
+                        parse_imm_u64(v)
+                            .ok_or_else(|| parse_err(lineno, format!("bad init value `{v}`")))?,
+                    ),
+                };
+                header.init.push(RegInit { reg, value });
+            }
+            _ if key.starts_with("const ") => {
+                let slot = key.trim_start_matches("const ").trim();
+                let (bank, offset) = parse_cbank_slot(slot)
+                    .ok_or_else(|| parse_err(lineno, format!("bad const slot `{slot}`")))?;
+                let v = parse_imm_u64(value)
+                    .ok_or_else(|| parse_err(lineno, format!("bad const value `{value}`")))?;
+                header.consts.push((bank, offset, v));
+            }
+            other => {
+                return Err(parse_err(
+                    lineno,
+                    format!("unknown header directive `-{other}`"),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    // -------------------------------------------------------- instruction
+
+    /// Parses one instruction line. Returns `None` when lossy mode dropped
+    /// it entirely (never happens today — drops become `NOP`s so PCs and
+    /// branch targets stay aligned).
+    fn inst_line(
+        &mut self,
+        lineno: usize,
+        line: &str,
+        idx: usize,
+        threads_per_warp: usize,
+    ) -> Result<Option<ParsedInst>, TraceError> {
+        let mut toks = line.split_whitespace().peekable();
+        fn next_tok<'a>(
+            toks: &mut impl Iterator<Item = &'a str>,
+            lineno: usize,
+            what: &str,
+        ) -> Result<&'a str, TraceError> {
+            toks.next()
+                .ok_or_else(|| parse_err(lineno, format!("missing {what}")))
+        }
+
+        let pc_tok = next_tok(&mut toks, lineno, "PC")?;
+        let pc = u64::from_str_radix(pc_tok, 16)
+            .map_err(|_| parse_err(lineno, format!("bad hex PC `{pc_tok}`")))?;
+        if pc != (idx as u64) * 16 {
+            return Err(parse_err(
+                lineno,
+                format!(
+                    "PC {pc:#x} out of sequence: a static listing expects {:#x} here",
+                    idx * 16
+                ),
+            ));
+        }
+
+        let mask_tok = next_tok(&mut toks, lineno, "active mask")?;
+        let mask = u32::from_str_radix(mask_tok, 16)
+            .map_err(|_| parse_err(lineno, format!("bad hex mask `{mask_tok}`")))?;
+        let full = if threads_per_warp == WARP_SIZE {
+            u32::MAX
+        } else {
+            (1u32 << threads_per_warp) - 1
+        };
+        if mask != full {
+            self.unsupported(
+                lineno,
+                format!("partial active mask {mask:#010x} (expected {full:#010x})"),
+            )?;
+            self.report
+                .notes
+                .push(format!("line {lineno}: widened mask {mask:#010x} to full"));
+        }
+
+        let ndst_tok = next_tok(&mut toks, lineno, "destination count")?;
+        let ndst: usize = ndst_tok
+            .parse()
+            .map_err(|_| parse_err(lineno, format!("bad destination count `{ndst_tok}`")))?;
+        if ndst > 1 {
+            return Err(parse_err(
+                lineno,
+                format!("at most one destination is supported, got {ndst}"),
+            ));
+        }
+        let mut dst_reg = None;
+        let mut dst_pred = None;
+        for _ in 0..ndst {
+            let t = next_tok(&mut toks, lineno, "destination")?;
+            if let Some(r) = parse_reg(t) {
+                dst_reg = Some(r);
+            } else if let Some(p) = parse_pred(t, lineno)? {
+                dst_pred = Some(p);
+            } else {
+                return Err(parse_err(lineno, format!("bad destination `{t}`")));
+            }
+        }
+
+        // Optional predicate guard immediately before the opcode.
+        let mut guard = None;
+        if let Some(t) = toks.peek() {
+            if let Some(g) = t.strip_prefix('@') {
+                let (neg, p) = match g.strip_prefix('!') {
+                    Some(p) => (true, p),
+                    None => (false, g),
+                };
+                let p = parse_pred(p, lineno)?
+                    .ok_or_else(|| parse_err(lineno, format!("bad guard `{t}`")))?;
+                guard = Some((p, neg));
+                toks.next();
+            }
+        }
+
+        let opcode = next_tok(&mut toks, lineno, "opcode")?.to_owned();
+        let nsrc_tok = next_tok(&mut toks, lineno, "source count")?;
+        let nsrc: usize = nsrc_tok
+            .parse()
+            .map_err(|_| parse_err(lineno, format!("bad source count `{nsrc_tok}`")))?;
+        let mut srcs = Vec::with_capacity(nsrc);
+        for _ in 0..nsrc {
+            srcs.push(next_tok(&mut toks, lineno, "source operand")?.to_owned());
+        }
+
+        // Optional per-lane address block: WIDTH then 0x-prefixed addresses.
+        let mut addrs: Option<Vec<u64>> = None;
+        let mut annotations: Vec<String> = Vec::new();
+        let rest: Vec<&str> = toks.collect();
+        let mut rest_it = rest.iter().peekable();
+        if let Some(t) = rest_it.peek() {
+            if !t.starts_with('&') {
+                let width_tok = rest_it.next().unwrap();
+                width_tok
+                    .parse::<u32>()
+                    .map_err(|_| parse_err(lineno, format!("bad memory width `{width_tok}`")))?;
+                let mut list = Vec::new();
+                while let Some(t) = rest_it.peek() {
+                    if t.starts_with('&') {
+                        break;
+                    }
+                    let t = rest_it.next().unwrap();
+                    let hex = t.strip_prefix("0x").ok_or_else(|| {
+                        parse_err(lineno, format!("address `{t}` must be 0x-prefixed hex"))
+                    })?;
+                    let a = u64::from_str_radix(hex, 16)
+                        .map_err(|_| parse_err(lineno, format!("bad address `{t}`")))?;
+                    list.push(a);
+                }
+                if !(list.len() == 1 || list.len() == threads_per_warp) {
+                    return Err(parse_err(
+                        lineno,
+                        format!(
+                            "address list must have 1 or {threads_per_warp} entries, got {}",
+                            list.len()
+                        ),
+                    ));
+                }
+                addrs = Some(list);
+            }
+        }
+        for t in rest_it {
+            annotations.push((*t).to_owned());
+        }
+
+        let op = match self.build_op(lineno, &opcode, dst_reg, dst_pred, &srcs)? {
+            Some(op) => op,
+            None => Op::Nop, // lossy replacement, already reported
+        };
+        if addrs.is_some()
+            && !matches!(
+                op,
+                Op::Ldg { .. } | Op::Stg { .. } | Op::Lds { .. } | Op::Tld { .. }
+            )
+        {
+            self.unsupported(
+                lineno,
+                format!("per-lane addresses on non-addressable opcode {opcode}"),
+            )?;
+            addrs = None;
+        }
+
+        let mut inst = Instruction::new(op);
+        inst.guard = guard;
+        for a in annotations {
+            if let Some(sb) = a.strip_prefix("&wr=sb") {
+                let sb: u8 = sb
+                    .parse()
+                    .map_err(|_| parse_err(lineno, format!("bad annotation `{a}`")))?;
+                if sb as usize >= N_SB {
+                    return Err(parse_err(lineno, format!("scoreboard sb{sb} out of range")));
+                }
+                inst.wr_sb = Some(Scoreboard(sb));
+            } else if let Some(list) = a.strip_prefix("&req=") {
+                for part in list.split(',') {
+                    let sb: u8 = part
+                        .strip_prefix("sb")
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| parse_err(lineno, format!("bad annotation `{a}`")))?;
+                    if sb as usize >= N_SB {
+                        return Err(parse_err(lineno, format!("scoreboard sb{sb} out of range")));
+                    }
+                    inst.req_sb.insert(Scoreboard(sb));
+                }
+            } else {
+                return Err(parse_err(lineno, format!("unknown annotation `{a}`")));
+            }
+        }
+
+        Ok(Some(ParsedInst {
+            line: lineno,
+            inst,
+            addrs,
+        }))
+    }
+
+    /// Maps an opcode token + generic operands to an [`Op`]. Returns
+    /// `Ok(None)` when lossy mode dropped the opcode (already recorded).
+    fn build_op(
+        &mut self,
+        lineno: usize,
+        opcode: &str,
+        dst_reg: Option<Reg>,
+        dst_pred: Option<Pred>,
+        srcs: &[String],
+    ) -> Result<Option<Op>, TraceError> {
+        let mut parts = opcode.split('.');
+        let base = parts.next().unwrap_or_default().to_ascii_uppercase();
+        let modifier = parts.next().map(|m| m.to_ascii_uppercase());
+
+        let need_dst = |lineno: usize| {
+            dst_reg.ok_or_else(|| parse_err(lineno, format!("{base} needs a register destination")))
+        };
+        let src_reg = |i: usize| -> Result<Reg, TraceError> {
+            let t = srcs.get(i).ok_or_else(|| {
+                parse_err(lineno, format!("{base} needs source operand {}", i + 1))
+            })?;
+            parse_reg(t).ok_or_else(|| {
+                parse_err(
+                    lineno,
+                    format!("{base} source {} must be a register, got `{t}`", i + 1),
+                )
+            })
+        };
+        let src_operand = |i: usize| -> Result<Operand, TraceError> {
+            let t = srcs.get(i).ok_or_else(|| {
+                parse_err(lineno, format!("{base} needs source operand {}", i + 1))
+            })?;
+            parse_operand(t).ok_or_else(|| parse_err(lineno, format!("bad operand `{t}`")))
+        };
+        let src_imm = |i: usize| -> Result<u64, TraceError> {
+            let t = srcs.get(i).ok_or_else(|| {
+                parse_err(
+                    lineno,
+                    format!("{base} needs an immediate operand {}", i + 1),
+                )
+            })?;
+            parse_imm_u64(t).ok_or_else(|| parse_err(lineno, format!("`{t}` is not an immediate")))
+        };
+        let src_barrier = |i: usize| -> Result<Barrier, TraceError> {
+            let t = srcs.get(i).ok_or_else(|| {
+                parse_err(lineno, format!("{base} needs a barrier operand {}", i + 1))
+            })?;
+            t.strip_prefix('B')
+                .and_then(|s| s.parse::<u8>().ok())
+                .map(Barrier)
+                .ok_or_else(|| parse_err(lineno, format!("bad barrier `{t}`")))
+        };
+        let target = |v: u64| -> Result<usize, TraceError> {
+            if !v.is_multiple_of(16) {
+                return Err(parse_err(
+                    lineno,
+                    format!("branch target {v:#x} is not 16-byte aligned"),
+                ));
+            }
+            Ok((v / 16) as usize)
+        };
+
+        let cmp = |m: &Option<String>| -> Result<CmpOp, TraceError> {
+            match m.as_deref() {
+                Some("EQ") => Ok(CmpOp::Eq),
+                Some("NE") => Ok(CmpOp::Ne),
+                Some("LT") => Ok(CmpOp::Lt),
+                Some("LE") => Ok(CmpOp::Le),
+                Some("GT") => Ok(CmpOp::Gt),
+                Some("GE") => Ok(CmpOp::Ge),
+                other => Err(parse_err(
+                    lineno,
+                    format!("{base} needs a comparison modifier, got {other:?}"),
+                )),
+            }
+        };
+
+        let op = match base.as_str() {
+            "MOV" => Op::Mov {
+                dst: need_dst(lineno)?,
+                src: src_operand(0)?,
+            },
+            "IADD" | "IADD3" => Op::IAdd {
+                dst: need_dst(lineno)?,
+                a: src_reg(0)?,
+                b: src_operand(1)?,
+            },
+            "IMAD" => Op::IMad {
+                dst: need_dst(lineno)?,
+                a: src_reg(0)?,
+                b: src_operand(1)?,
+                c: src_operand(2)?,
+            },
+            "SHL" => Op::Shl {
+                dst: need_dst(lineno)?,
+                a: src_reg(0)?,
+                b: src_operand(1)?,
+            },
+            "SHR" | "SHF" => Op::Shr {
+                dst: need_dst(lineno)?,
+                a: src_reg(0)?,
+                b: src_operand(1)?,
+            },
+            "AND" => Op::And {
+                dst: need_dst(lineno)?,
+                a: src_reg(0)?,
+                b: src_operand(1)?,
+            },
+            "XOR" => Op::Xor {
+                dst: need_dst(lineno)?,
+                a: src_reg(0)?,
+                b: src_operand(1)?,
+            },
+            "LOP" | "LOP3" => match modifier.as_deref() {
+                Some("AND") => Op::And {
+                    dst: need_dst(lineno)?,
+                    a: src_reg(0)?,
+                    b: src_operand(1)?,
+                },
+                Some("XOR") => Op::Xor {
+                    dst: need_dst(lineno)?,
+                    a: src_reg(0)?,
+                    b: src_operand(1)?,
+                },
+                _ => {
+                    self.unsupported(lineno, format!("opcode {opcode}"))?;
+                    return Ok(None);
+                }
+            },
+            "FADD" => Op::FAdd {
+                dst: need_dst(lineno)?,
+                a: src_reg(0)?,
+                b: src_operand(1)?,
+            },
+            "FMUL" => Op::FMul {
+                dst: need_dst(lineno)?,
+                a: src_reg(0)?,
+                b: src_operand(1)?,
+            },
+            "FFMA" => Op::FFma {
+                dst: need_dst(lineno)?,
+                a: src_reg(0)?,
+                b: src_operand(1)?,
+                c: src_operand(2)?,
+            },
+            "ISETP" => Op::ISetp {
+                dst: dst_pred
+                    .ok_or_else(|| parse_err(lineno, "ISETP needs a predicate destination"))?,
+                a: src_reg(0)?,
+                b: src_operand(1)?,
+                cmp: cmp(&modifier)?,
+            },
+            "FSETP" => Op::FSetp {
+                dst: dst_pred
+                    .ok_or_else(|| parse_err(lineno, "FSETP needs a predicate destination"))?,
+                a: src_reg(0)?,
+                b: src_operand(1)?,
+                cmp: cmp(&modifier)?,
+            },
+            "MUFU" => {
+                let func = match modifier.as_deref() {
+                    Some("RCP") => MufuFunc::Rcp,
+                    Some("RSQ") => MufuFunc::Rsq,
+                    Some("LG2") => MufuFunc::Lg2,
+                    Some("EX2") => MufuFunc::Ex2,
+                    Some("SIN") => MufuFunc::Sin,
+                    Some("COS") => MufuFunc::Cos,
+                    other => {
+                        return Err(parse_err(
+                            lineno,
+                            format!("unknown MUFU function {other:?}"),
+                        ))
+                    }
+                };
+                Op::Mufu {
+                    dst: need_dst(lineno)?,
+                    a: src_reg(0)?,
+                    func,
+                }
+            }
+            "LDG" | "LD" => Op::Ldg {
+                dst: need_dst(lineno)?,
+                addr: src_reg(0).unwrap_or(Reg::RZ),
+                offset: 0,
+            },
+            "STG" | "ST" => Op::Stg {
+                addr: src_reg(0).unwrap_or(Reg::RZ),
+                src: src_reg(1).or_else(|_| src_reg(0))?,
+                offset: 0,
+            },
+            "LDS" => Op::Lds {
+                dst: need_dst(lineno)?,
+                addr: src_reg(0).unwrap_or(Reg::RZ),
+                offset: 0,
+            },
+            "TLD" => Op::Tld {
+                dst: need_dst(lineno)?,
+                addr: src_reg(0).unwrap_or(Reg::RZ),
+                offset: 0,
+            },
+            "TEX" => Op::Tex {
+                dst: need_dst(lineno)?,
+                coord: src_reg(0)?,
+            },
+            "TRACERAY" | "TTU" => Op::TraceRay {
+                dst: need_dst(lineno)?,
+                ray: src_reg(0)?,
+            },
+            "BRA" => Op::Bra {
+                target: target(src_imm(0)?)?,
+            },
+            "BSSY" => Op::Bssy {
+                barrier: src_barrier(0)?,
+                target: target(src_imm(1)?)?,
+            },
+            "BSYNC" => Op::Bsync {
+                barrier: src_barrier(0)?,
+            },
+            "EXIT" => Op::Exit,
+            "YIELD" => Op::Yield,
+            "NOP" => Op::Nop,
+            _ => {
+                self.unsupported(lineno, format!("opcode {opcode}"))?;
+                return Ok(None);
+            }
+        };
+        Ok(Some(op))
+    }
+
+    // ----------------------------------------------------------- assembly
+
+    fn assemble(
+        mut self,
+        header: Header,
+        blocks: BTreeMap<usize, Vec<ParsedInst>>,
+    ) -> Result<Imported, TraceError> {
+        // The lowest warp id present carries the canonical stream; every
+        // other block must match it instruction-for-instruction (only the
+        // per-lane addresses may differ).
+        struct Merged {
+            line: usize,
+            inst: Instruction,
+            addr_map: BTreeMap<usize, Vec<u64>>,
+        }
+
+        let mut blocks = blocks;
+        let (&first_id, _) = blocks.iter().next().unwrap();
+        let canon = blocks.remove(&first_id).unwrap();
+        let mut merged: Vec<Merged> = canon
+            .into_iter()
+            .map(|p| {
+                let mut addr_map = BTreeMap::new();
+                if let Some(a) = p.addrs {
+                    addr_map.insert(first_id, a);
+                }
+                Merged {
+                    line: p.line,
+                    inst: p.inst,
+                    addr_map,
+                }
+            })
+            .collect();
+        let mut block_ids = vec![first_id];
+        for (id, block) in blocks {
+            if block.len() != merged.len()
+                || block
+                    .iter()
+                    .zip(merged.iter())
+                    .any(|(a, b)| a.inst != b.inst)
+            {
+                let line = block.first().map(|p| p.line).unwrap_or(0);
+                match self.mode {
+                    ImportMode::Strict => {
+                        return Err(parse_err(
+                            line,
+                            format!(
+                                "warp {id}'s instruction stream differs from warp {first_id}'s \
+                                 (the subset shares one static program per kernel)"
+                            ),
+                        ))
+                    }
+                    ImportMode::Lossy => {
+                        self.report
+                            .skipped
+                            .push((line, format!("warp {id} stream differs; block ignored")));
+                        // The warp still launches, running the canonical
+                        // stream (its divergent instructions are dropped).
+                        block_ids.push(id);
+                        continue;
+                    }
+                }
+            }
+            for (slot, p) in block.into_iter().enumerate() {
+                if let Some(a) = p.addrs {
+                    merged[slot].addr_map.insert(id, a);
+                }
+            }
+            block_ids.push(id);
+        }
+
+        let n_warps = {
+            let from_blocks = block_ids.iter().copied().max().unwrap_or(0) + 1;
+            match header.warps {
+                Some(n) => {
+                    if n < from_blocks {
+                        return Err(parse_err(
+                            0,
+                            format!(
+                                "header declares {n} warp(s) but warp blocks reach id {}",
+                                from_blocks - 1
+                            ),
+                        ));
+                    }
+                    if n > from_blocks {
+                        self.report.notes.push(format!(
+                            "replicating the shared stream to {n} warps ({} block(s) present)",
+                            from_blocks
+                        ));
+                    }
+                    n
+                }
+                None => from_blocks,
+            }
+        };
+
+        let mut init = header.init;
+
+        // Synthesize address-table registers for per-lane address lists.
+        let mut used = [false; 256];
+        for m in &merged {
+            if let Some(r) = m.inst.op.dst_reg() {
+                used[r.0 as usize] = true;
+            }
+            let (srcs, n) = m.inst.op.src_regs_fixed();
+            for r in &srcs[..n] {
+                used[r.0 as usize] = true;
+            }
+        }
+        for i in &init {
+            used[i.reg.0 as usize] = true;
+        }
+        let mut next_free = 254i32;
+        let mut alloc = |line: usize| -> Result<Reg, TraceError> {
+            while next_free >= 0 && used[next_free as usize] {
+                next_free -= 1;
+            }
+            if next_free < 0 {
+                return Err(parse_err(line, "no free register for an address table"));
+            }
+            used[next_free as usize] = true;
+            Ok(Reg(next_free as u8))
+        };
+        for m in &mut merged {
+            if m.addr_map.is_empty() {
+                continue;
+            }
+            let table_reg = alloc(m.line)?;
+            let mut table = vec![0u64; n_warps * WARP_SIZE];
+            for (&warp, list) in &m.addr_map {
+                for lane in 0..header.threads_per_warp {
+                    let a = if list.len() == 1 { list[0] } else { list[lane] };
+                    table[warp * WARP_SIZE + lane] = a;
+                }
+            }
+            match &mut m.inst.op {
+                Op::Ldg { addr, offset, .. }
+                | Op::Stg { addr, offset, .. }
+                | Op::Lds { addr, offset, .. }
+                | Op::Tld { addr, offset, .. } => {
+                    *addr = table_reg;
+                    *offset = 0;
+                }
+                _ => unreachable!("address lists rejected on non-addressable ops"),
+            }
+            init.push(RegInit {
+                reg: table_reg,
+                value: InitValue::Table(table),
+            });
+            self.report.address_tables += 1;
+        }
+
+        // Scoreboard synthesis: long-latency producers lacking `&wr=` get a
+        // round-robin scoreboard; consumers are inferred by a linear
+        // def-use scan (conservative across backward branches — a pending
+        // scoreboard stays required until its register is overwritten).
+        let mut rr = 0u8;
+        let mut pending: [Option<Scoreboard>; 256] = [None; 256];
+        for m in &mut merged {
+            let (srcs, n) = m.inst.op.src_regs_fixed();
+            for r in &srcs[..n] {
+                if let Some(sb) = pending[r.0 as usize] {
+                    m.inst.req_sb.insert(sb);
+                }
+            }
+            if let Some(dst) = m.inst.op.dst_reg() {
+                if m.inst.op.is_long_latency() {
+                    let sb = match m.inst.wr_sb {
+                        Some(sb) => sb,
+                        None => {
+                            let sb = Scoreboard(rr % N_SB as u8);
+                            rr = rr.wrapping_add(1);
+                            m.inst.wr_sb = Some(sb);
+                            self.report.synthesized_wr_sb += 1;
+                            sb
+                        }
+                    };
+                    // WAW on a still-pending register also waits.
+                    if let Some(prev) = pending[dst.0 as usize] {
+                        m.inst.req_sb.insert(prev);
+                    }
+                    pending[dst.0 as usize] = Some(sb);
+                } else {
+                    pending[dst.0 as usize] = None;
+                }
+            }
+        }
+
+        let last_line = merged.last().map(|m| m.line).unwrap_or(0);
+        let mut b = ProgramBuilder::new();
+        for m in &merged {
+            b.raw(m.inst.clone());
+        }
+        let program = b
+            .build()
+            .map_err(|e| parse_err(last_line, format!("imported program invalid: {e}")))?;
+
+        self.report.kernel = header.kernel.clone();
+        self.report.warps = n_warps;
+        self.report.insts = program.len();
+
+        let mut wl =
+            Workload::new(header.kernel, program, n_warps).with_data_seed(header.data_seed);
+        wl.threads_per_warp = header.threads_per_warp;
+        wl.init = init;
+        for (bank, offset, v) in header.consts {
+            wl.consts.set(bank, offset, v);
+        }
+        wl.validate()
+            .map_err(|what| parse_err(last_line, format!("imported workload invalid: {what}")))?;
+
+        Ok(Imported {
+            workload: wl,
+            report: self.report,
+        })
+    }
+}
+
+// ------------------------------------------------------------- tokenizers
+
+fn parse_reg(t: &str) -> Option<Reg> {
+    if t == "RZ" {
+        return Some(Reg::RZ);
+    }
+    let n: u8 = t.strip_prefix('R')?.parse().ok()?;
+    if n == 255 {
+        None
+    } else {
+        Some(Reg(n))
+    }
+}
+
+fn parse_pred(t: &str, lineno: usize) -> Result<Option<Pred>, TraceError> {
+    if t == "PT" {
+        return Ok(Some(Pred::PT));
+    }
+    let Some(rest) = t.strip_prefix('P') else {
+        return Ok(None);
+    };
+    let Ok(n) = rest.parse::<u8>() else {
+        return Ok(None);
+    };
+    if (n as usize) < N_PRED {
+        Ok(Some(Pred(n)))
+    } else {
+        Err(parse_err(
+            lineno,
+            format!("predicate P{n} out of range (max {})", N_PRED - 1),
+        ))
+    }
+}
+
+fn parse_cbank_slot(t: &str) -> Option<(u8, u16)> {
+    // c[B][O]
+    let rest = t.strip_prefix("c[")?;
+    let (bank, rest) = rest.split_once(']')?;
+    let off = rest.strip_prefix('[')?.strip_suffix(']')?;
+    Some((bank.parse().ok()?, off.parse().ok()?))
+}
+
+fn parse_imm_u64(t: &str) -> Option<u64> {
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        t.parse().ok()
+    }
+}
+
+fn parse_operand(t: &str) -> Option<Operand> {
+    if let Some(r) = parse_reg(t) {
+        return Some(Operand::Reg(r));
+    }
+    if let Some((bank, offset)) = parse_cbank_slot(t) {
+        return Some(Operand::CBank { bank, offset });
+    }
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        return u64::from_str_radix(hex, 16)
+            .ok()
+            .map(|v| Operand::Imm(v as i64));
+    }
+    if t.contains('.') {
+        return t.parse::<f32>().ok().map(Operand::FImm);
+    }
+    t.parse::<i64>().ok().map(Operand::Imm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = "\
+-kernel name = smoke
+warp = 0
+insts = 3
+0000 ffffffff 1 R2 MOV 1 0x7
+0010 ffffffff 1 R3 IADD 2 R2 0x1
+0020 ffffffff 0 EXIT 0
+";
+
+    #[test]
+    fn minimal_kernel_imports() {
+        let out = import_text(MINIMAL, ImportMode::Strict).unwrap();
+        assert_eq!(out.workload.name, "smoke");
+        assert_eq!(out.workload.n_warps, 1);
+        assert_eq!(out.workload.program.len(), 3);
+        assert!(out.report.is_exact());
+    }
+
+    #[test]
+    fn out_of_sequence_pc_is_an_error() {
+        let text = "warp = 0\n0008 ffffffff 0 EXIT 0\n";
+        match import_text(text, ImportMode::Strict) {
+            Err(TraceError::Parse { line, what }) => {
+                assert_eq!(line, 2);
+                assert!(what.contains("out of sequence"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_opcode_strict_vs_lossy() {
+        let text = "\
+warp = 0
+0000 ffffffff 0 SHFL.IDX 0
+0010 ffffffff 0 EXIT 0
+";
+        match import_text(text, ImportMode::Strict) {
+            Err(TraceError::Unsupported { line, what }) => {
+                assert_eq!(line, 2);
+                assert!(what.contains("SHFL.IDX"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let out = import_text(text, ImportMode::Lossy).unwrap();
+        assert_eq!(out.report.skipped.len(), 1);
+        assert_eq!(out.workload.program[0].op, Op::Nop);
+    }
+
+    #[test]
+    fn scoreboards_are_synthesized_for_long_latency_loads() {
+        let text = "\
+warp = 0
+0000 ffffffff 1 R2 MOV 1 0x40
+0010 ffffffff 1 R3 LDG.E 1 R2
+0020 ffffffff 1 R4 FADD 2 R3 1.0
+0030 ffffffff 0 EXIT 0
+";
+        let out = import_text(text, ImportMode::Strict).unwrap();
+        let p = &out.workload.program;
+        assert!(p[1].wr_sb.is_some(), "LDG got a synthesized &wr");
+        let sb = p[1].wr_sb.unwrap();
+        assert!(p[2].req_sb.contains(sb), "consumer waits on it");
+        assert_eq!(out.report.synthesized_wr_sb, 1);
+    }
+
+    #[test]
+    fn per_lane_addresses_become_a_table_register() {
+        let mut text = String::from(
+            "-threads per warp = 4\nwarp = 0\n0000 f 1 R3 LDG.E 0 4 0x100 0x108 0x110 0x118\n",
+        );
+        text.push_str("0010 f 0 EXIT 0\n");
+        let out = import_text(&text, ImportMode::Strict).unwrap();
+        assert_eq!(out.report.address_tables, 1);
+        // The load now addresses through a synthesized table register.
+        let Op::Ldg { addr, offset, .. } = out.workload.program[0].op else {
+            panic!("expected LDG");
+        };
+        assert_eq!(offset, 0);
+        let table = out
+            .workload
+            .init
+            .iter()
+            .find(|i| i.reg == addr)
+            .expect("table init exists");
+        let InitValue::Table(t) = &table.value else {
+            panic!("expected table init");
+        };
+        assert_eq!(&t[..4], &[0x100, 0x108, 0x110, 0x118]);
+    }
+
+    #[test]
+    fn divergent_branch_with_guard_imports() {
+        let text = "\
+warp = 0
+insts = 7
+0000 ffffffff 1 P0 ISETP.LT 2 R0 0x10
+0010 ffffffff 0 BSSY 2 B0 0x60
+0020 ffffffff 0 @P0 BRA 1 0x50
+0030 ffffffff 1 R1 MOV 1 0x1
+0040 ffffffff 0 BRA 1 0x60
+0050 ffffffff 1 R1 MOV 1 0x2
+0060 ffffffff 0 BSYNC 1 B0
+";
+        // No EXIT: invalid program reported with a line number.
+        match import_text(text, ImportMode::Strict) {
+            Err(TraceError::Parse { what, .. }) => assert!(what.contains("EXIT")),
+            other => panic!("unexpected {other:?}"),
+        }
+        let with_exit = format!(
+            "{}0070 ffffffff 0 EXIT 0\n",
+            text.replace("insts = 7", "insts = 8")
+        );
+        let out = import_text(&with_exit, ImportMode::Strict).unwrap();
+        assert_eq!(out.workload.program[2].guard, Some((Pred(0), false)));
+        assert_eq!(out.workload.program[2].op, Op::Bra { target: 5 });
+        assert_eq!(
+            out.workload.program[1].op,
+            Op::Bssy {
+                barrier: Barrier(0),
+                target: 6
+            }
+        );
+    }
+
+    #[test]
+    fn mismatched_warp_streams_are_strict_errors() {
+        let text = "\
+warp = 0
+0000 ffffffff 1 R1 MOV 1 0x1
+0010 ffffffff 0 EXIT 0
+warp = 1
+0000 ffffffff 1 R1 MOV 1 0x2
+0010 ffffffff 0 EXIT 0
+";
+        assert!(matches!(
+            import_text(text, ImportMode::Strict),
+            Err(TraceError::Parse { .. })
+        ));
+        let out = import_text(text, ImportMode::Lossy).unwrap();
+        assert_eq!(out.report.skipped.len(), 1);
+        assert_eq!(out.workload.n_warps, 2, "warp 1 still launches");
+    }
+}

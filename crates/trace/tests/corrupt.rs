@@ -1,0 +1,97 @@
+//! Total-decoding property: no corruption of a valid trace file can panic
+//! the loader. Every mutation — single-bit flips at every position, random
+//! multi-byte stomps, truncation at every length — must yield either a
+//! clean decode (impossible for covered bytes, since the whole file is
+//! checksummed) or a typed [`TraceError`].
+
+use subwarp_prng::SmallRng;
+use subwarp_trace::{decode_workload, encode_workload, TraceError};
+use subwarp_workloads::{figure9_workload, microbenchmark};
+
+#[test]
+fn every_single_bit_flip_is_a_typed_error() {
+    let bytes = encode_workload(&figure9_workload());
+    for i in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut m = bytes.clone();
+            m[i] ^= 1 << bit;
+            let err = decode_workload(&m).expect_err("flip must not decode");
+            // Every variant is acceptable; what matters is that the error
+            // is typed and the offsets it carries are inside the file.
+            match err {
+                TraceError::BadMagic { offset, .. }
+                | TraceError::UnsupportedVersion { offset, .. }
+                | TraceError::Truncated { offset, .. }
+                | TraceError::Corrupt { offset, .. }
+                | TraceError::Checksum { offset, .. }
+                | TraceError::InvalidProgram { offset, .. } => {
+                    assert!(
+                        offset <= m.len() as u64,
+                        "offset {offset} beyond file ({} bytes) at flip {i}.{bit}",
+                        m.len()
+                    );
+                }
+                TraceError::MissingSection { .. } => {}
+                TraceError::Parse { .. } | TraceError::Unsupported { .. } => {
+                    panic!("importer-only error from the binary loader: {err}")
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_truncation_is_a_typed_error() {
+    let bytes = encode_workload(&microbenchmark(8, 2));
+    for len in 0..bytes.len() {
+        let err = decode_workload(&bytes[..len]).expect_err("prefix must not decode");
+        assert!(
+            !matches!(
+                err,
+                TraceError::Parse { .. } | TraceError::Unsupported { .. }
+            ),
+            "importer-only error from the binary loader: {err}"
+        );
+    }
+}
+
+#[test]
+fn random_stomps_never_panic() {
+    let bytes = encode_workload(&microbenchmark(8, 2));
+    let mut rng = SmallRng::seed_from_u64(0x5eed);
+    for _ in 0..2000 {
+        let mut m = bytes.clone();
+        // Stomp 1..=16 random bytes with random values.
+        let stomps = (rng.next_u64() % 16 + 1) as usize;
+        for _ in 0..stomps {
+            let at = (rng.next_u64() as usize) % m.len();
+            m[at] = rng.next_u64() as u8;
+        }
+        // Occasionally also truncate or extend.
+        match rng.next_u64() % 4 {
+            0 => {
+                let keep = (rng.next_u64() as usize) % (m.len() + 1);
+                m.truncate(keep);
+            }
+            1 => m.extend_from_slice(&[0xAB; 7]),
+            _ => {}
+        }
+        // Must return (Ok or Err), never panic. Ok is only reachable if
+        // the stomps happened to reconstruct a consistent file.
+        let _ = decode_workload(&m);
+    }
+}
+
+#[test]
+fn adversarial_garbage_never_panics() {
+    let mut rng = SmallRng::seed_from_u64(0xbad5eed);
+    for len in [0usize, 1, 7, 8, 15, 16, 40, 64, 256, 4096] {
+        let garbage: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        assert!(decode_workload(&garbage).is_err());
+        // Garbage behind a valid-looking header prefix.
+        let mut spoofed = b"SWTRACE\0".to_vec();
+        spoofed.extend_from_slice(&1u32.to_le_bytes());
+        spoofed.extend_from_slice(&garbage);
+        assert!(decode_workload(&spoofed).is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! Frozen replay corpus: every `.swt` file under `tests/corpus/` must keep
+//! decoding, re-encoding byte-identically, and replaying to the digest
+//! frozen in its sibling `.expect` file. A drift here means the trace
+//! format or the simulator changed observable behaviour — either fix the
+//! regression or consciously re-freeze with
+//! `trace validate tests/corpus/*.swt --write-expect` and bump
+//! `FORMAT_VERSION` if the wire layout changed.
+
+use std::path::{Path, PathBuf};
+use subwarp_trace::{decode_workload, encode_workload, import_text, workload_digest, ImportMode};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus must exist")
+        .map(|e| e.expect("readable corpus entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "swt"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_is_nonempty_and_has_expectations() {
+    let files = corpus_files();
+    assert!(
+        files.len() >= 5,
+        "frozen corpus shrank to {} file(s)",
+        files.len()
+    );
+    for f in files {
+        assert!(
+            f.with_extension("expect").exists(),
+            "{} has no frozen .expect digest",
+            f.display()
+        );
+    }
+}
+
+#[test]
+fn corpus_replays_byte_identically() {
+    for f in corpus_files() {
+        let bytes = std::fs::read(&f).expect("read corpus trace");
+        let wl = decode_workload(&bytes)
+            .unwrap_or_else(|e| panic!("{} no longer decodes: {e}", f.display()));
+        assert_eq!(
+            encode_workload(&wl),
+            bytes,
+            "{} does not re-encode byte-identically",
+            f.display()
+        );
+        let digest = workload_digest(&bytes, &wl)
+            .unwrap_or_else(|e| panic!("{} no longer replays: {e}", f.display()));
+        let want = std::fs::read_to_string(f.with_extension("expect"))
+            .unwrap_or_else(|e| panic!("{} expect file: {e}", f.display()));
+        assert_eq!(
+            digest,
+            want,
+            "{} drifted from its frozen digest",
+            f.display()
+        );
+    }
+}
+
+#[test]
+fn import_sample_parses_strict_and_replays() {
+    let path = corpus_dir().join("import/demo.txt");
+    let text = std::fs::read_to_string(&path).expect("read import sample");
+    let imported = import_text(&text, ImportMode::Strict).expect("strict import");
+    assert!(imported.report.is_exact(), "demo sample must be in-subset");
+    assert_eq!(imported.report.warps, 2);
+    assert!(imported.report.address_tables > 0);
+    // The imported kernel must actually run (and deterministically so).
+    let bytes = encode_workload(&imported.workload);
+    let d1 = workload_digest(&bytes, &imported.workload).expect("replay");
+    let d2 = workload_digest(&bytes, &imported.workload).expect("replay");
+    assert_eq!(d1, d2);
+}
