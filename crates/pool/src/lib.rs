@@ -245,6 +245,66 @@ impl<E: std::fmt::Display> std::fmt::Display for JobError<E> {
 
 impl<E: std::fmt::Debug + std::fmt::Display> std::error::Error for JobError<E> {}
 
+/// Capped exponential backoff with deterministic per-(index, attempt)
+/// jitter — the retry schedule [`run_supervised`] sleeps on, extracted so
+/// other retry loops (the `subwarp-router` shard dialer, for one) share the
+/// exact same machinery instead of growing a second, subtly different
+/// backoff.
+///
+/// The jitter is a pure function of `(jitter_seed, index, attempt)`: two
+/// runs with the same configuration sleep identical amounts for identical
+/// pairs, while distinct indices spread over `[0.5, 1.0)` of the cap so a
+/// herd of simultaneous failures does not retry in lockstep.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    /// First retry backoff; doubles per attempt.
+    pub base: Duration,
+    /// Backoff cap.
+    pub max: Duration,
+    /// Seed for the deterministic jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for Backoff {
+    fn default() -> Backoff {
+        Backoff {
+            base: Duration::from_millis(10),
+            max: Duration::from_secs(1),
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl Backoff {
+    /// Capped exponential backoff before retry attempt `attempt` (2-based:
+    /// the first retry is attempt 2), un-jittered.
+    pub fn cap(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << (attempt.saturating_sub(2)).min(16);
+        self.base.saturating_mul(factor).min(self.max)
+    }
+
+    /// The jittered sleep before retry `attempt` of job `index`: the
+    /// capped exponential [`cap`](Backoff::cap) (never exceeded) scaled by
+    /// a deterministic factor in `[0.5, 1.0)` derived from
+    /// `(jitter_seed, index, attempt)`.
+    pub fn delay(&self, index: usize, attempt: u32) -> Duration {
+        let capped = self.cap(attempt);
+        // splitmix64 finalizer over the (seed, index, attempt) triple.
+        let mut z = self
+            .jitter_seed
+            .wrapping_add(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((index as u64) << 32)
+            .wrapping_add(attempt as u64);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        // Map to [0.5, 1.0): half the cap guarantees progress, the spread
+        // de-synchronizes the herd.
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+        capped.mul_f64(0.5 + unit / 2.0)
+    }
+}
+
 /// Supervision policy for [`run_supervised`].
 #[derive(Debug, Clone)]
 pub struct Supervisor {
@@ -308,19 +368,19 @@ impl Supervisor {
         }
     }
 
-    /// Capped exponential backoff before retry attempt `attempt` (2-based:
-    /// the first retry is attempt 2).
-    fn backoff(&self, attempt: u32) -> Duration {
-        let factor = 1u32 << (attempt.saturating_sub(2)).min(16);
-        self.base_backoff
-            .saturating_mul(factor)
-            .min(self.max_backoff)
+    /// The retry schedule as a standalone [`Backoff`] (same base, cap, and
+    /// jitter seed).
+    pub fn retry_backoff(&self) -> Backoff {
+        Backoff {
+            base: self.base_backoff,
+            max: self.max_backoff,
+            jitter_seed: self.jitter_seed,
+        }
     }
 
     /// The backoff [`run_supervised`] actually sleeps before retry
-    /// `attempt` of job `index`: the capped exponential [`backoff`]
-    /// (never exceeded) scaled by a deterministic jitter factor in
-    /// `[0.5, 1.0)` derived from `(jitter_seed, index, attempt)`.
+    /// `attempt` of job `index`: [`Backoff::delay`] over the supervisor's
+    /// schedule.
     ///
     /// When a whole batch fails at once (a flaky shared resource), the
     /// un-jittered schedule wakes every worker in lockstep; the
@@ -329,20 +389,7 @@ impl Supervisor {
     /// or parallel — sleep identical amounts for identical (job, attempt)
     /// pairs.
     pub fn backoff_for(&self, index: usize, attempt: u32) -> Duration {
-        let capped = self.backoff(attempt);
-        // splitmix64 finalizer over the (seed, index, attempt) triple.
-        let mut z = self
-            .jitter_seed
-            .wrapping_add(0x9e37_79b9_7f4a_7c15)
-            .wrapping_add((index as u64) << 32)
-            .wrapping_add(attempt as u64);
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^= z >> 31;
-        // Map to [0.5, 1.0): half the cap guarantees progress, the spread
-        // de-synchronizes the herd.
-        let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
-        capped.mul_f64(0.5 + unit / 2.0)
+        self.retry_backoff().delay(index, attempt)
     }
 }
 
@@ -909,7 +956,7 @@ mod tests {
         for index in 0..16 {
             for attempt in 2..=8 {
                 let d = sup.backoff_for(index, attempt);
-                let cap = sup.backoff(attempt);
+                let cap = sup.retry_backoff().cap(attempt);
                 // Jitter scales within [0.5, 1.0) of the capped schedule:
                 // the cap stays strict, progress is guaranteed.
                 assert!(d <= cap, "jitter must never exceed the cap");

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! loadgen [--connect ADDR] [--jobs N] [--conns C] [--spec JSON]...
-//!         [--dump FILE] [--shutdown] [--stats]
+//!         [--dump FILE] [--record FILE] [--replay FILE]
+//!         [--shutdown] [--stats]
 //! ```
 //!
 //! Cycles `--jobs` submissions across `--conns` connections over the spec
@@ -20,14 +21,21 @@
 //! successful fingerprint, sorted — two dumps from equivalent bursts must
 //! be byte-identical, which is how CI proves a restarted daemon re-serves
 //! journaled results exactly.
+//!
+//! `--record FILE` captures the burst (request bytes + inter-arrival
+//! timings) as a [`Recording`]; `--replay FILE` re-sends a recording on
+//! its original schedule instead of generating a burst, so the same
+//! traffic shape can be thrown at a cluster before and after a restart,
+//! a compaction, or under chaos — and the dumps diffed.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
-use std::time::Instant;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use subwarp_serve::json::Value;
-use subwarp_serve::Client;
+use subwarp_serve::traffic::RecordedCall;
+use subwarp_serve::{Client, Recording};
 
 const DEFAULT_SPECS: &[&str] = &[
     r#"{"workload":"toy"}"#,
@@ -44,6 +52,8 @@ struct Args {
     conns: usize,
     specs: Vec<String>,
     dump: Option<String>,
+    record: Option<String>,
+    replay: Option<String>,
     shutdown: bool,
     stats: bool,
 }
@@ -55,6 +65,8 @@ fn parse_args() -> Result<Args, String> {
         conns: 4,
         specs: Vec::new(),
         dump: None,
+        record: None,
+        replay: None,
         shutdown: false,
         stats: false,
     };
@@ -82,6 +94,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--spec" => a.specs.push(next(&mut i, flag)?),
             "--dump" => a.dump = Some(next(&mut i, flag)?),
+            "--record" => a.record = Some(next(&mut i, flag)?),
+            "--replay" => a.replay = Some(next(&mut i, flag)?),
             "--shutdown" => a.shutdown = true,
             "--stats" => a.stats = true,
             "--help" | "-h" => {
@@ -91,7 +105,9 @@ fn parse_args() -> Result<Args, String> {
                      submissions (default 32)\n  --conns C       parallel connections \
                      (default 4)\n  --spec JSON     request spec, repeatable (default: \
                      built-in mix)\n  --dump FILE     write sorted fp/u/ch lines for \
-                     byte-identity diffs\n  --shutdown      send {{\"cmd\":\"shutdown\"}} \
+                     byte-identity diffs\n  --record FILE   capture request bytes + \
+                     inter-arrival timings\n  --replay FILE   re-send a recording on its \
+                     original schedule\n  --shutdown      send {{\"cmd\":\"shutdown\"}} \
                      after the burst\n  --stats         print the server stats line \
                      after the burst"
                 );
@@ -165,6 +181,26 @@ fn main() {
         }
     };
 
+    // Replay mode swaps the generated burst for a recorded schedule: the
+    // job list and pacing both come from the file, `--jobs`/`--spec` are
+    // ignored.
+    let replay: Option<Arc<Vec<RecordedCall>>> = match &args.replay {
+        Some(path) => match Recording::load(path) {
+            Ok(rec) => Some(Arc::new(rec.calls)),
+            Err(e) => {
+                eprintln!("loadgen: cannot load recording `{path}`: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    let total = replay.as_ref().map_or(args.jobs, |calls| calls.len());
+    let recorder: Option<Arc<Mutex<Recording>>> = args
+        .record
+        .as_ref()
+        .map(|_| Arc::new(Mutex::new(Recording::default())));
+    let epoch = Instant::now();
+
     let next_job = Arc::new(AtomicUsize::new(0));
     let (tx, rx) = mpsc::channel::<Outcome>();
     let specs = Arc::new(args.specs.clone());
@@ -172,9 +208,10 @@ fn main() {
     for _ in 0..args.conns {
         let next_job = Arc::clone(&next_job);
         let specs = Arc::clone(&specs);
+        let replay = replay.clone();
+        let recorder = recorder.clone();
         let tx = tx.clone();
         let addr = args.connect.clone();
-        let total = args.jobs;
         handles.push(std::thread::spawn(move || {
             let mut client = match Client::connect(&addr) {
                 Ok(c) => c,
@@ -188,7 +225,25 @@ fn main() {
                 if k >= total {
                     return;
                 }
-                let outcome = run_one(&mut client, &specs[k % specs.len()]);
+                let spec: &str = match &replay {
+                    Some(calls) => {
+                        // Honor the recorded inter-arrival gap (relative to
+                        // burst start; already elapsed time counts).
+                        let due = epoch + Duration::from_millis(calls[k].at_ms);
+                        let wait = due.saturating_duration_since(Instant::now());
+                        if !wait.is_zero() {
+                            std::thread::sleep(wait);
+                        }
+                        &calls[k].spec
+                    }
+                    None => &specs[k % specs.len()],
+                };
+                if let Some(rec) = &recorder {
+                    rec.lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(epoch.elapsed().as_millis() as u64, spec);
+                }
+                let outcome = run_one(&mut client, spec);
                 let fatal = matches!(outcome, Outcome::Io(_));
                 let _ = tx.send(outcome);
                 if fatal {
@@ -255,6 +310,16 @@ fn main() {
     if !fail_kinds.is_empty() {
         let kinds: Vec<String> = fail_kinds.iter().map(|(k, n)| format!("{k}={n}")).collect();
         println!("loadgen: failure kinds: {}", kinds.join(" "));
+    }
+
+    if let (Some(path), Some(rec)) = (&args.record, &recorder) {
+        let mut rec = rec.lock().unwrap_or_else(|e| e.into_inner());
+        rec.finish();
+        if let Err(e) = rec.save(path) {
+            eprintln!("loadgen: cannot write recording `{path}`: {e}");
+            std::process::exit(1);
+        }
+        println!("loadgen: recorded {} calls to {path}", rec.calls.len());
     }
 
     if let Some(path) = &args.dump {

@@ -4,9 +4,11 @@
 //! subwarp-serve [--listen ADDR] [--store PATH] [--queue-cap N] [--quota N]
 //!               [--workers N] [--deadline-ms N] [--attempts N] [--batch N]
 //!               [--drain-grace-ms N] [--jitter-seed N]
+//!               [--max-line BYTES] [--io-timeout-ms N] [--compact-at BYTES]
 //!               [--fault-seed N] [--fault-panics PM] [--fault-errors PM]
 //!               [--fault-delays PM] [--fault-delay-ms N]
 //!               [--fault-clears-after N]
+//! subwarp-serve compact --store PATH [--max-bytes N] [--max-entries N]
 //! ```
 //!
 //! Listens for NDJSON job requests, executes them under supervision, and
@@ -14,6 +16,14 @@
 //! triggers a graceful drain: stop accepting, finish and journal accepted
 //! work, exit 0. The `--fault-*` flags inject deterministic chaos for the
 //! robustness tests.
+//!
+//! `--compact-at BYTES` bounds the journal: when it grows past the
+//! threshold, a background pass rewrites it crash-consistently keeping the
+//! most-recently-used half. The `compact` subcommand runs the same pass
+//! offline against a stopped daemon's store. Both honor
+//! `SUBWARP_COMPACT_CRASH=<step>` (`begin`, `tmp-written`, `tmp-synced`,
+//! `renamed`, `dir-synced`): the process aborts at that step, which is how
+//! CI proves a `kill -9` at any instant leaves the journal intact.
 
 use std::collections::HashMap;
 use std::io::BufReader;
@@ -24,8 +34,9 @@ use std::time::Duration;
 
 use subwarp_core::FaultPlan;
 use subwarp_serve::server::Phase;
-use subwarp_serve::wire::serve_connection;
+use subwarp_serve::wire::{serve_connection, WireLimits};
 use subwarp_serve::{MemoStore, Server, ServerConfig};
+use subwarp_sweep::{CompactPolicy, CompactStep};
 
 /// Set by the signal handler; polled by the accept loop.
 static TERM: AtomicBool = AtomicBool::new(false);
@@ -56,16 +67,24 @@ struct Args {
     listen: String,
     store: Option<String>,
     cfg: ServerConfig,
+    max_line: usize,
+    io_timeout: Option<Duration>,
+    compact_at: Option<u64>,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(argv: Vec<String>) -> Result<Args, String> {
     let mut listen = "127.0.0.1:7077".to_owned();
     let mut store = None;
     let mut cfg = ServerConfig::default();
     let mut faults = FaultPlan::none(0);
     let mut chaos = false;
+    let mut max_line = WireLimits::default().max_line;
+    // Generous by default: the deadline only fires while *waiting* for the
+    // next request line (a stalled or vanished peer), never while a
+    // submitted job simulates.
+    let mut io_timeout_ms: u64 = 120_000;
+    let mut compact_at = None;
 
-    let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let next = |i: &mut usize, flag: &str| -> Result<String, String> {
         *i += 1;
@@ -91,6 +110,9 @@ fn parse_args() -> Result<Args, String> {
                 cfg.drain_grace = Duration::from_millis(parse(&next(&mut i, flag)?, flag)?)
             }
             "--jitter-seed" => cfg.jitter_seed = parse(&next(&mut i, flag)?, flag)?,
+            "--max-line" => max_line = parse(&next(&mut i, flag)?, flag)?,
+            "--io-timeout-ms" => io_timeout_ms = parse(&next(&mut i, flag)?, flag)?,
+            "--compact-at" => compact_at = Some(parse(&next(&mut i, flag)?, flag)?),
             "--fault-seed" => {
                 faults.seed = parse(&next(&mut i, flag)?, flag)?;
                 chaos = true;
@@ -126,7 +148,14 @@ fn parse_args() -> Result<Args, String> {
     if chaos {
         cfg.faults = Some(faults);
     }
-    Ok(Args { listen, store, cfg })
+    Ok(Args {
+        listen,
+        store,
+        cfg,
+        max_line,
+        io_timeout: (io_timeout_ms > 0).then(|| Duration::from_millis(io_timeout_ms)),
+        compact_at,
+    })
 }
 
 fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
@@ -145,13 +174,100 @@ const HELP: &str = "subwarp-serve: crash-safe simulation job daemon (NDJSON over
   --batch N              max jobs per supervised batch (default 8)
   --drain-grace-ms N     drain grace before cancelling (default 30000)
   --jitter-seed N        retry-backoff jitter seed (default 0x5EED)
+  --max-line BYTES       max request line length (default 65536)
+  --io-timeout-ms N      per-connection read/write deadline, 0 = none
+                         (default 120000)
+  --compact-at BYTES     compact the journal when it grows past this,
+                         keeping the most-recently-used half (default: off)
   --fault-*              deterministic chaos injection (see DESIGN.md)
+
+subcommand `compact`: offline journal compaction against a stopped store:
+  subwarp-serve compact --store PATH [--max-bytes N] [--max-entries N]
 
 SIGTERM/SIGINT drain gracefully: accepted work finishes and is journaled,
 then the process exits 0.";
 
+/// A [`CompactStep`] hook honoring `SUBWARP_COMPACT_CRASH=<step>`: aborts
+/// the process (a true `kill -9`-equivalent, no destructors) at the named
+/// step so CI can prove crash consistency at every instant.
+fn compact_crash_hook() -> impl FnMut(CompactStep) {
+    let target = std::env::var("SUBWARP_COMPACT_CRASH")
+        .ok()
+        .and_then(|s| CompactStep::from_name(&s));
+    move |step: CompactStep| {
+        if Some(step) == target {
+            eprintln!(
+                "subwarp-serve: SUBWARP_COMPACT_CRASH aborting at `{}`",
+                step.name()
+            );
+            std::process::abort();
+        }
+    }
+}
+
+/// `subwarp-serve compact`: compact a stopped daemon's journal in place.
+/// Takes the store's exclusive lock, so it refuses to race a live daemon.
+fn compact_main(argv: Vec<String>) -> ! {
+    let mut store = None;
+    let mut policy = CompactPolicy::keep_all();
+    let mut i = 0;
+    let fail = |e: String| -> ! {
+        eprintln!("subwarp-serve compact: {e}");
+        std::process::exit(2);
+    };
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let next = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .unwrap_or_else(|| fail(format!("{flag} needs a value")))
+        };
+        match flag {
+            "--store" => store = Some(next(&mut i)),
+            "--max-bytes" => {
+                policy.max_bytes = Some(parse(&next(&mut i), flag).unwrap_or_else(|e| fail(e)))
+            }
+            "--max-entries" => {
+                policy.max_entries = Some(parse(&next(&mut i), flag).unwrap_or_else(|e| fail(e)))
+            }
+            other => fail(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    let Some(path) = store else {
+        fail("--store PATH is required".to_owned());
+    };
+    let store = match MemoStore::open(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("subwarp-serve compact: cannot open store `{path}`: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut hook = compact_crash_hook();
+    match store.compact_with_hook(&policy, &mut hook) {
+        Ok(stats) => {
+            println!(
+                "compacted `{path}`: {} -> {} bytes, kept {}, evicted {}",
+                stats.before_bytes, stats.after_bytes, stats.kept, stats.evicted
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("subwarp-serve compact: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
-    let args = match parse_args() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("compact") {
+        argv.remove(0);
+        compact_main(argv);
+    }
+    let args = match parse_args(argv) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("subwarp-serve: {e}");
@@ -172,6 +288,34 @@ fn main() {
     };
     let restored = store.restored();
     let server = Server::start(args.cfg, store);
+
+    // Background compactor: keeps the journal bounded without stopping the
+    // daemon. Compaction holds the journal's file mutex, so concurrent
+    // `record` flushes simply queue behind the rewrite.
+    if let Some(threshold) = args.compact_at {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            let policy = CompactPolicy {
+                // Target half the trigger so passes amortize instead of
+                // firing on every record once the store fills.
+                max_bytes: Some(threshold / 2),
+                max_entries: None,
+            };
+            let mut hook = compact_crash_hook();
+            while server.phase() == Phase::Running {
+                if server.store().disk_bytes() > threshold {
+                    match server.store().compact_with_hook(&policy, &mut hook) {
+                        Ok(s) => eprintln!(
+                            "subwarp-serve: compacted store {} -> {} bytes (kept {}, evicted {})",
+                            s.before_bytes, s.after_bytes, s.kept, s.evicted
+                        ),
+                        Err(e) => eprintln!("subwarp-serve: compaction failed: {e}"),
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(500));
+            }
+        });
+    }
 
     let listener = match TcpListener::bind(&args.listen) {
         Ok(l) => l,
@@ -202,6 +346,11 @@ fn main() {
         match listener.accept() {
             Ok((stream, peer)) => {
                 let _ = stream.set_nodelay(true);
+                // Slowloris defense: a peer that stalls mid-line (or never
+                // reads its replies) is cut after the deadline and counted
+                // in `conn_timeouts`.
+                let _ = stream.set_read_timeout(args.io_timeout);
+                let _ = stream.set_write_timeout(args.io_timeout);
                 conn_id += 1;
                 let id = conn_id;
                 if let Ok(clone) = stream.try_clone() {
@@ -214,10 +363,19 @@ fn main() {
                 let server = Arc::clone(&server);
                 let active = Arc::clone(&active);
                 let conns = Arc::clone(&conns);
+                let limits = WireLimits {
+                    max_line: args.max_line,
+                };
                 std::thread::spawn(move || {
                     let client = peer.to_string();
                     if let Ok(reader) = stream.try_clone() {
-                        let _ = serve_connection(&server, &client, BufReader::new(reader), &stream);
+                        let _ = serve_connection(
+                            &server,
+                            &client,
+                            BufReader::new(reader),
+                            &stream,
+                            limits,
+                        );
                     }
                     conns.lock().unwrap_or_else(|e| e.into_inner()).remove(&id);
                     active.fetch_sub(1, Ordering::SeqCst);

@@ -1,10 +1,16 @@
-//! A minimal blocking client for the NDJSON protocol, used by `loadgen`
-//! and the end-to-end tests.
+//! A minimal blocking client for the NDJSON protocol, used by `loadgen`,
+//! the `subwarp-router` shard dialer, and the end-to-end tests.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::io::{BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use crate::json::{parse, Value};
+use crate::wire::{read_bounded_line, BoundedLine};
+
+/// Reply lines are machine-written by the daemon and small; anything past
+/// this is a confused or hostile peer, not a result.
+const MAX_REPLY_LINE: usize = 1024 * 1024;
 
 /// One connection to a running daemon.
 pub struct Client {
@@ -15,7 +21,28 @@ pub struct Client {
 impl Client {
     /// Connects over TCP (`host:port`).
     pub fn connect(addr: &str) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Client::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Connects with a connect deadline and per-request read/write
+    /// deadlines — the router's dialer: a dead or wedged shard costs a
+    /// bounded wait, never a hung router thread.
+    pub fn connect_with_deadlines(
+        addr: &str,
+        connect_timeout: Duration,
+        io_timeout: Option<Duration>,
+    ) -> std::io::Result<Client> {
+        let sock = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "no address"))?;
+        let stream = TcpStream::connect_timeout(&sock, connect_timeout)?;
+        stream.set_read_timeout(io_timeout)?;
+        stream.set_write_timeout(io_timeout)?;
+        Client::from_stream(stream)
+    }
+
+    fn from_stream(stream: TcpStream) -> std::io::Result<Client> {
         // Request/reply round trips: Nagle only adds latency here.
         let _ = stream.set_nodelay(true);
         let reader = BufReader::new(stream.try_clone()?);
@@ -25,24 +52,33 @@ impl Client {
         })
     }
 
+    /// Changes the read/write deadlines on the live connection (e.g. a
+    /// generous window for a `run` that simulates, a tight one for `ping`).
+    pub fn set_io_timeout(&self, io_timeout: Option<Duration>) -> std::io::Result<()> {
+        self.writer.set_read_timeout(io_timeout)?;
+        self.writer.set_write_timeout(io_timeout)
+    }
+
     /// Sends one request line and returns the raw reply line. Blocks until
     /// the daemon answers (for `run`, until the job reaches a definite
-    /// state).
+    /// state) or a configured deadline fires.
     pub fn request_raw(&mut self, line: &str) -> std::io::Result<String> {
         let mut framed = String::with_capacity(line.len() + 1);
         framed.push_str(line);
         framed.push('\n');
         self.writer.write_all(framed.as_bytes())?;
         self.writer.flush()?;
-        let mut reply = String::new();
-        let n = self.reader.read_line(&mut reply)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
+        match read_bounded_line(&mut self.reader, MAX_REPLY_LINE)? {
+            BoundedLine::Line(reply) => Ok(reply),
+            BoundedLine::TooLong => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "reply line exceeds the sanity limit",
+            )),
+            BoundedLine::Eof => Err(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
-            ));
+            )),
         }
-        Ok(reply.trim_end().to_owned())
     }
 
     /// Sends one request line and parses the reply.

@@ -8,11 +8,17 @@
 //! | [`store`] | fingerprint-keyed memo store over the locked sweep journal |
 //! | [`server`] | admission control, coalescing, supervised dispatch, drain |
 //! | [`wire`] | NDJSON request/reply protocol over any byte stream |
-//! | [`client`] | blocking client used by `loadgen` and the e2e tests |
+//! | [`client`] | blocking client used by `loadgen`, the router, and tests |
+//! | [`cluster`] | fingerprint-sharded routing, health checks, failover |
+//! | [`chaos`] | deterministic network fault injection for tests |
+//! | [`traffic`] | loadgen record/replay of request streams |
 //!
 //! The binaries: `subwarp-serve` (the daemon: TCP listener, SIGTERM drain,
-//! persistent store) and `loadgen` (burst client reporting p50/p99 latency,
-//! cache hit rate, and shed counts).
+//! persistent store, journal compaction), `subwarp-router` (the cluster
+//! front door: shards by fingerprint, health-checks, retries, fails over,
+//! sheds when a range has no live owner), and `loadgen` (burst client
+//! reporting p50/p99 latency, cache hit rate, and shed counts, with
+//! record/replay of request streams).
 //!
 //! ## Guarantees
 //!
@@ -29,14 +35,20 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
+pub mod cluster;
 pub mod json;
 pub mod server;
 pub mod spec;
 pub mod store;
+pub mod traffic;
 pub mod wire;
 
+pub use chaos::{ChaosPlan, ChaosProxy, ConnFate};
 pub use client::Client;
+pub use cluster::{Router, RouterConfig, ShardHealth};
 pub use server::{Phase, Server, ServerConfig, Submitted};
 pub use spec::JobSpec;
 pub use store::MemoStore;
+pub use traffic::Recording;

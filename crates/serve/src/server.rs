@@ -154,6 +154,12 @@ pub struct Counters {
     pub failed: AtomicU64,
     /// Submissions shed at admission.
     pub shed: AtomicU64,
+    /// Connections closed because a read deadline fired (slowloris
+    /// defense on the accept path).
+    pub conn_timeouts: AtomicU64,
+    /// Request lines rejected (and connections closed) for exceeding the
+    /// wire line-length limit.
+    pub oversized: AtomicU64,
 }
 
 struct Inner {
@@ -213,6 +219,23 @@ impl Server {
     /// The memo store (hit/miss counters, size).
     pub fn store(&self) -> &MemoStore {
         &self.inner.store
+    }
+
+    /// Accounts one connection closed by a read deadline (see
+    /// [`crate::wire::serve_connection`]).
+    pub fn note_conn_timeout(&self) {
+        self.inner
+            .counters
+            .conn_timeouts
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accounts one oversized request line.
+    pub fn note_oversized(&self) {
+        self.inner
+            .counters
+            .oversized
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Jobs currently queued or in flight.
@@ -350,7 +373,9 @@ impl Server {
         format!(
             "{{\"ok\":true,\"phase\":\"{}\",\"accepted\":{},\"cached\":{},\"coalesced\":{},\
              \"simulated\":{},\"completed_ok\":{},\"failed\":{},\"shed\":{},\
+             \"conn_timeouts\":{},\"oversized\":{},\
              \"store_hits\":{hits},\"store_misses\":{misses},\"store_len\":{},\
+             \"store_bytes\":{},\"compactions\":{},\
              \"restored\":{},\"pending\":{}}}",
             self.phase().name(),
             c.accepted.load(Ordering::Relaxed),
@@ -360,7 +385,11 @@ impl Server {
             c.ok.load(Ordering::Relaxed),
             c.failed.load(Ordering::Relaxed),
             c.shed.load(Ordering::Relaxed),
+            c.conn_timeouts.load(Ordering::Relaxed),
+            c.oversized.load(Ordering::Relaxed),
             self.inner.store.len(),
+            self.inner.store.disk_bytes(),
+            self.inner.store.compactions(),
             self.inner.store.restored(),
             self.pending(),
         )

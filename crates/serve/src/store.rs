@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use subwarp_core::RunStats;
-use subwarp_sweep::Journal;
+use subwarp_sweep::{CompactPolicy, CompactStats, CompactStep, Journal};
 
 /// Fingerprint-keyed memoized results with hit/miss counters.
 #[derive(Debug)]
@@ -98,6 +98,51 @@ impl MemoStore {
                     .unwrap_or_else(|e| e.into_inner())
                     .insert(fp, stats.clone());
             }
+        }
+    }
+
+    /// Bytes the backing journal occupies on disk (0 for in-memory
+    /// stores).
+    pub fn disk_bytes(&self) -> u64 {
+        self.journal.as_ref().map_or(0, Journal::disk_bytes)
+    }
+
+    /// Compaction passes completed (0 for in-memory stores).
+    pub fn compactions(&self) -> u64 {
+        self.journal.as_ref().map_or(0, Journal::compactions)
+    }
+
+    /// Compacts the backing journal (see [`Journal::compact`]): rewrites
+    /// it keeping only live records under `policy`, crash-consistently.
+    /// No-op `Ok` for in-memory stores.
+    pub fn compact(&self, policy: &CompactPolicy) -> std::io::Result<CompactStats> {
+        match &self.journal {
+            Some(j) => j.compact(policy),
+            None => Ok(CompactStats {
+                before_bytes: 0,
+                after_bytes: 0,
+                kept: 0,
+                evicted: 0,
+            }),
+        }
+    }
+
+    /// [`compact`](MemoStore::compact) with a [`CompactStep`] hook —
+    /// `subwarp-serve compact` wires `SUBWARP_COMPACT_CRASH` through this
+    /// for the kill-at-every-step CI coverage.
+    pub fn compact_with_hook(
+        &self,
+        policy: &CompactPolicy,
+        hook: &mut dyn FnMut(CompactStep),
+    ) -> std::io::Result<CompactStats> {
+        match &self.journal {
+            Some(j) => j.compact_with_hook(policy, hook),
+            None => Ok(CompactStats {
+                before_bytes: 0,
+                after_bytes: 0,
+                kept: 0,
+                evicted: 0,
+            }),
         }
     }
 

@@ -1,0 +1,146 @@
+//! Request-stream recordings for `loadgen --record` / `--replay`.
+//!
+//! A recording captures *what* was sent and *when*: one line per request,
+//! `t_ms<TAB>spec_json`, where `t_ms` is milliseconds since the burst
+//! started and `spec_json` is the request line verbatim. Replay re-sends
+//! the exact same request bytes on the recorded inter-arrival schedule, so
+//! a production traffic shape can be captured once and thrown at a cluster
+//! under chaos, after a restart, or post-compaction — and (because replies
+//! are memo-keyed by content) the replies can be diffed byte-for-byte.
+//!
+//! The spec is stored raw rather than re-serialized: the repo has a JSON
+//! parser but deliberately no general serializer, and byte-exact replay is
+//! the point.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+/// File header, versioned so a future format change fails loudly.
+const HEADER: &str = "#subwarp-loadgen-recording v1";
+
+/// One recorded request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedCall {
+    /// Milliseconds since the recording started when this was sent.
+    pub at_ms: u64,
+    /// The request line, verbatim (no trailing newline).
+    pub spec: String,
+}
+
+/// An ordered request stream with inter-arrival timings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Recording {
+    /// Calls in send order (non-decreasing `at_ms`).
+    pub calls: Vec<RecordedCall>,
+}
+
+impl Recording {
+    /// Appends one call; callers sort via [`finish`](Recording::finish) if
+    /// they record from concurrent workers.
+    pub fn push(&mut self, at_ms: u64, spec: impl Into<String>) {
+        self.calls.push(RecordedCall {
+            at_ms,
+            spec: spec.into(),
+        });
+    }
+
+    /// Sorts calls into send order (stable, so equal timestamps keep their
+    /// recording order).
+    pub fn finish(&mut self) {
+        self.calls.sort_by_key(|c| c.at_ms);
+    }
+
+    /// Writes the recording to `path` (truncating).
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut out = String::with_capacity(64 + self.calls.len() * 64);
+        out.push_str(HEADER);
+        out.push('\n');
+        for call in &self.calls {
+            out.push_str(&call.at_ms.to_string());
+            out.push('\t');
+            out.push_str(&call.spec);
+            out.push('\n');
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(out.as_bytes())?;
+        f.flush()
+    }
+
+    /// Loads a recording; rejects missing headers and malformed lines with
+    /// a line-numbered error.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Recording> {
+        let bad = |line_no: usize, what: &str| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("recording line {line_no}: {what}"),
+            )
+        };
+        let reader = BufReader::new(std::fs::File::open(path)?);
+        let mut calls = Vec::new();
+        let mut lines = reader.lines().enumerate();
+        match lines.next() {
+            Some((_, Ok(first))) if first.trim_end() == HEADER => {}
+            Some((_, Ok(_))) => return Err(bad(1, "missing `#subwarp-loadgen-recording` header")),
+            Some((_, Err(e))) => return Err(e),
+            None => return Err(bad(1, "empty recording")),
+        }
+        for (idx, line) in lines {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (t, spec) = line
+                .split_once('\t')
+                .ok_or_else(|| bad(idx + 1, "expected `t_ms<TAB>spec`"))?;
+            let at_ms: u64 = t
+                .parse()
+                .map_err(|_| bad(idx + 1, "t_ms is not an integer"))?;
+            if spec.trim().is_empty() {
+                return Err(bad(idx + 1, "empty spec"));
+            }
+            calls.push(RecordedCall {
+                at_ms,
+                spec: spec.to_owned(),
+            });
+        }
+        Ok(Recording { calls })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("subwarp_rec_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_byte_exactly() {
+        let path = temp("roundtrip");
+        let mut rec = Recording::default();
+        rec.push(120, "{\"workload\":\"toy\",\"si\":\"both\"}");
+        rec.push(0, "{\"workload\":\"toy\"}");
+        rec.push(120, "{\"cmd\":\"run\",\"workload\":\"raster\"}");
+        rec.finish();
+        assert_eq!(rec.calls[0].at_ms, 0);
+        rec.save(&path).unwrap();
+        let loaded = Recording::load(&path).unwrap();
+        assert_eq!(loaded, rec);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_malformed_files() {
+        let path = temp("malformed");
+        std::fs::write(&path, "not a recording\n").unwrap();
+        let err = Recording::load(&path).unwrap_err();
+        assert!(err.to_string().contains("header"), "{err}");
+        std::fs::write(&path, "#subwarp-loadgen-recording v1\nxyz\t{}\n").unwrap();
+        let err = Recording::load(&path).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        std::fs::write(&path, "#subwarp-loadgen-recording v1\n42 no-tab\n").unwrap();
+        assert!(Recording::load(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

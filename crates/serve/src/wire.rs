@@ -26,6 +26,92 @@ use crate::json::{parse, Value};
 use crate::server::{Server, Submitted};
 use crate::spec::JobSpec;
 
+/// Per-connection resource limits enforced by [`serve_connection`].
+#[derive(Debug, Clone, Copy)]
+pub struct WireLimits {
+    /// Maximum request line length in bytes (newline excluded). A longer
+    /// line gets a typed `too-long` error reply and the connection is
+    /// closed — the daemon never buffers an unbounded line.
+    pub max_line: usize,
+}
+
+impl Default for WireLimits {
+    fn default() -> WireLimits {
+        WireLimits {
+            max_line: 64 * 1024,
+        }
+    }
+}
+
+/// One bounded NDJSON read.
+#[derive(Debug)]
+pub enum BoundedLine {
+    /// A complete line (newline stripped), within the limit.
+    Line(String),
+    /// The line exceeded `max` bytes before a newline arrived; the reader
+    /// is mid-line and the connection should be answered and closed.
+    TooLong,
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line of at most `max` bytes. Unlike
+/// `BufRead::read_line`, an adversarially long line costs at most `max`
+/// bytes of memory before it is rejected. Invalid UTF-8 is an
+/// `InvalidData` error (NDJSON is UTF-8 by definition).
+pub fn read_bounded_line<R: BufRead>(reader: &mut R, max: usize) -> std::io::Result<BoundedLine> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            // EOF. A non-empty unterminated tail is treated as a final
+            // line (a client that dies mid-line just gets EOF behavior).
+            return Ok(if buf.is_empty() {
+                BoundedLine::Eof
+            } else {
+                match String::from_utf8(buf) {
+                    Ok(s) => BoundedLine::Line(s),
+                    Err(_) => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            "request line is not UTF-8",
+                        ))
+                    }
+                }
+            });
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                if buf.len() + nl > max {
+                    reader.consume(nl + 1);
+                    return Ok(BoundedLine::TooLong);
+                }
+                buf.extend_from_slice(&chunk[..nl]);
+                reader.consume(nl + 1);
+                if buf.last() == Some(&b'\r') {
+                    buf.pop();
+                }
+                return match String::from_utf8(buf) {
+                    Ok(s) => Ok(BoundedLine::Line(s)),
+                    Err(_) => Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "request line is not UTF-8",
+                    )),
+                };
+            }
+            None => {
+                let n = chunk.len();
+                if buf.len() + n > max {
+                    reader.consume(n);
+                    return Ok(BoundedLine::TooLong);
+                }
+                buf.extend_from_slice(chunk);
+                reader.consume(n);
+            }
+        }
+    }
+}
+
 /// Formats a successful run reply.
 pub fn ok_line(fp: u64, label: &str, cached: bool, stats: &RunStats) -> String {
     let (u, ch) = stats_to_units(stats);
@@ -115,14 +201,50 @@ pub fn handle_request(server: &Server, client: &str, req: &Value) -> (String, bo
 /// Malformed lines get a `bad-request` reply and the connection lives on —
 /// a confused client must not take the daemon with it. Returns `true` when
 /// the client asked for shutdown.
+///
+/// Two hostile-client defenses are enforced here: a request line longer
+/// than [`WireLimits::max_line`] gets a typed `too-long` error reply and
+/// the connection is closed (never buffered unboundedly), and a read that
+/// times out (the socket's read timeout, set on the accept path) closes
+/// the connection and is counted in the server's `conn_timeouts` stat — a
+/// slowloris client cannot pin a handler thread forever.
 pub fn serve_connection<R: BufRead, W: Write>(
     server: &Server,
     client: &str,
-    reader: R,
+    mut reader: R,
     mut writer: W,
+    limits: WireLimits,
 ) -> std::io::Result<bool> {
-    for line in reader.lines() {
-        let line = line?;
+    loop {
+        let line = match read_bounded_line(&mut reader, limits.max_line) {
+            Ok(BoundedLine::Line(l)) => l,
+            Ok(BoundedLine::Eof) => return Ok(false),
+            Ok(BoundedLine::TooLong) => {
+                server.note_oversized();
+                let mut reply = err_line(
+                    "too-long",
+                    &format!("request line exceeds {} bytes", limits.max_line),
+                    None,
+                );
+                reply.push('\n');
+                let _ = writer.write_all(reply.as_bytes());
+                let _ = writer.flush();
+                return Ok(false);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // The socket read deadline fired while waiting for (or in
+                // the middle of) a request line: a stalled client, not a
+                // daemon bug. Close and account for it.
+                server.note_conn_timeout();
+                return Ok(false);
+            }
+            Err(e) => return Err(e),
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -140,5 +262,4 @@ pub fn serve_connection<R: BufRead, W: Write>(
             return Ok(true);
         }
     }
-    Ok(false)
 }

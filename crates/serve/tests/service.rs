@@ -16,7 +16,7 @@ use std::time::Duration;
 use subwarp_core::{FaultKind, FaultPlan, RunStats};
 use subwarp_serve::json::parse;
 use subwarp_serve::server::JobReply;
-use subwarp_serve::wire::serve_connection;
+use subwarp_serve::wire::{serve_connection, WireLimits};
 use subwarp_serve::{Client, JobSpec, MemoStore, Phase, Server, ServerConfig, Submitted};
 
 /// A small config sized for single-core CI: tiny batches, generous
@@ -51,7 +51,13 @@ fn spawn_listener(server: Arc<Server>) -> (String, std::thread::JoinHandle<()>) 
                     let server = Arc::clone(&server);
                     std::thread::spawn(move || {
                         let reader = BufReader::new(stream.try_clone().unwrap());
-                        let _ = serve_connection(&server, &peer.to_string(), reader, &stream);
+                        let _ = serve_connection(
+                            &server,
+                            &peer.to_string(),
+                            reader,
+                            &stream,
+                            WireLimits::default(),
+                        );
                     });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {

@@ -34,7 +34,10 @@ pub mod fingerprint;
 pub mod journal;
 
 pub use fingerprint::{cell_fingerprint, fnv1a, workload_hash};
-pub use journal::{json_escape, lock_path_for, stats_to_units, units_to_stats, Journal};
+pub use journal::{
+    json_escape, lock_path_for, stats_to_units, units_to_stats, CompactPolicy, CompactStats,
+    CompactStep, Journal,
+};
 
 // ------------------------------------------------------------------- Sweep
 
